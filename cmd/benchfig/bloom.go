@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sariadne/internal/bloom"
+	"sariadne/internal/gen"
+)
+
+// bloomSweep measures the directory-summary false-positive rate across
+// (m, k) configurations, against the analytic estimate — the parameter
+// study behind Section 4's "these values can be chosen so that the
+// probability of false positive is minimized". Keys are real capability
+// ontology-set keys from a generated workload.
+func bloomSweep(_, _, reps int) {
+	w := gen.MustNewWorkload(gen.WorkloadConfig{Ontologies: 22, Services: 128, Seed: 42})
+	keys := make(map[string]bool)
+	for _, svc := range w.Services {
+		for _, c := range svc.Provided {
+			keys[c.OntologyKey()] = true
+		}
+	}
+	members := make([]string, 0, len(keys))
+	for k := range keys {
+		members = append(members, k)
+	}
+
+	if reps < 1000 {
+		reps = 10000
+	}
+	rng := rand.New(rand.NewSource(99))
+	fmt.Printf("%-8s %-4s %10s %12s %12s\n", "bits", "k", "stored", "measured", "estimate")
+	for _, m := range []int{256, 512, 1024, 2048} {
+		for _, k := range []int{2, 4, 6, 8} {
+			f, err := bloom.New(m, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, key := range members {
+				f.Add(key)
+			}
+			fp := 0
+			for i := 0; i < reps; i++ {
+				if f.Test(fmt.Sprintf("nonmember-%d-%d", rng.Int63(), i)) {
+					fp++
+				}
+			}
+			fmt.Printf("%-8d %-4d %10d %11.4f%% %11.4f%%\n",
+				m, k, len(members),
+				100*float64(fp)/float64(reps), 100*f.EstimateFPR())
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Command benchfig regenerates the data series behind every measured
+// figure of the paper's evaluation (Figures 2, 7, 8, 9 and 10), printing
+// the same rows/series the paper plots. Absolute numbers differ from the
+// paper's 2006 testbed; EXPERIMENTS.md records the shape comparison.
+//
+// Usage:
+//
+//	benchfig -fig 2          # one figure
+//	benchfig -fig all        # everything
+//	benchfig -fig 9 -max 200 -step 20 -reps 50
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sariadne/internal/ariadne"
+	"sariadne/internal/codes"
+	"sariadne/internal/discovery"
+	"sariadne/internal/gen"
+	"sariadne/internal/match"
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+	"sariadne/internal/reasoner"
+	"sariadne/internal/registry"
+	"sariadne/internal/wsdl"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 7, 8, 9, 10, traffic, bloom or all")
+	maxServices := flag.Int("max", 100, "largest directory size for figures 7-10")
+	step := flag.Int("step", 20, "directory size step for figures 7-10")
+	reps := flag.Int("reps", 25, "repetitions per measurement point")
+	flag.Parse()
+
+	run := func(name string, f func(int, int, int)) {
+		fmt.Printf("==== Figure %s ====\n", name)
+		f(*maxServices, *step, *reps)
+		fmt.Println()
+	}
+
+	switch *fig {
+	case "2":
+		run("2", fig2)
+	case "7":
+		run("7", fig7)
+	case "8":
+		run("8", fig8)
+	case "9":
+		run("9", fig9)
+	case "10":
+		run("10", fig10)
+	case "traffic":
+		run("traffic (protocol-level, beyond the paper)", traffic)
+	case "bloom":
+		run("bloom (summary parameter sweep, Section 4)", bloomSweep)
+	case "all":
+		run("2", fig2)
+		run("7", fig7)
+		run("8", fig8)
+		run("9", fig9)
+		run("10", fig10)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// timeIt returns the average duration of f over reps runs.
+func timeIt(reps int, f func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+func workload(services int) (*gen.Workload, *codes.Registry) {
+	w := gen.MustNewWorkload(gen.WorkloadConfig{
+		Ontologies:           22,
+		Services:             services,
+		InputsPerCapability:  5,
+		OutputsPerCapability: 3,
+		Seed:                 42,
+	})
+	reg, err := w.Registry(codes.DefaultParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w, reg
+}
+
+// fig2 prints the per-reasoner phase decomposition of one capability
+// match: parse / load+classify / match / total, plus the share of
+// load+classify (the paper reports 76–78%) and the encoded matcher's
+// time for contrast.
+func fig2(_, _, reps int) {
+	ontDoc, err := ontology.Marshal(gen.Fig2Ontology())
+	if err != nil {
+		log.Fatal(err)
+	}
+	provided, requested := gen.Fig2Capabilities()
+	providedDoc, err := profile.Marshal(&profile.Service{Name: "p", Provided: []*profile.Capability{provided}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	requestedDoc, err := profile.Marshal(&profile.Service{Name: "r", Required: []*profile.Capability{requested}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %12s %14s %12s %12s %8s\n", "reasoner", "parse", "load+classify", "match", "total", "l+c %")
+	for _, prof := range reasoner.Profiles() {
+		parse := timeIt(reps, func() {
+			if _, err := profile.Unmarshal(providedDoc); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := profile.Unmarshal(requestedDoc); err != nil {
+				log.Fatal(err)
+			}
+		})
+		loadClassify := timeIt(reps, func() {
+			r, _ := reasoner.New(prof)
+			if err := r.Load(bytes.NewReader(ontDoc)); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := r.Classify(); err != nil {
+				log.Fatal(err)
+			}
+		})
+		r, _ := reasoner.New(prof)
+		if err := r.Load(bytes.NewReader(ontDoc)); err != nil {
+			log.Fatal(err)
+		}
+		h, err := r.Classify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		hm := match.NewHierarchyMatcher()
+		hm.Add(gen.Fig2Ontology().URI, h)
+		matchTime := timeIt(reps, func() {
+			if !match.Match(hm, provided, requested) {
+				log.Fatal("pair must match")
+			}
+		})
+		total := parse + loadClassify + matchTime
+		fmt.Printf("%-10s %12s %14s %12s %12s %7.1f%%\n",
+			prof, parse, loadClassify, matchTime, total,
+			100*float64(loadClassify)/float64(total))
+	}
+
+	reg := codes.NewRegistry()
+	reg.Register(codes.MustEncode(ontology.MustClassify(gen.Fig2Ontology()), codes.DefaultParams))
+	cm := match.NewCodeMatcher(reg)
+	encoded := timeIt(reps, func() {
+		if !match.Match(cm, provided, requested) {
+			log.Fatal("pair must match")
+		}
+	})
+	fmt.Printf("%-10s %12s %14s %12s %12s   (offline encoding, paper Section 3.2)\n",
+		"encoded", "-", "-", encoded, encoded)
+}
+
+// fig7 prints the time to populate an empty directory: parse, graph
+// creation, total — per directory size.
+func fig7(maxServices, step, reps int) {
+	fmt.Printf("%-10s %12s %14s %12s\n", "services", "parse", "create graphs", "total")
+	for n := step; n <= maxServices; n += step {
+		w, reg := workload(n)
+		parse := timeIt(reps, func() {
+			for _, doc := range w.ServiceDocs {
+				if _, err := profile.Unmarshal(doc); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		create := timeIt(reps, func() {
+			dir := registry.NewDirectory(match.NewCodeMatcher(reg))
+			for _, svc := range w.Services {
+				if err := dir.Register(svc); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("%-10d %12s %14s %12s\n", n, parse, create, parse+create)
+	}
+}
+
+// fig8 prints the time to publish one new advertisement into an existing
+// directory: parse, insert, total — per directory size.
+func fig8(maxServices, step, reps int) {
+	fmt.Printf("%-10s %12s %12s %12s\n", "services", "parse", "insert", "total")
+	for n := step; n <= maxServices; n += step {
+		w, reg := workload(n + 1)
+		newDoc := w.ServiceDocs[n]
+		parse := timeIt(reps, func() {
+			if _, err := profile.Unmarshal(newDoc); err != nil {
+				log.Fatal(err)
+			}
+		})
+		dir := registry.NewDirectory(match.NewCodeMatcher(reg))
+		for _, svc := range w.Services[:n] {
+			if err := dir.Register(svc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		base, err := profile.Unmarshal(newDoc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		i := 0
+		insert := timeIt(reps, func() {
+			svc := base.Clone()
+			svc.Name = fmt.Sprintf("new%d", i)
+			i++
+			if err := dir.Register(svc); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("%-10d %12s %12s %12s\n", n, parse, insert, parse+insert)
+	}
+}
+
+// fig9 prints the time to resolve a request in the classified directory
+// vs unclassified linear matching (request parse excluded, as in the
+// paper).
+func fig9(maxServices, step, reps int) {
+	fmt.Printf("%-10s %14s %16s %10s %10s %10s\n",
+		"services", "optimized", "non-optimized", "overhead", "ops(opt)", "ops(lin)")
+	for n := step; n <= maxServices; n += step {
+		w, reg := workload(n)
+		m := match.NewCodeMatcher(reg)
+		// Average over several distinct requests to smooth the variance a
+		// single randomly specialized request would introduce.
+		reqs := make([]*profile.Capability, 0, 8)
+		for i := 0; i < 8; i++ {
+			reqs = append(reqs, w.Request((n/8)*i%n, 1))
+		}
+
+		dag := registry.NewDirectory(m)
+		flat := registry.NewLinearDirectory(m)
+		for _, svc := range w.Services {
+			if err := dag.Register(svc); err != nil {
+				log.Fatal(err)
+			}
+			if err := flat.Register(svc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		i := 0
+		opt := timeIt(reps, func() {
+			if res := dag.Query(reqs[i%len(reqs)]); len(res) == 0 {
+				log.Fatal("request must match")
+			}
+			i++
+		})
+		i = 0
+		opsBefore := dag.MatchOps()
+		for j := 0; j < len(reqs); j++ {
+			dag.Query(reqs[j])
+		}
+		opsOpt := float64(dag.MatchOps()-opsBefore) / float64(len(reqs))
+
+		lin := timeIt(reps, func() {
+			if res := flat.Query(reqs[i%len(reqs)]); len(res) == 0 {
+				log.Fatal("request must match")
+			}
+			i++
+		})
+		opsBefore = flat.MatchOps()
+		for j := 0; j < len(reqs); j++ {
+			flat.Query(reqs[j])
+		}
+		opsLin := float64(flat.MatchOps()-opsBefore) / float64(len(reqs))
+
+		fmt.Printf("%-10d %14s %16s %9.0f%% %10.1f %10.1f\n", n, opt, lin,
+			100*(float64(lin)/float64(opt)-1), opsOpt, opsLin)
+	}
+}
+
+// fig10 prints the directory response time of the syntactic Ariadne
+// baseline vs S-Ariadne on the same services (document in, answer out).
+func fig10(maxServices, step, reps int) {
+	fmt.Printf("%-10s %14s %14s\n", "services", "ariadne", "s-ariadne")
+	for n := step; n <= maxServices; n += step {
+		w, reg := workload(n)
+
+		syntactic := ariadne.NewBackend()
+		for _, def := range w.Definitions {
+			doc, err := wsdl.Marshal(def)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := syntactic.Register(doc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wsdlReq, err := wsdl.Marshal(w.WSDLRequest(n / 2))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		semantic := discovery.NewSemanticBackend(reg)
+		for _, doc := range w.ServiceDocs {
+			if _, err := semantic.Register(doc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		semReq, err := profile.Marshal(&profile.Service{
+			Name:     "request",
+			Required: []*profile.Capability{w.Request(n/2, 1)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ariadneTime := timeIt(reps, func() {
+			hits, err := syntactic.Query(wsdlReq)
+			if err != nil || len(hits) == 0 {
+				log.Fatalf("ariadne query: hits=%v err=%v", hits, err)
+			}
+		})
+		sariadneTime := timeIt(reps, func() {
+			hits, err := semantic.Query(semReq)
+			if err != nil || len(hits) == 0 {
+				log.Fatalf("s-ariadne query: hits=%v err=%v", hits, err)
+			}
+		})
+		fmt.Printf("%-10d %14s %14s\n", n, ariadneTime, sariadneTime)
+	}
+}

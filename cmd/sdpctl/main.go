@@ -1,0 +1,157 @@
+// Command sdpctl is the client for a sdpd directory node: it publishes
+// Amigo-S service advertisements, resolves semantic queries, uploads
+// ontologies, and inspects directory state over UDP.
+//
+// Usage:
+//
+//	sdpctl -server localhost:7474 register service.xml
+//	sdpctl -server localhost:7474 query request.xml
+//	sdpctl -server localhost:7474 ontology media.xml
+//	sdpctl -server localhost:7474 deregister MediaWorkstation
+//	sdpctl -server localhost:7474 stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+)
+
+type request struct {
+	Op   string `json:"op"`
+	Doc  string `json:"doc,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+type hit struct {
+	Service    string `json:"Service"`
+	Capability string `json:"Capability"`
+	Provider   string `json:"Provider"`
+	Distance   int    `json:"Distance"`
+	Directory  string `json:"Directory"`
+}
+
+type response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Hits  []hit  `json:"hits,omitempty"`
+	Stats *struct {
+		Capabilities int      `json:"capabilities"`
+		Ontologies   []string `json:"ontologies"`
+	} `json:"stats,omitempty"`
+	Table json.RawMessage `json:"table,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	server := flag.String("server", "localhost:7474", "sdpd address")
+	timeout := flag.Duration("timeout", 3*time.Second, "reply timeout")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	var req request
+	switch args[0] {
+	case "register", "query", "ontology":
+		if len(args) != 2 {
+			usage()
+		}
+		doc, err := os.ReadFile(args[1])
+		if err != nil {
+			log.Fatalf("sdpctl: %v", err)
+		}
+		op := args[0]
+		if op == "ontology" {
+			op = "add-ontology"
+		}
+		req = request{Op: op, Doc: string(doc)}
+	case "deregister":
+		if len(args) != 2 {
+			usage()
+		}
+		req = request{Op: "deregister", Name: args[1]}
+	case "table":
+		if len(args) != 2 {
+			usage()
+		}
+		req = request{Op: "get-table", Name: args[1]}
+	case "stats":
+		req = request{Op: "stats"}
+	default:
+		usage()
+	}
+
+	resp, err := send(*server, *timeout, req)
+	if err != nil {
+		log.Fatalf("sdpctl: %v", err)
+	}
+	if !resp.OK {
+		log.Fatalf("sdpctl: server error: %s", resp.Error)
+	}
+	switch args[0] {
+	case "query":
+		if len(resp.Hits) == 0 {
+			fmt.Println("no matching service")
+			return
+		}
+		fmt.Printf("%-24s %-24s %-20s %s\n", "SERVICE", "CAPABILITY", "PROVIDER", "DISTANCE")
+		for _, h := range resp.Hits {
+			fmt.Printf("%-24s %-24s %-20s %d\n", h.Service, h.Capability, h.Provider, h.Distance)
+		}
+	case "stats":
+		fmt.Printf("capabilities: %d\n", resp.Stats.Capabilities)
+		for _, u := range resp.Stats.Ontologies {
+			fmt.Printf("ontology: %s\n", u)
+		}
+	case "table":
+		fmt.Println(string(resp.Table))
+	default:
+		fmt.Println("ok")
+	}
+}
+
+func send(server string, timeout time.Duration, req request) (*response, error) {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(data); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("waiting for reply: %w", err)
+	}
+	var resp response
+	if err := json.Unmarshal(buf[:n], &resp); err != nil {
+		return nil, fmt.Errorf("malformed reply: %w", err)
+	}
+	return &resp, nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sdpctl [-server host:port] <command>
+commands:
+  register <service.xml>    publish an Amigo-S advertisement
+  deregister <name>         withdraw a service
+  query <request.xml>       resolve the required capabilities
+  ontology <ontology.xml>   upload an ontology (classified+encoded server-side)
+  table <ontology-uri>      fetch the encoded code table for an ontology
+  stats                     show directory state`)
+	os.Exit(2)
+}

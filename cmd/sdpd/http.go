@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+)
+
+// httpGateway exposes the directory over HTTP for clients that prefer REST
+// to the UDP datagram protocol:
+//
+//	POST /services          body: Amigo-S XML        -> 201
+//	DELETE /services/{name}                          -> 204
+//	POST /query             body: Amigo-S XML        -> 200 {"hits":[...]}
+//	POST /ontologies        body: ontology XML       -> 201
+//	GET  /tables?uri={ontology-uri}                  -> 200 code table JSON
+//	GET  /stats                                      -> 200 {"capabilities":..,"ontologies":[..]}
+//
+// The handler funnels every mutation through the same server.handle path
+// as the UDP front end, so journaling and validation behave identically.
+type httpGateway struct {
+	srv *server
+}
+
+// newHTTPGateway builds the REST mux over a directory server.
+func newHTTPGateway(srv *server) http.Handler {
+	g := &httpGateway{srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /services", g.postServices)
+	mux.HandleFunc("DELETE /services/{name}", g.deleteService)
+	mux.HandleFunc("POST /query", g.postQuery)
+	mux.HandleFunc("POST /ontologies", g.postOntologies)
+	mux.HandleFunc("GET /tables", g.getTable)
+	mux.HandleFunc("GET /stats", g.getStats)
+	return mux
+}
+
+// dispatch runs a request through the shared handler and writes the reply.
+func (g *httpGateway) dispatch(w http.ResponseWriter, req request, okStatus int) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := g.srv.handle(data)
+	if !resp.OK {
+		status := http.StatusBadRequest
+		if strings.Contains(resp.Error, "not registered") || strings.Contains(resp.Error, "no table") {
+			status = http.StatusNotFound
+		}
+		http.Error(w, resp.Error, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(okStatus)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("sdpd: http encode: %v", err)
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) (string, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return "", false
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return "", false
+	}
+	return string(body), true
+}
+
+func (g *httpGateway) postServices(w http.ResponseWriter, r *http.Request) {
+	doc, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	g.dispatch(w, request{Op: "register", Doc: doc}, http.StatusCreated)
+}
+
+func (g *httpGateway) deleteService(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		http.Error(w, "missing service name", http.StatusBadRequest)
+		return
+	}
+	g.dispatch(w, request{Op: "deregister", Name: name}, http.StatusOK)
+}
+
+func (g *httpGateway) postQuery(w http.ResponseWriter, r *http.Request) {
+	doc, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	g.dispatch(w, request{Op: "query", Doc: doc}, http.StatusOK)
+}
+
+func (g *httpGateway) postOntologies(w http.ResponseWriter, r *http.Request) {
+	doc, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	g.dispatch(w, request{Op: "add-ontology", Doc: doc}, http.StatusCreated)
+}
+
+// getTable takes the ontology URI as a query parameter (URIs contain
+// slashes that path routing would normalize away): GET /tables?uri=...
+func (g *httpGateway) getTable(w http.ResponseWriter, r *http.Request) {
+	uri := r.URL.Query().Get("uri")
+	if uri == "" {
+		http.Error(w, "missing uri query parameter", http.StatusBadRequest)
+		return
+	}
+	g.dispatch(w, request{Op: "get-table", Name: uri}, http.StatusOK)
+}
+
+func (g *httpGateway) getStats(w http.ResponseWriter, _ *http.Request) {
+	g.dispatch(w, request{Op: "stats"}, http.StatusOK)
+}
+
+// serveHTTP runs the gateway; it blocks like serve.
+func serveHTTP(addr string, srv *server) error {
+	s := &http.Server{Addr: addr, Handler: newHTTPGateway(srv)}
+	log.Printf("sdpd: serving HTTP gateway on %s", addr)
+	if err := s.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("sdpd: http: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/profile"
+)
+
+func newGatewayServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	srv := newTestServer(t)
+	ts := httptest.NewServer(newHTTPGateway(srv))
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(payload)
+}
+
+func TestHTTPGatewayLifecycle(t *testing.T) {
+	ts, _ := newGatewayServer(t)
+
+	resp, _ := do(t, "POST", ts.URL+"/services", mustDoc(t, profile.WorkstationService()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /services = %d", resp.StatusCode)
+	}
+
+	resp, body := do(t, "POST", ts.URL+"/query", mustDoc(t, profile.PDAService()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query = %d: %s", resp.StatusCode, body)
+	}
+	var qr response
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Hits) != 1 || qr.Hits[0].Distance != 3 {
+		t.Fatalf("hits = %+v", qr.Hits)
+	}
+
+	resp, body = do(t, "GET", ts.URL+"/stats", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"capabilities":2`) {
+		t.Fatalf("GET /stats = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, "GET", ts.URL+"/tables?uri="+url.QueryEscape(profile.MediaOntologyURI), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /tables = %d: %s", resp.StatusCode, body)
+	}
+	var tr response
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codes.UnmarshalTable(tr.Table); err != nil {
+		t.Fatalf("shipped table invalid: %v", err)
+	}
+
+	resp, _ = do(t, "DELETE", ts.URL+"/services/MediaWorkstation", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "DELETE", ts.URL+"/services/MediaWorkstation", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double DELETE = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPGatewayErrors(t *testing.T) {
+	ts, _ := newGatewayServer(t)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/services", "", http.StatusBadRequest},
+		{"POST", "/services", "garbage", http.StatusBadRequest},
+		{"POST", "/query", "garbage", http.StatusBadRequest},
+		{"POST", "/ontologies", "garbage", http.StatusBadRequest},
+		{"GET", "/tables?uri=http://unknown.example", "", http.StatusNotFound},
+		{"GET", "/tables", "", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := do(t, c.method, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestHTTPGatewayOntologyUpload(t *testing.T) {
+	ts, srv := newGatewayServer(t)
+	doc := `<ontology uri="http://new.example/ont" version="1"><class name="Thing"/></ontology>`
+	resp, _ := do(t, "POST", ts.URL+"/ontologies", doc)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /ontologies = %d", resp.StatusCode)
+	}
+	if _, ok := srv.reg.Resolve("http://new.example/ont"); !ok {
+		t.Fatal("uploaded ontology not encoded")
+	}
+}

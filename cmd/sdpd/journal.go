@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// journal persists the directory's registration history so a restarted
+// sdpd recovers its advertisements: an append-only file of JSON lines,
+// one per mutation. Ontology uploads are journaled too, since encoded
+// tables must exist before advertisements can be replayed.
+type journal struct {
+	f *os.File
+}
+
+// journalEntry is one persisted mutation.
+type journalEntry struct {
+	Op   string `json:"op"`             // "register", "deregister", "add-ontology"
+	Doc  string `json:"doc,omitempty"`  // XML document for register/add-ontology
+	Name string `json:"name,omitempty"` // service name for deregister
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one entry durably.
+func (j *journal) append(e journalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// close releases the file.
+func (j *journal) close() error { return j.f.Close() }
+
+// replayJournal feeds every journaled mutation back into the server. A
+// missing file is an empty history. Corrupt trailing lines (torn writes)
+// stop the replay without failing startup; corrupt middle lines are
+// skipped with a count so the operator can tell.
+func replayJournal(path string, s *server) (applied, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			skipped++
+			continue
+		}
+		if resp := s.apply(e); !resp.OK {
+			skipped++
+			continue
+		}
+		applied++
+	}
+	if err := scanner.Err(); err != nil && err != io.EOF {
+		return applied, skipped, fmt.Errorf("journal: %w", err)
+	}
+	return applied, skipped, nil
+}
+
+// apply executes a journal entry against the directory without
+// re-journaling it.
+func (s *server) apply(e journalEntry) response {
+	switch e.Op {
+	case "register":
+		if _, err := s.backend.Register([]byte(e.Doc)); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "deregister":
+		if !s.backend.Deregister(e.Name) {
+			return response{Error: "not registered"}
+		}
+		return response{OK: true}
+	case "add-ontology":
+		if err := s.addOntologyText(e.Doc); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	default:
+		return response{Error: "unknown journal op " + e.Op}
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+)
+
+func TestJournalPersistAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.jsonl")
+
+	// First server lifetime: journal ontologies and a registration.
+	s1, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.journal = j
+	for _, o := range []*ontology.Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		data, err := ontology.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := s1.handle(mustJSON(t, request{Op: "add-ontology", Doc: string(data)})); !resp.OK {
+			t.Fatalf("add-ontology: %s", resp.Error)
+		}
+	}
+	if resp := s1.handle(mustJSON(t, request{Op: "register", Doc: mustDoc(t, profile.WorkstationService())})); !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+	// Register and withdraw a second service: replay must converge to the
+	// post-deregistration state.
+	other := profile.WorkstationService()
+	other.Name = "Transient"
+	if resp := s1.handle(mustJSON(t, request{Op: "register", Doc: mustDoc(t, other)})); !resp.OK {
+		t.Fatalf("register transient: %s", resp.Error)
+	}
+	if resp := s1.handle(mustJSON(t, request{Op: "deregister", Name: "Transient"})); !resp.OK {
+		t.Fatalf("deregister: %s", resp.Error)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second lifetime: recover from the journal alone.
+	s2, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, skipped, err := replayJournal(path, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d entries", skipped)
+	}
+	if applied != 5 { // 2 ontologies + 2 registers + 1 deregister
+		t.Fatalf("applied = %d, want 5", applied)
+	}
+	resp := s2.handle(mustJSON(t, request{Op: "query", Doc: mustDoc(t, profile.PDAService())}))
+	if !resp.OK || len(resp.Hits) != 1 || resp.Hits[0].Service != "MediaWorkstation" {
+		t.Fatalf("query after recovery: %+v", resp)
+	}
+	if s2.backend.Len() != 2 { // workstation's two capabilities only
+		t.Fatalf("capabilities after recovery = %d, want 2", s2.backend.Len())
+	}
+}
+
+func TestJournalReplayTolerance(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.jsonl")
+	content := `{"op":"add-ontology","doc":"<ontology uri=\"u\"><class name=\"A\"/></ontology>"}
+not json at all
+{"op":"register","doc":"garbage that will not parse"}
+{"op":"unknown-op"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, skipped, err := replayJournal(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 3 {
+		t.Fatalf("applied=%d skipped=%d, want 1/3", applied, skipped)
+	}
+}
+
+func TestJournalReplayMissingFile(t *testing.T) {
+	s, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, skipped, err := replayJournal(filepath.Join(t.TempDir(), "absent.jsonl"), s)
+	if err != nil || applied != 0 || skipped != 0 {
+		t.Fatalf("missing file: %d/%d/%v", applied, skipped, err)
+	}
+}

@@ -1,0 +1,255 @@
+// Command sdpd runs a standalone S-Ariadne directory node over UDP: a
+// real-network deployment of the semantic directory for infrastructure
+// settings (the hybrid side of the paper's hybrid-network story). Clients
+// (cmd/sdpctl) publish Amigo-S advertisements and resolve semantic
+// queries with single-datagram JSON requests.
+//
+// Usage:
+//
+//	sdpd -listen :7474 -ontology media.xml -ontology servers.xml
+//
+// Protocol (one JSON object per datagram):
+//
+//	{"op":"register", "doc":"<service .../>"}
+//	{"op":"deregister", "name":"MediaWorkstation"}
+//	{"op":"query", "doc":"<service ...><required .../></service>"}
+//	{"op":"add-ontology", "doc":"<ontology .../>"}
+//	{"op":"get-table", "name":"<ontology uri>"}
+//	{"op":"stats"}
+//
+// Every reply is {"ok":bool, "error":string, "hits":[...], "stats":{...}}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/discovery"
+	"sariadne/internal/ontology"
+)
+
+// request is the wire format of client commands.
+type request struct {
+	Op   string `json:"op"`
+	Doc  string `json:"doc,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// response is the wire format of server replies.
+type response struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Hits  []discovery.Hit `json:"hits,omitempty"`
+	Stats *statsBody      `json:"stats,omitempty"`
+	Table json.RawMessage `json:"table,omitempty"`
+}
+
+type statsBody struct {
+	Capabilities int      `json:"capabilities"`
+	Ontologies   []string `json:"ontologies"`
+}
+
+// ontologyList collects repeated -ontology flags.
+type ontologyList []string
+
+func (l *ontologyList) String() string { return strings.Join(*l, ",") }
+
+func (l *ontologyList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	listen := flag.String("listen", ":7474", "UDP address to listen on")
+	httpAddr := flag.String("http", "", "also serve an HTTP gateway on this address (optional)")
+	state := flag.String("state", "", "journal file for durable registrations (optional)")
+	var ontologies ontologyList
+	flag.Var(&ontologies, "ontology", "ontology XML file to load (repeatable)")
+	flag.Parse()
+
+	srv, err := newServer(ontologies)
+	if err != nil {
+		log.Fatalf("sdpd: %v", err)
+	}
+	if *state != "" {
+		applied, skipped, err := replayJournal(*state, srv)
+		if err != nil {
+			log.Fatalf("sdpd: %v", err)
+		}
+		if applied+skipped > 0 {
+			log.Printf("sdpd: recovered %d journal entries (%d skipped)", applied, skipped)
+		}
+		j, err := openJournal(*state)
+		if err != nil {
+			log.Fatalf("sdpd: %v", err)
+		}
+		defer j.close()
+		srv.journal = j
+	}
+	addr, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		log.Fatalf("sdpd: resolve %q: %v", *listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		log.Fatalf("sdpd: listen: %v", err)
+	}
+	defer conn.Close()
+	if *httpAddr != "" {
+		go func() {
+			if err := serveHTTP(*httpAddr, srv); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	log.Printf("sdpd: serving semantic discovery on %s (%d ontologies)", conn.LocalAddr(), len(ontologies))
+	srv.serve(conn)
+}
+
+// server is the directory node state. With both the UDP and HTTP front
+// ends funneling into handle, a mutex serializes request processing (the
+// code registry and the journal are not internally synchronized; the
+// per-request work is microseconds, so serialization is not a bottleneck
+// for this tool).
+type server struct {
+	mu      sync.Mutex
+	reg     *codes.Registry
+	backend *discovery.SemanticBackend
+	journal *journal
+}
+
+func newServer(ontologyFiles []string) (*server, error) {
+	reg := codes.NewRegistry()
+	s := &server{reg: reg, backend: discovery.NewSemanticBackend(reg)}
+	for _, path := range ontologyFiles {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		err = s.addOntology(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("ontology %s: %w", path, err)
+		}
+	}
+	return s, nil
+}
+
+func (s *server) addOntologyText(doc string) error {
+	return s.addOntology(strings.NewReader(doc))
+}
+
+func (s *server) addOntology(r interface{ Read([]byte) (int, error) }) error {
+	o, err := ontology.Decode(r)
+	if err != nil {
+		return err
+	}
+	cl, err := ontology.Classify(o)
+	if err != nil {
+		return err
+	}
+	table, err := codes.Encode(cl, codes.DefaultParams)
+	if err != nil {
+		return err
+	}
+	s.reg.Register(table)
+	return nil
+}
+
+func (s *server) serve(conn *net.UDPConn) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			log.Printf("sdpd: read: %v", err)
+			return
+		}
+		resp := s.handle(buf[:n])
+		data, err := json.Marshal(resp)
+		if err != nil {
+			log.Printf("sdpd: marshal reply: %v", err)
+			continue
+		}
+		if _, err := conn.WriteToUDP(data, peer); err != nil {
+			log.Printf("sdpd: write to %s: %v", peer, err)
+		}
+	}
+}
+
+func (s *server) handle(datagram []byte) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var req request
+	if err := json.Unmarshal(datagram, &req); err != nil {
+		return response{Error: "malformed request: " + err.Error()}
+	}
+	switch req.Op {
+	case "register":
+		name, err := s.backend.Register([]byte(req.Doc))
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		if err := s.persist(journalEntry{Op: "register", Doc: req.Doc}); err != nil {
+			return response{Error: err.Error()}
+		}
+		log.Printf("sdpd: registered %s (%d capabilities total)", name, s.backend.Len())
+		return response{OK: true}
+	case "deregister":
+		if !s.backend.Deregister(req.Name) {
+			return response{Error: fmt.Sprintf("service %q not registered", req.Name)}
+		}
+		if err := s.persist(journalEntry{Op: "deregister", Name: req.Name}); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "query":
+		hits, err := s.backend.Query([]byte(req.Doc))
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Hits: hits}
+	case "add-ontology":
+		if err := s.addOntologyText(req.Doc); err != nil {
+			return response{Error: err.Error()}
+		}
+		if err := s.persist(journalEntry{Op: "add-ontology", Doc: req.Doc}); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "get-table":
+		// Thin clients fetch encoded code tables instead of running a
+		// reasoner themselves (Section 3.2's code distribution).
+		table, ok := s.reg.Resolve(req.Name)
+		if !ok {
+			return response{Error: fmt.Sprintf("no table for ontology %q", req.Name)}
+		}
+		data, err := codes.MarshalTable(table)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Table: data}
+	case "stats":
+		return response{OK: true, Stats: &statsBody{
+			Capabilities: s.backend.Len(),
+			Ontologies:   s.reg.URIs(),
+		}}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// persist journals a successful mutation when durability is enabled.
+func (s *server) persist(e journalEntry) error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.append(e)
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []*ontology.Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		data, err := ontology.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := s.handle(mustJSON(t, request{Op: "add-ontology", Doc: string(data)}))
+		if !resp.OK {
+			t.Fatalf("add-ontology: %s", resp.Error)
+		}
+	}
+	return s
+}
+
+func mustJSON(t *testing.T, req request) []byte {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func mustDoc(t *testing.T, svc *profile.Service) string {
+	t.Helper()
+	doc, err := profile.Marshal(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(doc)
+}
+
+func TestHandleRegisterQueryDeregister(t *testing.T) {
+	s := newTestServer(t)
+
+	resp := s.handle(mustJSON(t, request{Op: "register", Doc: mustDoc(t, profile.WorkstationService())}))
+	if !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+
+	resp = s.handle(mustJSON(t, request{Op: "query", Doc: mustDoc(t, profile.PDAService())}))
+	if !resp.OK || len(resp.Hits) != 1 || resp.Hits[0].Distance != 3 {
+		t.Fatalf("query: %+v", resp)
+	}
+
+	resp = s.handle(mustJSON(t, request{Op: "stats"}))
+	if !resp.OK || resp.Stats.Capabilities != 2 || len(resp.Stats.Ontologies) != 2 {
+		t.Fatalf("stats: %+v", resp)
+	}
+
+	resp = s.handle(mustJSON(t, request{Op: "deregister", Name: "MediaWorkstation"}))
+	if !resp.OK {
+		t.Fatalf("deregister: %s", resp.Error)
+	}
+	resp = s.handle(mustJSON(t, request{Op: "deregister", Name: "MediaWorkstation"}))
+	if resp.OK {
+		t.Fatal("double deregister succeeded")
+	}
+	resp = s.handle(mustJSON(t, request{Op: "query", Doc: mustDoc(t, profile.PDAService())}))
+	if !resp.OK || len(resp.Hits) != 0 {
+		t.Fatalf("query after deregister: %+v", resp)
+	}
+}
+
+func TestHandleErrors(t *testing.T) {
+	s := newTestServer(t)
+	for name, datagram := range map[string][]byte{
+		"malformed json":   []byte("{nope"),
+		"unknown op":       mustJSON(t, request{Op: "fly"}),
+		"bad register doc": mustJSON(t, request{Op: "register", Doc: "junk"}),
+		"bad query doc":    mustJSON(t, request{Op: "query", Doc: "junk"}),
+		"bad ontology":     mustJSON(t, request{Op: "add-ontology", Doc: "junk"}),
+	} {
+		if resp := s.handle(datagram); resp.OK {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestNewServerBadFile(t *testing.T) {
+	if _, err := newServer([]string{"/nonexistent/ontology.xml"}); err == nil {
+		t.Fatal("accepted missing ontology file")
+	}
+}
+
+func TestServeOverUDP(t *testing.T) {
+	s := newTestServer(t)
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	go s.serve(conn)
+
+	client, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(mustJSON(t, request{Op: "register", Doc: mustDoc(t, profile.WorkstationService())})); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), `"ok":true`) {
+		t.Fatalf("reply = %s", buf[:n])
+	}
+}
+
+func TestOntologyListFlag(t *testing.T) {
+	var l ontologyList
+	if err := l.Set("a.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("b.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "a.xml,b.xml" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHandleGetTable(t *testing.T) {
+	s := newTestServer(t)
+	resp := s.handle(mustJSON(t, request{Op: "get-table", Name: profile.MediaOntologyURI}))
+	if !resp.OK || len(resp.Table) == 0 {
+		t.Fatalf("get-table: %+v", resp)
+	}
+	table, err := codes.UnmarshalTable(resp.Table)
+	if err != nil {
+		t.Fatalf("returned table does not parse: %v", err)
+	}
+	if !table.Subsumes("Resource", "Movie") {
+		t.Fatal("shipped table lost subsumption")
+	}
+	if resp := s.handle(mustJSON(t, request{Op: "get-table", Name: "http://nope"})); resp.OK {
+		t.Fatal("get-table for unknown ontology succeeded")
+	}
+}

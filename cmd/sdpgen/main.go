@@ -1,0 +1,108 @@
+// Command sdpgen writes an evaluation corpus to disk: the ontologies,
+// Amigo-S service advertisements, semantic request documents and WSDL
+// twins of a generated workload (the paper's setup: 22 ontologies, one
+// provided capability per service). The files feed cmd/sdpd / cmd/sdpctl
+// demos and external tooling.
+//
+// Usage:
+//
+//	sdpgen -out corpus -services 100 -ontologies 22 -requests 10 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sariadne/internal/gen"
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+	"sariadne/internal/wsdl"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "corpus", "output directory")
+	services := flag.Int("services", 100, "number of services")
+	ontologies := flag.Int("ontologies", 22, "number of ontologies")
+	classes := flag.Int("classes", 40, "classes per ontology")
+	inputs := flag.Int("inputs", 5, "inputs per capability")
+	outputs := flag.Int("outputs", 3, "outputs per capability")
+	requests := flag.Int("requests", 10, "number of request documents")
+	depth := flag.Int("depth", 1, "request specialization depth")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if err := run(*out, gen.WorkloadConfig{
+		Ontologies:           *ontologies,
+		ClassesPerOntology:   *classes,
+		Services:             *services,
+		InputsPerCapability:  *inputs,
+		OutputsPerCapability: *outputs,
+		Seed:                 *seed,
+	}, *requests, *depth); err != nil {
+		log.Fatalf("sdpgen: %v", err)
+	}
+}
+
+func run(out string, cfg gen.WorkloadConfig, requests, depth int) error {
+	w, err := gen.NewWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	for _, sub := range []string{"ontologies", "services", "wsdl", "requests"} {
+		if err := os.MkdirAll(filepath.Join(out, sub), 0o755); err != nil {
+			return err
+		}
+	}
+
+	for i, o := range w.Ontologies {
+		data, err := ontology.Marshal(o)
+		if err != nil {
+			return err
+		}
+		if err := write(out, "ontologies", fmt.Sprintf("ont%02d.xml", i), data); err != nil {
+			return err
+		}
+	}
+	for i, doc := range w.ServiceDocs {
+		if err := write(out, "services", fmt.Sprintf("svc%04d.xml", i), doc); err != nil {
+			return err
+		}
+	}
+	for i, def := range w.Definitions {
+		data, err := wsdl.Marshal(def)
+		if err != nil {
+			return err
+		}
+		if err := write(out, "wsdl", fmt.Sprintf("svc%04d.xml", i), data); err != nil {
+			return err
+		}
+	}
+	if requests > len(w.Services) {
+		requests = len(w.Services)
+	}
+	for i := 0; i < requests; i++ {
+		idx := i * len(w.Services) / max(requests, 1)
+		req := &profile.Service{
+			Name:     fmt.Sprintf("request%02d", i),
+			Required: []*profile.Capability{w.Request(idx, depth)},
+		}
+		data, err := profile.Marshal(req)
+		if err != nil {
+			return err
+		}
+		if err := write(out, "requests", fmt.Sprintf("req%02d.xml", i), data); err != nil {
+			return err
+		}
+	}
+	log.Printf("sdpgen: wrote %d ontologies, %d services (+WSDL twins), %d requests under %s",
+		len(w.Ontologies), len(w.Services), requests, out)
+	return nil
+}
+
+func write(out, sub, name string, data []byte) error {
+	return os.WriteFile(filepath.Join(out, sub, name), data, 0o644)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sariadne/internal/gen"
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+	"sariadne/internal/wsdl"
+)
+
+func TestRunWritesCorpus(t *testing.T) {
+	out := t.TempDir()
+	cfg := gen.WorkloadConfig{
+		Ontologies: 3,
+		Services:   8,
+		Seed:       7,
+	}
+	if err := run(out, cfg, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(sub string) int {
+		entries, err := os.ReadDir(filepath.Join(out, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(entries)
+	}
+	if got := count("ontologies"); got != 3 {
+		t.Errorf("ontologies = %d", got)
+	}
+	if got := count("services"); got != 8 {
+		t.Errorf("services = %d", got)
+	}
+	if got := count("wsdl"); got != 8 {
+		t.Errorf("wsdl = %d", got)
+	}
+	if got := count("requests"); got != 4 {
+		t.Errorf("requests = %d", got)
+	}
+
+	// Every written file must parse back.
+	for _, f := range []struct {
+		sub   string
+		parse func([]byte) error
+	}{
+		{"ontologies", func(b []byte) error { _, err := ontology.Unmarshal(b); return err }},
+		{"services", func(b []byte) error { _, err := profile.Unmarshal(b); return err }},
+		{"wsdl", func(b []byte) error { _, err := wsdl.Unmarshal(b); return err }},
+		{"requests", func(b []byte) error { _, err := profile.Unmarshal(b); return err }},
+	} {
+		entries, err := os.ReadDir(filepath.Join(out, f.sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(out, f.sub, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.parse(data); err != nil {
+				t.Errorf("%s/%s does not parse: %v", f.sub, e.Name(), err)
+			}
+		}
+	}
+}
+
+func TestRunMoreRequestsThanServices(t *testing.T) {
+	out := t.TempDir()
+	if err := run(out, gen.WorkloadConfig{Ontologies: 2, Services: 2, Seed: 1}, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(out, "requests"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("requests = %d, want clamped to 2", len(entries))
+	}
+}

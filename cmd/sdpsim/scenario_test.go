@@ -1,0 +1,143 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoScenario = `{
+  "seed": 7,
+  "topology": {"kind": "grid", "rows": 3, "cols": 3},
+  "election": {"advertiseIntervalMs": 15, "advertiseTTL": 3,
+               "electionTimeoutMs": 50, "candidacyWaitMs": 20},
+  "workload": {"ontologies": 5, "services": 10, "seed": 42},
+  "events": [
+    {"atMs": 300, "action": "publish", "node": "n0", "service": 0},
+    {"atMs": 350, "action": "publish", "node": "n8", "service": 1},
+    {"atMs": 450, "action": "query",   "node": "n4", "request": 0},
+    {"atMs": 480, "action": "query",   "node": "n4", "request": 1},
+    {"atMs": 520, "action": "report"}
+  ]
+}`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := parseScenario([]byte(demoScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Topology.Kind != "grid" || len(sc.Events) != 5 {
+		t.Fatalf("parsed = %+v", sc)
+	}
+	// Events come back time-sorted even if declared out of order.
+	scrambled := strings.Replace(demoScenario, `"atMs": 300, "action": "publish"`, `"atMs": 700, "action": "publish"`, 1)
+	sc, err = parseScenario([]byte(scrambled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sc.Events); i++ {
+		if sc.Events[i-1].AtMs > sc.Events[i].AtMs {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	bad := map[string]string{
+		"garbage":        `nope`,
+		"no topology":    `{"workload":{"services":1},"topology":{"kind":"blob"}}`,
+		"grid no dims":   `{"workload":{"services":1},"topology":{"kind":"grid"}}`,
+		"line no count":  `{"workload":{"services":1},"topology":{"kind":"line"}}`,
+		"geo no radius":  `{"workload":{"services":1},"topology":{"kind":"geometric","count":5}}`,
+		"no services":    `{"topology":{"kind":"line","count":3}}`,
+		"unknown action": `{"workload":{"services":1},"topology":{"kind":"line","count":3},"events":[{"action":"dance"}]}`,
+	}
+	for name, doc := range bad {
+		if _, err := parseScenario([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	sc, err := parseScenario([]byte(demoScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runScenario(sc, 1.0, &out); err != nil {
+		t.Fatalf("runScenario: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"publish svc0000 @ n0: ok",
+		"publish svc0001 @ n8: ok",
+		"query req0 @ n4:",
+		"-- report --",
+		"traffic:",
+		"queries:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "hit(s)") {
+		t.Errorf("no query produced hits:\n%s", text)
+	}
+}
+
+func TestRunScenarioChurn(t *testing.T) {
+	churn := `{
+	  "seed": 3,
+	  "topology": {"kind": "line", "count": 4},
+	  "election": {"advertiseIntervalMs": 15, "advertiseTTL": 4,
+	               "electionTimeoutMs": 50, "candidacyWaitMs": 20},
+	  "workload": {"ontologies": 3, "services": 4, "seed": 5},
+	  "events": [
+	    {"atMs": 50,  "action": "promote", "node": "n1"},
+	    {"atMs": 250, "action": "publish", "node": "n0", "service": 0},
+	    {"atMs": 300, "action": "unlink",  "a": "n2", "b": "n3"},
+	    {"atMs": 350, "action": "link",    "a": "n2", "b": "n3"},
+	    {"atMs": 400, "action": "kill",    "node": "n3"},
+	    {"atMs": 500, "action": "query",   "node": "n2", "request": 0},
+	    {"atMs": 530, "action": "report"}
+	  ]
+	}`
+	sc, err := parseScenario([]byte(churn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runScenario(sc, 1.0, &out); err != nil {
+		t.Fatalf("runScenario: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"promote n1", "unlink n2-n3", "link n2-n3", "kill n3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunScenarioBadEventTargets(t *testing.T) {
+	base := `{
+	  "topology": {"kind": "line", "count": 2},
+	  "workload": {"ontologies": 2, "services": 2, "seed": 5},
+	  "events": [%s]
+	}`
+	for name, event := range map[string]string{
+		"unknown publish node": `{"action":"publish","node":"zz","service":0}`,
+		"service out of range": `{"action":"publish","node":"n0","service":99}`,
+		"unknown query node":   `{"action":"query","node":"zz","request":0}`,
+		"unknown kill node":    `{"action":"kill","node":"zz"}`,
+		"unknown link node":    `{"action":"link","a":"zz","b":"n0"}`,
+		"unknown promote node": `{"action":"promote","node":"zz"}`,
+	} {
+		sc, err := parseScenario([]byte(strings.Replace(base, "%s", event, 1)))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		var out strings.Builder
+		if err := runScenario(sc, 0.1, &out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sariadne
+
+import (
+	"sariadne/internal/compose"
+	"sariadne/internal/process"
+)
+
+// Composition re-exports: Amigo-S services declare both provided and
+// required capabilities so that composition schemes can be built on
+// discovery (paper Section 2.2); ResolveComposition implements the
+// centrally coordinated scheme over a local directory.
+
+type (
+	// CompositionPlan is a resolved binding tree: one selected
+	// advertisement per requirement, recursively.
+	CompositionPlan = compose.Plan
+	// CompositionBinding pairs a requirement with its selected provider.
+	CompositionBinding = compose.Binding
+	// CompositionOptions tunes resolution depth and cycle handling.
+	CompositionOptions = compose.Options
+	// ServiceCatalog supplies full service descriptions for recursive
+	// resolution.
+	ServiceCatalog = compose.Catalog
+)
+
+// Composition errors, re-exported for errors.Is.
+var (
+	ErrUnresolvable     = compose.ErrUnresolvable
+	ErrCompositionCycle = compose.ErrCycle
+	ErrDepthExceeded    = compose.ErrDepthExceeded
+)
+
+// ResolveComposition builds a composition plan for svc: every required
+// capability is resolved against the directory (best semantic distance
+// wins) and, when opts.Resolver knows the selected providers' own
+// descriptions, their requirements are resolved recursively.
+func (d *Directory) ResolveComposition(svc *Service, opts CompositionOptions) (*CompositionPlan, error) {
+	return compose.Resolve(d.dir, svc, opts)
+}
+
+// Process-model re-exports (the OWL-S conversation side of Amigo-S).
+type (
+	// ProcessNode is one vertex of a service's conversation tree.
+	ProcessNode = process.Node
+	// ConversationStep is one interaction of an executed conversation.
+	ConversationStep = process.Step
+)
+
+// Process constructors.
+var (
+	InvokeStep      = process.Invoke
+	SequenceProcess = process.Sequence
+	ParallelProcess = process.Parallel
+	ChoiceProcess   = process.Choice
+)
+
+// Conversation executes the service's process model against a composition
+// plan's bindings, yielding the interaction trace.
+func Conversation(svc *Service, plan *CompositionPlan) ([]ConversationStep, error) {
+	return compose.Conversation(svc, plan)
+}
+
+// NewServiceCatalog builds a catalog from service descriptions.
+func NewServiceCatalog(services ...*Service) ServiceCatalog {
+	cat := ServiceCatalog{}
+	for _, s := range services {
+		cat[s.Name] = s
+	}
+	return cat
+}

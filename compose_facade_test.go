@@ -1,0 +1,99 @@
+package sariadne
+
+import (
+	"errors"
+	"testing"
+
+	"sariadne/internal/profile"
+)
+
+func TestResolveCompositionFacade(t *testing.T) {
+	sys := newFixtureSystem(t)
+	dir := sys.NewDirectory()
+
+	workstation := &Service{
+		Name: "Workstation",
+		Provided: []*Capability{{
+			Name:     "SendDigitalStream",
+			Category: Ref{Ontology: profile.ServersOntologyURI, Name: "DigitalServer"},
+			Outputs:  []Ref{{Ontology: profile.MediaOntologyURI, Name: "Stream"}},
+		}},
+		Required: []*Capability{{
+			Name:     "NeedStorage",
+			Category: Ref{Ontology: profile.ServersOntologyURI, Name: "Server"},
+			Outputs:  []Ref{{Ontology: profile.MediaOntologyURI, Name: "DigitalResource"}},
+		}},
+	}
+	nas := &Service{
+		Name: "NAS",
+		Provided: []*Capability{{
+			Name:     "ServeFiles",
+			Category: Ref{Ontology: profile.ServersOntologyURI, Name: "Server"},
+			Outputs:  []Ref{{Ontology: profile.MediaOntologyURI, Name: "Resource"}},
+		}},
+	}
+	for _, s := range []*Service{workstation, nas} {
+		if err := dir.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	task := &Service{
+		Name: "WatchSomething",
+		Required: []*Capability{{
+			Name:     "NeedStream",
+			Category: Ref{Ontology: profile.ServersOntologyURI, Name: "DigitalServer"},
+			Outputs:  []Ref{{Ontology: profile.MediaOntologyURI, Name: "Stream"}},
+		}},
+	}
+	plan, err := dir.ResolveComposition(task, CompositionOptions{
+		Resolver: NewServiceCatalog(workstation, nas),
+	})
+	if err != nil {
+		t.Fatalf("ResolveComposition: %v", err)
+	}
+	services := plan.Services()
+	if len(services) != 3 {
+		t.Fatalf("Services = %v", services)
+	}
+
+	dir.Deregister("NAS")
+	_, err = dir.ResolveComposition(task, CompositionOptions{
+		Resolver: NewServiceCatalog(workstation, nas),
+	})
+	if !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("after NAS departure: %v, want ErrUnresolvable", err)
+	}
+}
+
+func TestQoSFacade(t *testing.T) {
+	sys := newFixtureSystem(t)
+	dir := sys.NewDirectory()
+	svc := &Service{
+		Name: "FastServer",
+		Provided: []*Capability{{
+			Name:        "Stream",
+			Category:    Ref{Ontology: profile.ServersOntologyURI, Name: "VideoServer"},
+			Outputs:     []Ref{{Ontology: profile.MediaOntologyURI, Name: "Stream"}},
+			QoSProvided: []QoSValue{{Name: "latencyMs", Value: 12}},
+		}},
+	}
+	if err := dir.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	req := &Capability{
+		Name:     "Need",
+		Category: Ref{Ontology: profile.ServersOntologyURI, Name: "VideoServer"},
+		Outputs:  []Ref{{Ontology: profile.MediaOntologyURI, Name: "Stream"}},
+		QoSRequired: []QoSConstraint{
+			{Name: "latencyMs", Min: UnboundedQoS(), Max: 20},
+		},
+	}
+	if results := dir.Query(req); len(results) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	req.QoSRequired[0].Max = 5
+	if results := dir.Query(req); len(results) != 0 {
+		t.Fatalf("tight QoS results = %v", results)
+	}
+}

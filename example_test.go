@@ -1,0 +1,96 @@
+package sariadne_test
+
+import (
+	"fmt"
+
+	"sariadne"
+)
+
+// Example reproduces the paper's Figure 1 worked example through the
+// public API: the workstation's SendDigitalStream capability substitutes
+// for the PDA's GetVideoStream request at semantic distance 3.
+func Example() {
+	media := sariadne.NewOntology("http://example.org/ont/media", "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Resource"},
+		{Name: "DigitalResource", SubClassOf: []string{"Resource"}},
+		{Name: "VideoResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "Stream"},
+	} {
+		media.MustAddClass(c)
+	}
+	servers := sariadne.NewOntology("http://example.org/ont/servers", "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Server"},
+		{Name: "DigitalServer", SubClassOf: []string{"Server"}},
+		{Name: "StreamingServer", SubClassOf: []string{"DigitalServer"}},
+		{Name: "VideoServer", SubClassOf: []string{"StreamingServer"}},
+	} {
+		servers.MustAddClass(c)
+	}
+
+	sys := sariadne.NewSystem()
+	if err := sys.AddOntology(media); err != nil {
+		panic(err)
+	}
+	if err := sys.AddOntology(servers); err != nil {
+		panic(err)
+	}
+
+	mediaRef := func(n string) sariadne.Ref {
+		return sariadne.Ref{Ontology: media.URI, Name: n}
+	}
+	serverRef := func(n string) sariadne.Ref {
+		return sariadne.Ref{Ontology: servers.URI, Name: n}
+	}
+
+	dir := sys.NewDirectory()
+	if err := dir.Register(&sariadne.Service{
+		Name: "MediaWorkstation",
+		Provided: []*sariadne.Capability{{
+			Name:     "SendDigitalStream",
+			Category: serverRef("DigitalServer"),
+			Inputs:   []sariadne.Ref{mediaRef("DigitalResource")},
+			Outputs:  []sariadne.Ref{mediaRef("Stream")},
+		}},
+	}); err != nil {
+		panic(err)
+	}
+
+	results := dir.Query(&sariadne.Capability{
+		Name:     "GetVideoStream",
+		Category: serverRef("VideoServer"),
+		Inputs:   []sariadne.Ref{mediaRef("VideoResource")},
+		Outputs:  []sariadne.Ref{mediaRef("Stream")},
+	})
+	for _, r := range results {
+		fmt.Printf("%s/%s at distance %d\n",
+			r.Entry.Service, r.Entry.Capability.Name, r.Distance)
+	}
+	// Output: MediaWorkstation/SendDigitalStream at distance 3
+}
+
+// ExampleSystem_Subsumes shows encoded subsumption: after AddOntology the
+// check is a numeric comparison, no reasoner involved.
+func ExampleSystem_Subsumes() {
+	o := sariadne.NewOntology("http://example.org/ont", "1")
+	o.MustAddClass(sariadne.Class{Name: "Resource"})
+	o.MustAddClass(sariadne.Class{Name: "Video", SubClassOf: []string{"Resource"}})
+	o.MustAddClass(sariadne.Class{Name: "Movie", SubClassOf: []string{"Video"}})
+
+	sys := sariadne.NewSystem()
+	if err := sys.AddOntology(o); err != nil {
+		panic(err)
+	}
+	ref := func(n string) sariadne.Ref {
+		return sariadne.Ref{Ontology: "http://example.org/ont", Name: n}
+	}
+	fmt.Println(sys.Subsumes(ref("Resource"), ref("Movie")))
+	fmt.Println(sys.Subsumes(ref("Movie"), ref("Resource")))
+	d, ok := sys.ConceptDistance(ref("Resource"), ref("Movie"))
+	fmt.Println(d, ok)
+	// Output:
+	// true
+	// false
+	// 2 true
+}

@@ -1,0 +1,163 @@
+// Command composition demonstrates semantic service composition on top of
+// discovery: Amigo-S services declare required capabilities alongside
+// provided ones, and the resolver binds a whole dependency tree — a
+// follow-me video session needs a display, the display needs a media
+// source, the media source needs storage.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"sariadne"
+)
+
+const (
+	devURI = "http://compose.example/ont/devices"
+	resURI = "http://compose.example/ont/resources"
+)
+
+func dev(n string) sariadne.Ref { return sariadne.Ref{Ontology: devURI, Name: n} }
+func res(n string) sariadne.Ref { return sariadne.Ref{Ontology: resURI, Name: n} }
+
+func main() {
+	sys := sariadne.NewSystem()
+	devices := sariadne.NewOntology(devURI, "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Device"},
+		{Name: "Display", SubClassOf: []string{"Device"}},
+		{Name: "Projector", SubClassOf: []string{"Display"}},
+		{Name: "MediaSource", SubClassOf: []string{"Device"}},
+		{Name: "Storage", SubClassOf: []string{"Device"}},
+	} {
+		devices.MustAddClass(c)
+	}
+	resources := sariadne.NewOntology(resURI, "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Data"},
+		{Name: "MediaFile", SubClassOf: []string{"Data"}},
+		{Name: "VideoFile", SubClassOf: []string{"MediaFile"}},
+		{Name: "Stream"},
+		{Name: "VideoStream", SubClassOf: []string{"Stream"}},
+		{Name: "Picture"},
+	} {
+		resources.MustAddClass(c)
+	}
+	for _, o := range []*sariadne.Ontology{devices, resources} {
+		if err := sys.AddOntology(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The device fleet. Note the chain of requirements: each device
+	// sources what it consumes through its own required capability —
+	// the projector needs a stream source, the media server needs
+	// storage, the NAS needs nothing.
+	projector := &sariadne.Service{
+		Name: "CeilingProjector", Provider: "meeting-room",
+		Provided: []*sariadne.Capability{{
+			Name:     "ProjectPicture",
+			Category: dev("Projector"),
+			Outputs:  []sariadne.Ref{res("Picture")},
+		}},
+		Required: []*sariadne.Capability{{
+			Name:     "NeedVideoStream",
+			Category: dev("MediaSource"),
+			Outputs:  []sariadne.Ref{res("VideoStream")},
+		}},
+	}
+	mediaServer := &sariadne.Service{
+		Name: "RackMediaServer", Provider: "server-room",
+		Provided: []*sariadne.Capability{{
+			Name:     "StreamVideo",
+			Category: dev("MediaSource"),
+			Outputs:  []sariadne.Ref{res("VideoStream")},
+		}},
+		Required: []*sariadne.Capability{{
+			Name:     "NeedFiles",
+			Category: dev("Storage"),
+			Outputs:  []sariadne.Ref{res("VideoFile")},
+		}},
+	}
+	nas := &sariadne.Service{
+		Name: "OfficeNAS", Provider: "closet",
+		Provided: []*sariadne.Capability{{
+			Name:     "ServeFiles",
+			Category: dev("Storage"),
+			Outputs:  []sariadne.Ref{res("MediaFile")},
+		}},
+	}
+
+	dir := sys.NewDirectory()
+	for _, s := range []*sariadne.Service{projector, mediaServer, nas} {
+		if err := dir.Register(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A user task: show a presentation video in the meeting room. The
+	// process model is the task's conversation: first secure a projection,
+	// then (preferring a dedicated projector over any display) hold it.
+	task := &sariadne.Service{
+		Name: "ShowPresentation",
+		Required: []*sariadne.Capability{{
+			Name:     "NeedProjection",
+			Category: dev("Projector"),
+			Outputs:  []sariadne.Ref{res("Picture")},
+		}, {
+			// Nobody in this room provides holographic display — the
+			// process model's Choice falls back to the projector.
+			Name:     "NeedHologram",
+			Category: dev("Display"),
+			Outputs:  []sariadne.Ref{res("Picture")},
+			QoSRequired: []sariadne.QoSConstraint{
+				{Name: "dimensions", Min: 3, Max: sariadne.UnboundedQoS()},
+			},
+		}},
+		Process: sariadne.SequenceProcess(
+			sariadne.ChoiceProcess(
+				sariadne.InvokeStep("NeedHologram"),   // preferred, unavailable
+				sariadne.InvokeStep("NeedProjection"), // fallback
+			),
+		),
+	}
+
+	catalog := sariadne.NewServiceCatalog(projector, mediaServer, nas)
+	plan, err := dir.ResolveComposition(task, sariadne.CompositionOptions{
+		Resolver: catalog,
+		Partial:  true, // the process model routes around missing options
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(plan.Missing) > 0 {
+		fmt.Printf("unbound (optional) requirements: %v\n", plan.Missing)
+	}
+	fmt.Println("composition plan:")
+	fmt.Print(plan)
+	fmt.Printf("\nparticipating services: %v\n", plan.Services())
+
+	// Execute the task's conversation (its OWL-S process model) against
+	// the plan's bindings.
+	steps, err := sariadne.Conversation(task, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconversation trace:")
+	for _, s := range steps {
+		fmt.Printf("  %-20s -> %-20s (%s)\n", s.Capability, s.Provider, s.Branch)
+	}
+
+	// Remove the NAS: the plan can no longer be completed, and the error
+	// says exactly which requirement of which service broke.
+	fmt.Println("\n-- OfficeNAS leaves --")
+	dir.Deregister("OfficeNAS")
+	if _, err := dir.ResolveComposition(task, sariadne.CompositionOptions{Resolver: catalog}); err != nil {
+		if errors.Is(err, sariadne.ErrUnresolvable) {
+			fmt.Printf("composition now fails as expected: %v\n", err)
+		} else {
+			log.Fatal(err)
+		}
+	}
+}

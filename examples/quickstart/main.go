@@ -1,0 +1,103 @@
+// Command quickstart is the smallest end-to-end use of the library: define
+// two tiny ontologies, describe a provided and a required capability, and
+// let a semantic directory find and rank the match — including the paper's
+// Figure 1 worked example, whose semantic distance is 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sariadne"
+)
+
+func main() {
+	// 1. Define the ontologies (normally loaded from XML documents).
+	media := sariadne.NewOntology("http://example.org/ont/media", "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Resource"},
+		{Name: "DigitalResource", SubClassOf: []string{"Resource"}},
+		{Name: "VideoResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "GameResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "Stream"},
+	} {
+		media.MustAddClass(c)
+	}
+	servers := sariadne.NewOntology("http://example.org/ont/servers", "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Server"},
+		{Name: "DigitalServer", SubClassOf: []string{"Server"}},
+		{Name: "StreamingServer", SubClassOf: []string{"DigitalServer"}},
+		{Name: "VideoServer", SubClassOf: []string{"StreamingServer"}},
+		{Name: "GameServer", SubClassOf: []string{"DigitalServer"}},
+	} {
+		servers.MustAddClass(c)
+	}
+
+	// 2. Bootstrap the system: classification + interval encoding happen
+	// here, offline, so matching below is pure numeric comparison.
+	sys := sariadne.NewSystem()
+	for _, o := range []*sariadne.Ontology{media, servers} {
+		if err := sys.AddOntology(o); err != nil {
+			log.Fatalf("add ontology: %v", err)
+		}
+	}
+
+	ref := func(ont, name string) sariadne.Ref {
+		return sariadne.Ref{Ontology: "http://example.org/ont/" + ont, Name: name}
+	}
+
+	// 3. A workstation advertises two capabilities.
+	workstation := &sariadne.Service{
+		Name:     "MediaWorkstation",
+		Provider: "livingroom-pc",
+		Provided: []*sariadne.Capability{
+			{
+				Name:     "SendDigitalStream",
+				Category: ref("servers", "DigitalServer"),
+				Inputs:   []sariadne.Ref{ref("media", "DigitalResource")},
+				Outputs:  []sariadne.Ref{ref("media", "Stream")},
+			},
+			{
+				Name:     "ProvideGame",
+				Category: ref("servers", "GameServer"),
+				Inputs:   []sariadne.Ref{ref("media", "GameResource")},
+				Outputs:  []sariadne.Ref{ref("media", "Stream")},
+			},
+		},
+	}
+
+	dir := sys.NewDirectory()
+	if err := dir.Register(workstation); err != nil {
+		log.Fatalf("register: %v", err)
+	}
+	fmt.Println("directory after registration:")
+	fmt.Print(dir.Snapshot())
+
+	// 4. A PDA asks for a video stream — note: no name in common with the
+	// advertisement; the match is purely semantic.
+	request := &sariadne.Capability{
+		Name:     "GetVideoStream",
+		Category: ref("servers", "VideoServer"),
+		Inputs:   []sariadne.Ref{ref("media", "VideoResource")},
+		Outputs:  []sariadne.Ref{ref("media", "Stream")},
+	}
+
+	results := dir.Query(request)
+	if len(results) == 0 {
+		log.Fatal("no match found")
+	}
+	for _, r := range results {
+		fmt.Printf("match: %s/%s at semantic distance %d\n",
+			r.Entry.Service, r.Entry.Capability.Name, r.Distance)
+	}
+
+	// 5. Explain the best match pair by pair.
+	rep := sys.Explain(results[0].Entry.Capability, request)
+	fmt.Println("\nwhy it matches:")
+	for _, p := range rep.Pairs {
+		fmt.Printf("  %-8s required %-45s matched by %-45s (d=%d)\n",
+			p.Kind, p.Required, p.Matched, p.Distance)
+	}
+	fmt.Printf("total semantic distance: %d\n", rep.Distance)
+}

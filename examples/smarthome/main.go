@@ -1,0 +1,239 @@
+// Command smarthome models the pervasive home environment that motivates
+// the paper: heterogeneous devices (media server, printer, climate
+// control, game console) advertise semantic capabilities in a home
+// directory, and user tasks discover them by meaning rather than by
+// interface names — including graceful behaviour when devices leave and
+// when requests are only approximately satisfiable (ranking by semantic
+// distance).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sariadne"
+)
+
+const (
+	devURI   = "http://home.example/ont/devices"
+	mediaURI = "http://home.example/ont/media"
+	docURI   = "http://home.example/ont/documents"
+	locURI   = "http://home.example/ont/locations"
+)
+
+func buildOntologies(sys *sariadne.System) error {
+	devices := sariadne.NewOntology(devURI, "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Device"},
+		{Name: "AVDevice", SubClassOf: []string{"Device"}},
+		{Name: "MediaServer", SubClassOf: []string{"AVDevice"}},
+		{Name: "MusicServer", SubClassOf: []string{"MediaServer"}},
+		{Name: "MovieServer", SubClassOf: []string{"MediaServer"}},
+		{Name: "GameConsole", SubClassOf: []string{"AVDevice"}},
+		{Name: "OfficeDevice", SubClassOf: []string{"Device"}},
+		{Name: "Printer", SubClassOf: []string{"OfficeDevice"}},
+		{Name: "ColorPrinter", SubClassOf: []string{"Printer"}},
+		{Name: "ClimateDevice", SubClassOf: []string{"Device"}},
+		{Name: "Thermostat", SubClassOf: []string{"ClimateDevice"}},
+	} {
+		devices.MustAddClass(c)
+	}
+	media := sariadne.NewOntology(mediaURI, "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Content"},
+		{Name: "Audio", SubClassOf: []string{"Content"}},
+		{Name: "Music", SubClassOf: []string{"Audio"}},
+		{Name: "Podcast", SubClassOf: []string{"Audio"}},
+		{Name: "Video", SubClassOf: []string{"Content"}},
+		{Name: "Movie", SubClassOf: []string{"Video"}},
+		{Name: "Stream"},
+		{Name: "AudioStream", SubClassOf: []string{"Stream"}},
+		{Name: "VideoStream", SubClassOf: []string{"Stream"}},
+		{Name: "Temperature"},
+		{Name: "Celsius", SubClassOf: []string{"Temperature"}},
+	} {
+		media.MustAddClass(c)
+	}
+	docs := sariadne.NewOntology(docURI, "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Document"},
+		{Name: "TextDocument", SubClassOf: []string{"Document"}},
+		{Name: "PDF", SubClassOf: []string{"TextDocument"}},
+		{Name: "Photo", SubClassOf: []string{"Document"}},
+		{Name: "PrintJob"},
+	} {
+		docs.MustAddClass(c)
+	}
+	// Context awareness (Amigo-S §2.2): locations are just another
+	// ontology, attached to capabilities as semantic properties.
+	locations := sariadne.NewOntology(locURI, "1")
+	for _, c := range []sariadne.Class{
+		{Name: "Home"},
+		{Name: "Downstairs", SubClassOf: []string{"Home"}},
+		{Name: "Upstairs", SubClassOf: []string{"Home"}},
+		{Name: "LivingRoom", SubClassOf: []string{"Downstairs"}},
+		{Name: "Kitchen", SubClassOf: []string{"Downstairs"}},
+		{Name: "Study", SubClassOf: []string{"Upstairs"}},
+	} {
+		locations.MustAddClass(c)
+	}
+	for _, o := range []*sariadne.Ontology{devices, media, docs, locations} {
+		if err := sys.AddOntology(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loc(name string) sariadne.Ref { return sariadne.Ref{Ontology: locURI, Name: name} }
+
+func dev(name string) sariadne.Ref  { return sariadne.Ref{Ontology: devURI, Name: name} }
+func med(name string) sariadne.Ref  { return sariadne.Ref{Ontology: mediaURI, Name: name} }
+func docR(name string) sariadne.Ref { return sariadne.Ref{Ontology: docURI, Name: name} }
+
+func homeServices() []*sariadne.Service {
+	return []*sariadne.Service{
+		{
+			Name: "LivingRoomMediaCenter", Provider: "livingroom",
+			Provided: []*sariadne.Capability{
+				{
+					Name:       "StreamAnyContent",
+					Category:   dev("MediaServer"),
+					Inputs:     []sariadne.Ref{med("Content")},
+					Outputs:    []sariadne.Ref{med("Stream")},
+					Properties: []sariadne.Ref{loc("Downstairs")},
+				},
+				{
+					Name:       "StreamMovies",
+					Category:   dev("MovieServer"),
+					Inputs:     []sariadne.Ref{med("Video")},
+					Outputs:    []sariadne.Ref{med("VideoStream")},
+					Properties: []sariadne.Ref{loc("Downstairs")},
+				},
+			},
+		},
+		{
+			Name: "KitchenRadio", Provider: "kitchen",
+			Provided: []*sariadne.Capability{{
+				Name:       "PlayAudio",
+				Category:   dev("MusicServer"),
+				Inputs:     []sariadne.Ref{med("Audio")},
+				Outputs:    []sariadne.Ref{med("AudioStream")},
+				Properties: []sariadne.Ref{loc("Downstairs")},
+			}},
+		},
+		{
+			Name: "StudyPrinter", Provider: "study",
+			Provided: []*sariadne.Capability{{
+				Name:       "PrintDocument",
+				Category:   dev("ColorPrinter"),
+				Inputs:     []sariadne.Ref{docR("Document")},
+				Outputs:    []sariadne.Ref{docR("PrintJob")},
+				Properties: []sariadne.Ref{loc("Upstairs")},
+			}},
+		},
+		{
+			Name: "HallwayThermostat", Provider: "hallway",
+			Provided: []*sariadne.Capability{{
+				Name:     "ReportTemperature",
+				Category: dev("Thermostat"),
+				Outputs:  []sariadne.Ref{med("Celsius")},
+			}},
+		},
+	}
+}
+
+func main() {
+	sys := sariadne.NewSystem()
+	if err := buildOntologies(sys); err != nil {
+		log.Fatal(err)
+	}
+	dir := sys.NewDirectory()
+	for _, svc := range homeServices() {
+		if err := dir.Register(svc); err != nil {
+			log.Fatalf("register %s: %v", svc.Name, err)
+		}
+	}
+	fmt.Printf("home directory: %d capabilities in %d graphs\n\n",
+		dir.NumCapabilities(), dir.NumGraphs())
+
+	show := func(task string, req *sariadne.Capability) {
+		fmt.Printf("task: %s\n", task)
+		results := dir.Query(req)
+		if len(results) == 0 {
+			fmt.Println("  no device can do this")
+		}
+		for _, r := range results {
+			fmt.Printf("  %-22s %-18s distance %d\n",
+				r.Entry.Service, r.Entry.Capability.Name, r.Distance)
+		}
+		fmt.Println()
+	}
+
+	// Watch a movie: both the dedicated movie server (exact) and the
+	// generic media center (more generic, larger distance) qualify.
+	show("watch a movie", &sariadne.Capability{
+		Name:     "WatchMovie",
+		Category: dev("MovieServer"),
+		Inputs:   []sariadne.Ref{med("Movie")},
+		Outputs:  []sariadne.Ref{med("VideoStream")},
+	})
+
+	// Listen to a podcast: the kitchen radio serves Audio ⊒ Podcast.
+	show("listen to a podcast", &sariadne.Capability{
+		Name:     "ListenPodcast",
+		Category: dev("MusicServer"),
+		Inputs:   []sariadne.Ref{med("Podcast")},
+		Outputs:  []sariadne.Ref{med("AudioStream")},
+	})
+
+	// Print a PDF in color. Note the direction of the paper's relation:
+	// the request names the specific category (ColorPrinter) and a
+	// provider advertising an equal-or-more-generic category qualifies,
+	// while the Document-accepting input happily consumes the PDF.
+	show("print a PDF in color", &sariadne.Capability{
+		Name:     "PrintPDF",
+		Category: dev("ColorPrinter"),
+		Inputs:   []sariadne.Ref{docR("PDF")},
+		Outputs:  []sariadne.Ref{docR("PrintJob")},
+	})
+
+	// Read the temperature — a capability with no inputs.
+	show("read the temperature", &sariadne.Capability{
+		Name:     "ReadTemperature",
+		Category: dev("Thermostat"),
+		Outputs:  []sariadne.Ref{med("Celsius")},
+	})
+
+	// Context-aware task: listen to music specifically in the kitchen.
+	// The request requires the location property loc(Kitchen); providers
+	// declaring the broader Downstairs location qualify (they cover the
+	// kitchen), an Upstairs device would not.
+	show("listen to music in the kitchen", &sariadne.Capability{
+		Name:       "KitchenMusic",
+		Category:   dev("MusicServer"),
+		Inputs:     []sariadne.Ref{med("Music")},
+		Outputs:    []sariadne.Ref{med("AudioStream")},
+		Properties: []sariadne.Ref{loc("Kitchen")},
+	})
+
+	// The same task upstairs finds nothing: no upstairs device plays music.
+	show("listen to music in the study", &sariadne.Capability{
+		Name:       "StudyMusic",
+		Category:   dev("MusicServer"),
+		Inputs:     []sariadne.Ref{med("Music")},
+		Outputs:    []sariadne.Ref{med("AudioStream")},
+		Properties: []sariadne.Ref{loc("Study")},
+	})
+
+	// The media center is switched off: the movie task degrades but the
+	// home keeps working (no match now — nothing else serves video).
+	fmt.Println("-- LivingRoomMediaCenter leaves the home --")
+	dir.Deregister("LivingRoomMediaCenter")
+	show("watch a movie (after departure)", &sariadne.Capability{
+		Name:     "WatchMovie",
+		Category: dev("MovieServer"),
+		Inputs:   []sariadne.Ref{med("Movie")},
+		Outputs:  []sariadne.Ref{med("VideoStream")},
+	})
+}

@@ -1,0 +1,3 @@
+module sariadne
+
+go 1.24

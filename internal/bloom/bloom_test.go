@@ -1,0 +1,227 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {1, 0}, {-5, 3}, {128, -1}} {
+		if _, err := New(tc[0], tc[1]); !errors.Is(err, ErrBadShape) {
+			t.Errorf("New(%d,%d) = %v, want ErrBadShape", tc[0], tc[1], err)
+		}
+	}
+	if _, err := New(128, 3); err != nil {
+		t.Fatalf("New(128,3): %v", err)
+	}
+}
+
+func TestOptimalShape(t *testing.T) {
+	f, err := Optimal(100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard formulas: m ≈ 958.5, k ≈ 7 for n=100, p=1%.
+	if f.Bits() < 900 || f.Bits() > 1000 {
+		t.Errorf("Bits = %d, want ~959", f.Bits())
+	}
+	if f.Hashes() != 7 {
+		t.Errorf("Hashes = %d, want 7", f.Hashes())
+	}
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {10, -0.1}} {
+		if _, err := Optimal(tc.n, tc.p); err == nil {
+			t.Errorf("Optimal(%d, %v) accepted", tc.n, tc.p)
+		}
+	}
+}
+
+func TestAddTest(t *testing.T) {
+	f := MustNew(1024, 5)
+	keys := []string{"http://a.example/ont", "http://b.example/ont\x00http://c.example/ont", ""}
+	for _, k := range keys {
+		f.Add(k)
+	}
+	for _, k := range keys {
+		if !f.Test(k) {
+			t.Errorf("Test(%q) = false after Add", k)
+		}
+	}
+	if f.Additions() != len(keys) {
+		t.Errorf("Additions = %d, want %d", f.Additions(), len(keys))
+	}
+}
+
+// TestPropertyNoFalseNegatives is the load-bearing property: a key that was
+// added is always reported present — otherwise S-Ariadne would silently
+// skip directories holding real matches.
+func TestPropertyNoFalseNegatives(t *testing.T) {
+	prop := func(seed int64, nKeys uint8, mExp, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 64 << (mExp % 6) // 64..2048
+		kk := int(k%8) + 1
+		f := MustNew(m, kk)
+		n := int(nKeys) + 1
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("ont-%d-%d", rng.Int63(), i)
+			f.Add(keys[i])
+		}
+		for _, key := range keys {
+			if !f.Test(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearEstimate(t *testing.T) {
+	f := MustNew(4096, 5)
+	rng := rand.New(rand.NewSource(42))
+	n := 400
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("member-%d", i))
+	}
+	trials := 20000
+	fp := 0
+	for i := 0; i < trials; i++ {
+		if f.Test(fmt.Sprintf("nonmember-%d-%d", rng.Int63(), i)) {
+			fp++
+		}
+	}
+	got := float64(fp) / float64(trials)
+	want := f.EstimateFPR()
+	if got > want*3+0.01 {
+		t.Fatalf("measured FPR %v far above estimate %v", got, want)
+	}
+}
+
+func TestFillRatioAndReset(t *testing.T) {
+	f := MustNew(256, 4)
+	if f.FillRatio() != 0 {
+		t.Fatal("fresh filter not empty")
+	}
+	f.Add("x")
+	if f.FillRatio() <= 0 {
+		t.Fatal("fill ratio did not grow")
+	}
+	if f.EstimateFPR() <= 0 {
+		t.Fatal("EstimateFPR = 0 after Add")
+	}
+	f.Reset()
+	if f.FillRatio() != 0 || f.Additions() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if f.EstimateFPR() != 0 {
+		t.Fatal("EstimateFPR after Reset should be 0")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := MustNew(512, 4)
+	b := MustNew(512, 4)
+	a.Add("alpha")
+	b.Add("beta")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Test("alpha") || !a.Test("beta") {
+		t.Fatal("union lost keys")
+	}
+	c := MustNew(256, 4)
+	if err := a.Union(c); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("Union with mismatched shape = %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := MustNew(512, 4)
+	a.Add("alpha")
+	b := a.Clone()
+	b.Add("beta")
+	if a.Test("beta") {
+		t.Fatal("Clone shares bits")
+	}
+	if !b.Test("alpha") {
+		t.Fatal("Clone lost keys")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := MustNew(777, 6)
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		f.Add(k)
+	}
+	data := f.Marshal()
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bits() != f.Bits() || back.Hashes() != f.Hashes() || back.Additions() != f.Additions() {
+		t.Fatalf("shape changed: %d/%d/%d", back.Bits(), back.Hashes(), back.Additions())
+	}
+	for _, k := range keys {
+		if !back.Test(k) {
+			t.Errorf("key %q lost in round trip", k)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("accepted nil")
+	}
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	f := MustNew(128, 3)
+	data := f.Marshal()
+	if _, err := Unmarshal(data[:len(data)-1]); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+	zero := make([]byte, 12)
+	if _, err := Unmarshal(zero); err == nil {
+		t.Fatal("accepted zero shape")
+	}
+}
+
+// TestPropertyMarshalPreservesMembership: serialization never changes
+// membership answers.
+func TestPropertyMarshalPreservesMembership(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := MustNew(1024, 5)
+		keys := make([]string, int(n)+1)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", rng.Int63())
+			f.Add(keys[i])
+		}
+		back, err := Unmarshal(f.Marshal())
+		if err != nil {
+			return false
+		}
+		probes := append([]string{}, keys...)
+		for i := 0; i < 50; i++ {
+			probes = append(probes, fmt.Sprintf("probe%d", rng.Int63()))
+		}
+		for _, p := range probes {
+			if f.Test(p) != back.Test(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

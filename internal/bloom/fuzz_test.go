@@ -1,0 +1,32 @@
+package bloom
+
+import "testing"
+
+// FuzzUnmarshal hardens the filter wire decoder: no panic on arbitrary
+// bytes, and successful decodes round trip bit-for-bit.
+func FuzzUnmarshal(f *testing.F) {
+	good := MustNew(256, 4)
+	good.Add("seed-key")
+	f.Add(good.Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out := fl.Marshal()
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Bits() != fl.Bits() || back.Hashes() != fl.Hashes() {
+			t.Fatal("shape changed across round trip")
+		}
+		for _, probe := range []string{"a", "b", "seed-key"} {
+			if fl.Test(probe) != back.Test(probe) {
+				t.Fatal("membership changed across round trip")
+			}
+		}
+	})
+}

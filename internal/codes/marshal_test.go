@@ -1,0 +1,116 @@
+package codes
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sariadne/internal/ontology"
+)
+
+func TestMarshalTableRoundTrip(t *testing.T) {
+	tbl := MustEncode(mediaClassified(t), DefaultParams)
+	data, err := MarshalTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.URI() != tbl.URI() || back.Version() != tbl.Version() || back.Params() != tbl.Params() {
+		t.Fatalf("identity changed: %s/%s/%v", back.URI(), back.Version(), back.Params())
+	}
+	names := []string{"Resource", "DigitalResource", "VideoResource", "SoundResource",
+		"GameResource", "Movie", "Film", "Stream", "VideoStream"}
+	for _, a := range names {
+		for _, b := range names {
+			if back.Subsumes(a, b) != tbl.Subsumes(a, b) {
+				t.Errorf("Subsumes(%q,%q) changed across round trip", a, b)
+			}
+			gd, gok := back.Distance(a, b)
+			wd, wok := tbl.Distance(a, b)
+			if gd != wd || gok != wok {
+				t.Errorf("Distance(%q,%q) changed: (%d,%v) vs (%d,%v)", a, b, gd, gok, wd, wok)
+			}
+		}
+	}
+}
+
+func TestUnmarshalTableErrors(t *testing.T) {
+	tbl := MustEncode(mediaClassified(t), DefaultParams)
+	good, err := MarshalTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(s string) string) []byte {
+		return []byte(mutate(string(good)))
+	}
+	tests := map[string][]byte{
+		"garbage":       []byte("not json"),
+		"bad params":    corrupt(func(s string) string { return replaceOnce(s, `"p":2`, `"p":0`) }),
+		"dup class":     corrupt(func(s string) string { return replaceOnce(s, `"Film"`, `"Movie"`) }),
+		"empty primary": corrupt(func(s string) string { return replaceOnce(s, `"primary":[[`, `"primary":[[9,9],[`) }),
+	}
+	for name, data := range tests {
+		if _, err := UnmarshalTable(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Inconsistent array lengths.
+	if _, err := UnmarshalTable([]byte(`{"uri":"u","version":"1","p":2,"k":5,"members":[["A"]],"primary":[],"covers":[],"depth":[],"ancestors":[]}`)); err == nil {
+		t.Error("inconsistent payload accepted")
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}
+
+// TestPropertyMarshalPreservesSemantics: on random hierarchies, the
+// serialized table answers identically to the original for all pairs.
+func TestPropertyMarshalPreservesSemantics(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		cl, err := ontology.Classify(randomHierarchy(rng, n))
+		if err != nil {
+			return false
+		}
+		tbl, err := Encode(cl, DefaultParams)
+		if err != nil {
+			return false
+		}
+		data, err := MarshalTable(tbl)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalTable(data)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a, b := fmt.Sprintf("C%03d", i), fmt.Sprintf("C%03d", j)
+				if back.Subsumes(a, b) != tbl.Subsumes(a, b) {
+					return false
+				}
+				gd, gok := back.Distance(a, b)
+				wd, wok := tbl.Distance(a, b)
+				if gd != wd || gok != wok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package compose resolves service compositions over a semantic
+// directory. Amigo-S describes, for every service, both the capabilities
+// it provides and the capabilities it requires from other networked
+// services, precisely so that composition schemes can be built on top
+// (Section 2.2 of the paper: "This enables support for any service
+// composition scheme, such as a peer-to-peer scheme or a centrally
+// coordinated scheme").
+//
+// Resolve implements the centrally coordinated scheme: starting from a
+// root service, every required capability is matched against the
+// directory, the best advertisement is selected, and the selected
+// provider's own requirements are resolved recursively — producing a
+// complete binding plan or a precise report of what is missing.
+package compose
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sariadne/internal/process"
+	"sariadne/internal/profile"
+	"sariadne/internal/registry"
+)
+
+// Common errors.
+var (
+	// ErrUnresolvable is returned when a required capability has no
+	// matching advertisement.
+	ErrUnresolvable = errors.New("compose: requirement unresolvable")
+	// ErrDepthExceeded is returned when recursive resolution exceeds
+	// Options.MaxDepth.
+	ErrDepthExceeded = errors.New("compose: maximum composition depth exceeded")
+	// ErrCycle is returned when services require each other in a loop and
+	// Options.AllowCycles is false.
+	ErrCycle = errors.New("compose: cyclic composition")
+)
+
+// Directory is the slice of a semantic directory that composition needs.
+// *registry.Directory implements it.
+type Directory interface {
+	Query(req *profile.Capability) []registry.Result
+}
+
+// ServiceResolver optionally supplies full service descriptions for
+// recursive resolution. When the directory cannot provide them (it only
+// stores capabilities), recursion stops at depth one.
+type ServiceResolver interface {
+	// Service returns the full description of a named service, if known.
+	Service(name string) (*profile.Service, bool)
+}
+
+// Options tunes resolution.
+type Options struct {
+	// MaxDepth bounds the recursion (default 8).
+	MaxDepth int
+	// AllowCycles tolerates services transitively requiring an
+	// already-bound service instead of failing (the cycle is cut at the
+	// repeated service).
+	AllowCycles bool
+	// Resolver supplies nested service descriptions; nil disables
+	// recursion past the directly required capabilities.
+	Resolver ServiceResolver
+	// Partial records unresolvable requirements in Plan.Missing instead of
+	// failing the whole resolution — useful when the service's process
+	// model can route around them with Choice branches.
+	Partial bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 8
+	}
+	return o
+}
+
+// Binding records the advertisement selected for one requirement.
+type Binding struct {
+	// Requirement is the required capability being satisfied.
+	Requirement *profile.Capability
+	// Selected is the chosen advertisement (minimal semantic distance).
+	Selected registry.Result
+	// Alternatives counts other matching advertisements.
+	Alternatives int
+}
+
+// Plan is a fully resolved composition: the root service plus one binding
+// per requirement, and nested plans for each selected provider that has
+// requirements of its own.
+type Plan struct {
+	Service  string
+	Bindings []Binding
+	Nested   map[string]*Plan // keyed by provider service name
+	// Missing lists requirements left unbound under Options.Partial.
+	Missing []string
+}
+
+// Services returns every service participating in the plan (root first,
+// then providers in sorted order, depth-first, deduplicated).
+func (p *Plan) Services() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(pl *Plan)
+	walk = func(pl *Plan) {
+		if !seen[pl.Service] {
+			seen[pl.Service] = true
+			out = append(out, pl.Service)
+		}
+		providers := make([]string, 0, len(pl.Bindings))
+		for _, b := range pl.Bindings {
+			providers = append(providers, b.Selected.Entry.Service)
+		}
+		sort.Strings(providers)
+		for _, provider := range providers {
+			if nested, ok := pl.Nested[provider]; ok {
+				walk(nested)
+				continue
+			}
+			if !seen[provider] {
+				seen[provider] = true
+				out = append(out, provider)
+			}
+		}
+	}
+	walk(p)
+	return out
+}
+
+// String renders the plan as an indented tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	var walk func(pl *Plan, indent string)
+	walk = func(pl *Plan, indent string) {
+		fmt.Fprintf(&b, "%s%s\n", indent, pl.Service)
+		for _, bind := range pl.Bindings {
+			fmt.Fprintf(&b, "%s  %s -> %s/%s (distance %d",
+				indent, bind.Requirement.Name,
+				bind.Selected.Entry.Service, bind.Selected.Entry.Capability.Name,
+				bind.Selected.Distance)
+			if bind.Alternatives > 0 {
+				fmt.Fprintf(&b, ", %d alternatives", bind.Alternatives)
+			}
+			b.WriteString(")\n")
+			if nested, ok := pl.Nested[bind.Selected.Entry.Service]; ok {
+				walk(nested, indent+"    ")
+			}
+		}
+	}
+	walk(p, "")
+	return b.String()
+}
+
+// Resolve builds a composition plan for svc against the directory.
+func Resolve(dir Directory, svc *profile.Service, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	bound := map[string]bool{svc.Name: true}
+	return resolve(dir, svc, opts, bound, 0)
+}
+
+func resolve(dir Directory, svc *profile.Service, opts Options, bound map[string]bool, depth int) (*Plan, error) {
+	if depth > opts.MaxDepth {
+		return nil, fmt.Errorf("%w: at service %q", ErrDepthExceeded, svc.Name)
+	}
+	plan := &Plan{Service: svc.Name, Nested: map[string]*Plan{}}
+	for _, req := range svc.Required {
+		results := dir.Query(req)
+		// Never select the requesting service itself.
+		filtered := results[:0]
+		for _, r := range results {
+			if r.Entry.Service != svc.Name {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			if opts.Partial {
+				plan.Missing = append(plan.Missing, req.Name)
+				continue
+			}
+			return nil, fmt.Errorf("%w: %q of service %q", ErrUnresolvable, req.Name, svc.Name)
+		}
+		best := filtered[0]
+		plan.Bindings = append(plan.Bindings, Binding{
+			Requirement:  req,
+			Selected:     best,
+			Alternatives: len(filtered) - 1,
+		})
+
+		provider := best.Entry.Service
+		if bound[provider] {
+			if opts.AllowCycles {
+				continue // cut the cycle at the already-bound service
+			}
+			if provider != svc.Name {
+				return nil, fmt.Errorf("%w: %q reached again via %q", ErrCycle, provider, req.Name)
+			}
+			continue
+		}
+		if opts.Resolver == nil {
+			continue
+		}
+		nestedSvc, ok := opts.Resolver.Service(provider)
+		if !ok || len(nestedSvc.Required) == 0 {
+			continue
+		}
+		bound[provider] = true
+		nested, err := resolve(dir, nestedSvc, opts, bound, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		plan.Nested[provider] = nested
+	}
+	return plan, nil
+}
+
+// Binding exposes the plan's own requirement bindings in the form the
+// process interpreter consumes: required capability name → selected
+// provider service. Nested plans carry their providers' own bindings.
+func (p *Plan) Binding() process.MapBinding {
+	b := make(process.MapBinding, len(p.Bindings))
+	for _, bind := range p.Bindings {
+		b[bind.Requirement.Name] = bind.Selected.Entry.Service
+	}
+	return b
+}
+
+// Conversation executes the service's process model (its conversation,
+// OWL-S §2.1) against this plan's bindings, returning the interaction
+// trace. Services without a process model converse in declaration order
+// of their requirements.
+func Conversation(svc *profile.Service, plan *Plan) ([]process.Step, error) {
+	tree := svc.Process
+	if tree == nil {
+		nodes := make([]*process.Node, 0, len(svc.Required))
+		for _, c := range svc.Required {
+			nodes = append(nodes, process.Invoke(c.Name))
+		}
+		if len(nodes) == 0 {
+			return nil, nil
+		}
+		tree = process.Sequence(nodes...)
+	}
+	return process.Execute(tree, plan.Binding())
+}
+
+// Catalog is a trivial in-memory ServiceResolver.
+type Catalog map[string]*profile.Service
+
+// Service implements ServiceResolver.
+func (c Catalog) Service(name string) (*profile.Service, bool) {
+	s, ok := c[name]
+	return s, ok
+}
+
+var _ ServiceResolver = Catalog(nil)

@@ -1,0 +1,344 @@
+package compose
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/match"
+	"sariadne/internal/ontology"
+	"sariadne/internal/process"
+	"sariadne/internal/profile"
+	"sariadne/internal/registry"
+)
+
+func fixtureDirectory(t testing.TB) *registry.Directory {
+	t.Helper()
+	reg := codes.NewRegistry()
+	for _, o := range []*ontology.Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		reg.Register(codes.MustEncode(ontology.MustClassify(o), codes.DefaultParams))
+	}
+	return registry.NewDirectory(match.NewCodeMatcher(reg))
+}
+
+func mediaRef(n string) ontology.Ref {
+	return ontology.Ref{Ontology: profile.MediaOntologyURI, Name: n}
+}
+
+func serversRef(n string) ontology.Ref {
+	return ontology.Ref{Ontology: profile.ServersOntologyURI, Name: n}
+}
+
+// chainServices builds a three-stage composition:
+// PDA requires video -> Workstation provides video, requires storage ->
+// NAS provides storage.
+func chainServices() (pda, workstation, nas *profile.Service) {
+	pda = &profile.Service{
+		Name: "PDA",
+		Required: []*profile.Capability{{
+			Name:     "GetVideoStream",
+			Category: serversRef("VideoServer"),
+			Inputs:   []ontology.Ref{mediaRef("VideoResource")},
+			Outputs:  []ontology.Ref{mediaRef("Stream")},
+		}},
+	}
+	workstation = &profile.Service{
+		Name: "Workstation",
+		Provided: []*profile.Capability{{
+			Name:     "SendDigitalStream",
+			Category: serversRef("DigitalServer"),
+			Inputs:   []ontology.Ref{mediaRef("DigitalResource")},
+			Outputs:  []ontology.Ref{mediaRef("Stream")},
+		}},
+		Required: []*profile.Capability{{
+			Name:     "FetchResource",
+			Category: serversRef("Server"),
+			Outputs:  []ontology.Ref{mediaRef("DigitalResource")},
+		}},
+	}
+	nas = &profile.Service{
+		Name: "NAS",
+		Provided: []*profile.Capability{{
+			Name:     "ServeFiles",
+			Category: serversRef("Server"),
+			Outputs:  []ontology.Ref{mediaRef("Resource")},
+		}},
+	}
+	return pda, workstation, nas
+}
+
+func TestResolveChain(t *testing.T) {
+	dir := fixtureDirectory(t)
+	pda, workstation, nas := chainServices()
+	for _, s := range []*profile.Service{workstation, nas} {
+		if err := dir.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := Catalog{"Workstation": workstation, "NAS": nas}
+
+	plan, err := Resolve(dir, pda, Options{Resolver: cat})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(plan.Bindings) != 1 {
+		t.Fatalf("bindings = %v", plan.Bindings)
+	}
+	if got := plan.Bindings[0].Selected.Entry.Service; got != "Workstation" {
+		t.Fatalf("selected %s, want Workstation", got)
+	}
+	nested, ok := plan.Nested["Workstation"]
+	if !ok {
+		t.Fatalf("no nested plan: %s", plan)
+	}
+	if got := nested.Bindings[0].Selected.Entry.Service; got != "NAS" {
+		t.Fatalf("nested selected %s, want NAS", got)
+	}
+	services := plan.Services()
+	want := []string{"PDA", "Workstation", "NAS"}
+	if len(services) != 3 {
+		t.Fatalf("Services = %v, want %v", services, want)
+	}
+	for i := range want {
+		if services[i] != want[i] {
+			t.Fatalf("Services = %v, want %v", services, want)
+		}
+	}
+	if s := plan.String(); !strings.Contains(s, "GetVideoStream -> Workstation/SendDigitalStream") {
+		t.Fatalf("plan rendering:\n%s", s)
+	}
+}
+
+func TestResolveUnresolvable(t *testing.T) {
+	dir := fixtureDirectory(t)
+	pda, _, _ := chainServices()
+	if _, err := Resolve(dir, pda, Options{}); !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("Resolve = %v, want ErrUnresolvable", err)
+	}
+}
+
+func TestResolveMissingNestedRequirement(t *testing.T) {
+	dir := fixtureDirectory(t)
+	pda, workstation, _ := chainServices()
+	if err := dir.Register(workstation); err != nil {
+		t.Fatal(err)
+	}
+	// NAS absent: the workstation's own requirement fails.
+	_, err := Resolve(dir, pda, Options{Resolver: Catalog{"Workstation": workstation}})
+	if !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("Resolve = %v, want ErrUnresolvable", err)
+	}
+	// Without a resolver, recursion stops and the plan succeeds shallowly.
+	plan, err := Resolve(dir, pda, Options{})
+	if err != nil || len(plan.Nested) != 0 {
+		t.Fatalf("shallow resolve: %v, %v", plan, err)
+	}
+}
+
+func TestResolveCycle(t *testing.T) {
+	dir := fixtureDirectory(t)
+	// A requires B's capability; B requires A's capability.
+	a := &profile.Service{
+		Name: "A",
+		Provided: []*profile.Capability{{
+			Name:     "ServeVideo",
+			Category: serversRef("VideoServer"),
+			Outputs:  []ontology.Ref{mediaRef("VideoResource")},
+		}},
+		Required: []*profile.Capability{{
+			Name:     "NeedSound",
+			Category: serversRef("SoundServer"),
+			Outputs:  []ontology.Ref{mediaRef("SoundResource")},
+		}},
+	}
+	b := &profile.Service{
+		Name: "B",
+		Provided: []*profile.Capability{{
+			Name:     "ServeSound",
+			Category: serversRef("SoundServer"),
+			Outputs:  []ontology.Ref{mediaRef("SoundResource")},
+		}},
+		Required: []*profile.Capability{{
+			Name:     "NeedVideo",
+			Category: serversRef("VideoServer"),
+			Outputs:  []ontology.Ref{mediaRef("VideoResource")},
+		}},
+	}
+	for _, s := range []*profile.Service{a, b} {
+		if err := dir.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := Catalog{"A": a, "B": b}
+	root := &profile.Service{
+		Name: "Root",
+		Required: []*profile.Capability{{
+			Name:     "NeedVideo",
+			Category: serversRef("VideoServer"),
+			Outputs:  []ontology.Ref{mediaRef("VideoResource")},
+		}},
+	}
+	if _, err := Resolve(dir, root, Options{Resolver: cat}); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Resolve = %v, want ErrCycle", err)
+	}
+	plan, err := Resolve(dir, root, Options{Resolver: cat, AllowCycles: true})
+	if err != nil {
+		t.Fatalf("Resolve with AllowCycles: %v", err)
+	}
+	if len(plan.Services()) != 3 { // Root, A, B
+		t.Fatalf("Services = %v", plan.Services())
+	}
+}
+
+func TestResolveNeverSelectsSelf(t *testing.T) {
+	dir := fixtureDirectory(t)
+	// The service provides exactly what it requires; resolution must not
+	// bind it to itself.
+	selfish := &profile.Service{
+		Name: "Selfish",
+		Provided: []*profile.Capability{{
+			Name:     "ServeVideo",
+			Category: serversRef("VideoServer"),
+			Outputs:  []ontology.Ref{mediaRef("VideoResource")},
+		}},
+		Required: []*profile.Capability{{
+			Name:     "NeedVideo",
+			Category: serversRef("VideoServer"),
+			Outputs:  []ontology.Ref{mediaRef("VideoResource")},
+		}},
+	}
+	if err := dir.Register(selfish); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(dir, selfish, Options{}); !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("Resolve = %v, want ErrUnresolvable (self excluded)", err)
+	}
+}
+
+func TestResolveDepthLimit(t *testing.T) {
+	dir := fixtureDirectory(t)
+	// Build a long chain: svc0 requires svc1's capability, ... depth 5.
+	const n = 6
+	cat := Catalog{}
+	cats := []string{"Server", "DigitalServer", "StreamingServer", "VideoServer", "SoundServer", "GameServer"}
+	var services []*profile.Service
+	for i := 0; i < n; i++ {
+		s := &profile.Service{Name: cats[i] + "Svc"}
+		s.Provided = []*profile.Capability{{
+			Name:     "Provide" + cats[i],
+			Category: serversRef(cats[i]),
+			Outputs:  []ontology.Ref{mediaRef("Stream")},
+		}}
+		if i+1 < n {
+			s.Required = []*profile.Capability{{
+				Name:     "Need" + cats[i+1],
+				Category: serversRef(cats[i+1]),
+				Outputs:  []ontology.Ref{mediaRef("Stream")},
+			}}
+		}
+		services = append(services, s)
+		cat[s.Name] = s
+	}
+	for _, s := range services[1:] {
+		if err := dir.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Resolve(dir, services[0], Options{Resolver: cat, MaxDepth: 2}); !errors.Is(err, ErrDepthExceeded) {
+		t.Fatalf("Resolve = %v, want ErrDepthExceeded", err)
+	}
+	if _, err := Resolve(dir, services[0], Options{Resolver: cat}); err != nil {
+		t.Fatalf("Resolve with default depth: %v", err)
+	}
+}
+
+func TestConversation(t *testing.T) {
+	dir := fixtureDirectory(t)
+	pda, workstation, nas := chainServices()
+	for _, s := range []*profile.Service{workstation, nas} {
+		if err := dir.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := Resolve(dir, pda, Options{Resolver: Catalog{"Workstation": workstation, "NAS": nas}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a process model the conversation is the declaration order.
+	steps, err := Conversation(pda, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0].Capability != "GetVideoStream" || steps[0].Provider != "Workstation" {
+		t.Fatalf("steps = %v", steps)
+	}
+
+	// With an explicit process model (a choice preferring a capability
+	// nobody provides), the fallback branch binds.
+	pda.Required = append(pda.Required, &profile.Capability{
+		Name:     "GetHologram",
+		Category: serversRef("GameServer"),
+		Outputs:  []ontology.Ref{mediaRef("GameResource")},
+	})
+	pda.Process = process.Choice(
+		process.Invoke("GetHologram"),
+		process.Invoke("GetVideoStream"),
+	)
+	// GetHologram is unresolvable; resolve only the video requirement by
+	// keeping the original plan and executing the conversation against it.
+	steps, err = Conversation(pda, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || steps[0].Capability != "GetVideoStream" {
+		t.Fatalf("fallback steps = %v", steps)
+	}
+
+	// A service with no requirements converses trivially.
+	steps, err = Conversation(nas, &Plan{Service: "NAS"})
+	if err != nil || steps != nil {
+		t.Fatalf("empty conversation = %v, %v", steps, err)
+	}
+}
+
+func TestResolvePartial(t *testing.T) {
+	dir := fixtureDirectory(t)
+	pda, workstation, nas := chainServices()
+	for _, s := range []*profile.Service{workstation, nas} {
+		if err := dir.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pda.Required = append(pda.Required, &profile.Capability{
+		Name:     "GetHologram",
+		Category: ontology.Ref{Ontology: "http://nowhere.example/ont", Name: "HoloProjector"},
+		Outputs:  []ontology.Ref{{Ontology: "http://nowhere.example/ont", Name: "Hologram"}},
+	})
+	pda.Process = process.Choice(
+		process.Invoke("GetHologram"),
+		process.Invoke("GetVideoStream"),
+	)
+
+	// Strict resolution fails on the hologram.
+	if _, err := Resolve(dir, pda, Options{}); !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("strict Resolve = %v", err)
+	}
+	// Partial resolution records the gap and the conversation routes
+	// around it.
+	plan, err := Resolve(dir, pda, Options{Partial: true})
+	if err != nil {
+		t.Fatalf("partial Resolve: %v", err)
+	}
+	if len(plan.Missing) != 1 || plan.Missing[0] != "GetHologram" {
+		t.Fatalf("Missing = %v", plan.Missing)
+	}
+	steps, err := Conversation(pda, plan)
+	if err != nil {
+		t.Fatalf("Conversation: %v", err)
+	}
+	if len(steps) != 1 || steps[0].Capability != "GetVideoStream" {
+		t.Fatalf("steps = %v", steps)
+	}
+}

@@ -1,0 +1,69 @@
+package discovery
+
+import "sariadne/internal/simnet"
+
+// Wire messages of the discovery protocol. Service and request documents
+// travel as serialized XML ([]byte) so that the parse costs the paper
+// measures (Figures 7 and 8) occur where they would in a real deployment:
+// at the receiving directory.
+
+// RegisterRequest publishes a service advertisement at a directory.
+type RegisterRequest struct {
+	ID  uint64
+	Doc []byte
+}
+
+// RegisterReply acknowledges a registration.
+type RegisterReply struct {
+	ID  uint64
+	Err string
+}
+
+// DeregisterRequest withdraws a service by name.
+type DeregisterRequest struct {
+	ID      uint64
+	Service string
+}
+
+// QueryRequest asks a directory to resolve a request document.
+type QueryRequest struct {
+	ID uint64
+	// Origin is the client node awaiting the final answer.
+	Origin simnet.NodeID
+	// Forwarded marks directory-to-directory hops; forwarded queries are
+	// answered locally only (no second-level fan-out).
+	Forwarded bool
+	Doc       []byte
+}
+
+// QueryReply carries hits back. For forwarded queries the replying
+// directory sends it to the forwarding directory, which aggregates and
+// relays to the origin.
+type QueryReply struct {
+	ID      uint64
+	From    simnet.NodeID
+	Partial bool // true for peer replies consumed by the aggregator
+	Hits    []Hit
+	Err     string
+}
+
+// DirectoryAnnounce advertises a (new) directory to the directory
+// backbone; receivers respond with their summary.
+type DirectoryAnnounce struct {
+	From simnet.NodeID
+}
+
+// SummaryPush carries a directory's Bloom filter to a peer (Section 4's
+// exchange of directory content summaries).
+type SummaryPush struct {
+	From   simnet.NodeID
+	Filter []byte // bloom.Filter wire form
+	Count  int    // number of stored advertisements, for diagnostics
+}
+
+// SummaryRequest asks a peer directory for a fresh Bloom summary; sent
+// reactively when too many Bloom-selected forwards to that peer come back
+// empty (stale-summary detection, Section 4).
+type SummaryRequest struct {
+	From simnet.NodeID
+}

@@ -1,0 +1,910 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sariadne/internal/bloom"
+	"sariadne/internal/election"
+	"sariadne/internal/simnet"
+)
+
+// Protocol errors.
+var (
+	// ErrNoDirectory is returned when a node knows no directory to talk to.
+	ErrNoDirectory = errors.New("discovery: no directory known")
+	// ErrNotDirectory is reported by a node asked to serve while not being
+	// a directory (transient during elections).
+	ErrNotDirectory = errors.New("discovery: node is not a directory")
+)
+
+// Config parameterizes a discovery node.
+type Config struct {
+	// Election configures directory self-deployment. Zero values get the
+	// election package defaults.
+	Election election.Config
+	// StaticDirectory pins the node to a fixed directory and disables the
+	// election timeout machinery (infrastructure mode).
+	StaticDirectory simnet.NodeID
+	// QueryTimeout bounds the wait for remote directories when a query is
+	// forwarded. Defaults to 2s.
+	QueryTimeout time.Duration
+	// AnnounceTTL is the hop radius for directory backbone announcements;
+	// it should exceed the election vicinity. Defaults to 8.
+	AnnounceTTL int
+	// BloomBits and BloomHashes shape content summaries. Defaults: 1024, 4.
+	BloomBits   int
+	BloomHashes int
+	// SummaryPushEvery pushes the updated summary to peers after this many
+	// registrations. Defaults to 4.
+	SummaryPushEvery int
+	// AnnounceInterval re-broadcasts a directory's backbone announcement,
+	// repairing handshakes missed during concurrent elections. Defaults to
+	// 500ms.
+	AnnounceInterval time.Duration
+	// MaxForwardPeers bounds how many peer directories an unresolved query
+	// is forwarded to, chosen nearest-first (the paper selects forwarding
+	// targets by Bloom filter, distance and remaining resources). Zero
+	// means no bound.
+	MaxForwardPeers int
+	// StaleRatio triggers a reactive summary refresh: when more than this
+	// fraction of a peer's Bloom-selected forwards come back empty (false
+	// positives), the peer is asked for a fresh summary (Section 4's
+	// reactive exchange). Defaults to 0.5; negative disables.
+	StaleRatio float64
+	// LeaseTTL expires advertisements that have not been refreshed
+	// (soft state). Zero disables expiry.
+	LeaseTTL time.Duration
+	// RefreshInterval makes nodes re-publish their own services
+	// periodically so leases stay fresh. Defaults to LeaseTTL/3 when
+	// leases are enabled.
+	RefreshInterval time.Duration
+	// TickInterval is the loop timer resolution. Defaults to 10ms.
+	TickInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 2 * time.Second
+	}
+	if c.AnnounceTTL <= 0 {
+		c.AnnounceTTL = 8
+	}
+	if c.BloomBits <= 0 {
+		c.BloomBits = 1024
+	}
+	if c.BloomHashes <= 0 {
+		c.BloomHashes = 4
+	}
+	if c.SummaryPushEvery <= 0 {
+		c.SummaryPushEvery = 4
+	}
+	if c.AnnounceInterval <= 0 {
+		c.AnnounceInterval = 500 * time.Millisecond
+	}
+	if c.StaleRatio == 0 {
+		c.StaleRatio = 0.5
+	}
+	if c.LeaseTTL > 0 && c.RefreshInterval <= 0 {
+		c.RefreshInterval = c.LeaseTTL / 3
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Stats counts protocol activity on one node.
+type Stats struct {
+	Registrations    uint64
+	QueriesServed    uint64 // queries answered from the local store
+	QueriesForwarded uint64 // origin queries fanned out to peers
+	ForwardsSent     uint64 // peer directories contacted
+	ForwardsPruned   uint64 // peers skipped thanks to Bloom summaries
+	RemoteHits       uint64 // hits contributed by peers
+}
+
+// Node is one participant of the discovery protocol: always a potential
+// client (Publish/Discover), sometimes an elected or static directory.
+type Node struct {
+	ep      *simnet.Endpoint
+	backend Backend
+	cfg     Config
+
+	mu          sync.Mutex
+	elect       *election.Machine
+	filter      *bloom.Filter
+	peers       map[simnet.NodeID]*peerState
+	published   map[string][]byte
+	publishedAt simnet.NodeID
+	nextID      uint64
+	queryWait   map[uint64]chan QueryReply
+	regWait     map[uint64]chan RegisterReply
+	aggregates  map[uint64]*aggregation
+	// leases tracks, per registered service, when its advertisement was
+	// last (re)registered; stale ones are swept when LeaseTTL is set.
+	leases       map[string]time.Time
+	regSince     int
+	lastAnnounce time.Time
+	lastRefresh  time.Time
+	stats        Stats
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// peerState is what a directory knows about a backbone peer: its latest
+// Bloom summary, its hop distance (observed from received messages, used
+// to rank forwarding targets), and forwarding outcome counters driving the
+// reactive summary refresh.
+type peerState struct {
+	filter   *bloom.Filter
+	hops     int
+	forwards int
+	empties  int
+}
+
+// aggregation tracks one origin query fanned out to peer directories.
+type aggregation struct {
+	origin   simnet.NodeID
+	originID uint64
+	deadline time.Time
+	awaiting map[simnet.NodeID]struct{}
+	hits     []Hit
+}
+
+// NewNode creates a discovery node over an endpoint and backend.
+func NewNode(ep *simnet.Endpoint, backend Backend, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		ep:         ep,
+		backend:    backend,
+		cfg:        cfg,
+		elect:      election.NewMachine(ep.ID(), cfg.Election, time.Now()),
+		filter:     bloom.MustNew(cfg.BloomBits, cfg.BloomHashes),
+		peers:      make(map[simnet.NodeID]*peerState),
+		published:  make(map[string][]byte),
+		queryWait:  make(map[uint64]chan QueryReply),
+		regWait:    make(map[uint64]chan RegisterReply),
+		aggregates: make(map[uint64]*aggregation),
+		leases:     make(map[string]time.Time),
+	}
+	return n
+}
+
+// ID returns the node's network ID.
+func (n *Node) ID() simnet.NodeID { return n.ep.ID() }
+
+// Backend returns the node's directory backend.
+func (n *Node) Backend() Backend { return n.backend }
+
+// Stats returns a snapshot of the node's protocol counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Role returns the node's current election role.
+func (n *Node) Role() election.Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.elect.Role()
+}
+
+// DirectoryID returns the directory this node currently uses.
+func (n *Node) DirectoryID() (simnet.NodeID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.directoryLocked()
+}
+
+func (n *Node) directoryLocked() (simnet.NodeID, bool) {
+	if n.cfg.StaticDirectory != "" && n.elect.Role() != election.Directory {
+		return n.cfg.StaticDirectory, true
+	}
+	return n.elect.Directory()
+}
+
+// Peers returns the directory peers this node knows about (meaningful on
+// directories).
+func (n *Node) Peers() []simnet.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]simnet.NodeID, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Start launches the protocol loop.
+func (n *Node) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	n.mu.Lock()
+	n.cancel = cancel
+	n.done = make(chan struct{})
+	n.mu.Unlock()
+	go n.loop(ctx)
+}
+
+// Stop terminates the loop and waits for it.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	cancel, done := n.cancel, n.done
+	n.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// BecomeDirectory promotes the node immediately (static deployment) and
+// announces it to the backbone.
+func (n *Node) BecomeDirectory() {
+	n.mu.Lock()
+	actions := n.elect.BecomeDirectory(time.Now())
+	n.mu.Unlock()
+	n.runElectionActions(actions)
+}
+
+func (n *Node) loop(ctx context.Context) {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg, ok := <-n.ep.Inbox():
+			if !ok {
+				return
+			}
+			n.handleMessage(msg)
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+// tick drives election timers (unless statically configured), aggregation
+// deadlines and re-publication.
+func (n *Node) tick() {
+	now := time.Now()
+	var electionActions []any
+	announce := false
+	n.mu.Lock()
+	if n.cfg.StaticDirectory == "" {
+		electionActions = n.elect.Tick(now)
+	} else if n.elect.Role() == election.Directory {
+		electionActions = n.elect.Tick(now) // keep advertising
+	}
+	if n.elect.Role() == election.Directory && now.Sub(n.lastAnnounce) >= n.cfg.AnnounceInterval {
+		n.lastAnnounce = now
+		announce = true
+	}
+	expired := n.expireAggregationsLocked(now)
+	n.mu.Unlock()
+
+	if announce {
+		_, _ = n.ep.Broadcast(n.cfg.AnnounceTTL, DirectoryAnnounce{From: n.ID()})
+	}
+
+	n.runElectionActions(electionActions)
+	for _, agg := range expired {
+		n.finishAggregation(agg)
+	}
+	n.sweepLeases(now)
+	n.refreshOwnLeases(now)
+	n.republishIfMoved()
+}
+
+// sweepLeases expires advertisements whose lease ran out (soft state:
+// departed devices silently disappear from the directory).
+func (n *Node) sweepLeases(now time.Time) {
+	if n.cfg.LeaseTTL <= 0 {
+		return
+	}
+	n.mu.Lock()
+	var stale []string
+	for svc, at := range n.leases {
+		if now.Sub(at) > n.cfg.LeaseTTL {
+			stale = append(stale, svc)
+			delete(n.leases, svc)
+		}
+	}
+	n.mu.Unlock()
+	if len(stale) == 0 {
+		return
+	}
+	for _, svc := range stale {
+		n.backend.Deregister(svc)
+	}
+	n.rebuildFilter()
+}
+
+// refreshOwnLeases re-publishes this node's services so their leases stay
+// fresh at the directory.
+func (n *Node) refreshOwnLeases(now time.Time) {
+	if n.cfg.RefreshInterval <= 0 {
+		return
+	}
+	n.mu.Lock()
+	if now.Sub(n.lastRefresh) < n.cfg.RefreshInterval || len(n.published) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.lastRefresh = now
+	dir, ok := n.directoryLocked()
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	docs := make([][]byte, 0, len(n.published))
+	for _, doc := range n.published {
+		docs = append(docs, doc)
+	}
+	n.nextID++
+	id := n.nextID
+	n.mu.Unlock()
+	for _, doc := range docs {
+		_ = n.ep.Send(dir, RegisterRequest{ID: id, Doc: doc})
+	}
+}
+
+// handleMessage dispatches one inbound message.
+func (n *Node) handleMessage(msg simnet.Message) {
+	switch p := msg.Payload.(type) {
+	case RegisterRequest:
+		n.onRegister(msg.From, p)
+	case RegisterReply:
+		n.mu.Lock()
+		ch := n.regWait[p.ID]
+		delete(n.regWait, p.ID)
+		n.mu.Unlock()
+		if ch != nil {
+			ch <- p
+		}
+	case DeregisterRequest:
+		found := n.backend.Deregister(p.Service)
+		n.mu.Lock()
+		delete(n.leases, p.Service)
+		n.mu.Unlock()
+		n.rebuildFilter()
+		errStr := ""
+		if !found {
+			errStr = fmt.Sprintf("service %q not registered", p.Service)
+		}
+		_ = n.ep.Send(msg.From, RegisterReply{ID: p.ID, Err: errStr})
+	case QueryRequest:
+		n.onQuery(msg.From, p)
+	case QueryReply:
+		n.onQueryReply(p)
+	case DirectoryAnnounce:
+		n.onAnnounce(p)
+	case SummaryPush:
+		n.onSummary(p, msg.Hops)
+	case SummaryRequest:
+		n.mu.Lock()
+		data := n.filter.Marshal()
+		count := n.backend.Len()
+		n.mu.Unlock()
+		_ = n.ep.Send(msg.From, SummaryPush{From: n.ID(), Filter: data, Count: count})
+	default:
+		// Election traffic.
+		n.mu.Lock()
+		actions := n.elect.HandleMessage(msg.From, msg.Payload, time.Now())
+		n.mu.Unlock()
+		n.runElectionActions(actions)
+		n.republishIfMoved()
+	}
+}
+
+// runElectionActions executes transport actions emitted by the election
+// machine and reacts to role changes.
+func (n *Node) runElectionActions(actions []any) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case election.SendAction:
+			_ = n.ep.Send(act.To, act.Payload)
+		case election.BroadcastAction:
+			_, _ = n.ep.Broadcast(act.TTL, act.Payload)
+		case election.RoleChange:
+			if act.Role == election.Directory {
+				// Join the directory backbone and solicit summaries.
+				_, _ = n.ep.Broadcast(n.cfg.AnnounceTTL, DirectoryAnnounce{From: n.ID()})
+			}
+		}
+	}
+}
+
+// republishIfMoved re-registers this node's own services when its
+// directory changed (including when the node itself just became one) —
+// the paper's "a new directory has to host the service descriptions
+// available in its vicinity".
+func (n *Node) republishIfMoved() {
+	n.mu.Lock()
+	dir, ok := n.directoryLocked()
+	if !ok || dir == n.publishedAt || len(n.published) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.publishedAt = dir
+	docs := make([][]byte, 0, len(n.published))
+	for _, doc := range n.published {
+		docs = append(docs, doc)
+	}
+	n.mu.Unlock()
+	for _, doc := range docs {
+		id := n.allocID()
+		_ = n.ep.Send(dir, RegisterRequest{ID: id, Doc: doc})
+	}
+}
+
+func (n *Node) allocID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	return n.nextID
+}
+
+// onRegister stores an advertisement (directory side).
+func (n *Node) onRegister(from simnet.NodeID, req RegisterRequest) {
+	var errStr string
+	if name, err := n.backend.Register(req.Doc); err != nil {
+		errStr = err.Error()
+	} else {
+		n.mu.Lock()
+		n.leases[name] = time.Now()
+		n.stats.Registrations++
+		n.regSince++
+		push := n.regSince >= n.cfg.SummaryPushEvery
+		if push {
+			n.regSince = 0
+		}
+		n.mu.Unlock()
+		n.rebuildFilter()
+		if push {
+			n.pushSummary()
+		}
+	}
+	_ = n.ep.Send(from, RegisterReply{ID: req.ID, Err: errStr})
+}
+
+// rebuildFilter recomputes the Bloom summary from the backend's keys.
+func (n *Node) rebuildFilter() {
+	f := bloom.MustNew(n.cfg.BloomBits, n.cfg.BloomHashes)
+	for _, k := range n.backend.Keys() {
+		f.Add(k)
+	}
+	n.mu.Lock()
+	n.filter = f
+	n.mu.Unlock()
+}
+
+// pushSummary sends the current filter to every known peer.
+func (n *Node) pushSummary() {
+	n.mu.Lock()
+	data := n.filter.Marshal()
+	count := n.backend.Len()
+	peers := make([]simnet.NodeID, 0, len(n.peers))
+	for id := range n.peers {
+		peers = append(peers, id)
+	}
+	n.mu.Unlock()
+	for _, id := range peers {
+		_ = n.ep.Send(id, SummaryPush{From: n.ID(), Filter: data, Count: count})
+	}
+}
+
+// onAnnounce reacts to a new directory joining the backbone.
+func (n *Node) onAnnounce(a DirectoryAnnounce) {
+	n.mu.Lock()
+	isDir := n.elect.Role() == election.Directory
+	if isDir && a.From != n.ID() {
+		if _, known := n.peers[a.From]; !known {
+			n.peers[a.From] = &peerState{}
+		}
+	}
+	data := n.filter.Marshal()
+	count := n.backend.Len()
+	n.mu.Unlock()
+	if isDir && a.From != n.ID() {
+		// Introduce ourselves with our summary; the peer records us.
+		_ = n.ep.Send(a.From, SummaryPush{From: n.ID(), Filter: data, Count: count})
+	}
+}
+
+// onSummary records a peer directory's filter and observed distance.
+func (n *Node) onSummary(s SummaryPush, hops int) {
+	f, err := bloom.Unmarshal(s.Filter)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	ps, known := n.peers[s.From]
+	if !known {
+		ps = &peerState{}
+		n.peers[s.From] = ps
+	}
+	ps.filter = f
+	ps.hops = hops
+	// A fresh summary resets the staleness counters.
+	ps.forwards, ps.empties = 0, 0
+	data := n.filter.Marshal()
+	count := n.backend.Len()
+	n.mu.Unlock()
+	if !known {
+		// First contact from an unknown peer: send our summary back so
+		// the relationship is symmetric.
+		_ = n.ep.Send(s.From, SummaryPush{From: n.ID(), Filter: data, Count: count})
+	}
+}
+
+// onQuery is the directory-side request path: local discovery first; an
+// origin query with no local hits fans out to the peers whose Bloom
+// summaries pass (Section 4, Figure 6).
+func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
+	n.mu.Lock()
+	isDir := n.elect.Role() == election.Directory
+	n.mu.Unlock()
+	if !isDir {
+		n.replyQuery(q, from, nil, ErrNotDirectory.Error())
+		return
+	}
+
+	hits, err := n.backend.Query(q.Doc)
+	if err != nil {
+		n.replyQuery(q, from, nil, err.Error())
+		return
+	}
+	for i := range hits {
+		hits[i].Directory = string(n.ID())
+	}
+	n.mu.Lock()
+	n.stats.QueriesServed++
+	n.mu.Unlock()
+
+	if q.Forwarded {
+		_ = n.ep.Send(from, QueryReply{ID: q.ID, From: n.ID(), Partial: true, Hits: hits})
+		return
+	}
+
+	// Figure 6, step 3: forward only the required capabilities the local
+	// store could not answer.
+	missing := n.missingRequirements(q.Doc, hits)
+	if len(missing) == 0 {
+		n.replyQuery(q, q.Origin, hits, "")
+		return
+	}
+	fwdDoc, err := n.backend.Subset(q.Doc, missing)
+	if err != nil {
+		// Cannot build the partial request; answer with what we have.
+		n.replyQuery(q, q.Origin, hits, "")
+		return
+	}
+
+	targets := n.selectForwardTargets(fwdDoc)
+	if len(targets) == 0 {
+		n.replyQuery(q, q.Origin, hits, "")
+		return
+	}
+	n.mu.Lock()
+	n.stats.QueriesForwarded++
+	n.stats.ForwardsSent += uint64(len(targets))
+	agg := &aggregation{
+		origin:   q.Origin,
+		originID: q.ID,
+		deadline: time.Now().Add(n.cfg.QueryTimeout),
+		awaiting: make(map[simnet.NodeID]struct{}, len(targets)),
+		hits:     hits, // local answers ride along with the remote ones
+	}
+	n.nextID++
+	fwdID := n.nextID
+	for _, id := range targets {
+		agg.awaiting[id] = struct{}{}
+	}
+	n.aggregates[fwdID] = agg
+	n.mu.Unlock()
+
+	for _, id := range targets {
+		_ = n.ep.Send(id, QueryRequest{ID: fwdID, Origin: n.ID(), Forwarded: true, Doc: fwdDoc})
+	}
+}
+
+// missingRequirements returns the request's required capabilities that no
+// local hit answers.
+func (n *Node) missingRequirements(doc []byte, hits []Hit) []string {
+	names, err := n.backend.RequiredNames(doc)
+	if err != nil {
+		return nil
+	}
+	answered := make(map[string]bool, len(hits))
+	for _, h := range hits {
+		answered[h.For] = true
+	}
+	var missing []string
+	for _, name := range names {
+		if !answered[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+// selectForwardTargets picks peer directories for an unresolved query:
+// Bloom-filtered first (peers whose summary cannot contain the request are
+// pruned and counted), then ranked nearest-first and truncated to
+// MaxForwardPeers — the paper's "Bloom filters and additional parameters
+// such as ... the distance between the respective directories".
+func (n *Node) selectForwardTargets(doc []byte) []simnet.NodeID {
+	key, keyErr := n.backend.RequestKey(doc)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	type cand struct {
+		id   simnet.NodeID
+		hops int
+	}
+	var cands []cand
+	for id, ps := range n.peers {
+		if keyErr == nil && ps.filter != nil && !ps.filter.Test(key) {
+			n.stats.ForwardsPruned++
+			continue
+		}
+		cands = append(cands, cand{id: id, hops: ps.hops})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hops != cands[j].hops {
+			return cands[i].hops < cands[j].hops
+		}
+		return cands[i].id < cands[j].id
+	})
+	if n.cfg.MaxForwardPeers > 0 && len(cands) > n.cfg.MaxForwardPeers {
+		cands = cands[:n.cfg.MaxForwardPeers]
+	}
+	out := make([]simnet.NodeID, 0, len(cands))
+	for _, c := range cands {
+		n.peers[c.id].forwards++
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// onQueryReply routes replies: partial ones feed an aggregation, final
+// ones wake a waiting client call.
+func (n *Node) onQueryReply(r QueryReply) {
+	if r.Partial {
+		n.mu.Lock()
+		agg, ok := n.aggregates[r.ID]
+		if !ok {
+			n.mu.Unlock()
+			return
+		}
+		delete(agg.awaiting, r.From)
+		if r.Err == "" {
+			agg.hits = append(agg.hits, r.Hits...)
+			n.stats.RemoteHits += uint64(len(r.Hits))
+		}
+		var askRefresh bool
+		if ps, known := n.peers[r.From]; known {
+			if len(r.Hits) == 0 {
+				// A Bloom-selected peer with no answer is a false
+				// positive; enough of them means the summary went stale
+				// (Section 4's reactive exchange trigger).
+				ps.empties++
+				if n.cfg.StaleRatio > 0 && ps.forwards >= 4 &&
+					float64(ps.empties)/float64(ps.forwards) > n.cfg.StaleRatio {
+					askRefresh = true
+					ps.forwards, ps.empties = 0, 0
+				}
+			}
+		}
+		done := len(agg.awaiting) == 0
+		if done {
+			delete(n.aggregates, r.ID)
+		}
+		n.mu.Unlock()
+		if askRefresh {
+			_ = n.ep.Send(r.From, SummaryRequest{From: n.ID()})
+		}
+		if done {
+			n.finishAggregation(agg)
+		}
+		return
+	}
+	n.mu.Lock()
+	ch := n.queryWait[r.ID]
+	delete(n.queryWait, r.ID)
+	n.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// expireAggregationsLocked collects aggregations past their deadline.
+func (n *Node) expireAggregationsLocked(now time.Time) []*aggregation {
+	var expired []*aggregation
+	for id, agg := range n.aggregates {
+		if now.After(agg.deadline) {
+			expired = append(expired, agg)
+			delete(n.aggregates, id)
+		}
+	}
+	return expired
+}
+
+// finishAggregation sends the collected hits to the origin client.
+func (n *Node) finishAggregation(agg *aggregation) {
+	_ = n.ep.Send(agg.origin, QueryReply{ID: agg.originID, From: n.ID(), Hits: agg.hits})
+}
+
+// replyQuery sends a final reply toward the origin.
+func (n *Node) replyQuery(q QueryRequest, to simnet.NodeID, hits []Hit, errStr string) {
+	_ = n.ep.Send(to, QueryReply{ID: q.ID, From: n.ID(), Hits: hits, Err: errStr})
+}
+
+// Publish registers a service advertisement document with this node's
+// directory (possibly itself) and waits for the acknowledgement.
+func (n *Node) Publish(ctx context.Context, doc []byte) error {
+	n.mu.Lock()
+	dir, ok := n.directoryLocked()
+	if !ok {
+		n.mu.Unlock()
+		return ErrNoDirectory
+	}
+	n.nextID++
+	id := n.nextID
+	ch := make(chan RegisterReply, 1)
+	n.regWait[id] = ch
+	n.mu.Unlock()
+
+	if err := n.ep.Send(dir, RegisterRequest{ID: id, Doc: doc}); err != nil {
+		n.mu.Lock()
+		delete(n.regWait, id)
+		n.mu.Unlock()
+		return err
+	}
+	select {
+	case rep := <-ch:
+		if rep.Err != "" {
+			return fmt.Errorf("discovery: publish rejected: %s", rep.Err)
+		}
+		// Remember the doc for re-publication after directory churn.
+		if name, err := n.backendServiceName(doc); err == nil {
+			n.mu.Lock()
+			n.published[name] = doc
+			n.publishedAt = dir
+			n.mu.Unlock()
+		}
+		return nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.regWait, id)
+		n.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// backendServiceName extracts the service name from a document without
+// registering it, by asking the backend to parse it into a request key...
+// backends know their own formats, so delegate: Register is not suitable,
+// and parsing twice is acceptable at publication time.
+func (n *Node) backendServiceName(doc []byte) (string, error) {
+	type namer interface {
+		ServiceName(doc []byte) (string, error)
+	}
+	if b, ok := n.backend.(namer); ok {
+		return b.ServiceName(doc)
+	}
+	return fmt.Sprintf("doc-%d", len(n.published)), nil
+}
+
+// StepDown gracefully retires this node's directory role: its cached
+// advertisements are transferred to the named peer directory (the paper's
+// scenario for Figure 7 — a departing directory's vicinity content must be
+// re-hosted), its summary state is cleared, and the node returns to the
+// Member role. The transfer is best-effort: lost registrations are
+// repaired later by lease refreshes from the publishers.
+func (n *Node) StepDown(successor simnet.NodeID) error {
+	n.mu.Lock()
+	if n.elect.Role() != election.Directory {
+		n.mu.Unlock()
+		return ErrNotDirectory
+	}
+	n.mu.Unlock()
+
+	docs := n.backend.Snapshot()
+	for name, doc := range docs {
+		id := n.allocID()
+		if err := n.ep.Send(successor, RegisterRequest{ID: id, Doc: doc}); err != nil {
+			return fmt.Errorf("discovery: handover of %q: %w", name, err)
+		}
+		n.backend.Deregister(name)
+	}
+
+	n.mu.Lock()
+	actions := n.elect.Demote(time.Now())
+	n.peers = make(map[simnet.NodeID]*peerState)
+	n.leases = make(map[string]time.Time)
+	n.mu.Unlock()
+	n.rebuildFilter()
+	n.runElectionActions(actions)
+	return nil
+}
+
+// Deregister withdraws a previously published service from this node's
+// directory and stops refreshing its lease.
+func (n *Node) Deregister(ctx context.Context, service string) error {
+	n.mu.Lock()
+	dir, ok := n.directoryLocked()
+	if !ok {
+		n.mu.Unlock()
+		return ErrNoDirectory
+	}
+	delete(n.published, service)
+	n.nextID++
+	id := n.nextID
+	ch := make(chan RegisterReply, 1)
+	n.regWait[id] = ch
+	n.mu.Unlock()
+
+	if err := n.ep.Send(dir, DeregisterRequest{ID: id, Service: service}); err != nil {
+		n.mu.Lock()
+		delete(n.regWait, id)
+		n.mu.Unlock()
+		return err
+	}
+	select {
+	case rep := <-ch:
+		if rep.Err != "" {
+			return fmt.Errorf("discovery: deregister rejected: %s", rep.Err)
+		}
+		return nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.regWait, id)
+		n.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Discover resolves a request document through this node's directory and
+// returns the hits (best first for semantic backends).
+func (n *Node) Discover(ctx context.Context, doc []byte) ([]Hit, error) {
+	n.mu.Lock()
+	dir, ok := n.directoryLocked()
+	if !ok {
+		n.mu.Unlock()
+		return nil, ErrNoDirectory
+	}
+	n.nextID++
+	id := n.nextID
+	ch := make(chan QueryReply, 1)
+	n.queryWait[id] = ch
+	n.mu.Unlock()
+
+	if err := n.ep.Send(dir, QueryRequest{ID: id, Origin: n.ID(), Doc: doc}); err != nil {
+		n.mu.Lock()
+		delete(n.queryWait, id)
+		n.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case rep := <-ch:
+		if rep.Err != "" {
+			return nil, fmt.Errorf("discovery: query failed: %s", rep.Err)
+		}
+		return rep.Hits, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.queryWait, id)
+		n.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

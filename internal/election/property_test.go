@@ -1,0 +1,139 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sariadne/internal/simnet"
+)
+
+// TestPropertyMachineRobust feeds random interleavings of protocol
+// messages and clock ticks into a machine and checks structural
+// invariants: the role is always valid, a Directory role always reports
+// itself as its directory, actions reference real payload types, and no
+// input sequence panics or wedges the machine.
+func TestPropertyMachineRobust(t *testing.T) {
+	peers := []simnet.NodeID{"p1", "p2", "p3", "self"}
+	prop := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			AdvertiseInterval: 20 * time.Millisecond,
+			AdvertiseTTL:      2,
+			ElectionTimeout:   60 * time.Millisecond,
+			CandidacyWait:     20 * time.Millisecond,
+			Score: func() Score {
+				return Score{Coverage: rng.Intn(5), Resources: rng.Float64(), Willing: rng.Intn(4) > 0}
+			},
+		}
+		now := time.Unix(0, 0)
+		m := NewMachine("self", cfg, now)
+		if rng.Intn(2) == 0 {
+			m.BecomeDirectory(now)
+		}
+		for i := 0; i < int(steps); i++ {
+			now = now.Add(time.Duration(rng.Intn(30)) * time.Millisecond)
+			var actions []any
+			switch rng.Intn(6) {
+			case 0:
+				actions = m.Tick(now)
+			case 1:
+				actions = m.HandleMessage(peers[rng.Intn(len(peers))],
+					Advertisement{Directory: peers[rng.Intn(len(peers))]}, now)
+			case 2:
+				actions = m.HandleMessage(peers[rng.Intn(len(peers))],
+					Call{Initiator: peers[rng.Intn(len(peers))], Election: uint64(rng.Intn(4))}, now)
+			case 3:
+				actions = m.HandleMessage(peers[rng.Intn(len(peers))],
+					Candidacy{
+						Initiator: peers[rng.Intn(len(peers))],
+						Election:  uint64(rng.Intn(4)),
+						Candidate: peers[rng.Intn(len(peers))],
+						Score:     Score{Coverage: rng.Intn(9), Resources: rng.Float64(), Willing: true},
+					}, now)
+			case 4:
+				actions = m.HandleMessage(peers[rng.Intn(len(peers))],
+					Appointment{
+						Initiator: peers[rng.Intn(len(peers))],
+						Election:  uint64(rng.Intn(4)),
+						Winner:    peers[rng.Intn(len(peers))],
+					}, now)
+			case 5:
+				actions = m.HandleMessage(peers[rng.Intn(len(peers))], "not-an-election-message", now)
+			}
+			// Invariants after every step.
+			switch m.Role() {
+			case Member, Initiator, Directory:
+			default:
+				t.Logf("seed=%d step=%d: invalid role %v", seed, i, m.Role())
+				return false
+			}
+			if m.Role() == Directory {
+				if dir, ok := m.Directory(); !ok || dir != "self" {
+					t.Logf("seed=%d step=%d: directory role but Directory()=%q,%v", seed, i, dir, ok)
+					return false
+				}
+			}
+			for _, a := range actions {
+				switch act := a.(type) {
+				case SendAction:
+					if act.To == "" || act.Payload == nil {
+						return false
+					}
+				case BroadcastAction:
+					if act.TTL <= 0 || act.Payload == nil {
+						return false
+					}
+				case RoleChange:
+					if act.Role < Member || act.Role > Directory {
+						return false
+					}
+				default:
+					t.Logf("seed=%d step=%d: unknown action %T", seed, i, a)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEventualDirectory: from any scrambled starting state, if the
+// machine then runs alone (no competing messages), it elects itself within
+// a bounded number of ticks — the self-healing core of the paper's
+// on-the-fly deployment.
+func TestPropertyEventualDirectory(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			AdvertiseInterval: 10 * time.Millisecond,
+			AdvertiseTTL:      2,
+			ElectionTimeout:   30 * time.Millisecond,
+			CandidacyWait:     10 * time.Millisecond,
+		}
+		now := time.Unix(0, 0)
+		m := NewMachine("self", cfg, now)
+		// Scramble with a few random messages.
+		for i := 0; i < rng.Intn(10); i++ {
+			m.HandleMessage("px", Advertisement{Directory: "px"}, now)
+			m.HandleMessage("py", Call{Initiator: "py", Election: uint64(i)}, now)
+			now = now.Add(time.Duration(rng.Intn(10)) * time.Millisecond)
+		}
+		// Then silence: tick forward; must become Directory eventually.
+		for i := 0; i < 100; i++ {
+			now = now.Add(10 * time.Millisecond)
+			m.Tick(now)
+			if m.Role() == Directory {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

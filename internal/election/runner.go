@@ -1,0 +1,149 @@
+package election
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sariadne/internal/simnet"
+)
+
+// Runner drives a Machine over a simnet endpoint with a real clock: it
+// consumes the endpoint's inbox, fires ticks, and executes the machine's
+// actions. Runner is used by the standalone election examples and tests;
+// the discovery package embeds Machine directly in its own loop so a node
+// has a single inbox consumer.
+type Runner struct {
+	ep *simnet.Endpoint
+	m  *Machine
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	done   chan struct{}
+	roleCh chan Role
+}
+
+// NewRunner wraps a machine around an endpoint.
+func NewRunner(ep *simnet.Endpoint, cfg Config) *Runner {
+	return &Runner{
+		ep:     ep,
+		m:      NewMachine(ep.ID(), cfg, time.Now()),
+		roleCh: make(chan Role, 16),
+	}
+}
+
+// Start launches the protocol loop. It returns immediately; Stop shuts the
+// loop down and waits for it to exit.
+func (r *Runner) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	r.mu.Lock()
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	r.mu.Unlock()
+
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.tickInterval())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case msg, ok := <-r.ep.Inbox():
+				if !ok {
+					return
+				}
+				r.step(func(now time.Time) []any {
+					return r.m.HandleMessage(msg.From, msg.Payload, now)
+				})
+			case <-ticker.C:
+				r.step(func(now time.Time) []any {
+					return r.m.Tick(now)
+				})
+			}
+		}
+	}()
+}
+
+// tickInterval picks a resolution fine enough for the configured timers.
+func (r *Runner) tickInterval() time.Duration {
+	cfg := r.m.cfg
+	min := cfg.AdvertiseInterval
+	if cfg.CandidacyWait < min {
+		min = cfg.CandidacyWait
+	}
+	if min > 50*time.Millisecond {
+		return min / 4
+	}
+	if min <= 4 {
+		return time.Millisecond
+	}
+	return min / 4
+}
+
+// step runs one machine transition under the lock and executes actions.
+func (r *Runner) step(f func(now time.Time) []any) {
+	r.mu.Lock()
+	actions := f(time.Now())
+	r.mu.Unlock()
+	r.execute(actions)
+}
+
+// execute performs transport actions and surfaces role changes.
+func (r *Runner) execute(actions []any) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case SendAction:
+			// Losses and routing failures are protocol-survivable: the
+			// timeout machinery recovers, so errors are intentionally not
+			// fatal here.
+			_ = r.ep.Send(act.To, act.Payload)
+		case BroadcastAction:
+			_, _ = r.ep.Broadcast(act.TTL, act.Payload)
+		case RoleChange:
+			select {
+			case r.roleCh <- act.Role:
+			default:
+			}
+		}
+	}
+}
+
+// Stop cancels the loop and waits for it to exit.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	cancel, done := r.cancel, r.done
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// BecomeDirectory promotes this node immediately (static deployment).
+func (r *Runner) BecomeDirectory() {
+	r.mu.Lock()
+	actions := r.m.BecomeDirectory(time.Now())
+	r.mu.Unlock()
+	r.execute(actions)
+}
+
+// Role returns the node's current role.
+func (r *Runner) Role() Role {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m.Role()
+}
+
+// Directory returns the directory the node currently uses.
+func (r *Runner) Directory() (simnet.NodeID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m.Directory()
+}
+
+// RoleChanges exposes role transitions for tests and observers; the
+// channel drops when not drained.
+func (r *Runner) RoleChanges() <-chan Role { return r.roleCh }

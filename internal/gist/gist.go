@@ -1,0 +1,562 @@
+// Package gist implements a simplified GiST-style spatial index over
+// numerically encoded capability descriptions, after the directory design
+// of Constantinescu & Faltings discussed in Section 3.1 of the paper:
+// each capability maps to a rectangle in code space (input dimension ×
+// output dimension) stored in an R-tree, so a query prunes by rectangle
+// geometry before any exact semantic match runs.
+//
+// The package serves as the ablation backend DESIGN.md calls for: the
+// same workloads can be run against the paper's capability-DAG directory
+// (package registry), this rectangle index, and a flat scan, reproducing
+// the qualitative result of [3] — queries in the order of fractions of a
+// millisecond, insertions notably heavier than searches as the tree
+// splits.
+package gist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/match"
+	"sariadne/internal/profile"
+	"sariadne/internal/registry"
+)
+
+// Rect is an axis-aligned rectangle in code space: X bounds the capability
+// input codes, Y the output codes.
+type Rect struct {
+	XLo, XHi float64
+	YLo, YHi float64
+}
+
+// fullRange marks a wildcard dimension (capability with no inputs or no
+// outputs).
+var fullRange = [2]float64{math.Inf(-1), math.Inf(1)}
+
+// union grows r to cover other.
+func (r Rect) union(other Rect) Rect {
+	return Rect{
+		XLo: math.Min(r.XLo, other.XLo), XHi: math.Max(r.XHi, other.XHi),
+		YLo: math.Min(r.YLo, other.YLo), YHi: math.Max(r.YHi, other.YHi),
+	}
+}
+
+// area returns the rectangle's area, with infinite dimensions clamped so
+// the split heuristics stay finite.
+func (r Rect) area() float64 {
+	w := clampSpan(r.XHi - r.XLo)
+	h := clampSpan(r.YHi - r.YLo)
+	return w * h
+}
+
+func clampSpan(s float64) float64 {
+	const cap = 1e9
+	if math.IsInf(s, 1) || s > cap {
+		return cap
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Query is the geometric pre-filter derived from a request capability:
+// a stored rectangle qualifies when its X range contains at least one
+// offered input point and its Y range covers the whole expected output
+// span. Both conditions are necessary for the semantic Match relation, so
+// pruning by them never drops a true match.
+type Query struct {
+	// InPoints are the request's offered input code points; empty means no
+	// input constraint.
+	InPoints []float64
+	// OutLo/OutHi bound the request's expected output code points; a
+	// request with no outputs sets Unbounded.
+	OutLo, OutHi float64
+	Unbounded    bool
+}
+
+func (q Query) matchesRect(r Rect) bool {
+	if len(q.InPoints) > 0 && !(r.XLo == fullRange[0] && r.XHi == fullRange[1]) {
+		any := false
+		for _, p := range q.InPoints {
+			if r.XLo <= p && p <= r.XHi {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	if !q.Unbounded {
+		if !(r.YLo <= q.OutLo && q.OutHi <= r.YHi) {
+			return false
+		}
+	}
+	return true
+}
+
+// couldMatchMBR is the node-level pruning test: a child rectangle inside
+// this MBR can only satisfy the query if the MBR does.
+func (q Query) couldMatchMBR(r Rect) bool { return q.matchesRect(r) }
+
+// entry is a stored rectangle with its advertisement.
+type entry struct {
+	rect Rect
+	val  *registry.Entry
+}
+
+// node is an R-tree node.
+type node struct {
+	mbr      Rect
+	leaf     bool
+	entries  []entry // when leaf
+	children []*node // when internal
+}
+
+// Tree is an in-memory R-tree with quadratic split. Not safe for
+// concurrent mutation; Directory adds locking.
+type Tree struct {
+	root       *node
+	maxEntries int
+	size       int
+}
+
+// NewTree returns an empty tree with the given node capacity (minimum 4).
+func NewTree(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{root: &node{leaf: true}, maxEntries: maxEntries}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a rectangle.
+func (t *Tree) Insert(r Rect, val *registry.Entry) {
+	t.size++
+	path := t.choosePath(r)
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries, entry{rect: r, val: val})
+	// Every node on the descent path must cover the new rectangle, or
+	// Search would prune the branch that now holds it.
+	for _, n := range path {
+		if len(n.entries) == 1 && n.leaf && len(path) == 1 && t.size == 1 {
+			n.mbr = r // very first entry: no previous MBR to union with
+			continue
+		}
+		n.mbr = n.mbr.union(r)
+	}
+	if t.size == 1 {
+		leaf.mbr = r
+	}
+	if len(leaf.entries) > t.maxEntries {
+		t.splitAndPropagate(leaf)
+	}
+}
+
+// choosePath descends to the leaf whose MBR needs least enlargement,
+// recording the nodes visited (root first, leaf last).
+func (t *Tree) choosePath(r Rect) []*node {
+	n := t.root
+	path := []*node{n}
+	for !n.leaf {
+		best := n.children[0]
+		bestGrowth := math.Inf(1)
+		for _, c := range n.children {
+			growth := c.mbr.union(r).area() - c.mbr.area()
+			if growth < bestGrowth || (growth == bestGrowth && c.mbr.area() < best.mbr.area()) {
+				best, bestGrowth = c, growth
+			}
+		}
+		n = best
+		path = append(path, n)
+	}
+	return path
+}
+
+// splitAndPropagate rebuilds the tree bottom-up after an overflow. For
+// simplicity and robustness the overflown node splits quadratically and,
+// when the root overflows, a new root is grown.
+func (t *Tree) splitAndPropagate(n *node) {
+	// Find the parent chain by searching from the root (trees are small in
+	// the directory sizes of the evaluation; clarity over pointer
+	// bookkeeping).
+	parent := t.findParent(t.root, n)
+	a, b := t.splitNode(n)
+	if parent == nil {
+		t.root = &node{
+			leaf:     false,
+			children: []*node{a, b},
+		}
+		t.root.mbr = a.mbr.union(b.mbr)
+		return
+	}
+	// Replace n with a and b in the parent.
+	kept := parent.children[:0]
+	for _, c := range parent.children {
+		if c != n {
+			kept = append(kept, c)
+		}
+	}
+	parent.children = append(kept, a, b)
+	parent.mbr = recomputeMBR(parent)
+	if len(parent.children) > t.maxEntries {
+		t.splitAndPropagate(parent)
+	} else {
+		t.recomputeUp(t.root)
+	}
+}
+
+func (t *Tree) findParent(cur, target *node) *node {
+	if cur.leaf {
+		return nil
+	}
+	for _, c := range cur.children {
+		if c == target {
+			return cur
+		}
+		if p := t.findParent(c, target); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func (t *Tree) recomputeUp(n *node) Rect {
+	if n.leaf {
+		n.mbr = recomputeMBR(n)
+		return n.mbr
+	}
+	first := true
+	for _, c := range n.children {
+		r := t.recomputeUp(c)
+		if first {
+			n.mbr = r
+			first = false
+		} else {
+			n.mbr = n.mbr.union(r)
+		}
+	}
+	return n.mbr
+}
+
+// splitNode performs a quadratic split of an overflown node.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	if n.leaf {
+		groups := quadraticSplit(len(n.entries), func(i int) Rect { return n.entries[i].rect })
+		a := &node{leaf: true}
+		b := &node{leaf: true}
+		for _, i := range groups[0] {
+			a.entries = append(a.entries, n.entries[i])
+		}
+		for _, i := range groups[1] {
+			b.entries = append(b.entries, n.entries[i])
+		}
+		a.mbr = recomputeMBR(a)
+		b.mbr = recomputeMBR(b)
+		return a, b
+	}
+	groups := quadraticSplit(len(n.children), func(i int) Rect { return n.children[i].mbr })
+	a := &node{leaf: false}
+	b := &node{leaf: false}
+	for _, i := range groups[0] {
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range groups[1] {
+		b.children = append(b.children, n.children[i])
+	}
+	a.mbr = recomputeMBR(a)
+	b.mbr = recomputeMBR(b)
+	return a, b
+}
+
+// quadraticSplit picks the two rectangles wasting the most area together
+// as seeds and assigns the rest by least enlargement.
+func quadraticSplit(n int, rect func(int) Rect) [2][]int {
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			waste := rect(i).union(rect(j)).area() - rect(i).area() - rect(j).area()
+			if waste > worst {
+				worst = waste
+				seedA, seedB = i, j
+			}
+		}
+	}
+	var groups [2][]int
+	groups[0] = append(groups[0], seedA)
+	groups[1] = append(groups[1], seedB)
+	mbrA, mbrB := rect(seedA), rect(seedB)
+	minFill := n / 3
+	for i := 0; i < n; i++ {
+		if i == seedA || i == seedB {
+			continue
+		}
+		remaining := n - i - 1
+		// Force balance when one group risks starving.
+		switch {
+		case len(groups[0])+remaining < minFill:
+			groups[0] = append(groups[0], i)
+			mbrA = mbrA.union(rect(i))
+			continue
+		case len(groups[1])+remaining < minFill:
+			groups[1] = append(groups[1], i)
+			mbrB = mbrB.union(rect(i))
+			continue
+		}
+		growA := mbrA.union(rect(i)).area() - mbrA.area()
+		growB := mbrB.union(rect(i)).area() - mbrB.area()
+		if growA < growB || (growA == growB && len(groups[0]) <= len(groups[1])) {
+			groups[0] = append(groups[0], i)
+			mbrA = mbrA.union(rect(i))
+		} else {
+			groups[1] = append(groups[1], i)
+			mbrB = mbrB.union(rect(i))
+		}
+	}
+	return groups
+}
+
+func recomputeMBR(n *node) Rect {
+	var out Rect
+	first := true
+	if n.leaf {
+		for _, e := range n.entries {
+			if first {
+				out = e.rect
+				first = false
+			} else {
+				out = out.union(e.rect)
+			}
+		}
+	} else {
+		for _, c := range n.children {
+			if first {
+				out = c.mbr
+				first = false
+			} else {
+				out = out.union(c.mbr)
+			}
+		}
+	}
+	return out
+}
+
+// Search visits every stored entry whose rectangle satisfies the query,
+// pruning whole subtrees by MBR.
+func (t *Tree) Search(q Query, visit func(*registry.Entry)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if t.size == 0 {
+			return
+		}
+		if !q.couldMatchMBR(n.mbr) {
+			return
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if q.matchesRect(e.rect) {
+					visit(e.val)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+}
+
+// Depth returns the tree height (diagnostics).
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// Directory is a capability directory backed by the rectangle index: the
+// geometric filter selects candidates, then the exact encoded Match
+// relation scores them. It answers the same queries as registry.Directory
+// and is safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	tree    *Tree
+	reg     *codes.Registry
+	matcher *match.CodeMatcher
+	byName  map[string][]*registry.Entry
+}
+
+// NewDirectory builds a directory over encoded code tables.
+func NewDirectory(reg *codes.Registry) *Directory {
+	return &Directory{
+		tree:    NewTree(8),
+		reg:     reg,
+		matcher: match.NewCodeMatcher(reg),
+		byName:  make(map[string][]*registry.Entry),
+	}
+}
+
+// rectFor computes a capability's rectangle. The provider side must bound
+// everything its concepts SUBSUME, and with DAG hierarchies a concept's
+// descendants can lie outside its primary interval (they are reached via
+// the additional Covers intervals) — so provider bounds span the full
+// cover set of each input/output concept.
+func (d *Directory) rectFor(c *profile.Capability) (Rect, error) {
+	r := Rect{XLo: fullRange[0], XHi: fullRange[1], YLo: fullRange[0], YHi: fullRange[1]}
+	first := true
+	for _, ref := range c.Inputs {
+		lo, hi, err := d.coverSpan(ref.Ontology, ref.Name)
+		if err != nil {
+			return Rect{}, err
+		}
+		if first {
+			r.XLo, r.XHi = lo, hi
+			first = false
+		} else {
+			r.XLo = math.Min(r.XLo, lo)
+			r.XHi = math.Max(r.XHi, hi)
+		}
+	}
+	first = true
+	for _, ref := range c.Outputs {
+		lo, hi, err := d.coverSpan(ref.Ontology, ref.Name)
+		if err != nil {
+			return Rect{}, err
+		}
+		if first {
+			r.YLo, r.YHi = lo, hi
+			first = false
+		} else {
+			r.YLo = math.Min(r.YLo, lo)
+			r.YHi = math.Max(r.YHi, hi)
+		}
+	}
+	return r, nil
+}
+
+// interval returns a concept's primary interval (the request side: a
+// request concept is the subsumed one, located by its own primary).
+func (d *Directory) interval(uri, name string) (codes.Interval, error) {
+	code, err := d.code(uri, name)
+	if err != nil {
+		return codes.Interval{}, err
+	}
+	return code.Primary, nil
+}
+
+// coverSpan returns the bounding span of a concept's full cover set.
+func (d *Directory) coverSpan(uri, name string) (lo, hi float64, err error) {
+	code, err := d.code(uri, name)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = code.Primary.Lo, code.Primary.Hi
+	for _, iv := range code.Covers {
+		lo = math.Min(lo, iv.Lo)
+		hi = math.Max(hi, iv.Hi)
+	}
+	return lo, hi, nil
+}
+
+func (d *Directory) code(uri, name string) (codes.Code, error) {
+	t, ok := d.reg.Resolve(uri)
+	if !ok {
+		return codes.Code{}, fmt.Errorf("gist: no code table for %q", uri)
+	}
+	c, ok := t.Code(name)
+	if !ok {
+		return codes.Code{}, fmt.Errorf("gist: unknown concept %s#%s", uri, name)
+	}
+	return c, nil
+}
+
+// Register stores every provided capability of the service.
+func (d *Directory) Register(s *profile.Service) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range s.Provided {
+		e := &registry.Entry{Capability: c.Clone(), Service: s.Name, Provider: s.Provider}
+		r, err := d.rectFor(c)
+		if err != nil {
+			return err
+		}
+		d.tree.Insert(r, e)
+		d.byName[s.Name] = append(d.byName[s.Name], e)
+	}
+	return nil
+}
+
+// Query returns matching advertisements sorted by semantic distance.
+func (d *Directory) Query(req *profile.Capability) []registry.Result {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	q := Query{Unbounded: len(req.Outputs) == 0}
+	for _, ref := range req.Inputs {
+		if iv, err := d.interval(ref.Ontology, ref.Name); err == nil {
+			q.InPoints = append(q.InPoints, iv.Lo)
+		}
+	}
+	first := true
+	for _, ref := range req.Outputs {
+		iv, err := d.interval(ref.Ontology, ref.Name)
+		if err != nil {
+			// Unknown output concept: nothing can subsume it.
+			return nil
+		}
+		if first {
+			q.OutLo, q.OutHi = iv.Lo, iv.Hi
+			first = false
+		} else {
+			q.OutLo = math.Min(q.OutLo, iv.Lo)
+			q.OutHi = math.Max(q.OutHi, iv.Hi)
+		}
+	}
+
+	var results []registry.Result
+	d.tree.Search(q, func(e *registry.Entry) {
+		if dist, ok := match.SemanticDistance(d.matcher, e.Capability, req); ok {
+			if !profile.QoSSatisfies(e.Capability, req) {
+				return
+			}
+			results = append(results, registry.Result{Entry: e, Distance: dist})
+		}
+	})
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Distance != results[j].Distance {
+			return results[i].Distance < results[j].Distance
+		}
+		if results[i].Entry.Service != results[j].Entry.Service {
+			return results[i].Entry.Service < results[j].Entry.Service
+		}
+		return results[i].Entry.Capability.Name < results[j].Entry.Capability.Name
+	})
+	return results
+}
+
+// Len returns the number of stored capabilities.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tree.Len()
+}
+
+// Depth exposes the tree height for diagnostics.
+func (d *Directory) Depth() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tree.Depth()
+}

@@ -1,0 +1,213 @@
+package gist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/match"
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+	"sariadne/internal/registry"
+)
+
+func fixtureRegistry(t testing.TB) *codes.Registry {
+	t.Helper()
+	reg := codes.NewRegistry()
+	for _, o := range []*ontology.Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		reg.Register(codes.MustEncode(ontology.MustClassify(o), codes.DefaultParams))
+	}
+	return reg
+}
+
+func mediaRef(name string) ontology.Ref {
+	return ontology.Ref{Ontology: profile.MediaOntologyURI, Name: name}
+}
+
+func serversRef(name string) ontology.Ref {
+	return ontology.Ref{Ontology: profile.ServersOntologyURI, Name: name}
+}
+
+func capability(name, category, input, output string) *profile.Capability {
+	c := &profile.Capability{Name: name, Category: serversRef(category)}
+	if input != "" {
+		c.Inputs = []ontology.Ref{mediaRef(input)}
+	}
+	if output != "" {
+		c.Outputs = []ontology.Ref{mediaRef(output)}
+	}
+	return c
+}
+
+func service(name string, caps ...*profile.Capability) *profile.Service {
+	return &profile.Service{Name: name, Provider: name + "-host", Provided: caps}
+}
+
+func TestTreeInsertSearch(t *testing.T) {
+	tree := NewTree(4)
+	if tree.Len() != 0 || tree.Depth() != 1 {
+		t.Fatal("fresh tree wrong")
+	}
+	// Insert 100 unit rectangles on a diagonal; splits must occur.
+	for i := 0; i < 100; i++ {
+		f := float64(i)
+		tree.Insert(Rect{XLo: f, XHi: f + 10, YLo: f, YHi: f + 10},
+			&registry.Entry{Service: fmt.Sprintf("s%d", i)})
+	}
+	if tree.Len() != 100 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("Depth = %d, want splits to have occurred", tree.Depth())
+	}
+	// Query: rect must contain point 55 in X and cover [50, 52] in Y.
+	var got []string
+	tree.Search(Query{InPoints: []float64{55}, OutLo: 50, OutHi: 52}, func(e *registry.Entry) {
+		got = append(got, e.Service)
+	})
+	// Candidates: rects [i, i+10] containing x=55 → i in 45..55; and Y
+	// covering [50,52] → i in 42..50. Intersection: 45..50.
+	want := map[string]bool{}
+	for i := 45; i <= 50; i++ {
+		want[fmt.Sprintf("s%d", i)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected %s in %v", s, got)
+		}
+	}
+}
+
+func TestTreeSearchEmpty(t *testing.T) {
+	tree := NewTree(4)
+	called := false
+	tree.Search(Query{Unbounded: true}, func(*registry.Entry) { called = true })
+	if called {
+		t.Fatal("visited entries in an empty tree")
+	}
+}
+
+func TestDirectoryFigure1(t *testing.T) {
+	d := NewDirectory(fixtureRegistry(t))
+	if err := d.Register(profile.WorkstationService()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	req := profile.PDAService().Required[0]
+	results := d.Query(req)
+	if len(results) != 1 || results[0].Entry.Capability.Name != "SendDigitalStream" || results[0].Distance != 3 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestDirectoryRejectsUnknownConcepts(t *testing.T) {
+	d := NewDirectory(fixtureRegistry(t))
+	bad := service("s", &profile.Capability{
+		Name:     "C",
+		Category: serversRef("VideoServer"),
+		Inputs:   []ontology.Ref{{Ontology: "http://unknown.example", Name: "X"}},
+	})
+	if err := d.Register(bad); err == nil {
+		t.Fatal("registered capability over unknown ontology")
+	}
+	if err := d.Register(&profile.Service{}); err == nil {
+		t.Fatal("registered invalid service")
+	}
+}
+
+func TestDirectoryUnknownRequestOutput(t *testing.T) {
+	d := NewDirectory(fixtureRegistry(t))
+	if err := d.Register(profile.WorkstationService()); err != nil {
+		t.Fatal(err)
+	}
+	req := profile.PDAService().Required[0].Clone()
+	req.Outputs = []ontology.Ref{{Ontology: "http://unknown.example", Name: "X"}}
+	if results := d.Query(req); len(results) != 0 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+// TestPropertyGistAgreesWithDAGDirectory: the rectangle-filtered directory
+// returns exactly the same matches as the paper's DAG directory on random
+// workloads — i.e., the geometric filter is sound and the exact match
+// identical.
+func TestPropertyGistAgreesWithDAGDirectory(t *testing.T) {
+	categories := []string{"Server", "DigitalServer", "StreamingServer", "VideoServer", "SoundServer", "GameServer"}
+	inputs := []string{"Resource", "DigitalResource", "VideoResource", "SoundResource", "GameResource", "Movie", ""}
+	outputs := []string{"Stream", "VideoStream", "AudioStream", ""}
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg := fixtureRegistry(t)
+		dag := registry.NewDirectory(match.NewCodeMatcher(reg))
+		gist := NewDirectory(reg)
+		n := rng.Intn(20) + 1
+		for i := 0; i < n; i++ {
+			c := capability(
+				fmt.Sprintf("C%d", i),
+				categories[rng.Intn(len(categories))],
+				inputs[rng.Intn(len(inputs))],
+				outputs[rng.Intn(len(outputs))],
+			)
+			s := service(fmt.Sprintf("s%d", i), c)
+			if err := dag.Register(s); err != nil {
+				return false
+			}
+			if err := gist.Register(s); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			req := capability("Req",
+				categories[rng.Intn(len(categories))],
+				inputs[rng.Intn(len(inputs))],
+				outputs[rng.Intn(len(outputs))],
+			)
+			a := dag.Query(req)
+			b := gist.Query(req)
+			if len(a) != len(b) {
+				t.Logf("seed %d: dag %d vs gist %d results", seed, len(a), len(b))
+				return false
+			}
+			for i := range a {
+				if a[i].Entry.Capability.Name != b[i].Entry.Capability.Name || a[i].Distance != b[i].Distance {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeManyInsertsStayBalanced(t *testing.T) {
+	tree := NewTree(8)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 1000
+		y := rng.Float64() * 1000
+		tree.Insert(Rect{XLo: x, XHi: x + rng.Float64()*20, YLo: y, YHi: y + rng.Float64()*20},
+			&registry.Entry{Service: fmt.Sprintf("s%d", i)})
+	}
+	if tree.Len() != 2000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if d := tree.Depth(); d < 3 || d > 12 {
+		t.Fatalf("Depth = %d, suspicious balance", d)
+	}
+	// Spot check: everything is reachable.
+	count := 0
+	tree.Search(Query{Unbounded: true}, func(*registry.Entry) { count++ })
+	if count != 2000 {
+		t.Fatalf("full scan visited %d, want 2000", count)
+	}
+}

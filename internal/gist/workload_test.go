@@ -1,0 +1,51 @@
+package gist
+
+import (
+	"testing"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/gen"
+	"sariadne/internal/match"
+	"sariadne/internal/registry"
+)
+
+// TestGistAgreesOnEvaluationWorkload is the regression test for the DAG
+// cover-span bug: on the full evaluation workload (22 ontologies with
+// extra-parent DAG edges, 5 inputs / 3 outputs per capability), the
+// rectangle-filtered directory must return exactly what the DAG directory
+// returns for every derived request. The original rectangle bounds used
+// primary intervals only and silently dropped matches reached through
+// non-tree Covers intervals.
+func TestGistAgreesOnEvaluationWorkload(t *testing.T) {
+	w := gen.MustNewWorkload(gen.WorkloadConfig{
+		Ontologies: 22, Services: 100,
+		InputsPerCapability: 5, OutputsPerCapability: 3, Seed: 42,
+	})
+	reg, err := w.Registry(codes.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dag := registry.NewDirectory(match.NewCodeMatcher(reg))
+	g := NewDirectory(reg)
+	for _, svc := range w.Services {
+		if err := dag.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		req := w.Request(i, 1)
+		a := dag.Query(req)
+		b := g.Query(req)
+		if len(a) != len(b) {
+			t.Fatalf("request %d: dag=%d gist=%d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Entry.Capability.Name != b[j].Entry.Capability.Name || a[j].Distance != b[j].Distance {
+				t.Fatalf("request %d result %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}

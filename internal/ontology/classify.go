@@ -1,0 +1,431 @@
+package ontology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Classified is the result of classifying an ontology: an explicit
+// subsumption hierarchy over equivalence classes of named classes.
+//
+// Classification is the paper's step 2 ("loading and classifying the
+// ontologies using a semantic reasoner", Section 2.4). A Classified value
+// answers subsumption and level-distance queries directly; package codes
+// turns it into an interval-encoded table so those queries become numeric
+// comparisons at discovery time.
+type Classified struct {
+	uri     string
+	version string
+
+	// names maps every declared class name to its canonical index.
+	names map[string]int
+	// canon[i] is the sorted list of class names in equivalence class i.
+	canon [][]string
+	// parents[i] lists direct superclass indices (transitive reduction).
+	parents [][]int
+	// children[i] lists direct subclass indices (transitive reduction).
+	children [][]int
+	// ancestors[i] maps each strict-ancestor index to its minimum hop
+	// distance (number of hierarchy levels) from i.
+	ancestors []map[int]int
+	// depth[i] is the minimum number of subclass edges from a root to i.
+	depth []int
+	// roots lists indices with no parents.
+	roots []int
+}
+
+// Classify computes the subsumption hierarchy of o.
+//
+// Equivalence handling: classes connected by EquivalentTo axioms — or by
+// subclass cycles, which entail mutual subsumption — are collapsed into a
+// single canonical concept. Subclass axioms between members of the same
+// equivalence class are dropped; all other axioms are lifted to the
+// canonical concepts, and the transitive reduction plus transitive closure
+// (with minimum hop counts) are computed.
+//
+// Classify returns an error if the ontology fails Validate.
+func Classify(o *Ontology) (*Classified, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+
+	order := o.classOrder
+	idx := make(map[string]int, len(order))
+	for i, n := range order {
+		idx[n] = i
+	}
+
+	// Union-find over declared classes for equivalence collapsing.
+	uf := newUnionFind(len(order))
+	for _, name := range order {
+		c := o.classes[name]
+		for _, eq := range c.EquivalentTo {
+			uf.union(idx[name], idx[eq])
+		}
+	}
+
+	// Subclass cycles entail mutual subsumption: find strongly connected
+	// components of the subclass graph (quotiented by current unions) and
+	// union each component.
+	unionSubclassCycles(o, idx, uf)
+
+	// Build canonical concept list in deterministic order: smallest member
+	// declaration index first.
+	repToCanon := make(map[int]int)
+	var canonNames [][]string
+	for i := range order {
+		r := uf.find(i)
+		if _, ok := repToCanon[r]; !ok {
+			repToCanon[r] = len(canonNames)
+			canonNames = append(canonNames, nil)
+		}
+	}
+	names := make(map[string]int, len(order))
+	for i, n := range order {
+		ci := repToCanon[uf.find(i)]
+		canonNames[ci] = append(canonNames[ci], n)
+		names[n] = ci
+	}
+	for _, members := range canonNames {
+		sort.Strings(members)
+	}
+	n := len(canonNames)
+
+	// Direct-edge sets between canonical concepts (excluding self-loops).
+	direct := make([]map[int]bool, n)
+	for i := range direct {
+		direct[i] = make(map[int]bool)
+	}
+	for _, name := range order {
+		c := o.classes[name]
+		from := names[name]
+		for _, sup := range c.SubClassOf {
+			to := names[sup]
+			if to != from {
+				direct[from][to] = true // from ⊑ to: to is a parent of from
+			}
+		}
+	}
+
+	cl := &Classified{
+		uri:       o.URI,
+		version:   o.Version,
+		names:     names,
+		canon:     canonNames,
+		parents:   make([][]int, n),
+		children:  make([][]int, n),
+		ancestors: make([]map[int]int, n),
+		depth:     make([]int, n),
+	}
+
+	// Transitive closure with minimum hop counts, computed per concept by
+	// BFS over parent edges. Ontologies here are small (the paper's largest
+	// is 99 classes), so O(n·(n+e)) is comfortably fast.
+	for i := 0; i < n; i++ {
+		dist := map[int]int{}
+		frontier := []int{i}
+		hops := 0
+		seen := map[int]bool{i: true}
+		for len(frontier) > 0 {
+			hops++
+			var next []int
+			for _, u := range frontier {
+				for p := range direct[u] {
+					if !seen[p] {
+						seen[p] = true
+						dist[p] = hops
+						next = append(next, p)
+					}
+				}
+			}
+			frontier = next
+		}
+		cl.ancestors[i] = dist
+	}
+
+	// Transitive reduction: a direct edge (i -> p) is redundant when some
+	// other strict ancestor of i also has p as a strict ancestor.
+	for i := 0; i < n; i++ {
+		for p := range direct[i] {
+			redundant := false
+			for a := range cl.ancestors[i] {
+				if a == p {
+					continue
+				}
+				if _, ok := cl.ancestors[a][p]; ok {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				cl.parents[i] = append(cl.parents[i], p)
+				cl.children[p] = append(cl.children[p], i)
+			}
+		}
+		sort.Ints(cl.parents[i])
+	}
+	for i := range cl.children {
+		sort.Ints(cl.children[i])
+	}
+
+	// Roots and min-depth levels (BFS down from roots).
+	for i := 0; i < n; i++ {
+		if len(cl.parents[i]) == 0 {
+			cl.roots = append(cl.roots, i)
+		}
+		cl.depth[i] = math.MaxInt
+	}
+	frontier := append([]int(nil), cl.roots...)
+	d := 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			if cl.depth[u] <= d {
+				continue
+			}
+			cl.depth[u] = d
+			next = append(next, cl.children[u]...)
+		}
+		frontier = next
+		d++
+	}
+	return cl, nil
+}
+
+// MustClassify is Classify that panics on error; for static fixtures.
+func MustClassify(o *Ontology) *Classified {
+	cl, err := Classify(o)
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// URI returns the URI of the classified ontology.
+func (c *Classified) URI() string { return c.uri }
+
+// Version returns the ontology version the classification was derived from.
+func (c *Classified) Version() string { return c.version }
+
+// NumConcepts returns the number of canonical concepts (equivalence classes).
+func (c *Classified) NumConcepts() int { return len(c.canon) }
+
+// Concept returns the canonical index for a class name. The second result
+// is false if the name is not declared.
+func (c *Classified) Concept(name string) (int, bool) {
+	i, ok := c.names[name]
+	return i, ok
+}
+
+// Members returns the class names collapsed into canonical concept i.
+func (c *Classified) Members(i int) []string {
+	return append([]string(nil), c.canon[i]...)
+}
+
+// CanonicalName returns a deterministic representative name for concept i
+// (the lexicographically smallest member).
+func (c *Classified) CanonicalName(i int) string { return c.canon[i][0] }
+
+// Parents returns the direct superclass indices of concept i in the
+// transitive reduction.
+func (c *Classified) Parents(i int) []int {
+	return append([]int(nil), c.parents[i]...)
+}
+
+// Children returns the direct subclass indices of concept i.
+func (c *Classified) Children(i int) []int {
+	return append([]int(nil), c.children[i]...)
+}
+
+// Roots returns the indices of concepts with no superclass.
+func (c *Classified) Roots() []int { return append([]int(nil), c.roots...) }
+
+// Depth returns the minimum number of subclass edges from any root to i.
+func (c *Classified) Depth(i int) int { return c.depth[i] }
+
+// SubsumesIndex reports whether concept a subsumes concept b (a is b, or a
+// is a strict ancestor of b).
+func (c *Classified) SubsumesIndex(a, b int) bool {
+	if a == b {
+		return true
+	}
+	_, ok := c.ancestors[b][a]
+	return ok
+}
+
+// Subsumes reports whether the class named a subsumes the class named b.
+// Unknown names never subsume anything.
+func (c *Classified) Subsumes(a, b string) bool {
+	ai, ok := c.names[a]
+	if !ok {
+		return false
+	}
+	bi, ok := c.names[b]
+	if !ok {
+		return false
+	}
+	return c.SubsumesIndex(ai, bi)
+}
+
+// DistanceIndex implements the paper's d(concept1, concept2): if concept a
+// subsumes concept b it returns the number of hierarchy levels separating
+// them (minimum hop count; 0 when equivalent) and true. Otherwise it
+// returns 0 and false (the paper's NULL).
+func (c *Classified) DistanceIndex(a, b int) (int, bool) {
+	if a == b {
+		return 0, true
+	}
+	d, ok := c.ancestors[b][a]
+	return d, ok
+}
+
+// Distance is DistanceIndex over class names.
+func (c *Classified) Distance(a, b string) (int, bool) {
+	ai, ok := c.names[a]
+	if !ok {
+		return 0, false
+	}
+	bi, ok := c.names[b]
+	if !ok {
+		return 0, false
+	}
+	return c.DistanceIndex(ai, bi)
+}
+
+// AncestorsIndex returns a copy of the strict-ancestor distance map of i.
+func (c *Classified) AncestorsIndex(i int) map[int]int {
+	out := make(map[int]int, len(c.ancestors[i]))
+	for k, v := range c.ancestors[i] {
+		out[k] = v
+	}
+	return out
+}
+
+// String summarizes the hierarchy, mainly for debugging and tests.
+func (c *Classified) String() string {
+	return fmt.Sprintf("classified %s v%s: %d concepts, %d roots", c.uri, c.version, len(c.canon), len(c.roots))
+}
+
+// unionSubclassCycles unions together classes that participate in subclass
+// cycles (mutual subsumption implies equivalence). It runs Tarjan's SCC
+// algorithm iteratively over the subclass graph quotiented by the current
+// union-find state.
+func unionSubclassCycles(o *Ontology, idx map[string]int, uf *unionFind) {
+	n := len(o.classOrder)
+	adj := make([][]int, n)
+	for i, name := range o.classOrder {
+		c := o.classes[name]
+		for _, sup := range c.SubClassOf {
+			adj[uf.find(i)] = append(adj[uf.find(i)], uf.find(idx[sup]))
+		}
+	}
+
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int
+	counter := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for s := 0; s < n; s++ {
+		v0 := uf.find(s)
+		if index[v0] != unvisited {
+			continue
+		}
+		var frames []frame
+		frames = append(frames, frame{v: v0})
+		index[v0] = counter
+		low[v0] = counter
+		counter++
+		stack = append(stack, v0)
+		onStack[v0] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// finished v
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// pop component
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				for _, w := range comp[1:] {
+					uf.union(comp[0], w)
+				}
+			}
+		}
+	}
+}
+
+// unionFind is a standard disjoint-set structure with path compression and
+// union by rank.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

@@ -1,0 +1,46 @@
+package ontology
+
+import (
+	"testing"
+)
+
+// FuzzDecode hardens the ontology parser: arbitrary bytes must never
+// panic, and anything that decodes successfully must survive a
+// marshal/decode round trip with classification intact.
+func FuzzDecode(f *testing.F) {
+	seed := [][]byte{
+		[]byte(`<ontology uri="u" version="1"><class name="A"/><class name="B"><subClassOf>A</subClassOf></class></ontology>`),
+		[]byte(`<ontology uri="u"><class name="A"><equivalentTo>A</equivalentTo></class></ontology>`),
+		[]byte(`<ontology uri="u"><property name="p" domain="A"/></ontology>`),
+		[]byte(`<ontology`),
+		[]byte(``),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(o)
+		if err != nil {
+			t.Fatalf("decoded ontology fails to marshal: %v", err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("marshal output fails to decode: %v", err)
+		}
+		cl1, err := Classify(o)
+		if err != nil {
+			t.Fatalf("decoded ontology fails to classify: %v", err)
+		}
+		cl2, err := Classify(back)
+		if err != nil {
+			t.Fatalf("round-tripped ontology fails to classify: %v", err)
+		}
+		if cl1.NumConcepts() != cl2.NumConcepts() {
+			t.Fatalf("concept count changed across round trip: %d vs %d", cl1.NumConcepts(), cl2.NumConcepts())
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package ontology implements the OWL-subset ontology model that underlies
+// every semantic service description in the system: named classes related by
+// subclass and equivalence axioms, and named properties with domains and
+// ranges.
+//
+// The package covers the "load" half of the paper's expensive
+// "load and classify ontologies" phase (Section 2.4 of Ben Mokhtar et al.,
+// Middleware 2006): ontologies are parsed from a self-contained XML
+// vocabulary (see codec.go) and classified into an explicit subsumption
+// hierarchy (see classify.go). Classified hierarchies are then encoded by
+// package codes so that runtime subsumption checks reduce to numeric
+// interval comparisons.
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Common errors returned by ontology construction and lookup.
+var (
+	// ErrDuplicateClass is returned when a class name is declared twice.
+	ErrDuplicateClass = errors.New("ontology: duplicate class")
+	// ErrDuplicateProperty is returned when a property name is declared twice.
+	ErrDuplicateProperty = errors.New("ontology: duplicate property")
+	// ErrUnknownClass is returned when an axiom references an undeclared class.
+	ErrUnknownClass = errors.New("ontology: unknown class")
+	// ErrEmptyName is returned when a class or property has an empty name.
+	ErrEmptyName = errors.New("ontology: empty name")
+)
+
+// Class is a named concept. SubClassOf and EquivalentTo reference other
+// classes of the same ontology by local name.
+type Class struct {
+	// Name is the local name of the class, unique within its ontology.
+	Name string
+	// SubClassOf lists the local names of the direct superclasses.
+	SubClassOf []string
+	// EquivalentTo lists local names of classes declared equivalent to this
+	// one. Equivalence is symmetric; declaring it on either side suffices.
+	EquivalentTo []string
+	// Label is an optional human-readable label.
+	Label string
+	// Comment is optional free-form documentation.
+	Comment string
+}
+
+// Property is a named relationship between classes.
+type Property struct {
+	// Name is the local name of the property, unique within its ontology.
+	Name string
+	// Domain and Range are local class names; either may be empty when
+	// unconstrained.
+	Domain string
+	Range  string
+	// SubPropertyOf lists local names of direct super-properties.
+	SubPropertyOf []string
+}
+
+// Ontology is a set of classes and properties published under a URI.
+// The zero value is not usable; construct with New and populate with
+// AddClass/AddProperty, or parse one with Decode.
+type Ontology struct {
+	// URI identifies the ontology; concept references in service
+	// descriptions are (URI, class name) pairs.
+	URI string
+	// Version is bumped whenever the ontology evolves; encoded code tables
+	// record the version they were derived from (Section 3.2 of the paper).
+	Version string
+
+	classes    map[string]*Class
+	properties map[string]*Property
+	classOrder []string // declaration order, for deterministic iteration
+	propOrder  []string
+}
+
+// New returns an empty ontology with the given URI and version.
+func New(uri, version string) *Ontology {
+	return &Ontology{
+		URI:        uri,
+		Version:    version,
+		classes:    make(map[string]*Class),
+		properties: make(map[string]*Property),
+	}
+}
+
+// AddClass adds a class declaration. The class is copied; later mutation of
+// the argument does not affect the ontology.
+func (o *Ontology) AddClass(c Class) error {
+	if c.Name == "" {
+		return ErrEmptyName
+	}
+	if _, ok := o.classes[c.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateClass, c.Name)
+	}
+	cc := c
+	cc.SubClassOf = append([]string(nil), c.SubClassOf...)
+	cc.EquivalentTo = append([]string(nil), c.EquivalentTo...)
+	o.classes[c.Name] = &cc
+	o.classOrder = append(o.classOrder, c.Name)
+	return nil
+}
+
+// MustAddClass is AddClass that panics on error; intended for tests and
+// in-code fixture construction where the input is static.
+func (o *Ontology) MustAddClass(c Class) {
+	if err := o.AddClass(c); err != nil {
+		panic(err)
+	}
+}
+
+// AddProperty adds a property declaration. The property is copied.
+func (o *Ontology) AddProperty(p Property) error {
+	if p.Name == "" {
+		return ErrEmptyName
+	}
+	if _, ok := o.properties[p.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateProperty, p.Name)
+	}
+	pp := p
+	pp.SubPropertyOf = append([]string(nil), p.SubPropertyOf...)
+	o.properties[p.Name] = &pp
+	o.propOrder = append(o.propOrder, p.Name)
+	return nil
+}
+
+// Class returns the class with the given local name, or nil.
+func (o *Ontology) Class(name string) *Class {
+	return o.classes[name]
+}
+
+// Property returns the property with the given local name, or nil.
+func (o *Ontology) Property(name string) *Property {
+	return o.properties[name]
+}
+
+// Classes returns all class declarations in declaration order.
+func (o *Ontology) Classes() []*Class {
+	out := make([]*Class, 0, len(o.classOrder))
+	for _, n := range o.classOrder {
+		out = append(out, o.classes[n])
+	}
+	return out
+}
+
+// Properties returns all property declarations in declaration order.
+func (o *Ontology) Properties() []*Property {
+	out := make([]*Property, 0, len(o.propOrder))
+	for _, n := range o.propOrder {
+		out = append(out, o.properties[n])
+	}
+	return out
+}
+
+// NumClasses returns the number of declared classes.
+func (o *Ontology) NumClasses() int { return len(o.classes) }
+
+// NumProperties returns the number of declared properties.
+func (o *Ontology) NumProperties() int { return len(o.properties) }
+
+// Validate checks referential integrity: every class name referenced by a
+// subclass, equivalence, domain or range axiom must be declared.
+func (o *Ontology) Validate() error {
+	for _, name := range o.classOrder {
+		c := o.classes[name]
+		for _, sup := range c.SubClassOf {
+			if _, ok := o.classes[sup]; !ok {
+				return fmt.Errorf("%w: class %q has undeclared superclass %q", ErrUnknownClass, name, sup)
+			}
+		}
+		for _, eq := range c.EquivalentTo {
+			if _, ok := o.classes[eq]; !ok {
+				return fmt.Errorf("%w: class %q declared equivalent to undeclared %q", ErrUnknownClass, name, eq)
+			}
+		}
+	}
+	for _, name := range o.propOrder {
+		p := o.properties[name]
+		if p.Domain != "" {
+			if _, ok := o.classes[p.Domain]; !ok {
+				return fmt.Errorf("%w: property %q has undeclared domain %q", ErrUnknownClass, name, p.Domain)
+			}
+		}
+		if p.Range != "" {
+			if _, ok := o.classes[p.Range]; !ok {
+				return fmt.Errorf("%w: property %q has undeclared range %q", ErrUnknownClass, name, p.Range)
+			}
+		}
+		for _, sup := range p.SubPropertyOf {
+			if _, ok := o.properties[sup]; !ok {
+				return fmt.Errorf("%w: property %q has undeclared super-property %q", ErrUnknownClass, name, sup)
+			}
+		}
+	}
+	return nil
+}
+
+// Ref is a fully qualified concept reference: an ontology URI plus a local
+// class name. Service inputs, outputs and properties are Refs.
+type Ref struct {
+	Ontology string
+	Name     string
+}
+
+// String renders the reference in the conventional uri#name form.
+func (r Ref) String() string {
+	return r.Ontology + "#" + r.Name
+}
+
+// IsZero reports whether the reference is empty.
+func (r Ref) IsZero() bool { return r.Ontology == "" && r.Name == "" }
+
+// ParseRef parses a uri#name string into a Ref. The last '#' separates the
+// ontology URI from the local name.
+func ParseRef(s string) (Ref, error) {
+	i := strings.LastIndexByte(s, '#')
+	if i < 0 || i == len(s)-1 {
+		return Ref{}, fmt.Errorf("ontology: malformed concept reference %q (want uri#name)", s)
+	}
+	return Ref{Ontology: s[:i], Name: s[i+1:]}, nil
+}
+
+// SortRefs sorts a slice of Refs lexicographically (ontology, then name).
+func SortRefs(refs []Ref) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Ontology != refs[j].Ontology {
+			return refs[i].Ontology < refs[j].Ontology
+		}
+		return refs[i].Name < refs[j].Name
+	})
+}

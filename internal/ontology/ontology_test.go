@@ -1,0 +1,439 @@
+package ontology
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mediaOntology builds the ontology from Figure 1 of the paper (digital
+// resources side), used as a fixture across packages.
+func mediaOntology(t testing.TB) *Ontology {
+	t.Helper()
+	o := New("http://amigo.example/ont/media", "1")
+	for _, c := range []Class{
+		{Name: "Resource"},
+		{Name: "DigitalResource", SubClassOf: []string{"Resource"}},
+		{Name: "VideoResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "SoundResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "GameResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "Movie", SubClassOf: []string{"VideoResource"}},
+		{Name: "Film", EquivalentTo: []string{"Movie"}},
+		{Name: "Stream"},
+		{Name: "VideoStream", SubClassOf: []string{"Stream"}},
+	} {
+		if err := o.AddClass(c); err != nil {
+			t.Fatalf("AddClass(%q): %v", c.Name, err)
+		}
+	}
+	if err := o.AddProperty(Property{Name: "hasTitle", Domain: "DigitalResource"}); err != nil {
+		t.Fatalf("AddProperty: %v", err)
+	}
+	return o
+}
+
+func TestAddClassDuplicate(t *testing.T) {
+	o := New("u", "1")
+	if err := o.AddClass(Class{Name: "A"}); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	err := o.AddClass(Class{Name: "A"})
+	if !errors.Is(err, ErrDuplicateClass) {
+		t.Fatalf("got %v, want ErrDuplicateClass", err)
+	}
+}
+
+func TestAddClassEmptyName(t *testing.T) {
+	o := New("u", "1")
+	if err := o.AddClass(Class{}); !errors.Is(err, ErrEmptyName) {
+		t.Fatalf("got %v, want ErrEmptyName", err)
+	}
+	if err := o.AddProperty(Property{}); !errors.Is(err, ErrEmptyName) {
+		t.Fatalf("got %v, want ErrEmptyName", err)
+	}
+}
+
+func TestAddPropertyDuplicate(t *testing.T) {
+	o := New("u", "1")
+	if err := o.AddProperty(Property{Name: "p"}); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	if err := o.AddProperty(Property{Name: "p"}); !errors.Is(err, ErrDuplicateProperty) {
+		t.Fatalf("got %v, want ErrDuplicateProperty", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(*Ontology)
+		wantErr bool
+	}{
+		{
+			name: "valid",
+			build: func(o *Ontology) {
+				o.MustAddClass(Class{Name: "A"})
+				o.MustAddClass(Class{Name: "B", SubClassOf: []string{"A"}})
+			},
+		},
+		{
+			name: "undeclared superclass",
+			build: func(o *Ontology) {
+				o.MustAddClass(Class{Name: "B", SubClassOf: []string{"Nope"}})
+			},
+			wantErr: true,
+		},
+		{
+			name: "undeclared equivalent",
+			build: func(o *Ontology) {
+				o.MustAddClass(Class{Name: "B", EquivalentTo: []string{"Nope"}})
+			},
+			wantErr: true,
+		},
+		{
+			name: "undeclared domain",
+			build: func(o *Ontology) {
+				if err := o.AddProperty(Property{Name: "p", Domain: "Nope"}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name: "undeclared range",
+			build: func(o *Ontology) {
+				if err := o.AddProperty(Property{Name: "p", Range: "Nope"}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name: "undeclared super-property",
+			build: func(o *Ontology) {
+				if err := o.AddProperty(Property{Name: "p", SubPropertyOf: []string{"q"}}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := New("u", "1")
+			tt.build(o)
+			err := o.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+			if tt.wantErr && !errors.Is(err, ErrUnknownClass) {
+				t.Fatalf("error %v does not wrap ErrUnknownClass", err)
+			}
+		})
+	}
+}
+
+func TestClassifySubsumption(t *testing.T) {
+	cl := MustClassify(mediaOntology(t))
+
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"Resource", "Movie", true},
+		{"Resource", "Resource", true},
+		{"DigitalResource", "VideoResource", true},
+		{"VideoResource", "DigitalResource", false},
+		{"Movie", "Film", true},     // equivalent both ways
+		{"Film", "Movie", true},     //
+		{"Stream", "Movie", false},  // unrelated hierarchies
+		{"Movie", "Unknown", false}, // unknown names never subsume
+		{"Unknown", "Movie", false},
+	}
+	for _, tt := range tests {
+		if got := cl.Subsumes(tt.a, tt.b); got != tt.want {
+			t.Errorf("Subsumes(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyDistance(t *testing.T) {
+	cl := MustClassify(mediaOntology(t))
+
+	tests := []struct {
+		a, b   string
+		want   int
+		wantOK bool
+	}{
+		{"Resource", "Resource", 0, true},
+		{"Movie", "Film", 0, true},
+		{"Resource", "DigitalResource", 1, true},
+		{"Resource", "Movie", 3, true},
+		{"DigitalResource", "Movie", 2, true},
+		{"Movie", "Resource", 0, false},
+		{"Stream", "Movie", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := cl.Distance(tt.a, tt.b)
+		if got != tt.want || ok != tt.wantOK {
+			t.Errorf("Distance(%q, %q) = (%d, %v), want (%d, %v)", tt.a, tt.b, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestClassifyEquivalenceCollapse(t *testing.T) {
+	cl := MustClassify(mediaOntology(t))
+	mi, ok := cl.Concept("Movie")
+	if !ok {
+		t.Fatal("Movie not found")
+	}
+	fi, ok := cl.Concept("Film")
+	if !ok {
+		t.Fatal("Film not found")
+	}
+	if mi != fi {
+		t.Fatalf("Movie and Film have distinct canonical concepts %d, %d", mi, fi)
+	}
+	members := cl.Members(mi)
+	if len(members) != 2 || members[0] != "Film" || members[1] != "Movie" {
+		t.Fatalf("Members = %v, want [Film Movie]", members)
+	}
+	if cl.CanonicalName(mi) != "Film" {
+		t.Fatalf("CanonicalName = %q, want Film", cl.CanonicalName(mi))
+	}
+}
+
+func TestClassifySubclassCycleIsEquivalence(t *testing.T) {
+	o := New("u", "1")
+	o.MustAddClass(Class{Name: "A", SubClassOf: []string{"C"}})
+	o.MustAddClass(Class{Name: "B", SubClassOf: []string{"A"}})
+	o.MustAddClass(Class{Name: "C", SubClassOf: []string{"B"}})
+	o.MustAddClass(Class{Name: "D", SubClassOf: []string{"A"}})
+	cl := MustClassify(o)
+
+	ai, _ := cl.Concept("A")
+	bi, _ := cl.Concept("B")
+	ci, _ := cl.Concept("C")
+	if ai != bi || bi != ci {
+		t.Fatalf("cycle not collapsed: A=%d B=%d C=%d", ai, bi, ci)
+	}
+	if !cl.Subsumes("C", "D") {
+		t.Error("C should subsume D through the collapsed cycle")
+	}
+	if d, ok := cl.Distance("B", "D"); !ok || d != 1 {
+		t.Errorf("Distance(B, D) = (%d, %v), want (1, true)", d, ok)
+	}
+	if cl.NumConcepts() != 2 {
+		t.Errorf("NumConcepts = %d, want 2", cl.NumConcepts())
+	}
+}
+
+func TestClassifyMultipleInheritanceMinLevels(t *testing.T) {
+	// Diamond with unequal path lengths:
+	//   Top ← Mid ← Low ← X   and   Top ← X
+	o := New("u", "1")
+	o.MustAddClass(Class{Name: "Top"})
+	o.MustAddClass(Class{Name: "Mid", SubClassOf: []string{"Top"}})
+	o.MustAddClass(Class{Name: "Low", SubClassOf: []string{"Mid"}})
+	o.MustAddClass(Class{Name: "X", SubClassOf: []string{"Low", "Top"}})
+	cl := MustClassify(o)
+
+	// The direct X→Top edge is redundant in the transitive reduction
+	// (Top is reachable via Low), but the minimum hop distance keeps the
+	// reduction-independent value derived from the full closure.
+	if d, ok := cl.Distance("Top", "X"); !ok || d != 1 {
+		t.Errorf("Distance(Top, X) = (%d, %v), want (1, true)", d, ok)
+	}
+	if d, ok := cl.Distance("Mid", "X"); !ok || d != 2 {
+		t.Errorf("Distance(Mid, X) = (%d, %v), want (2, true)", d, ok)
+	}
+
+	xi, _ := cl.Concept("X")
+	parents := cl.Parents(xi)
+	if len(parents) != 1 {
+		t.Fatalf("Parents(X) = %v, want single parent (transitive reduction keeps Low only... or Top)", parents)
+	}
+}
+
+func TestClassifyTransitiveReduction(t *testing.T) {
+	o := New("u", "1")
+	o.MustAddClass(Class{Name: "A"})
+	o.MustAddClass(Class{Name: "B", SubClassOf: []string{"A"}})
+	o.MustAddClass(Class{Name: "C", SubClassOf: []string{"B", "A"}}) // A redundant
+	cl := MustClassify(o)
+
+	ci, _ := cl.Concept("C")
+	bi, _ := cl.Concept("B")
+	parents := cl.Parents(ci)
+	if len(parents) != 1 || parents[0] != bi {
+		t.Fatalf("Parents(C) = %v, want [%d] (B only)", parents, bi)
+	}
+}
+
+func TestClassifyRootsAndDepth(t *testing.T) {
+	cl := MustClassify(mediaOntology(t))
+	roots := cl.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("Roots = %v, want 2 roots (Resource, Stream)", roots)
+	}
+	ri, _ := cl.Concept("Resource")
+	if cl.Depth(ri) != 0 {
+		t.Errorf("Depth(Resource) = %d, want 0", cl.Depth(ri))
+	}
+	mi, _ := cl.Concept("Movie")
+	if cl.Depth(mi) != 3 {
+		t.Errorf("Depth(Movie) = %d, want 3", cl.Depth(mi))
+	}
+}
+
+func TestClassifyRejectsInvalid(t *testing.T) {
+	o := New("u", "1")
+	o.MustAddClass(Class{Name: "A", SubClassOf: []string{"Missing"}})
+	if _, err := Classify(o); err == nil {
+		t.Fatal("Classify accepted an invalid ontology")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	o := mediaOntology(t)
+	data, err := Marshal(o)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.URI != o.URI || back.Version != o.Version {
+		t.Fatalf("URI/Version mismatch: got (%q,%q), want (%q,%q)", back.URI, back.Version, o.URI, o.Version)
+	}
+	if back.NumClasses() != o.NumClasses() || back.NumProperties() != o.NumProperties() {
+		t.Fatalf("size mismatch after round trip")
+	}
+	for _, c := range o.Classes() {
+		bc := back.Class(c.Name)
+		if bc == nil {
+			t.Fatalf("class %q lost in round trip", c.Name)
+		}
+		if len(bc.SubClassOf) != len(c.SubClassOf) || len(bc.EquivalentTo) != len(c.EquivalentTo) {
+			t.Errorf("class %q axioms changed in round trip", c.Name)
+		}
+	}
+	// Classification of the round-tripped ontology must agree.
+	cl1 := MustClassify(o)
+	cl2 := MustClassify(back)
+	for _, a := range o.Classes() {
+		for _, b := range o.Classes() {
+			if cl1.Subsumes(a.Name, b.Name) != cl2.Subsumes(a.Name, b.Name) {
+				t.Fatalf("subsumption disagreement after round trip: %s vs %s", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not xml", "this is not xml"},
+		{"missing uri", `<ontology version="1"><class name="A"/></ontology>`},
+		{"duplicate class", `<ontology uri="u"><class name="A"/><class name="A"/></ontology>`},
+		{"dangling subclass", `<ontology uri="u"><class name="A"><subClassOf>B</subClassOf></class></ontology>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(tt.doc)); err == nil {
+				t.Fatal("Decode accepted invalid document")
+			}
+		})
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	o := mediaOntology(t)
+	var a, b bytes.Buffer
+	if err := Encode(&a, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Ref
+		wantErr bool
+	}{
+		{"http://x/ont#Movie", Ref{"http://x/ont", "Movie"}, false},
+		{"a#b#c", Ref{"a#b", "c"}, false},
+		{"noseparator", Ref{}, true},
+		{"trailing#", Ref{}, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseRef(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseRef(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseRef(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Ontology: "http://x/ont", Name: "Movie"}
+	if r.String() != "http://x/ont#Movie" {
+		t.Fatalf("String = %q", r.String())
+	}
+	back, err := ParseRef(r.String())
+	if err != nil || back != r {
+		t.Fatalf("round trip failed: %v %v", back, err)
+	}
+	if r.IsZero() {
+		t.Error("non-zero ref reported zero")
+	}
+	if !(Ref{}).IsZero() {
+		t.Error("zero ref not reported zero")
+	}
+}
+
+func TestSortRefs(t *testing.T) {
+	refs := []Ref{{"b", "x"}, {"a", "z"}, {"a", "a"}}
+	SortRefs(refs)
+	want := []Ref{{"a", "a"}, {"a", "z"}, {"b", "x"}}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("SortRefs = %v, want %v", refs, want)
+		}
+	}
+}
+
+func TestClassifiedAccessors(t *testing.T) {
+	cl := MustClassify(mediaOntology(t))
+	if cl.URI() != "http://amigo.example/ont/media" || cl.Version() != "1" {
+		t.Fatalf("URI/Version = %q/%q", cl.URI(), cl.Version())
+	}
+	if _, ok := cl.Concept("NoSuch"); ok {
+		t.Error("Concept found a missing name")
+	}
+	di, _ := cl.Concept("DigitalResource")
+	kids := cl.Children(di)
+	if len(kids) != 3 {
+		t.Errorf("Children(DigitalResource) = %v, want 3 children", kids)
+	}
+	anc := cl.AncestorsIndex(di)
+	if len(anc) != 1 {
+		t.Errorf("AncestorsIndex(DigitalResource) = %v, want 1 ancestor", anc)
+	}
+	if s := cl.String(); !strings.Contains(s, "concepts") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,227 @@
+package ontology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce is an independent oracle: boolean reachability closure over
+// the raw axiom edges, equivalence classes from mutual reachability, a
+// condensed graph built by direct member-to-member axioms, and BFS hop
+// counts over the condensation. It shares no code with Classify (which
+// uses Tarjan SCCs and per-concept BFS with transitive reduction).
+type bruteForce struct {
+	names []string
+	// reach[a][b]: a is reachable from b going up (i.e. a subsumes b).
+	reach map[string]map[string]bool
+	// class[x] = sorted key of x's equivalence class
+	class map[string]string
+	// hops[keyA][keyB] = min condensed hops from class B up to class A
+	hops map[string]map[string]int
+}
+
+func newBruteForce(o *Ontology) *bruteForce {
+	bf := &bruteForce{
+		reach: map[string]map[string]bool{},
+		class: map[string]string{},
+		hops:  map[string]map[string]int{},
+	}
+	up := map[string][]string{}
+	for _, c := range o.Classes() {
+		bf.names = append(bf.names, c.Name)
+		up[c.Name] = append(up[c.Name], c.SubClassOf...)
+		for _, eq := range c.EquivalentTo {
+			up[c.Name] = append(up[c.Name], eq)
+			up[eq] = append(up[eq], c.Name)
+		}
+	}
+	// Reachability closure by repeated expansion.
+	upSet := map[string]map[string]bool{}
+	for _, n := range bf.names {
+		upSet[n] = map[string]bool{n: true}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range bf.names {
+			for target := range upSet[n] {
+				for _, next := range up[target] {
+					if !upSet[n][next] {
+						upSet[n][next] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, a := range bf.names {
+		bf.reach[a] = map[string]bool{}
+	}
+	for _, b := range bf.names {
+		for a := range upSet[b] {
+			bf.reach[a][b] = true // a subsumes b
+		}
+	}
+	// Equivalence classes: mutual reachability; key = lexicographically
+	// smallest member.
+	for _, x := range bf.names {
+		key := x
+		for _, y := range bf.names {
+			if upSet[x][y] && upSet[y][x] && y < key {
+				key = y
+			}
+		}
+		bf.class[x] = key
+	}
+	// Condensed adjacency from raw subclass/equivalence axioms between
+	// distinct classes.
+	condUp := map[string]map[string]bool{}
+	for from, tos := range up {
+		for _, to := range tos {
+			cf, ct := bf.class[from], bf.class[to]
+			if cf == ct {
+				continue
+			}
+			if condUp[cf] == nil {
+				condUp[cf] = map[string]bool{}
+			}
+			condUp[cf][ct] = true
+		}
+	}
+	// BFS per class.
+	for _, n := range bf.names {
+		key := bf.class[n]
+		if _, done := bf.hops[key]; done {
+			continue
+		}
+		d := map[string]int{key: 0}
+		frontier := []string{key}
+		for len(frontier) > 0 {
+			var next []string
+			for _, u := range frontier {
+				for v := range condUp[u] {
+					if _, seen := d[v]; !seen {
+						d[v] = d[u] + 1
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		bf.hops[key] = d
+	}
+	return bf
+}
+
+func (bf *bruteForce) subsumes(a, b string) bool {
+	m, ok := bf.reach[a]
+	return ok && m[b]
+}
+
+func (bf *bruteForce) distance(a, b string) (int, bool) {
+	if !bf.subsumes(a, b) {
+		return 0, false
+	}
+	d, ok := bf.hops[bf.class[b]][bf.class[a]]
+	if !ok {
+		return 0, false
+	}
+	return d, true
+}
+
+func randomAxioms(rng *rand.Rand, n int) *Ontology {
+	o := New("http://prop.example/ont", "1")
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("C%02d", i)
+	}
+	for i := 0; i < n; i++ {
+		c := Class{Name: names[i]}
+		// Edges may go in any direction, creating cycles sometimes.
+		for j := 0; j < rng.Intn(3); j++ {
+			c.SubClassOf = append(c.SubClassOf, names[rng.Intn(n)])
+		}
+		if rng.Intn(6) == 0 {
+			c.EquivalentTo = append(c.EquivalentTo, names[rng.Intn(n)])
+		}
+		o.MustAddClass(c)
+	}
+	return o
+}
+
+// TestPropertyClassifyMatchesBruteForce checks Classify's subsumption and
+// distances against the independent oracle, including cyclic axioms.
+func TestPropertyClassifyMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%12) + 2
+		rng := rand.New(rand.NewSource(seed))
+		o := randomAxioms(rng, n)
+		cl, err := Classify(o)
+		if err != nil {
+			return false
+		}
+		bf := newBruteForce(o)
+		for _, a := range bf.names {
+			for _, b := range bf.names {
+				if got, want := cl.Subsumes(a, b), bf.subsumes(a, b); got != want {
+					t.Logf("seed=%d: Subsumes(%s,%s)=%v oracle=%v", seed, a, b, got, want)
+					return false
+				}
+				gd, gok := cl.Distance(a, b)
+				wd, wok := bf.distance(a, b)
+				if gok != wok || (gok && gd != wd) {
+					t.Logf("seed=%d: Distance(%s,%s)=(%d,%v) oracle=(%d,%v)", seed, a, b, gd, gok, wd, wok)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTransitiveReductionMinimal: no kept parent edge is implied
+// by another path, and dropping any kept edge changes reachability.
+func TestPropertyTransitiveReductionMinimal(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		o := New("u", "1")
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("C%02d", i)
+			c := Class{Name: names[i]}
+			for j := 0; j < rng.Intn(4); j++ {
+				c.SubClassOf = append(c.SubClassOf, names[rng.Intn(i+1)])
+			}
+			o.MustAddClass(c)
+		}
+		cl, err := Classify(o)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < cl.NumConcepts(); i++ {
+			for _, p := range cl.Parents(i) {
+				// The edge i->p must not be implied by another parent.
+				for _, q := range cl.Parents(i) {
+					if q == p {
+						continue
+					}
+					if cl.SubsumesIndex(p, q) && p != q {
+						// p subsumes q means path i->q->...->p exists,
+						// making i->p redundant.
+						t.Logf("seed=%d: redundant edge %d->%d via %d", seed, i, p, q)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

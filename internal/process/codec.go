@@ -1,0 +1,96 @@
+package process
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// XML form of a process tree, designed to compose into Amigo-S service
+// documents (profile embeds a <process> element):
+//
+//	<process>
+//	  <sequence>
+//	    <invoke capability="NeedProjection"/>
+//	    <parallel>
+//	      <invoke capability="NeedAudio"/>
+//	      <choice>
+//	        <invoke capability="NeedSubtitlesLocal"/>
+//	        <invoke capability="NeedSubtitlesRemote"/>
+//	      </choice>
+//	    </parallel>
+//	  </sequence>
+//	</process>
+//
+// The tree is encoded structurally: element name = node kind.
+
+// XMLNode is the xml.Marshaler/Unmarshaler wire form of a Node.
+type XMLNode struct {
+	Node *Node
+}
+
+// MarshalXML implements xml.Marshaler (the element name comes from the
+// node's kind).
+func (x XMLNode) MarshalXML(e *xml.Encoder, _ xml.StartElement) error {
+	return marshalNode(e, x.Node)
+}
+
+func marshalNode(e *xml.Encoder, n *Node) error {
+	if n == nil {
+		return fmt.Errorf("%w: nil node", ErrMalformed)
+	}
+	start := xml.StartElement{Name: xml.Name{Local: string(n.Kind)}}
+	if n.Kind == KindInvoke {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: "capability"}, Value: n.Capability})
+	}
+	if err := e.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := marshalNode(e, c); err != nil {
+			return err
+		}
+	}
+	return e.EncodeToken(start.End())
+}
+
+// UnmarshalXML implements xml.Unmarshaler: it decodes the element it is
+// invoked on into the node tree.
+func (x *XMLNode) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	n, err := unmarshalNode(d, start)
+	if err != nil {
+		return err
+	}
+	x.Node = n
+	return nil
+}
+
+func unmarshalNode(d *xml.Decoder, start xml.StartElement) (*Node, error) {
+	n := &Node{Kind: Kind(start.Name.Local)}
+	switch n.Kind {
+	case KindInvoke:
+		for _, a := range start.Attr {
+			if a.Name.Local == "capability" {
+				n.Capability = a.Value
+			}
+		}
+	case KindSequence, KindParallel, KindChoice:
+	default:
+		return nil, fmt.Errorf("%w: unknown element <%s>", ErrMalformed, start.Name.Local)
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := unmarshalNode(d, t)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		case xml.EndElement:
+			return n, nil
+		}
+	}
+}

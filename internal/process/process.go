@@ -1,0 +1,244 @@
+// Package process implements the conversation side of service
+// descriptions: OWL-S — and therefore Amigo-S, which incorporates it
+// (paper Section 2.1) — describes a service as profile + process model +
+// grounding, where "the process model is a representation of the service
+// conversation, i.e., the interaction protocol between a service and its
+// client".
+//
+// A process is a tree of control constructs over capability invocations:
+//
+//   - Invoke: one interaction through a named (required) capability;
+//   - Sequence: children run in order;
+//   - Parallel: children run concurrently (traces interleave);
+//   - Choice: exactly one child runs — the first whose invocations can all
+//     be bound.
+//
+// Given the bindings produced by discovery/composition (which provider
+// answers which required capability), Execute walks the tree and yields
+// the conversation trace, or reports precisely which invocation cannot be
+// bound.
+package process
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates process nodes.
+type Kind string
+
+// Node kinds.
+const (
+	KindInvoke   Kind = "invoke"
+	KindSequence Kind = "sequence"
+	KindParallel Kind = "parallel"
+	KindChoice   Kind = "choice"
+)
+
+// Common errors.
+var (
+	// ErrMalformed is returned for structurally invalid process trees.
+	ErrMalformed = errors.New("process: malformed")
+	// ErrUnboundInvocation is returned by Execute when an invocation has
+	// no binding and no Choice branch can avoid it.
+	ErrUnboundInvocation = errors.New("process: unbound invocation")
+)
+
+// Node is one vertex of the process tree.
+type Node struct {
+	Kind Kind
+	// Capability names the required capability an Invoke node interacts
+	// through; empty for control nodes.
+	Capability string
+	// Children are the sub-processes of control nodes; empty for Invoke.
+	Children []*Node
+}
+
+// Invoke builds an invocation leaf.
+func Invoke(capability string) *Node {
+	return &Node{Kind: KindInvoke, Capability: capability}
+}
+
+// Sequence builds an in-order control node.
+func Sequence(children ...*Node) *Node {
+	return &Node{Kind: KindSequence, Children: children}
+}
+
+// Parallel builds a concurrent control node.
+func Parallel(children ...*Node) *Node {
+	return &Node{Kind: KindParallel, Children: children}
+}
+
+// Choice builds an alternative control node.
+func Choice(children ...*Node) *Node {
+	return &Node{Kind: KindChoice, Children: children}
+}
+
+// Validate checks structural well-formedness: invocations carry a
+// capability name and no children; control nodes carry children and no
+// capability; every referenced capability must appear in known (when
+// non-nil — services validate against their required capability names).
+func (n *Node) Validate(known map[string]bool) error {
+	if n == nil {
+		return fmt.Errorf("%w: nil node", ErrMalformed)
+	}
+	switch n.Kind {
+	case KindInvoke:
+		if n.Capability == "" {
+			return fmt.Errorf("%w: invoke without capability", ErrMalformed)
+		}
+		if len(n.Children) != 0 {
+			return fmt.Errorf("%w: invoke %q with children", ErrMalformed, n.Capability)
+		}
+		if known != nil && !known[n.Capability] {
+			return fmt.Errorf("%w: invoke references undeclared capability %q", ErrMalformed, n.Capability)
+		}
+	case KindSequence, KindParallel, KindChoice:
+		if n.Capability != "" {
+			return fmt.Errorf("%w: %s node with capability attribute", ErrMalformed, n.Kind)
+		}
+		if len(n.Children) == 0 {
+			return fmt.Errorf("%w: empty %s", ErrMalformed, n.Kind)
+		}
+		for _, c := range n.Children {
+			if err := c.Validate(known); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %q", ErrMalformed, n.Kind)
+	}
+	return nil
+}
+
+// Invocations returns the capability names referenced by the tree, in
+// first-appearance order.
+func (n *Node) Invocations() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if x.Kind == KindInvoke {
+			if !seen[x.Capability] {
+				seen[x.Capability] = true
+				out = append(out, x.Capability)
+			}
+			return
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// String renders the tree compactly, e.g.
+// "seq(invoke(a), par(invoke(b), invoke(c)))".
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	switch n.Kind {
+	case KindInvoke:
+		return fmt.Sprintf("invoke(%s)", n.Capability)
+	default:
+		parts := make([]string, 0, len(n.Children))
+		for _, c := range n.Children {
+			parts = append(parts, c.String())
+		}
+		name := map[Kind]string{KindSequence: "seq", KindParallel: "par", KindChoice: "choice"}[n.Kind]
+		return fmt.Sprintf("%s(%s)", name, strings.Join(parts, ", "))
+	}
+}
+
+// Binding resolves a required capability name to the provider chosen for
+// it (as discovery/composition does). Missing capabilities return ok=false.
+type Binding interface {
+	Provider(capability string) (string, bool)
+}
+
+// MapBinding is the trivial Binding over a map.
+type MapBinding map[string]string
+
+// Provider implements Binding.
+func (m MapBinding) Provider(capability string) (string, bool) {
+	p, ok := m[capability]
+	return p, ok
+}
+
+// Step is one interaction of an executed conversation.
+type Step struct {
+	// Capability is the required capability invoked.
+	Capability string
+	// Provider is the bound provider service.
+	Provider string
+	// Branch is the path of control constructs leading to the invocation
+	// (diagnostics), e.g. "seq[1]/par[0]".
+	Branch string
+}
+
+// Execute walks the process with the given bindings and returns the
+// conversation trace. Sequence children contribute in order; Parallel
+// children are traced left-to-right (a deterministic linearization of the
+// concurrent conversation); Choice picks the first child whose whole
+// subtree can be bound, so alternatives degrade gracefully when providers
+// are missing. Execute fails only when no choice can avoid an unbound
+// invocation.
+func Execute(n *Node, b Binding) ([]Step, error) {
+	if err := n.Validate(nil); err != nil {
+		return nil, err
+	}
+	return execute(n, b, "")
+}
+
+func execute(n *Node, b Binding, branch string) ([]Step, error) {
+	switch n.Kind {
+	case KindInvoke:
+		provider, ok := b.Provider(n.Capability)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnboundInvocation, n.Capability)
+		}
+		return []Step{{Capability: n.Capability, Provider: provider, Branch: branch}}, nil
+	case KindSequence, KindParallel:
+		label := "seq"
+		if n.Kind == KindParallel {
+			label = "par"
+		}
+		var steps []Step
+		for i, c := range n.Children {
+			sub, err := execute(c, b, childBranch(branch, label, i))
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, sub...)
+		}
+		return steps, nil
+	case KindChoice:
+		var firstErr error
+		for i, c := range n.Children {
+			sub, err := execute(c, b, childBranch(branch, "choice", i))
+			if err == nil {
+				return sub, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return nil, fmt.Errorf("process: no viable choice branch: %w", firstErr)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrMalformed, n.Kind)
+	}
+}
+
+func childBranch(parent, label string, i int) string {
+	part := fmt.Sprintf("%s[%d]", label, i)
+	if parent == "" {
+		return part
+	}
+	return parent + "/" + part
+}

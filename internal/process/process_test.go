@@ -1,0 +1,219 @@
+package process
+
+import (
+	"encoding/xml"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func demoTree() *Node {
+	return Sequence(
+		Invoke("NeedProjection"),
+		Parallel(
+			Invoke("NeedAudio"),
+			Choice(
+				Invoke("NeedSubtitlesLocal"),
+				Invoke("NeedSubtitlesRemote"),
+			),
+		),
+	)
+}
+
+func TestValidate(t *testing.T) {
+	known := map[string]bool{
+		"NeedProjection": true, "NeedAudio": true,
+		"NeedSubtitlesLocal": true, "NeedSubtitlesRemote": true,
+	}
+	if err := demoTree().Validate(known); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		n    *Node
+	}{
+		{"nil", nil},
+		{"invoke without capability", &Node{Kind: KindInvoke}},
+		{"invoke with children", &Node{Kind: KindInvoke, Capability: "x", Children: []*Node{Invoke("y")}}},
+		{"empty sequence", &Node{Kind: KindSequence}},
+		{"control with capability", &Node{Kind: KindChoice, Capability: "x", Children: []*Node{Invoke("y")}}},
+		{"unknown kind", &Node{Kind: "loop", Children: []*Node{Invoke("y")}}},
+		{"undeclared capability", Invoke("Nope")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.n.Validate(known); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("Validate = %v, want ErrMalformed", err)
+			}
+		})
+	}
+	// nil known skips the reference check.
+	if err := Invoke("Anything").Validate(nil); err != nil {
+		t.Fatalf("Validate(nil known) = %v", err)
+	}
+}
+
+func TestInvocationsAndString(t *testing.T) {
+	tree := demoTree()
+	got := tree.Invocations()
+	want := []string{"NeedProjection", "NeedAudio", "NeedSubtitlesLocal", "NeedSubtitlesRemote"}
+	if len(got) != len(want) {
+		t.Fatalf("Invocations = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Invocations = %v, want %v", got, want)
+		}
+	}
+	s := tree.String()
+	if !strings.HasPrefix(s, "seq(invoke(NeedProjection), par(") {
+		t.Fatalf("String = %q", s)
+	}
+	if (*Node)(nil).String() != "<nil>" {
+		t.Fatal("nil String")
+	}
+}
+
+func TestExecuteFullBinding(t *testing.T) {
+	b := MapBinding{
+		"NeedProjection":     "Projector",
+		"NeedAudio":          "Speakers",
+		"NeedSubtitlesLocal": "LocalSubs",
+	}
+	steps, err := Execute(demoTree(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %v", steps)
+	}
+	if steps[0].Capability != "NeedProjection" || steps[0].Provider != "Projector" {
+		t.Fatalf("step 0 = %+v", steps[0])
+	}
+	if steps[2].Capability != "NeedSubtitlesLocal" {
+		t.Fatalf("choice picked %q, want first viable branch", steps[2].Capability)
+	}
+	if !strings.Contains(steps[2].Branch, "choice[0]") {
+		t.Fatalf("branch = %q", steps[2].Branch)
+	}
+}
+
+func TestExecuteChoiceFallback(t *testing.T) {
+	// Local subtitles unbound: the choice falls through to the remote
+	// branch.
+	b := MapBinding{
+		"NeedProjection":      "Projector",
+		"NeedAudio":           "Speakers",
+		"NeedSubtitlesRemote": "CloudSubs",
+	}
+	steps, err := Execute(demoTree(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := steps[len(steps)-1]
+	if last.Capability != "NeedSubtitlesRemote" || last.Provider != "CloudSubs" {
+		t.Fatalf("fallback step = %+v", last)
+	}
+	if !strings.Contains(last.Branch, "choice[1]") {
+		t.Fatalf("branch = %q", last.Branch)
+	}
+}
+
+func TestExecuteUnbound(t *testing.T) {
+	b := MapBinding{"NeedProjection": "Projector"} // audio missing
+	_, err := Execute(demoTree(), b)
+	if !errors.Is(err, ErrUnboundInvocation) {
+		t.Fatalf("Execute = %v, want ErrUnboundInvocation", err)
+	}
+	// Neither subtitle branch bound: the choice reports the failure.
+	b = MapBinding{"NeedProjection": "P", "NeedAudio": "A"}
+	if _, err := Execute(demoTree(), b); !errors.Is(err, ErrUnboundInvocation) {
+		t.Fatalf("Execute = %v, want ErrUnboundInvocation", err)
+	}
+}
+
+func TestExecuteRejectsInvalid(t *testing.T) {
+	if _, err := Execute(&Node{Kind: KindSequence}, MapBinding{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("Execute = %v, want ErrMalformed", err)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	tree := demoTree()
+	data, err := xml.Marshal(XMLNode{Node: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back XMLNode
+	if err := xml.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	if back.Node.String() != tree.String() {
+		t.Fatalf("round trip changed tree:\n%s\n%s", back.Node, tree)
+	}
+}
+
+func TestXMLUnknownElement(t *testing.T) {
+	var back XMLNode
+	if err := xml.Unmarshal([]byte(`<loop capability="x"/>`), &back); err == nil {
+		t.Fatal("accepted unknown element")
+	}
+}
+
+// TestPropertyExecuteRespectsBindings: on random trees, every step of a
+// successful execution is bound, choice always selects its first viable
+// branch, and execution is deterministic.
+func TestPropertyExecuteRespectsBindings(t *testing.T) {
+	caps := []string{"a", "b", "c", "d", "e"}
+	prop := func(seed int64, depth uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var build func(d int) *Node
+		build = func(d int) *Node {
+			if d <= 0 || rng.Intn(3) == 0 {
+				return Invoke(caps[rng.Intn(len(caps))])
+			}
+			n := rng.Intn(3) + 1
+			children := make([]*Node, 0, n)
+			for i := 0; i < n; i++ {
+				children = append(children, build(d-1))
+			}
+			switch rng.Intn(3) {
+			case 0:
+				return Sequence(children...)
+			case 1:
+				return Parallel(children...)
+			default:
+				return Choice(children...)
+			}
+		}
+		tree := build(int(depth%4) + 1)
+		b := MapBinding{}
+		for _, c := range caps {
+			if rng.Intn(3) > 0 {
+				b[c] = "provider-" + c
+			}
+		}
+		steps1, err1 := Execute(tree, b)
+		steps2, err2 := Execute(tree, b)
+		if (err1 == nil) != (err2 == nil) || len(steps1) != len(steps2) {
+			return false // nondeterministic
+		}
+		if err1 != nil {
+			return errors.Is(err1, ErrUnboundInvocation) || errors.Is(err1, ErrMalformed)
+		}
+		for i, s := range steps1 {
+			if b[s.Capability] != s.Provider {
+				return false
+			}
+			if steps2[i] != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

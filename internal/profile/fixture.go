@@ -1,0 +1,108 @@
+package profile
+
+import "sariadne/internal/ontology"
+
+// This file reconstructs the running example of the paper's Figure 1: a PDA
+// requiring a GetVideoStream capability and a workstation providing
+// SendDigitalStream (which includes ProvideGame). It is shared by tests,
+// examples and documentation.
+
+// Fixture ontology URIs.
+const (
+	MediaOntologyURI   = "http://amigo.example/ont/media"
+	ServersOntologyURI = "http://amigo.example/ont/servers"
+)
+
+// MediaOntology builds the digital-resource ontology of Figure 1 (left).
+func MediaOntology() *ontology.Ontology {
+	o := ontology.New(MediaOntologyURI, "1")
+	for _, c := range []ontology.Class{
+		{Name: "Resource", Label: "Any resource"},
+		{Name: "DigitalResource", SubClassOf: []string{"Resource"}},
+		{Name: "VideoResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "SoundResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "GameResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "Movie", SubClassOf: []string{"VideoResource"}},
+		{Name: "Documentary", SubClassOf: []string{"VideoResource"}},
+		{Name: "Stream"},
+		{Name: "VideoStream", SubClassOf: []string{"Stream"}},
+		{Name: "AudioStream", SubClassOf: []string{"Stream"}},
+	} {
+		o.MustAddClass(c)
+	}
+	if err := o.AddProperty(ontology.Property{Name: "hasTitle", Domain: "DigitalResource"}); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ServersOntology builds the server-category ontology of Figure 1 (right).
+// The chain DigitalServer → StreamingServer → VideoServer gives the
+// category pair of the paper's worked example a level distance of 2, which
+// together with the input distance of 1 reproduces the paper's
+// SemanticDistance(SendDigitalStream, GetVideoStream) = 3.
+func ServersOntology() *ontology.Ontology {
+	o := ontology.New(ServersOntologyURI, "1")
+	for _, c := range []ontology.Class{
+		{Name: "Server"},
+		{Name: "DigitalServer", SubClassOf: []string{"Server"}},
+		{Name: "StreamingServer", SubClassOf: []string{"DigitalServer"}},
+		{Name: "VideoServer", SubClassOf: []string{"StreamingServer"}},
+		{Name: "SoundServer", SubClassOf: []string{"StreamingServer"}},
+		{Name: "GameServer", SubClassOf: []string{"DigitalServer"}},
+	} {
+		o.MustAddClass(c)
+	}
+	return o
+}
+
+// mediaRef and serversRef abbreviate fixture concept references.
+func mediaRef(name string) ontology.Ref {
+	return ontology.Ref{Ontology: MediaOntologyURI, Name: name}
+}
+
+func serversRef(name string) ontology.Ref {
+	return ontology.Ref{Ontology: ServersOntologyURI, Name: name}
+}
+
+// WorkstationService builds Figure 1's workstation: it provides
+// SendDigitalStream (category DigitalServer, input DigitalResource, output
+// Stream) and ProvideGame (category GameServer, input GameResource, output
+// Stream).
+func WorkstationService() *Service {
+	return &Service{
+		Name:     "MediaWorkstation",
+		Provider: "livingroom-pc",
+		Provided: []*Capability{
+			{
+				Name:     "SendDigitalStream",
+				Category: serversRef("DigitalServer"),
+				Inputs:   []ontology.Ref{mediaRef("DigitalResource")},
+				Outputs:  []ontology.Ref{mediaRef("Stream")},
+			},
+			{
+				Name:     "ProvideGame",
+				Category: serversRef("GameServer"),
+				Inputs:   []ontology.Ref{mediaRef("GameResource")},
+				Outputs:  []ontology.Ref{mediaRef("Stream")},
+			},
+		},
+	}
+}
+
+// PDAService builds Figure 1's PDA: it requires GetVideoStream (category
+// VideoServer, input VideoResource title, output Stream).
+func PDAService() *Service {
+	return &Service{
+		Name:     "PDAVideoPlayer",
+		Provider: "hallway-pda",
+		Required: []*Capability{
+			{
+				Name:     "GetVideoStream",
+				Category: serversRef("VideoServer"),
+				Inputs:   []ontology.Ref{mediaRef("VideoResource")},
+				Outputs:  []ontology.Ref{mediaRef("Stream")},
+			},
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package profile
+
+import "testing"
+
+// FuzzDecode hardens the Amigo-S parser: no panic on arbitrary bytes, and
+// successful decodes survive a marshal/decode round trip structurally.
+func FuzzDecode(f *testing.F) {
+	valid, err := Marshal(WorkstationService())
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		valid,
+		[]byte(`<service name="s"><provided name="c" category="u#C"><qos name="l" value="1"/><qosRequire name="l" max="5"/></provided></service>`),
+		[]byte(`<service name="s"><required name="c" category="u#C"><input>u#I</input></required></service>`),
+		[]byte(`<service`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		svc, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(svc)
+		if err != nil {
+			t.Fatalf("decoded service fails to marshal: %v", err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("marshal output fails to decode: %v\n%s", err, out)
+		}
+		if back.Name != svc.Name ||
+			len(back.Provided) != len(svc.Provided) ||
+			len(back.Required) != len(svc.Required) {
+			t.Fatal("structure changed across round trip")
+		}
+		for i := range svc.Provided {
+			if !back.Provided[i].Equal(svc.Provided[i]) {
+				t.Fatalf("provided[%d] changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Amigo-S extends OWL-S with QoS-awareness (Section 2.2 of the paper: the
+// language "enables QoS- and context-awareness for service provisioning").
+// A provided capability declares measured QoS values; a required
+// capability declares acceptable ranges. QoS acts as a filter on top of
+// the functional Match relation — deliberately not part of the semantic
+// distance or of the capability-graph ordering, because range constraints
+// are not transitive and would break the DAG classification's soundness.
+
+// ErrBadQoS is returned for malformed QoS declarations.
+var ErrBadQoS = errors.New("profile: invalid QoS declaration")
+
+// QoSValue is a provided non-functional guarantee, e.g. {LatencyMs, 20}.
+type QoSValue struct {
+	Name  string
+	Value float64
+}
+
+// QoSConstraint is a required acceptable range for a named QoS dimension.
+// Min/Max are inclusive; NaN means unbounded on that side.
+type QoSConstraint struct {
+	Name string
+	Min  float64
+	Max  float64
+}
+
+// Unbounded is the NaN sentinel for one-sided constraints.
+func Unbounded() float64 { return math.NaN() }
+
+// Accepts reports whether a value satisfies the constraint.
+func (c QoSConstraint) Accepts(v float64) bool {
+	if !math.IsNaN(c.Min) && v < c.Min {
+		return false
+	}
+	if !math.IsNaN(c.Max) && v > c.Max {
+		return false
+	}
+	return true
+}
+
+// validateQoS checks the capability's QoS declarations.
+func (c *Capability) validateQoS() error {
+	seen := make(map[string]bool)
+	for _, v := range c.QoSProvided {
+		if v.Name == "" {
+			return fmt.Errorf("%w: provided value without name in %q", ErrBadQoS, c.Name)
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("%w: duplicate provided dimension %q in %q", ErrBadQoS, v.Name, c.Name)
+		}
+		seen[v.Name] = true
+	}
+	seen = make(map[string]bool)
+	for _, r := range c.QoSRequired {
+		if r.Name == "" {
+			return fmt.Errorf("%w: constraint without name in %q", ErrBadQoS, c.Name)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("%w: duplicate constraint dimension %q in %q", ErrBadQoS, r.Name, c.Name)
+		}
+		seen[r.Name] = true
+		if !math.IsNaN(r.Min) && !math.IsNaN(r.Max) && r.Min > r.Max {
+			return fmt.Errorf("%w: empty range [%v,%v] for %q in %q", ErrBadQoS, r.Min, r.Max, r.Name, c.Name)
+		}
+	}
+	return nil
+}
+
+// QoSSatisfies reports whether the provided capability's QoS values meet
+// every constraint required by the requested capability. A constraint on
+// a dimension the provider does not declare fails (no silent optimism).
+func QoSSatisfies(provided, requested *Capability) bool {
+	if len(requested.QoSRequired) == 0 {
+		return true
+	}
+	values := make(map[string]float64, len(provided.QoSProvided))
+	for _, v := range provided.QoSProvided {
+		values[v.Name] = v.Value
+	}
+	for _, c := range requested.QoSRequired {
+		v, ok := values[c.Name]
+		if !ok || !c.Accepts(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneQoS(dst, src *Capability) {
+	dst.QoSProvided = append([]QoSValue(nil), src.QoSProvided...)
+	dst.QoSRequired = append([]QoSConstraint(nil), src.QoSRequired...)
+}
+
+func qosEqual(a, b *Capability) bool {
+	if len(a.QoSProvided) != len(b.QoSProvided) || len(a.QoSRequired) != len(b.QoSRequired) {
+		return false
+	}
+	av := make(map[string]float64, len(a.QoSProvided))
+	for _, v := range a.QoSProvided {
+		av[v.Name] = v.Value
+	}
+	for _, v := range b.QoSProvided {
+		if w, ok := av[v.Name]; !ok || w != v.Value {
+			return false
+		}
+	}
+	ar := make(map[string]QoSConstraint, len(a.QoSRequired))
+	for _, r := range a.QoSRequired {
+		ar[r.Name] = r
+	}
+	for _, r := range b.QoSRequired {
+		w, ok := ar[r.Name]
+		if !ok || !floatEq(w.Min, r.Min) || !floatEq(w.Max, r.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+func floatEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}

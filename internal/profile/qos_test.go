@@ -1,0 +1,191 @@
+package profile
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sariadne/internal/ontology"
+)
+
+func qosCap(name string) *Capability {
+	return &Capability{
+		Name:     name,
+		Category: ontology.Ref{Ontology: "u", Name: "Server"},
+	}
+}
+
+func TestQoSConstraintAccepts(t *testing.T) {
+	tests := []struct {
+		c    QoSConstraint
+		v    float64
+		want bool
+	}{
+		{QoSConstraint{Name: "lat", Min: Unbounded(), Max: 50}, 20, true},
+		{QoSConstraint{Name: "lat", Min: Unbounded(), Max: 50}, 50, true},
+		{QoSConstraint{Name: "lat", Min: Unbounded(), Max: 50}, 51, false},
+		{QoSConstraint{Name: "bw", Min: 10, Max: Unbounded()}, 9, false},
+		{QoSConstraint{Name: "bw", Min: 10, Max: Unbounded()}, 10, true},
+		{QoSConstraint{Name: "x", Min: 1, Max: 2}, 1.5, true},
+		{QoSConstraint{Name: "x", Min: Unbounded(), Max: Unbounded()}, math.Inf(1), true},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Accepts(tt.v); got != tt.want {
+			t.Errorf("%+v.Accepts(%v) = %v, want %v", tt.c, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestQoSSatisfies(t *testing.T) {
+	provider := qosCap("P")
+	provider.QoSProvided = []QoSValue{
+		{Name: "latencyMs", Value: 20},
+		{Name: "bandwidthMbps", Value: 54},
+	}
+
+	tests := []struct {
+		name string
+		reqs []QoSConstraint
+		want bool
+	}{
+		{"no constraints", nil, true},
+		{"satisfied max", []QoSConstraint{{Name: "latencyMs", Min: Unbounded(), Max: 50}}, true},
+		{"violated max", []QoSConstraint{{Name: "latencyMs", Min: Unbounded(), Max: 10}}, false},
+		{"satisfied min", []QoSConstraint{{Name: "bandwidthMbps", Min: 10, Max: Unbounded()}}, true},
+		{"violated min", []QoSConstraint{{Name: "bandwidthMbps", Min: 100, Max: Unbounded()}}, false},
+		{"undeclared dimension", []QoSConstraint{{Name: "jitterMs", Min: Unbounded(), Max: 5}}, false},
+		{
+			"all satisfied",
+			[]QoSConstraint{
+				{Name: "latencyMs", Min: Unbounded(), Max: 50},
+				{Name: "bandwidthMbps", Min: 10, Max: 100},
+			},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req := qosCap("R")
+			req.QoSRequired = tt.reqs
+			if got := QoSSatisfies(provider, req); got != tt.want {
+				t.Fatalf("QoSSatisfies = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQoSValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Capability)
+		ok     bool
+	}{
+		{"valid", func(c *Capability) {
+			c.QoSProvided = []QoSValue{{Name: "lat", Value: 5}}
+			c.QoSRequired = []QoSConstraint{{Name: "lat", Min: 0, Max: 10}}
+		}, true},
+		{"unnamed value", func(c *Capability) {
+			c.QoSProvided = []QoSValue{{Value: 5}}
+		}, false},
+		{"duplicate value", func(c *Capability) {
+			c.QoSProvided = []QoSValue{{Name: "lat", Value: 5}, {Name: "lat", Value: 6}}
+		}, false},
+		{"unnamed constraint", func(c *Capability) {
+			c.QoSRequired = []QoSConstraint{{Min: 0, Max: 1}}
+		}, false},
+		{"duplicate constraint", func(c *Capability) {
+			c.QoSRequired = []QoSConstraint{
+				{Name: "lat", Min: 0, Max: 1},
+				{Name: "lat", Min: 0, Max: 2},
+			}
+		}, false},
+		{"empty range", func(c *Capability) {
+			c.QoSRequired = []QoSConstraint{{Name: "lat", Min: 5, Max: 1}}
+		}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := qosCap("C")
+			tt.mutate(c)
+			err := c.Validate()
+			if tt.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tt.ok && !errors.Is(err, ErrBadQoS) {
+				t.Fatalf("Validate = %v, want ErrBadQoS", err)
+			}
+		})
+	}
+}
+
+func TestQoSCodecRoundTrip(t *testing.T) {
+	svc := WorkstationService()
+	svc.Provided[0].QoSProvided = []QoSValue{
+		{Name: "latencyMs", Value: 12.5},
+		{Name: "bandwidthMbps", Value: 54},
+	}
+	svc.Required = append(svc.Required, &Capability{
+		Name:     "NeedFastStream",
+		Category: serversRef("VideoServer"),
+		QoSRequired: []QoSConstraint{
+			{Name: "latencyMs", Min: Unbounded(), Max: 30},
+			{Name: "bandwidthMbps", Min: 10, Max: Unbounded()},
+			{Name: "uptime", Min: 0.99, Max: 1},
+		},
+	})
+
+	data, err := Marshal(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	if !back.Provided[0].Equal(svc.Provided[0]) {
+		t.Fatalf("provided QoS lost:\ngot %+v\nwant %+v", back.Provided[0], svc.Provided[0])
+	}
+	gotReq := back.Required[len(back.Required)-1]
+	wantReq := svc.Required[len(svc.Required)-1]
+	if !gotReq.Equal(wantReq) {
+		t.Fatalf("required QoS lost:\ngot %+v\nwant %+v", gotReq, wantReq)
+	}
+	// NaN bounds survive as absent attributes.
+	if !math.IsNaN(gotReq.QoSRequired[0].Min) {
+		t.Fatalf("unbounded min became %v", gotReq.QoSRequired[0].Min)
+	}
+}
+
+func TestQoSDecodeErrors(t *testing.T) {
+	docs := map[string]string{
+		"bad min": `<service name="s"><provided name="c" category="u#C"><qosRequire name="lat" min="abc"/></provided></service>`,
+		"bad max": `<service name="s"><provided name="c" category="u#C"><qosRequire name="lat" max="abc"/></provided></service>`,
+	}
+	for name, doc := range docs {
+		if _, err := Unmarshal([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestQoSCloneAndEqual(t *testing.T) {
+	a := qosCap("C")
+	a.QoSProvided = []QoSValue{{Name: "lat", Value: 5}}
+	a.QoSRequired = []QoSConstraint{{Name: "bw", Min: 10, Max: Unbounded()}}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.QoSProvided[0].Value = 6
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.QoSProvided[0].Value != 5 {
+		t.Fatal("clone shares QoS slice")
+	}
+	c := a.Clone()
+	c.QoSRequired[0].Max = 99
+	if a.Equal(c) {
+		t.Fatal("constraint change not detected")
+	}
+}

@@ -1,0 +1,116 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sariadne/internal/ontology"
+)
+
+// loadTestdata opens a file from the testdata corpus.
+func loadTestdata(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestTestdataOntologies(t *testing.T) {
+	media, err := ontology.Decode(loadTestdata(t, "media-ontology.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if media.URI != "http://testdata.example/ont/media" || media.Version != "3" {
+		t.Fatalf("identity = %q v%q", media.URI, media.Version)
+	}
+	if media.NumClasses() != 10 || media.NumProperties() != 3 {
+		t.Fatalf("shape = %d classes, %d properties", media.NumClasses(), media.NumProperties())
+	}
+	cl, err := ontology.Classify(media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Subsumes("Resource", "Film") { // via Movie ≡ Film
+		t.Error("Resource must subsume Film through the equivalence")
+	}
+	if d, ok := cl.Distance("DigitalResource", "Movie"); !ok || d != 2 {
+		t.Errorf("Distance(DigitalResource, Movie) = %d, %v", d, ok)
+	}
+
+	servers, err := ontology.Decode(loadTestdata(t, "servers-ontology.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servers.NumClasses() != 5 {
+		t.Fatalf("servers shape = %d classes", servers.NumClasses())
+	}
+}
+
+func TestTestdataMediaCenter(t *testing.T) {
+	svc, err := Decode(loadTestdata(t, "media-center.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name != "HomeMediaCenter" || svc.Provider != "livingroom-rack" {
+		t.Fatalf("identity = %q/%q", svc.Name, svc.Provider)
+	}
+	if len(svc.Provided) != 2 || len(svc.Required) != 1 {
+		t.Fatalf("capabilities = %d provided, %d required", len(svc.Provided), len(svc.Required))
+	}
+	if svc.CodeVersions["http://testdata.example/ont/media"] != "3" {
+		t.Fatalf("code versions = %v", svc.CodeVersions)
+	}
+
+	stream := svc.Capability("StreamAnyDigital")
+	if stream == nil {
+		t.Fatal("StreamAnyDigital missing")
+	}
+	if len(stream.QoSProvided) != 2 || stream.QoSProvided[0].Name != "latencyMs" || stream.QoSProvided[0].Value != 15 {
+		t.Fatalf("QoS provided = %v", stream.QoSProvided)
+	}
+
+	fetch := svc.Required[0]
+	if len(fetch.QoSRequired) != 2 {
+		t.Fatalf("QoS required = %v", fetch.QoSRequired)
+	}
+	if !fetch.QoSRequired[0].Accepts(40) || fetch.QoSRequired[0].Accepts(41) {
+		t.Fatalf("latency constraint wrong: %+v", fetch.QoSRequired[0])
+	}
+
+	// Round trip preserves everything.
+	data, err := Marshal(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range svc.Provided {
+		if !back.Provided[i].Equal(svc.Provided[i]) {
+			t.Errorf("provided[%d] changed in round trip", i)
+		}
+	}
+	if !back.Required[0].Equal(svc.Required[0]) {
+		t.Error("required[0] changed in round trip")
+	}
+}
+
+func TestTestdataTabletRequest(t *testing.T) {
+	req, err := Decode(loadTestdata(t, "tablet-request.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Required) != 1 || req.Required[0].Name != "WatchFilm" {
+		t.Fatalf("request = %+v", req)
+	}
+	if len(req.Required[0].QoSRequired) != 1 {
+		t.Fatalf("QoS constraints = %v", req.Required[0].QoSRequired)
+	}
+	// The full cross-package pipeline over this corpus is exercised by
+	// TestCorpusEndToEnd in the registry package.
+}

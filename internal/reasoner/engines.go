@@ -1,0 +1,258 @@
+package reasoner
+
+import (
+	"errors"
+	"io"
+
+	"sariadne/internal/ontology"
+)
+
+// ErrNotLoaded is returned by Classify before a successful Load.
+var ErrNotLoaded = errors.New("reasoner: no ontology loaded")
+
+// baseEngine carries the shared Load plumbing.
+type baseEngine struct {
+	g *graph
+}
+
+func (b *baseEngine) load(r io.Reader) error {
+	o, err := ontology.Decode(r)
+	if err != nil {
+		return err
+	}
+	return b.loadOntology(o)
+}
+
+func (b *baseEngine) loadOntology(o *ontology.Ontology) error {
+	g, err := loadGraph(o)
+	if err != nil {
+		return err
+	}
+	b.g = g
+	return nil
+}
+
+// Naive classifies with a dense Floyd–Warshall-style min-plus closure:
+// O(n³) over the concept count, trading memory and up-front work for O(1)
+// queries. It stands in for engines that eagerly materialize the taxonomy.
+type Naive struct {
+	baseEngine
+}
+
+// NewNaive returns a Naive engine.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name implements Reasoner.
+func (e *Naive) Name() string { return "naive" }
+
+// Load implements Reasoner.
+func (e *Naive) Load(r io.Reader) error { return e.load(r) }
+
+// LoadOntology implements Reasoner.
+func (e *Naive) LoadOntology(o *ontology.Ontology) error { return e.loadOntology(o) }
+
+// Classify implements Reasoner.
+func (e *Naive) Classify() (Hierarchy, error) {
+	if e.g == nil {
+		return nil, ErrNotLoaded
+	}
+	g := e.g
+	n := g.n
+	c := newClosure(g)
+	// Seed with direct edges: dist[child][parent] = 1.
+	for child := 0; child < n; child++ {
+		for _, parent := range g.up[child] {
+			c.dist[child][parent] = 1
+		}
+	}
+	// Min-plus closure: dist[b][a] = min over mid of dist[b][mid] +
+	// dist[mid][a]. The DAG has no negative cycles, so plain FW applies.
+	for mid := 0; mid < n; mid++ {
+		for b := 0; b < n; b++ {
+			dbm := c.dist[b][mid]
+			if dbm < 0 {
+				continue
+			}
+			rowB, rowM := c.dist[b], c.dist[mid]
+			for a := 0; a < n; a++ {
+				dma := rowM[a]
+				if dma < 0 {
+					continue
+				}
+				if d := dbm + dma; rowB[a] < 0 || d < rowB[a] {
+					rowB[a] = d
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Rule classifies with a semi-naive datalog-style fixpoint over the facts
+// subsumes(child, ancestor, levels): each round joins the newly derived
+// delta with the direct-edge relation until no new facts appear. It stands
+// in for rule-engine reasoners.
+type Rule struct {
+	baseEngine
+}
+
+// NewRule returns a Rule engine.
+func NewRule() *Rule { return &Rule{} }
+
+// Name implements Reasoner.
+func (e *Rule) Name() string { return "rule" }
+
+// Load implements Reasoner.
+func (e *Rule) Load(r io.Reader) error { return e.load(r) }
+
+// LoadOntology implements Reasoner.
+func (e *Rule) LoadOntology(o *ontology.Ontology) error { return e.loadOntology(o) }
+
+// Classify implements Reasoner.
+func (e *Rule) Classify() (Hierarchy, error) {
+	if e.g == nil {
+		return nil, ErrNotLoaded
+	}
+	g := e.g
+	n := g.n
+	c := newClosure(g)
+
+	type fact struct {
+		child, anc int
+		d          int16
+	}
+	var delta []fact
+	for child := 0; child < n; child++ {
+		for _, parent := range g.up[child] {
+			if c.dist[child][parent] < 0 || 1 < c.dist[child][parent] {
+				c.dist[child][parent] = 1
+				delta = append(delta, fact{child: child, anc: parent, d: 1})
+			}
+		}
+	}
+	// Semi-naive iteration: subsumes(c, a, d) ∧ direct(a, p) ⊢
+	// subsumes(c, p, d+1), joining only against the last round's delta.
+	for len(delta) > 0 {
+		var next []fact
+		for _, f := range delta {
+			for _, p := range g.up[f.anc] {
+				nd := f.d + 1
+				if cur := c.dist[f.child][p]; cur < 0 || nd < cur {
+					c.dist[f.child][p] = nd
+					next = append(next, fact{child: f.child, anc: p, d: nd})
+				}
+			}
+		}
+		delta = next
+	}
+	return c, nil
+}
+
+// Tableau classifies by running an independent satisfiability-style
+// subsumption test for every concept pair, maintaining a fresh completion
+// set per test the way tableau engines expand a completion graph; queries
+// after classification re-run tests on demand rather than consulting a
+// cache. It stands in for tableau-based engines and is deliberately the
+// most expensive profile.
+type Tableau struct {
+	baseEngine
+}
+
+// NewTableau returns a Tableau engine.
+func NewTableau() *Tableau { return &Tableau{} }
+
+// Name implements Reasoner.
+func (e *Tableau) Name() string { return "tableau" }
+
+// Load implements Reasoner.
+func (e *Tableau) Load(r io.Reader) error { return e.load(r) }
+
+// LoadOntology implements Reasoner.
+func (e *Tableau) LoadOntology(o *ontology.Ontology) error { return e.loadOntology(o) }
+
+// Classify implements Reasoner. The returned hierarchy keeps a reference to
+// the loaded graph and answers every query with a fresh expansion.
+func (e *Tableau) Classify() (Hierarchy, error) {
+	if e.g == nil {
+		return nil, ErrNotLoaded
+	}
+	h := &tableauHierarchy{g: e.g}
+	// Classification: verify the taxonomy by testing every ordered concept
+	// pair once, exactly as tableau engines do to publish a taxonomy. The
+	// results are recomputed on demand at query time (kept unstored on
+	// purpose: this profile models engines whose query path goes back to
+	// the prover).
+	for a := 0; a < e.g.n; a++ {
+		for b := 0; b < e.g.n; b++ {
+			h.expand(b, a)
+		}
+	}
+	return h, nil
+}
+
+type tableauHierarchy struct {
+	g *graph
+}
+
+// expand runs one subsumption test: does ancestor `a` subsume `sub`? It
+// simulates the completion-graph expansion of a tableau prover — building
+// the set of all superconcepts of sub and testing whether adding ¬a closes
+// the branch — and returns the minimal expansion depth at which a appears.
+func (h *tableauHierarchy) expand(sub, a int) (int, bool) {
+	if sub == a {
+		return 0, true
+	}
+	// Fresh per-test allocation is intrinsic to the profile being modeled.
+	labels := make([]int8, h.g.n) // 0 unseen, 1 in completion set
+	depth := make([]int16, h.g.n)
+	labels[sub] = 1
+	frontier := []int{sub}
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, p := range h.g.up[v] {
+				if labels[p] == 0 {
+					labels[p] = 1
+					depth[p] = depth[v] + 1
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	if labels[a] == 0 {
+		return 0, false
+	}
+	return int(depth[a]), true
+}
+
+func (h *tableauHierarchy) Subsumes(a, b string) bool {
+	ai, ok := h.g.names[a]
+	if !ok {
+		return false
+	}
+	bi, ok := h.g.names[b]
+	if !ok {
+		return false
+	}
+	_, ok = h.expand(bi, ai)
+	return ok
+}
+
+func (h *tableauHierarchy) Distance(a, b string) (int, bool) {
+	ai, ok := h.g.names[a]
+	if !ok {
+		return 0, false
+	}
+	bi, ok := h.g.names[b]
+	if !ok {
+		return 0, false
+	}
+	return h.expand(bi, ai)
+}
+
+var (
+	_ Reasoner = (*Naive)(nil)
+	_ Reasoner = (*Rule)(nil)
+	_ Reasoner = (*Tableau)(nil)
+)

@@ -1,0 +1,264 @@
+// Package reasoner implements online ontology reasoners: engines that load
+// an ontology, classify it, and answer subsumption and level-distance
+// queries at request time.
+//
+// The paper's Figure 2 measures capability matching on top of three real DL
+// reasoners — Racer, FaCT++ and Pellet — and finds the load-and-classify
+// phase dominates (76–78% of 4–5 seconds). Those systems are closed or
+// JVM/Lisp-hosted and cannot be embedded here, so this package provides
+// three from-scratch profiles with deliberately different algorithmic
+// shapes standing in for them:
+//
+//   - Naive: dense Floyd–Warshall-style closure over the whole concept set,
+//     the "compute everything up front" school.
+//   - Rule: semi-naive datalog-style fixpoint over subsumption facts,
+//     the rule-engine school.
+//   - Tableau: classification by pairwise satisfiability-style tests with
+//     per-test completion-graph bookkeeping, the tableau school; its match
+//     phase re-runs tests on demand instead of consulting a closure.
+//
+// All three produce identical answers (property-tested against
+// ontology.Classify); they differ only in where the time goes, which is
+// exactly the axis Figure 2 reports.
+package reasoner
+
+import (
+	"fmt"
+	"io"
+
+	"sariadne/internal/ontology"
+)
+
+// Hierarchy answers subsumption and level-distance queries over class
+// names, as a classified ontology does.
+type Hierarchy interface {
+	// Subsumes reports whether class a subsumes class b.
+	Subsumes(a, b string) bool
+	// Distance returns the paper's d(a, b): hierarchy levels from a down to
+	// b when a subsumes b, ok=false otherwise.
+	Distance(a, b string) (int, bool)
+}
+
+// Reasoner is an online reasoning engine. Load parses and indexes an
+// ontology document; Classify computes the full taxonomy. Both are
+// per-engine expensive — that is the point of the paper's measurements.
+type Reasoner interface {
+	// Name identifies the engine profile (for reports).
+	Name() string
+	// Load parses an ontology document and builds the engine's internal
+	// representation.
+	Load(r io.Reader) error
+	// LoadOntology indexes an already-parsed ontology.
+	LoadOntology(o *ontology.Ontology) error
+	// Classify computes the taxonomy of the loaded ontology and returns a
+	// query handle. Classify must be called after Load.
+	Classify() (Hierarchy, error)
+}
+
+// New returns the reasoner with the given profile name: "naive", "rule" or
+// "tableau".
+func New(name string) (Reasoner, error) {
+	switch name {
+	case "naive":
+		return NewNaive(), nil
+	case "rule":
+		return NewRule(), nil
+	case "tableau":
+		return NewTableau(), nil
+	default:
+		return nil, fmt.Errorf("reasoner: unknown profile %q", name)
+	}
+}
+
+// Profiles lists the available engine profile names in presentation order.
+func Profiles() []string { return []string{"naive", "rule", "tableau"} }
+
+// graph is the shared loaded representation after preprocessing: mutual
+// subsumption (equivalence axioms and subclass cycles) is collapsed, so the
+// remaining structure is a DAG of canonical concepts with unit-weight
+// parent edges. Collapsing is part of every real engine's load phase: a
+// taxonomy cannot be built over raw, possibly cyclic axioms.
+type graph struct {
+	// names maps every declared class name to its canonical concept index.
+	names map[string]int
+	n     int
+	// up[i] lists direct parent concept indices (deduplicated).
+	up [][]int
+	// down is the reverse adjacency.
+	down [][]int
+}
+
+// loadGraph converts an ontology into the engine representation: build the
+// raw axiom graph (subclass edges up, equivalence edges both ways), find
+// its strongly connected components with an iterative Kosaraju pass, and
+// condense.
+func loadGraph(o *ontology.Ontology) (*graph, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	classes := o.Classes()
+	n := len(classes)
+	idx := make(map[string]int, n)
+	for i, c := range classes {
+		idx[c.Name] = i
+	}
+	fwd := make([][]int, n)
+	rev := make([][]int, n)
+	add := func(from, to int) {
+		fwd[from] = append(fwd[from], to)
+		rev[to] = append(rev[to], from)
+	}
+	for i, c := range classes {
+		for _, sup := range c.SubClassOf {
+			add(i, idx[sup])
+		}
+		for _, eq := range c.EquivalentTo {
+			j := idx[eq]
+			add(i, j)
+			add(j, i)
+		}
+	}
+
+	comp := sccKosaraju(fwd, rev)
+	nc := 0
+	for _, c := range comp {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+
+	g := &graph{names: make(map[string]int, n), n: nc, up: make([][]int, nc), down: make([][]int, nc)}
+	for i, c := range classes {
+		g.names[c.Name] = comp[i]
+	}
+	seen := make(map[[2]int]bool)
+	for i := range fwd {
+		for _, j := range fwd[i] {
+			ci, cj := comp[i], comp[j]
+			if ci == cj {
+				continue
+			}
+			key := [2]int{ci, cj}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g.up[ci] = append(g.up[ci], cj)
+			g.down[cj] = append(g.down[cj], ci)
+		}
+	}
+	return g, nil
+}
+
+// sccKosaraju computes strongly connected components of the graph given by
+// forward and reverse adjacency, returning a component index per vertex.
+func sccKosaraju(fwd, rev [][]int) []int {
+	n := len(fwd)
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	// First pass: finish-order DFS on fwd, iterative.
+	type frame struct {
+		v, ei int
+	}
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		stack := []frame{{v: s}}
+		visited[s] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < len(fwd[f.v]) {
+				w := fwd[f.v][f.ei]
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{v: w})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Second pass: reverse finish order on rev.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for i := n - 1; i >= 0; i-- {
+		s := order[i]
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		stack := []int{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range rev[v] {
+				if comp[w] < 0 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// closure is a dense answer table shared by the Naive and Rule engines.
+type closure struct {
+	names map[string]int
+	// dist[b][a] is the minimal level count from ancestor a down to b;
+	// -1 when a does not subsume b.
+	dist [][]int16
+}
+
+const noPath int16 = -1
+
+func newClosure(g *graph) *closure {
+	n := g.n
+	c := &closure{names: g.names, dist: make([][]int16, n)}
+	for i := range c.dist {
+		row := make([]int16, n)
+		for j := range row {
+			row[j] = noPath
+		}
+		row[i] = 0
+		c.dist[i] = row
+	}
+	return c
+}
+
+func (c *closure) Subsumes(a, b string) bool {
+	ai, ok := c.names[a]
+	if !ok {
+		return false
+	}
+	bi, ok := c.names[b]
+	if !ok {
+		return false
+	}
+	return c.dist[bi][ai] >= 0
+}
+
+func (c *closure) Distance(a, b string) (int, bool) {
+	ai, ok := c.names[a]
+	if !ok {
+		return 0, false
+	}
+	bi, ok := c.names[b]
+	if !ok {
+		return 0, false
+	}
+	d := c.dist[bi][ai]
+	if d < 0 {
+		return 0, false
+	}
+	return int(d), true
+}
+
+var _ Hierarchy = (*closure)(nil)

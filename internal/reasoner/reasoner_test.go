@@ -1,0 +1,214 @@
+package reasoner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sariadne/internal/ontology"
+)
+
+func fixtureOntology(t testing.TB) *ontology.Ontology {
+	t.Helper()
+	o := ontology.New("http://amigo.example/ont/media", "1")
+	for _, c := range []ontology.Class{
+		{Name: "Resource"},
+		{Name: "DigitalResource", SubClassOf: []string{"Resource"}},
+		{Name: "VideoResource", SubClassOf: []string{"DigitalResource"}},
+		{Name: "Movie", SubClassOf: []string{"VideoResource"}},
+		{Name: "Film", EquivalentTo: []string{"Movie"}},
+		{Name: "Stream"},
+	} {
+		o.MustAddClass(c)
+	}
+	return o
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Profiles() {
+		r, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("Name() = %q, want %q", r.Name(), name)
+		}
+	}
+	if _, err := New("pellet"); err == nil {
+		t.Error("New accepted unknown profile")
+	}
+}
+
+func TestClassifyBeforeLoad(t *testing.T) {
+	for _, name := range Profiles() {
+		r, _ := New(name)
+		if _, err := r.Classify(); err == nil {
+			t.Errorf("%s: Classify before Load succeeded", name)
+		}
+	}
+}
+
+func TestLoadRejectsBadDocument(t *testing.T) {
+	for _, name := range Profiles() {
+		r, _ := New(name)
+		if err := r.Load(strings.NewReader("not xml")); err == nil {
+			t.Errorf("%s: Load accepted garbage", name)
+		}
+		bad := ontology.New("u", "1")
+		bad.MustAddClass(ontology.Class{Name: "A", SubClassOf: []string{"Missing"}})
+		if err := r.LoadOntology(bad); err == nil {
+			t.Errorf("%s: LoadOntology accepted invalid ontology", name)
+		}
+	}
+}
+
+func TestEnginesAgreeOnFixture(t *testing.T) {
+	o := fixtureOntology(t)
+	want := ontology.MustClassify(o)
+	names := []string{"Resource", "DigitalResource", "VideoResource", "Movie", "Film", "Stream", "Unknown"}
+
+	for _, profile := range Profiles() {
+		t.Run(profile, func(t *testing.T) {
+			r, _ := New(profile)
+			if err := r.LoadOntology(o); err != nil {
+				t.Fatalf("LoadOntology: %v", err)
+			}
+			h, err := r.Classify()
+			if err != nil {
+				t.Fatalf("Classify: %v", err)
+			}
+			for _, a := range names {
+				for _, b := range names {
+					if got, wantV := h.Subsumes(a, b), want.Subsumes(a, b); got != wantV {
+						t.Errorf("Subsumes(%q,%q) = %v, want %v", a, b, got, wantV)
+					}
+					gd, gok := h.Distance(a, b)
+					wd, wok := want.Distance(a, b)
+					if gd != wd || gok != wok {
+						t.Errorf("Distance(%q,%q) = (%d,%v), want (%d,%v)", a, b, gd, gok, wd, wok)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEnginesHandleSubclassCycle(t *testing.T) {
+	o := ontology.New("u", "1")
+	o.MustAddClass(ontology.Class{Name: "A", SubClassOf: []string{"C"}})
+	o.MustAddClass(ontology.Class{Name: "B", SubClassOf: []string{"A"}})
+	o.MustAddClass(ontology.Class{Name: "C", SubClassOf: []string{"B"}})
+	o.MustAddClass(ontology.Class{Name: "D", SubClassOf: []string{"A"}})
+
+	for _, profile := range Profiles() {
+		r, _ := New(profile)
+		if err := r.LoadOntology(o); err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		h, err := r.Classify()
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if !h.Subsumes("A", "B") || !h.Subsumes("B", "A") {
+			t.Errorf("%s: cycle members must mutually subsume", profile)
+		}
+		if d, ok := h.Distance("C", "A"); !ok || d != 0 {
+			t.Errorf("%s: Distance(C,A) = (%d,%v), want (0,true)", profile, d, ok)
+		}
+		if d, ok := h.Distance("B", "D"); !ok || d != 1 {
+			t.Errorf("%s: Distance(B,D) = (%d,%v), want (1,true)", profile, d, ok)
+		}
+	}
+}
+
+// randomOntology mirrors the generator in codes tests: random DAG plus
+// sparse equivalences.
+func randomOntology(rng *rand.Rand, n int) *ontology.Ontology {
+	o := ontology.New("http://rand.example/ont", "1")
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("C%03d", i)
+	}
+	for i := 0; i < n; i++ {
+		c := ontology.Class{Name: names[i]}
+		if i > 0 {
+			for j := 0; j < rng.Intn(3); j++ {
+				c.SubClassOf = append(c.SubClassOf, names[rng.Intn(i)])
+			}
+		}
+		if i > 1 && rng.Intn(8) == 0 {
+			c.EquivalentTo = append(c.EquivalentTo, names[rng.Intn(i)])
+		}
+		o.MustAddClass(c)
+	}
+	return o
+}
+
+// TestPropertyEnginesAgree cross-checks all three engines against the
+// reference classifier on random ontologies.
+func TestPropertyEnginesAgree(t *testing.T) {
+	engines := make([]Reasoner, 0, 3)
+	for _, p := range Profiles() {
+		r, _ := New(p)
+		engines = append(engines, r)
+	}
+	prop := func(seed int64, sz uint8) bool {
+		n := int(sz%25) + 2
+		rng := rand.New(rand.NewSource(seed))
+		o := randomOntology(rng, n)
+		want, err := ontology.Classify(o)
+		if err != nil {
+			return false
+		}
+		for _, r := range engines {
+			if err := r.LoadOntology(o); err != nil {
+				return false
+			}
+			h, err := r.Classify()
+			if err != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a, b := fmt.Sprintf("C%03d", i), fmt.Sprintf("C%03d", j)
+					if h.Subsumes(a, b) != want.Subsumes(a, b) {
+						t.Logf("%s: Subsumes(%s,%s) disagrees (seed %d)", r.Name(), a, b, seed)
+						return false
+					}
+					gd, gok := h.Distance(a, b)
+					wd, wok := want.Distance(a, b)
+					if gd != wd || gok != wok {
+						t.Logf("%s: Distance(%s,%s) = (%d,%v) want (%d,%v) (seed %d)", r.Name(), a, b, gd, gok, wd, wok, seed)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFromDocument(t *testing.T) {
+	data, err := ontology.Marshal(fixtureOntology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, profile := range Profiles() {
+		r, _ := New(profile)
+		if err := r.Load(strings.NewReader(string(data))); err != nil {
+			t.Fatalf("%s: Load: %v", profile, err)
+		}
+		h, err := r.Classify()
+		if err != nil {
+			t.Fatalf("%s: Classify: %v", profile, err)
+		}
+		if !h.Subsumes("Resource", "Movie") {
+			t.Errorf("%s: lost subsumption after document load", profile)
+		}
+	}
+}

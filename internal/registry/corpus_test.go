@@ -1,0 +1,88 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/match"
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+)
+
+// TestCorpusEndToEnd drives the XML corpus under internal/profile/testdata
+// through the full local pipeline: parse + classify + encode the
+// ontologies, register the media center, resolve the tablet's request.
+// Both provided capabilities of the media center match the WatchFilm
+// request functionally, but its QoS bound (latency ≤ 30ms) keeps both:
+// StreamMovies at 25ms (distance 1: Film ≡ Movie, exact category and
+// output) and StreamAnyDigital at 15ms (higher distance, generic). The
+// ranking must put the dedicated movie capability first.
+func TestCorpusEndToEnd(t *testing.T) {
+	base := filepath.Join("..", "profile", "testdata")
+	open := func(name string) *os.File {
+		f, err := os.Open(filepath.Join(base, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+
+	reg := codes.NewRegistry()
+	for _, name := range []string{"media-ontology.xml", "servers-ontology.xml"} {
+		o, err := ontology.Decode(open(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cl, err := ontology.Classify(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := codes.Encode(cl, codes.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Register(table)
+	}
+	m := match.NewCodeMatcher(reg)
+	dir := NewDirectory(m)
+
+	svc, err := profile.Decode(open("media-center.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckVersions(svc); err != nil {
+		t.Fatalf("code versions: %v", err)
+	}
+	if err := dir.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+
+	request, err := profile.Decode(open("tablet-request.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := dir.Query(request.Required[0])
+	if len(results) != 2 {
+		t.Fatalf("results = %v, want both media-center capabilities", results)
+	}
+	if results[0].Entry.Capability.Name != "StreamMovies" {
+		t.Fatalf("best = %s, want StreamMovies", results[0].Entry.Capability.Name)
+	}
+	if results[0].Distance >= results[1].Distance {
+		t.Fatalf("ranking broken: %v", results)
+	}
+
+	// Tighten the latency bound to 20ms: the 25ms movie capability drops,
+	// the 15ms generic one stays.
+	tight := request.Required[0].Clone()
+	tight.QoSRequired = []profile.QoSConstraint{
+		{Name: "latencyMs", Min: profile.Unbounded(), Max: 20},
+	}
+	results = dir.Query(tight)
+	if len(results) != 1 || results[0].Entry.Capability.Name != "StreamAnyDigital" {
+		t.Fatalf("tight-QoS results = %v, want StreamAnyDigital only", results)
+	}
+}

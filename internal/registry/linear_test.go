@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sariadne/internal/profile"
+)
+
+func TestLinearRegisterQuery(t *testing.T) {
+	_, m := newFixtureDirectory(t)
+	d := NewLinearDirectory(m)
+	if err := d.Register(profile.WorkstationService()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(&profile.Service{}); err == nil {
+		t.Fatal("accepted invalid service")
+	}
+	req := profile.PDAService().Required[0]
+	results := d.Query(req)
+	if len(results) != 1 || results[0].Distance != 3 {
+		t.Fatalf("Query = %v, want SendDigitalStream at 3", results)
+	}
+	best, ok := d.Best(req)
+	if !ok || best.Entry.Capability.Name != "SendDigitalStream" {
+		t.Fatalf("Best = %v, %v", best, ok)
+	}
+	if d.NumCapabilities() != 2 {
+		t.Fatalf("NumCapabilities = %d, want 2", d.NumCapabilities())
+	}
+	if d.MatchOps() == 0 {
+		t.Fatal("MatchOps not counted")
+	}
+}
+
+func TestLinearDeregister(t *testing.T) {
+	_, m := newFixtureDirectory(t)
+	d := NewLinearDirectory(m)
+	if err := d.Register(profile.WorkstationService()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Deregister("MediaWorkstation") {
+		t.Fatal("Deregister failed")
+	}
+	if d.Deregister("MediaWorkstation") {
+		t.Fatal("double Deregister succeeded")
+	}
+	if d.NumCapabilities() != 0 {
+		t.Fatal("entries remain after Deregister")
+	}
+	if _, ok := d.Best(profile.PDAService().Required[0]); ok {
+		t.Fatal("Best found something in an empty directory")
+	}
+}
+
+// TestPropertyLinearAndClassifiedAgree: both directory implementations
+// answer every query with the same matches and distances.
+func TestPropertyLinearAndClassifiedAgree(t *testing.T) {
+	categories := []string{"Server", "DigitalServer", "StreamingServer", "VideoServer", "GameServer"}
+	inputs := []string{"Resource", "DigitalResource", "VideoResource", "GameResource", "Movie"}
+	outputs := []string{"Stream", "VideoStream", "AudioStream"}
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		classified, m := newFixtureDirectory(t)
+		linear := NewLinearDirectory(m)
+		n := rng.Intn(12) + 1
+		for i := 0; i < n; i++ {
+			c := capability(
+				fmt.Sprintf("C%d", i),
+				categories[rng.Intn(len(categories))],
+				inputs[rng.Intn(len(inputs))],
+				outputs[rng.Intn(len(outputs))],
+			)
+			s := service(fmt.Sprintf("s%d", i), c)
+			if err := classified.Register(s); err != nil {
+				return false
+			}
+			if err := linear.Register(s); err != nil {
+				return false
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			req := capability("Req",
+				categories[rng.Intn(len(categories))],
+				inputs[rng.Intn(len(inputs))],
+				outputs[rng.Intn(len(outputs))],
+			)
+			a := classified.Query(req)
+			b := linear.Query(req)
+			if len(a) != len(b) {
+				t.Logf("seed %d: %d vs %d results", seed, len(a), len(b))
+				return false
+			}
+			for i := range a {
+				if a[i].Entry.Capability.Name != b[i].Entry.Capability.Name || a[i].Distance != b[i].Distance {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

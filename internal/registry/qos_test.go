@@ -1,0 +1,50 @@
+package registry
+
+import (
+	"testing"
+
+	"sariadne/internal/profile"
+)
+
+// TestQueryQoSFilter: functional matches that violate the request's QoS
+// constraints are filtered out of query answers, in both directory
+// implementations.
+func TestQueryQoSFilter(t *testing.T) {
+	d, m := newFixtureDirectory(t)
+	lin := NewLinearDirectory(m)
+
+	fast := capability("FastStream", "VideoServer", "VideoResource", "Stream")
+	fast.QoSProvided = []profile.QoSValue{{Name: "latencyMs", Value: 10}}
+	slow := capability("SlowStream", "VideoServer", "VideoResource", "Stream")
+	slow.QoSProvided = []profile.QoSValue{{Name: "latencyMs", Value: 200}}
+	unknown := capability("OpaqueStream", "VideoServer", "VideoResource", "Stream")
+
+	for i, c := range []*profile.Capability{fast, slow, unknown} {
+		s := service([]string{"sf", "ss", "su"}[i], c)
+		if err := d.Register(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := lin.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	req := capability("Req", "VideoServer", "VideoResource", "Stream")
+	req.QoSRequired = []profile.QoSConstraint{
+		{Name: "latencyMs", Min: profile.Unbounded(), Max: 50},
+	}
+	for name, results := range map[string][]Result{
+		"classified": d.Query(req),
+		"linear":     lin.Query(req),
+	} {
+		if len(results) != 1 || results[0].Entry.Capability.Name != "FastStream" {
+			t.Errorf("%s: results = %v, want FastStream only", name, results)
+		}
+	}
+
+	// Without constraints all three qualify.
+	req.QoSRequired = nil
+	if results := d.Query(req); len(results) != 3 {
+		t.Fatalf("unconstrained results = %v, want 3", results)
+	}
+}

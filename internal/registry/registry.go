@@ -1,0 +1,736 @@
+// Package registry implements the directory-side classification of service
+// advertisements from Section 3.3 of the paper: capabilities of networked
+// services are organized into directed acyclic graphs of related
+// capabilities, indexed by the set of ontologies they use, so that a
+// request is matched against a handful of graph roots instead of every
+// advertisement in the directory.
+//
+// Graph structure (paper, Section 3.3):
+//
+//   - two capabilities that match in both directions with semantic
+//     distance 0 share a single vertex;
+//   - otherwise, when Match(C1, C2) holds, C1 and C2 are distinct vertices
+//     with a directed edge from the more generic C1 to C2;
+//   - Roots(G) are vertices without predecessors (the most generic
+//     capabilities), Leaves(G) those without successors.
+//
+// The Match relation is transitive, which gives the two facts the paper's
+// algorithms rely on: if no root of a graph matches a request, nothing in
+// the graph does (sound filtering), and the set of vertices matching a
+// request is closed downward from the roots that match (so insertion and
+// query only ever traverse matching regions).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sariadne/internal/match"
+	"sariadne/internal/profile"
+)
+
+// Common errors.
+var (
+	// ErrInvalidCapability is returned when registering a capability that
+	// fails validation.
+	ErrInvalidCapability = errors.New("registry: invalid capability")
+)
+
+// Entry is one advertised capability with its provenance.
+type Entry struct {
+	// Capability is the advertised provided capability.
+	Capability *profile.Capability
+	// Service and Provider identify the advertisement's origin.
+	Service  string
+	Provider string
+}
+
+// String renders the entry as service/capability.
+func (e *Entry) String() string {
+	return e.Service + "/" + e.Capability.Name
+}
+
+// Result is a query answer: a matching advertisement and its semantic
+// distance from the request (lower is better).
+type Result struct {
+	Entry    *Entry
+	Distance int
+}
+
+// vertex is an equivalence class of capabilities in one graph.
+type vertex struct {
+	// rep is the representative capability used for graph navigation; all
+	// entries in the vertex match rep mutually.
+	rep     *profile.Capability
+	entries []*Entry
+	preds   map[*vertex]struct{}
+	succs   map[*vertex]struct{}
+}
+
+// graph is one DAG of related capabilities plus its ontology index.
+type graph struct {
+	// ontologies is the union of ontology URIs used by member capabilities.
+	ontologies map[string]struct{}
+	vertices   map[*vertex]struct{}
+	roots      map[*vertex]struct{}
+	leaves     map[*vertex]struct{}
+}
+
+func newGraph() *graph {
+	return &graph{
+		ontologies: make(map[string]struct{}),
+		vertices:   make(map[*vertex]struct{}),
+		roots:      make(map[*vertex]struct{}),
+		leaves:     make(map[*vertex]struct{}),
+	}
+}
+
+// covers reports whether the graph's ontology set contains every URI the
+// capability uses — the paper's graph pre-selection index.
+func (g *graph) covers(uris []string) bool {
+	for _, u := range uris {
+		if _, ok := g.ontologies[u]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *graph) addOntologies(uris []string) {
+	for _, u := range uris {
+		g.ontologies[u] = struct{}{}
+	}
+}
+
+// Directory is a semantic service directory: it caches advertised
+// capabilities classified into graphs and answers capability queries.
+// Directory is safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	matcher match.ConceptMatcher
+	graphs  []*graph
+	// byOntology indexes graphs by the ontology URIs they contain, so
+	// query-time graph pre-selection does not scan every graph.
+	byOntology map[string][]*graph
+	// byService tracks entries for deregistration.
+	byService map[string][]*Entry
+	// matchOps counts capability-level match operations (monotonic).
+	matchOps atomic.Uint64
+}
+
+// NewDirectory returns an empty directory matching with m.
+func NewDirectory(m match.ConceptMatcher) *Directory {
+	return &Directory{
+		matcher:    m,
+		byOntology: make(map[string][]*graph),
+		byService:  make(map[string][]*Entry),
+	}
+}
+
+// indexGraph records g under every URI in uris not yet indexed for it.
+func (d *Directory) indexGraph(g *graph, uris []string) {
+	for _, u := range uris {
+		if _, ok := g.ontologies[u]; ok {
+			continue // already indexed when first added
+		}
+		d.byOntology[u] = append(d.byOntology[u], g)
+	}
+	g.addOntologies(uris)
+}
+
+// unindexGraph removes g from the ontology index.
+func (d *Directory) unindexGraph(g *graph) {
+	for u := range g.ontologies {
+		list := d.byOntology[u]
+		for i, gg := range list {
+			if gg == g {
+				d.byOntology[u] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(d.byOntology[u]) == 0 {
+			delete(d.byOntology, u)
+		}
+	}
+}
+
+// candidateGraphs returns the graphs whose ontology set covers uris,
+// using the index: it scans only the graphs listed under the rarest URI.
+// With no URI constraint every graph qualifies.
+func (d *Directory) candidateGraphs(uris []string) []*graph {
+	if len(uris) == 0 {
+		return d.graphs
+	}
+	var smallest []*graph
+	for i, u := range uris {
+		list, ok := d.byOntology[u]
+		if !ok {
+			return nil
+		}
+		if i == 0 || len(list) < len(smallest) {
+			smallest = list
+		}
+	}
+	out := make([]*graph, 0, len(smallest))
+	for _, g := range smallest {
+		if g.covers(uris) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// distance wraps match.SemanticDistance and counts match operations, the
+// quantity the paper's directory optimization minimizes.
+func (d *Directory) distance(c1, c2 *profile.Capability) (int, bool) {
+	d.matchOps.Add(1)
+	return match.SemanticDistance(d.matcher, c1, c2)
+}
+
+func (d *Directory) matches(c1, c2 *profile.Capability) bool {
+	_, ok := d.distance(c1, c2)
+	return ok
+}
+
+// MatchOps returns the cumulative number of capability-level semantic
+// match operations performed by the directory (insertions and queries).
+func (d *Directory) MatchOps() uint64 { return d.matchOps.Load() }
+
+// NumGraphs returns the number of capability graphs.
+func (d *Directory) NumGraphs() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.graphs)
+}
+
+// NumCapabilities returns the number of stored advertisements (entries).
+func (d *Directory) NumCapabilities() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, entries := range d.byService {
+		n += len(entries)
+	}
+	return n
+}
+
+// Services returns the sorted names of registered services.
+func (d *Directory) Services() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.byService))
+	for s := range d.byService {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register classifies every provided capability of the service into the
+// directory's graphs (the paper's "adding a new service advertisement").
+// Re-registering a service name replaces its previous advertisement, so
+// periodic re-publication after directory churn stays idempotent.
+func (d *Directory) Register(s *profile.Service) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidCapability, err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if old, ok := d.byService[s.Name]; ok {
+		delete(d.byService, s.Name)
+		for _, e := range old {
+			d.removeEntry(e)
+		}
+	}
+	for _, c := range s.Provided {
+		e := &Entry{Capability: c.Clone(), Service: s.Name, Provider: s.Provider}
+		d.insert(e)
+		d.byService[s.Name] = append(d.byService[s.Name], e)
+	}
+	return nil
+}
+
+// insert classifies one entry. Candidate graphs are those whose ontology
+// index covers the capability's ontologies; the first graph where the
+// capability relates to existing vertices receives it, otherwise a new
+// graph is created (capabilities unrelated to everything become singleton
+// graphs, preserving the "graphs contain related capabilities" invariant).
+func (d *Directory) insert(e *Entry) {
+	c := e.Capability
+	uris := c.Ontologies()
+	for _, g := range d.candidateGraphs(uris) {
+		if d.insertIntoGraph(g, e) {
+			return
+		}
+	}
+	// No graph accepted the capability: start a new one.
+	g := newGraph()
+	v := &vertex{rep: c, entries: []*Entry{e}, preds: map[*vertex]struct{}{}, succs: map[*vertex]struct{}{}}
+	g.vertices[v] = struct{}{}
+	g.roots[v] = struct{}{}
+	g.leaves[v] = struct{}{}
+	d.graphs = append(d.graphs, g)
+	d.indexGraph(g, uris)
+}
+
+// insertIntoGraph tries to place the entry inside g. It returns false when
+// the capability is unrelated to every vertex of g.
+//
+// The matching region M = {V : Match(V, C)} is explored top-down from the
+// matching roots (M is downward-closed along edges into it); the region
+// S = {V : Match(C, V)} is explored bottom-up from the matching leaves.
+// Parents of C are the minimal frontier of M, children the maximal
+// frontier of S — a robust completion of the paper's root/leaf probing
+// algorithm.
+func (d *Directory) insertIntoGraph(g *graph, e *Entry) bool {
+	c := e.Capability
+
+	// M: vertices that subsume C (can substitute for C).
+	m := make(map[*vertex]struct{})
+	var frontier []*vertex
+	for r := range g.roots {
+		if d.matches(r.rep, c) {
+			m[r] = struct{}{}
+			frontier = append(frontier, r)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*vertex
+		for _, v := range frontier {
+			for s := range v.succs {
+				if _, seen := m[s]; seen {
+					continue
+				}
+				if d.matches(s.rep, c) {
+					m[s] = struct{}{}
+					next = append(next, s)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// S: vertices that C subsumes.
+	sset := make(map[*vertex]struct{})
+	frontier = frontier[:0]
+	for l := range g.leaves {
+		if d.matches(c, l.rep) {
+			sset[l] = struct{}{}
+			frontier = append(frontier, l)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*vertex
+		for _, v := range frontier {
+			for p := range v.preds {
+				if _, seen := sset[p]; seen {
+					continue
+				}
+				if d.matches(c, p.rep) {
+					sset[p] = struct{}{}
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	if len(m) == 0 && len(sset) == 0 {
+		return false
+	}
+
+	// Mutual match: join the existing equivalence vertex. Transitivity
+	// guarantees at most one vertex sits in both regions.
+	for v := range m {
+		if _, both := sset[v]; both {
+			v.entries = append(v.entries, e)
+			d.indexGraph(g, c.Ontologies())
+			return true
+		}
+	}
+
+	// Parents: minimal frontier of M (no successor also in M).
+	parents := make([]*vertex, 0, len(m))
+	for v := range m {
+		minimal := true
+		for s := range v.succs {
+			if _, ok := m[s]; ok {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			parents = append(parents, v)
+		}
+	}
+	// Children: maximal frontier of S (no predecessor also in S).
+	children := make([]*vertex, 0, len(sset))
+	for v := range sset {
+		maximal := true
+		for p := range v.preds {
+			if _, ok := sset[p]; ok {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			children = append(children, v)
+		}
+	}
+
+	nv := &vertex{rep: c, entries: []*Entry{e}, preds: map[*vertex]struct{}{}, succs: map[*vertex]struct{}{}}
+	g.vertices[nv] = struct{}{}
+	for _, p := range parents {
+		// Drop direct edges p→child that the new vertex now mediates.
+		for _, ch := range children {
+			if _, ok := p.succs[ch]; ok {
+				delete(p.succs, ch)
+				delete(ch.preds, p)
+			}
+		}
+		p.succs[nv] = struct{}{}
+		nv.preds[p] = struct{}{}
+		delete(g.leaves, p)
+	}
+	for _, ch := range children {
+		nv.succs[ch] = struct{}{}
+		ch.preds[nv] = struct{}{}
+		delete(g.roots, ch)
+	}
+	if len(parents) == 0 {
+		g.roots[nv] = struct{}{}
+	}
+	if len(children) == 0 {
+		g.leaves[nv] = struct{}{}
+	}
+	d.indexGraph(g, c.Ontologies())
+	return true
+}
+
+// Deregister removes every capability advertised by the named service.
+// It reports whether the service was present.
+func (d *Directory) Deregister(service string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, ok := d.byService[service]
+	if !ok {
+		return false
+	}
+	delete(d.byService, service)
+	for _, e := range entries {
+		d.removeEntry(e)
+	}
+	return true
+}
+
+// removeEntry drops one entry; vertices left without entries are removed
+// and their predecessors reconnected to their successors.
+func (d *Directory) removeEntry(e *Entry) {
+	for gi, g := range d.graphs {
+		for v := range g.vertices {
+			idx := -1
+			for i, ve := range v.entries {
+				if ve == e {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			v.entries = append(v.entries[:idx], v.entries[idx+1:]...)
+			if len(v.entries) > 0 {
+				return
+			}
+			// Vertex emptied: splice it out.
+			delete(g.vertices, v)
+			delete(g.roots, v)
+			delete(g.leaves, v)
+			for p := range v.preds {
+				delete(p.succs, v)
+			}
+			for s := range v.succs {
+				delete(s.preds, v)
+			}
+			for p := range v.preds {
+				for s := range v.succs {
+					// Reconnect unless another path already implies it.
+					p.succs[s] = struct{}{}
+					s.preds[p] = struct{}{}
+				}
+			}
+			for p := range v.preds {
+				if len(p.succs) == 0 {
+					g.leaves[p] = struct{}{}
+				}
+			}
+			for s := range v.succs {
+				if len(s.preds) == 0 {
+					g.roots[s] = struct{}{}
+				}
+			}
+			if len(g.vertices) == 0 {
+				d.graphs = append(d.graphs[:gi], d.graphs[gi+1:]...)
+				d.unindexGraph(g)
+			}
+			return
+		}
+	}
+}
+
+// Query returns every advertisement matching the required capability,
+// sorted by ascending semantic distance (ties broken by service then
+// capability name for determinism). It implements the paper's "answering
+// user requests": graphs are pre-selected by ontology index, only matching
+// roots are expanded, and only matching vertices are traversed.
+func (d *Directory) Query(req *profile.Capability) []Result {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	// Filter graphs by the ontologies a matching provider must use (the
+	// request's outputs and properties); the request's offered inputs may
+	// go unused by a provider, so their ontologies must not prune.
+	uris := req.RequiredOntologies()
+	var results []Result
+	for _, g := range d.candidateGraphs(uris) {
+		matched := make(map[*vertex]struct{})
+		var frontier []*vertex
+		for r := range g.roots {
+			if d.matches(r.rep, req) {
+				matched[r] = struct{}{}
+				frontier = append(frontier, r)
+			}
+		}
+		for len(frontier) > 0 {
+			var next []*vertex
+			for _, v := range frontier {
+				for s := range v.succs {
+					if _, seen := matched[s]; seen {
+						continue
+					}
+					if d.matches(s.rep, req) {
+						matched[s] = struct{}{}
+						next = append(next, s)
+					}
+				}
+			}
+			frontier = next
+		}
+		for v := range matched {
+			for _, e := range v.entries {
+				dist, ok := d.distance(e.Capability, req)
+				if !ok {
+					continue
+				}
+				// QoS constraints filter individual advertisements after
+				// functional matching; they stay out of the graph order
+				// because range constraints are not transitive.
+				if !profile.QoSSatisfies(e.Capability, req) {
+					continue
+				}
+				results = append(results, Result{Entry: e, Distance: dist})
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Distance != results[j].Distance {
+			return results[i].Distance < results[j].Distance
+		}
+		if results[i].Entry.Service != results[j].Entry.Service {
+			return results[i].Entry.Service < results[j].Entry.Service
+		}
+		return results[i].Entry.Capability.Name < results[j].Entry.Capability.Name
+	})
+	return results
+}
+
+// Best returns the advertisement with minimal semantic distance from the
+// request, if any matches.
+func (d *Directory) Best(req *profile.Capability) (Result, bool) {
+	results := d.Query(req)
+	if len(results) == 0 {
+		return Result{}, false
+	}
+	return results[0], true
+}
+
+// Ontologies returns the sorted union of ontology URIs across all graphs;
+// Bloom summaries (Section 4) hash over capability ontology sets, which
+// this exposes for tests and diagnostics.
+func (d *Directory) Ontologies() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := make(map[string]struct{})
+	for _, g := range d.graphs {
+		for u := range g.ontologies {
+			seen[u] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OntologyKeys returns the distinct capability ontology-set keys stored in
+// the directory, the unit hashed into Bloom filters by Section 4.
+func (d *Directory) OntologyKeys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := make(map[string]struct{})
+	for _, entries := range d.byService {
+		for _, e := range entries {
+			seen[e.Capability.OntologyKey()] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a human-readable dump of the graph structure, mainly
+// for debugging and the examples.
+func (d *Directory) Snapshot() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var b strings.Builder
+	for i, g := range d.graphs {
+		uris := make([]string, 0, len(g.ontologies))
+		for u := range g.ontologies {
+			uris = append(uris, u)
+		}
+		sort.Strings(uris)
+		fmt.Fprintf(&b, "graph %d (ontologies: %s)\n", i, strings.Join(uris, ", "))
+		var verts []*vertex
+		for v := range g.vertices {
+			verts = append(verts, v)
+		}
+		sort.Slice(verts, func(a, c int) bool { return verts[a].rep.Name < verts[c].rep.Name })
+		for _, v := range verts {
+			names := make([]string, 0, len(v.entries))
+			for _, e := range v.entries {
+				names = append(names, e.String())
+			}
+			var succs []string
+			for s := range v.succs {
+				succs = append(succs, s.rep.Name)
+			}
+			sort.Strings(succs)
+			marker := ""
+			if _, ok := g.roots[v]; ok {
+				marker += " [root]"
+			}
+			if _, ok := g.leaves[v]; ok {
+				marker += " [leaf]"
+			}
+			fmt.Fprintf(&b, "  %s%s -> {%s} entries: %s\n", v.rep.Name, marker, strings.Join(succs, ", "), strings.Join(names, ", "))
+		}
+	}
+	return b.String()
+}
+
+// checkInvariants verifies structural invariants; tests call it after
+// mutation sequences. It returns a description of the first violation.
+func (d *Directory) checkInvariants() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for gi, g := range d.graphs {
+		// Roots/leaves bookkeeping.
+		for v := range g.vertices {
+			if (len(v.preds) == 0) != isIn(g.roots, v) {
+				return fmt.Errorf("graph %d: root bookkeeping wrong for %s", gi, v.rep.Name)
+			}
+			if (len(v.succs) == 0) != isIn(g.leaves, v) {
+				return fmt.Errorf("graph %d: leaf bookkeeping wrong for %s", gi, v.rep.Name)
+			}
+			for s := range v.succs {
+				if _, ok := s.preds[v]; !ok {
+					return fmt.Errorf("graph %d: asymmetric edge %s -> %s", gi, v.rep.Name, s.rep.Name)
+				}
+			}
+			if len(v.entries) == 0 {
+				return fmt.Errorf("graph %d: empty vertex %s", gi, v.rep.Name)
+			}
+		}
+		// Acyclicity via DFS coloring.
+		color := make(map[*vertex]int)
+		var cyc func(v *vertex) bool
+		cyc = func(v *vertex) bool {
+			color[v] = 1
+			for s := range v.succs {
+				switch color[s] {
+				case 1:
+					return true
+				case 0:
+					if cyc(s) {
+						return true
+					}
+				}
+			}
+			color[v] = 2
+			return false
+		}
+		for v := range g.vertices {
+			if color[v] == 0 && cyc(v) {
+				return fmt.Errorf("graph %d: cycle detected", gi)
+			}
+		}
+		// Edges respect Match.
+		for v := range g.vertices {
+			for s := range v.succs {
+				if !match.Match(d.matcher, v.rep, s.rep) {
+					return fmt.Errorf("graph %d: edge %s -> %s violates Match", gi, v.rep.Name, s.rep.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isIn(set map[*vertex]struct{}, v *vertex) bool {
+	_, ok := set[v]
+	return ok
+}
+
+// Stats summarizes the directory's graph structure for diagnostics and
+// capacity monitoring.
+type Stats struct {
+	Graphs   int
+	Vertices int
+	Edges    int
+	Entries  int
+	// MaxGraphVertices is the size of the largest graph.
+	MaxGraphVertices int
+	// Roots and Leaves count across all graphs.
+	Roots  int
+	Leaves int
+}
+
+// Stats computes a snapshot of the structural counters.
+func (d *Directory) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var s Stats
+	s.Graphs = len(d.graphs)
+	for _, g := range d.graphs {
+		s.Vertices += len(g.vertices)
+		s.Roots += len(g.roots)
+		s.Leaves += len(g.leaves)
+		if len(g.vertices) > s.MaxGraphVertices {
+			s.MaxGraphVertices = len(g.vertices)
+		}
+		for v := range g.vertices {
+			s.Edges += len(v.succs)
+			s.Entries += len(v.entries)
+		}
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Topology builders: convenience constructors for common test and
+// evaluation layouts. Each registers nodes named prefix0..prefixN-1 and
+// returns the endpoints in index order.
+
+// BuildLine creates a chain: node i linked to node i+1.
+func BuildLine(n *Network, prefix string, count int) ([]*Endpoint, error) {
+	eps, err := addNodes(n, prefix, count)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < count; i++ {
+		if err := n.Connect(eps[i].ID(), eps[i+1].ID()); err != nil {
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+// BuildRing creates a cycle: a line with the ends joined.
+func BuildRing(n *Network, prefix string, count int) ([]*Endpoint, error) {
+	eps, err := BuildLine(n, prefix, count)
+	if err != nil {
+		return nil, err
+	}
+	if count > 2 {
+		if err := n.Connect(eps[count-1].ID(), eps[0].ID()); err != nil {
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+// BuildStar links node 0 to every other node.
+func BuildStar(n *Network, prefix string, count int) ([]*Endpoint, error) {
+	eps, err := addNodes(n, prefix, count)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < count; i++ {
+		if err := n.Connect(eps[0].ID(), eps[i].ID()); err != nil {
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+// BuildGrid lays nodes on a rows×cols lattice with 4-neighbor links.
+func BuildGrid(n *Network, prefix string, rows, cols int) ([]*Endpoint, error) {
+	eps, err := addNodes(n, prefix, rows*cols)
+	if err != nil {
+		return nil, err
+	}
+	at := func(r, c int) *Endpoint { return eps[r*cols+c] }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := n.Connect(at(r, c).ID(), at(r, c+1).ID()); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := n.Connect(at(r, c).ID(), at(r+1, c).ID()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return eps, nil
+}
+
+// BuildGeometric places nodes uniformly at random on the unit square and
+// links pairs within the given radio radius (a unit-disk graph, the
+// standard MANET model). The layout is deterministic for a given seed.
+func BuildGeometric(n *Network, prefix string, count int, radius float64, seed int64) ([]*Endpoint, error) {
+	eps, err := addNodes(n, prefix, count)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	pts := make([]pt, count)
+	for i := range pts {
+		pts[i] = pt{x: rng.Float64(), y: rng.Float64()}
+	}
+	for i := 0; i < count; i++ {
+		for j := i + 1; j < count; j++ {
+			dx, dy := pts[i].x-pts[j].x, pts[i].y-pts[j].y
+			if math.Hypot(dx, dy) <= radius {
+				if err := n.Connect(eps[i].ID(), eps[j].ID()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return eps, nil
+}
+
+func addNodes(n *Network, prefix string, count int) ([]*Endpoint, error) {
+	eps := make([]*Endpoint, 0, count)
+	for i := 0; i < count; i++ {
+		e, err := n.AddNode(NodeID(fmt.Sprintf("%s%d", prefix, i)))
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, e)
+	}
+	return eps, nil
+}

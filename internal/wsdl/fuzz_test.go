@@ -1,0 +1,40 @@
+package wsdl
+
+import "testing"
+
+// FuzzDecode hardens the WSDL-lite parser: no panics, and successful
+// decodes keep satisfying themselves after a round trip.
+func FuzzDecode(f *testing.F) {
+	valid, err := Marshal(&Definition{
+		Name: "svc",
+		Messages: []Message{
+			{Name: "In", Parts: []Part{{Name: "a", Type: "xsd:string"}}},
+		},
+		PortTypes: []PortType{
+			{Name: "P", Operations: []Operation{{Name: "op", Input: "In"}}},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`<definitions name="x"/>`))
+	f.Add([]byte(`<definitions`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(d)
+		if err != nil {
+			t.Fatalf("decoded definition fails to marshal: %v", err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("marshal output fails to decode: %v", err)
+		}
+		if !Satisfies(back, d) || !Satisfies(d, back) {
+			t.Fatal("round trip broke self-satisfaction")
+		}
+	})
+}

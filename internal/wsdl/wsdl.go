@@ -1,0 +1,307 @@
+// Package wsdl implements the syntactic service descriptions and matching
+// that the original Ariadne discovery protocol uses — the baseline
+// S-Ariadne is compared against in Figure 10 — plus a flat UDDI-style
+// registry providing the syntactic reference point of Section 2.4.
+//
+// A description is a WSDL-like interface: named messages made of typed
+// parts, and port types whose operations reference those messages.
+// Syntactic matching is purely structural: a provided description
+// satisfies a required one exactly when every required operation appears
+// with the same name and structurally identical input and output messages.
+// There is no semantic substitution — which is precisely the weakness the
+// paper's semantic discovery removes.
+package wsdl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Validation errors.
+var (
+	// ErrNoName is returned when a definition lacks a name.
+	ErrNoName = errors.New("wsdl: missing name")
+	// ErrUnknownMessage is returned when an operation references an
+	// undeclared message.
+	ErrUnknownMessage = errors.New("wsdl: unknown message")
+)
+
+// Part is a typed message fragment.
+type Part struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// Message is a named list of parts.
+type Message struct {
+	Name  string `xml:"name,attr"`
+	Parts []Part `xml:"part"`
+}
+
+// Operation pairs an input and an output message by name.
+type Operation struct {
+	Name   string `xml:"name,attr"`
+	Input  string `xml:"input,attr,omitempty"`
+	Output string `xml:"output,attr,omitempty"`
+}
+
+// PortType is a named set of operations (the WSDL interface unit).
+type PortType struct {
+	Name       string      `xml:"name,attr"`
+	Operations []Operation `xml:"operation"`
+}
+
+// Definition is one service's syntactic description.
+type Definition struct {
+	XMLName         xml.Name   `xml:"definitions"`
+	Name            string     `xml:"name,attr"`
+	TargetNamespace string     `xml:"targetNamespace,attr,omitempty"`
+	Messages        []Message  `xml:"message"`
+	PortTypes       []PortType `xml:"portType"`
+}
+
+// Validate checks naming and referential integrity.
+func (d *Definition) Validate() error {
+	if d.Name == "" {
+		return ErrNoName
+	}
+	msgs := make(map[string]bool, len(d.Messages))
+	for _, m := range d.Messages {
+		if m.Name == "" {
+			return fmt.Errorf("%w: message in %q", ErrNoName, d.Name)
+		}
+		msgs[m.Name] = true
+	}
+	for _, pt := range d.PortTypes {
+		if pt.Name == "" {
+			return fmt.Errorf("%w: portType in %q", ErrNoName, d.Name)
+		}
+		for _, op := range pt.Operations {
+			if op.Name == "" {
+				return fmt.Errorf("%w: operation in %q", ErrNoName, pt.Name)
+			}
+			if op.Input != "" && !msgs[op.Input] {
+				return fmt.Errorf("%w: %q input %q", ErrUnknownMessage, op.Name, op.Input)
+			}
+			if op.Output != "" && !msgs[op.Output] {
+				return fmt.Errorf("%w: %q output %q", ErrUnknownMessage, op.Name, op.Output)
+			}
+		}
+	}
+	return nil
+}
+
+// message returns the named message, if declared.
+func (d *Definition) message(name string) (Message, bool) {
+	for _, m := range d.Messages {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// Decode parses and validates a WSDL-like document.
+func Decode(r io.Reader) (*Definition, error) {
+	var d Definition
+	if err := xml.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("wsdl: decode: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Unmarshal parses a document from a byte slice.
+func Unmarshal(data []byte) (*Definition, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+// Encode writes the definition as XML.
+func Encode(w io.Writer, d *Definition) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("wsdl: encode: %w", err)
+	}
+	return enc.Close()
+}
+
+// Marshal renders the definition as XML.
+func Marshal(d *Definition) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// messagesEqual compares two messages structurally, order-insensitively on
+// parts.
+func messagesEqual(a, b Message) bool {
+	if len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	ap := append([]Part(nil), a.Parts...)
+	bp := append([]Part(nil), b.Parts...)
+	less := func(s []Part) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i].Name != s[j].Name {
+				return s[i].Name < s[j].Name
+			}
+			return s[i].Type < s[j].Type
+		}
+	}
+	sort.Slice(ap, less(ap))
+	sort.Slice(bp, less(bp))
+	for i := range ap {
+		if ap[i] != bp[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfies reports whether the provided definition syntactically satisfies
+// the required one: every required port type has a provided port type with
+// the same name containing every required operation with identical name
+// and structurally equal input/output messages. This models the syntactic
+// interface conformance of classical SDPs — renaming a type or operation
+// breaks it, which is the paper's motivating limitation.
+func Satisfies(provided, required *Definition) bool {
+	for _, rpt := range required.PortTypes {
+		ppt, ok := findPortType(provided, rpt.Name)
+		if !ok {
+			return false
+		}
+		for _, rop := range rpt.Operations {
+			if !portTypeHasOperation(provided, required, ppt, rop) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func findPortType(d *Definition, name string) (PortType, bool) {
+	for _, pt := range d.PortTypes {
+		if pt.Name == name {
+			return pt, true
+		}
+	}
+	return PortType{}, false
+}
+
+func portTypeHasOperation(provided, required *Definition, ppt PortType, rop Operation) bool {
+	for _, pop := range ppt.Operations {
+		if pop.Name != rop.Name {
+			continue
+		}
+		if !operationMessagesEqual(provided, required, pop.Input, rop.Input) {
+			continue
+		}
+		if !operationMessagesEqual(provided, required, pop.Output, rop.Output) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func operationMessagesEqual(provided, required *Definition, pname, rname string) bool {
+	if (pname == "") != (rname == "") {
+		return false
+	}
+	if pname == "" {
+		return true
+	}
+	pm, ok1 := provided.message(pname)
+	rm, ok2 := required.message(rname)
+	return ok1 && ok2 && messagesEqual(pm, rm)
+}
+
+// KeywordMatch reports whether the definition's name contains the keyword,
+// case-insensitively — the weaker discovery mode of UDDI-style registries.
+func KeywordMatch(d *Definition, keyword string) bool {
+	return strings.Contains(strings.ToLower(d.Name), strings.ToLower(keyword))
+}
+
+// Registry is a flat, UDDI-style syntactic registry: publication appends,
+// queries scan every stored definition. Registry is safe for concurrent
+// use.
+type Registry struct {
+	mu   sync.RWMutex
+	defs []*Definition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Publish stores a definition.
+func (r *Registry) Publish(d *Definition) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defs = append(r.defs, d)
+	return nil
+}
+
+// Remove deletes the definition with the given name; it reports whether
+// one was removed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, d := range r.defs {
+		if d.Name == name {
+			r.defs = append(r.defs[:i], r.defs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Query returns every published definition that syntactically satisfies
+// the required interface — a full scan, by design.
+func (r *Registry) Query(required *Definition) []*Definition {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Definition
+	for _, d := range r.defs {
+		if Satisfies(d, required) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// QueryKeyword returns definitions whose names contain the keyword.
+func (r *Registry) QueryKeyword(keyword string) []*Definition {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Definition
+	for _, d := range r.defs {
+		if KeywordMatch(d, keyword) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Len returns the number of published definitions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.defs)
+}

@@ -1,0 +1,194 @@
+package wsdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// videoServerDef builds a WSDL-style description of the Figure 1
+// workstation, as Ariadne would see it.
+func videoServerDef(name string) *Definition {
+	return &Definition{
+		Name:            name,
+		TargetNamespace: "http://amigo.example/wsdl/" + name,
+		Messages: []Message{
+			{Name: "StreamRequest", Parts: []Part{{Name: "title", Type: "xsd:string"}}},
+			{Name: "StreamResponse", Parts: []Part{{Name: "stream", Type: "tns:Stream"}}},
+		},
+		PortTypes: []PortType{
+			{
+				Name: "DigitalServerPort",
+				Operations: []Operation{
+					{Name: "SendDigitalStream", Input: "StreamRequest", Output: "StreamResponse"},
+				},
+			},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := videoServerDef("s").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Definition)
+		want   error
+	}{
+		{"no name", func(d *Definition) { d.Name = "" }, ErrNoName},
+		{"anon message", func(d *Definition) { d.Messages[0].Name = "" }, ErrNoName},
+		{"anon porttype", func(d *Definition) { d.PortTypes[0].Name = "" }, ErrNoName},
+		{"anon operation", func(d *Definition) { d.PortTypes[0].Operations[0].Name = "" }, ErrNoName},
+		{"dangling input", func(d *Definition) { d.PortTypes[0].Operations[0].Input = "Nope" }, ErrUnknownMessage},
+		{"dangling output", func(d *Definition) { d.PortTypes[0].Operations[0].Output = "Nope" }, ErrUnknownMessage},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := videoServerDef("s")
+			tt.mutate(d)
+			if err := d.Validate(); !errors.Is(err, tt.want) {
+				t.Fatalf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := videoServerDef("media")
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || len(back.Messages) != 2 || len(back.PortTypes) != 1 {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+	if !Satisfies(back, d) || !Satisfies(d, back) {
+		t.Fatal("round-tripped definition no longer satisfies itself")
+	}
+	if _, err := Unmarshal([]byte("garbage")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := Marshal(&Definition{}); err == nil {
+		t.Fatal("marshaled invalid definition")
+	}
+}
+
+func TestSatisfiesExact(t *testing.T) {
+	p := videoServerDef("provider")
+	r := videoServerDef("required")
+	if !Satisfies(p, r) {
+		t.Fatal("identical structure must satisfy")
+	}
+}
+
+func TestSatisfiesRejectsRenames(t *testing.T) {
+	// The motivating failure of syntactic discovery: any rename breaks it.
+	tests := []struct {
+		name   string
+		mutate func(*Definition)
+	}{
+		{"operation rename", func(d *Definition) { d.PortTypes[0].Operations[0].Name = "GetVideoStream" }},
+		{"port rename", func(d *Definition) { d.PortTypes[0].Name = "VideoServerPort" }},
+		{"part type change", func(d *Definition) { d.Messages[0].Parts[0].Type = "xsd:anyURI" }},
+		{"part rename", func(d *Definition) { d.Messages[0].Parts[0].Name = "videoTitle" }},
+		{"extra required part", func(d *Definition) {
+			d.Messages[0].Parts = append(d.Messages[0].Parts, Part{Name: "lang", Type: "xsd:string"})
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := videoServerDef("provider")
+			r := videoServerDef("required")
+			tt.mutate(r)
+			if Satisfies(p, r) {
+				t.Fatal("rename should break syntactic match")
+			}
+		})
+	}
+}
+
+func TestSatisfiesPartOrderInsensitive(t *testing.T) {
+	p := videoServerDef("provider")
+	r := videoServerDef("required")
+	p.Messages[0].Parts = []Part{
+		{Name: "lang", Type: "xsd:string"},
+		{Name: "title", Type: "xsd:string"},
+	}
+	r.Messages[0].Parts = []Part{
+		{Name: "title", Type: "xsd:string"},
+		{Name: "lang", Type: "xsd:string"},
+	}
+	if !Satisfies(p, r) {
+		t.Fatal("part order must not matter")
+	}
+}
+
+func TestSatisfiesMissingMessages(t *testing.T) {
+	p := videoServerDef("provider")
+	r := videoServerDef("required")
+	// Required op with no input vs provided op with input.
+	r.PortTypes[0].Operations[0].Input = ""
+	if Satisfies(p, r) {
+		t.Fatal("presence/absence of input must matter")
+	}
+}
+
+func TestKeywordMatch(t *testing.T) {
+	d := videoServerDef("MediaWorkstation")
+	if !KeywordMatch(d, "media") || !KeywordMatch(d, "WORKSTATION") {
+		t.Fatal("case-insensitive keyword match failed")
+	}
+	if KeywordMatch(d, "printer") {
+		t.Fatal("false keyword match")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Publish(&Definition{}); err == nil {
+		t.Fatal("published invalid definition")
+	}
+	for _, name := range []string{"media1", "media2", "printer"} {
+		if err := r.Publish(videoServerDef(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	req := videoServerDef("anything")
+	if got := r.Query(req); len(got) != 3 {
+		t.Fatalf("Query = %d results, want 3", len(got))
+	}
+	req.PortTypes[0].Operations[0].Name = "Renamed"
+	if got := r.Query(req); len(got) != 0 {
+		t.Fatalf("Query after rename = %d results, want 0", len(got))
+	}
+	if got := r.QueryKeyword("media"); len(got) != 2 {
+		t.Fatalf("QueryKeyword = %d, want 2", len(got))
+	}
+	if !r.Remove("media1") || r.Remove("media1") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len after remove = %d", r.Len())
+	}
+}
+
+func TestEncodeOutputIsXML(t *testing.T) {
+	data, err := Marshal(videoServerDef("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<definitions", "<message", "<portType", "operation"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

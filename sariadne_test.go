@@ -1,0 +1,207 @@
+package sariadne
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sariadne/internal/profile"
+)
+
+// newFixtureSystem loads the Figure 1 ontologies.
+func newFixtureSystem(t testing.TB) *System {
+	t.Helper()
+	sys := NewSystem()
+	for _, o := range []*Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		if err := sys.AddOntology(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestSystemOntologyLifecycle(t *testing.T) {
+	sys := newFixtureSystem(t)
+	uris := sys.Ontologies()
+	if len(uris) != 2 {
+		t.Fatalf("Ontologies = %v", uris)
+	}
+	// XML path.
+	o := NewOntology("http://x.example/ont", "1")
+	o.MustAddClass(Class{Name: "A"})
+	o.MustAddClass(Class{Name: "B", SubClassOf: []string{"A"}})
+	data, err := MarshalOntology(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddOntologyXML(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Ontologies()) != 3 {
+		t.Fatal("XML ontology not added")
+	}
+	if err := sys.AddOntologyXML(strings.NewReader("junk")); err == nil {
+		t.Fatal("accepted junk ontology")
+	}
+	if !sys.Subsumes(Ref{Ontology: "http://x.example/ont", Name: "A"}, Ref{Ontology: "http://x.example/ont", Name: "B"}) {
+		t.Fatal("Subsumes lost after XML round trip")
+	}
+	if sys.Subsumes(Ref{Ontology: "http://x.example/ont", Name: "A"}, Ref{Ontology: "other", Name: "B"}) {
+		t.Fatal("cross-ontology subsumption")
+	}
+	if _, ok := sys.ConceptDistance(Ref{Ontology: "missing", Name: "A"}, Ref{Ontology: "missing", Name: "B"}); ok {
+		t.Fatal("distance over unknown ontology")
+	}
+	d, ok := sys.ConceptDistance(
+		Ref{Ontology: "http://x.example/ont", Name: "A"},
+		Ref{Ontology: "http://x.example/ont", Name: "B"})
+	if !ok || d != 1 {
+		t.Fatalf("ConceptDistance = %d, %v", d, ok)
+	}
+}
+
+func TestSystemMatchFigure1(t *testing.T) {
+	sys := newFixtureSystem(t)
+	provided := profile.WorkstationService().Capability("SendDigitalStream")
+	requested := profile.PDAService().Required[0]
+	d, ok := sys.Match(provided, requested)
+	if !ok || d != 3 {
+		t.Fatalf("Match = (%d, %v), want (3, true)", d, ok)
+	}
+	rep := sys.Explain(provided, requested)
+	if !rep.Matched || rep.Distance != 3 || len(rep.Pairs) != 3 {
+		t.Fatalf("Explain = %+v", rep)
+	}
+}
+
+func TestDirectoryFacade(t *testing.T) {
+	sys := newFixtureSystem(t)
+	dir := sys.NewDirectory()
+	if err := dir.Register(profile.WorkstationService()); err != nil {
+		t.Fatal(err)
+	}
+	if dir.NumCapabilities() != 2 || dir.NumGraphs() == 0 {
+		t.Fatalf("directory shape: %d caps, %d graphs", dir.NumCapabilities(), dir.NumGraphs())
+	}
+	req := profile.PDAService().Required[0]
+	results := dir.Query(req)
+	if len(results) != 1 || results[0].Distance != 3 {
+		t.Fatalf("Query = %v", results)
+	}
+	best, ok := dir.Best(req)
+	if !ok || best.Entry.Capability.Name != "SendDigitalStream" {
+		t.Fatalf("Best = %v, %v", best, ok)
+	}
+	if !strings.Contains(dir.Snapshot(), "SendDigitalStream") {
+		t.Fatal("Snapshot missing capability")
+	}
+	if !dir.Deregister("MediaWorkstation") {
+		t.Fatal("Deregister failed")
+	}
+	if dir.NumCapabilities() != 0 {
+		t.Fatal("directory not empty")
+	}
+}
+
+func TestMarshalParseService(t *testing.T) {
+	svc := profile.WorkstationService()
+	data, err := MarshalService(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseService(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != svc.Name {
+		t.Fatalf("name = %q", back.Name)
+	}
+	if _, err := ParseService(strings.NewReader("junk")); err == nil {
+		t.Fatal("accepted junk")
+	}
+	if _, err := ParseOntology(strings.NewReader("junk")); err == nil {
+		t.Fatal("accepted junk ontology")
+	}
+}
+
+// TestNetworkEndToEnd drives the whole public API: simulated network,
+// static directory, publish on one device, discover from another.
+func TestNetworkEndToEnd(t *testing.T) {
+	sys := newFixtureSystem(t)
+	net := sys.NewNetwork(NetworkConfig{
+		QueryTimeout: 500 * time.Millisecond,
+		Election: ElectionConfig{
+			AdvertiseInterval: 15 * time.Millisecond,
+			AdvertiseTTL:      3,
+			ElectionTimeout:   time.Hour, // static deployment in this test
+		},
+	})
+	defer net.Stop()
+
+	ids := []NodeID{"pda", "hub", "workstation"}
+	nodes := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		n, err := net.AddNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	if err := net.Link("pda", "hub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Link("hub", "workstation"); err != nil {
+		t.Fatal(err)
+	}
+	net.Start(context.Background())
+	nodes[1].BecomeDirectory()
+	if !nodes[1].IsDirectory() {
+		t.Fatal("hub not a directory")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := nodes[0].DirectoryID(); ok {
+			if _, ok := nodes[2].DirectoryID(); ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("advertisement timeout")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := nodes[2].Publish(ctx, profile.WorkstationService()); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	hits, err := nodes[0].Discover(ctx, profile.PDAService())
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if len(hits) != 1 || hits[0].Capability != "SendDigitalStream" || hits[0].Distance != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+
+	// Convenience wrapper.
+	hits, err = nodes[0].DiscoverCapability(ctx, profile.PDAService().Required[0])
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("DiscoverCapability = %v, %v", hits, err)
+	}
+
+	if st := net.Stats(); st.MessagesDelivered == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if _, ok := net.Node("hub"); !ok {
+		t.Fatal("Node lookup failed")
+	}
+	net.Unlink("pda", "hub")
+	net.RemoveNode("pda")
+	if _, ok := net.Node("pda"); ok {
+		t.Fatal("pda still present")
+	}
+}
