@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench lint check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# lint runs go vet plus the project analyzers (lockcheck, goroutinecheck,
+# detrand, sleeptest). Exit status 1 means findings.
+lint:
+	$(GO) run ./cmd/sdplint ./...
+
+# check is the full CI gate.
+check: build lint test race
+
+clean:
+	$(GO) clean ./...

@@ -25,6 +25,7 @@ import (
 	"sariadne/internal/reasoner"
 	"sariadne/internal/registry"
 	"sariadne/internal/simnet"
+	"sariadne/internal/testutil"
 	"sariadne/internal/wsdl"
 )
 
@@ -673,16 +674,10 @@ func BenchmarkProtocolRoundTrip(b *testing.B) {
 		}
 	}()
 	nodes[1].BecomeDirectory()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if _, ok := nodes[0].DirectoryID(); ok {
-			break
-		}
-		if time.Now().After(deadline) {
-			b.Fatal("advertisement timeout")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitFor(b, 5*time.Second, func() bool {
+		_, ok := nodes[0].DirectoryID()
+		return ok
+	}, "directory advertisement")
 	ctx := context.Background()
 	doc, err := profile.Marshal(profile.WorkstationService())
 	if err != nil {

@@ -127,7 +127,7 @@ func serveHTTP(addr string, srv *server) error {
 	s := &http.Server{Addr: addr, Handler: newHTTPGateway(srv)}
 	log.Printf("sdpd: serving HTTP gateway on %s", addr)
 	if err := s.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		return fmt.Errorf("sdpd: http: %w", err)
+		return fmt.Errorf("http gateway: %w", err)
 	}
 	return nil
 }

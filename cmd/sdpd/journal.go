@@ -64,6 +64,10 @@ func replayJournal(path string, s *server) (applied, skipped int, err error) {
 
 	scanner := bufio.NewScanner(f)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	// Replay happens before the front ends start, but applyLocked's
+	// contract is that the caller holds the server mutex, so hold it.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for scanner.Scan() {
 		line := scanner.Bytes()
 		if len(line) == 0 {
@@ -74,7 +78,7 @@ func replayJournal(path string, s *server) (applied, skipped int, err error) {
 			skipped++
 			continue
 		}
-		if resp := s.apply(e); !resp.OK {
+		if resp := s.applyLocked(e); !resp.OK {
 			skipped++
 			continue
 		}
@@ -86,9 +90,9 @@ func replayJournal(path string, s *server) (applied, skipped int, err error) {
 	return applied, skipped, nil
 }
 
-// apply executes a journal entry against the directory without
+// applyLocked executes a journal entry against the directory without
 // re-journaling it.
-func (s *server) apply(e journalEntry) response {
+func (s *server) applyLocked(e journalEntry) response {
 	switch e.Op {
 	case "register":
 		if _, err := s.backend.Register([]byte(e.Doc)); err != nil {
@@ -101,7 +105,7 @@ func (s *server) apply(e journalEntry) response {
 		}
 		return response{OK: true}
 	case "add-ontology":
-		if err := s.addOntologyText(e.Doc); err != nil {
+		if err := s.addOntologyTextLocked(e.Doc); err != nil {
 			return response{Error: err.Error()}
 		}
 		return response{OK: true}

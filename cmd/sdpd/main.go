@@ -103,15 +103,23 @@ func main() {
 		log.Fatalf("sdpd: listen: %v", err)
 	}
 	defer conn.Close()
+	// Both front ends report termination on one channel so a failing HTTP
+	// gateway takes the process down instead of dying silently in a
+	// goroutine nothing joins.
+	errCh := make(chan error, 2)
 	if *httpAddr != "" {
 		go func() {
-			if err := serveHTTP(*httpAddr, srv); err != nil {
-				log.Fatal(err)
-			}
+			errCh <- serveHTTP(*httpAddr, srv)
 		}()
 	}
 	log.Printf("sdpd: serving semantic discovery on %s (%d ontologies)", conn.LocalAddr(), len(ontologies))
-	srv.serve(conn)
+	go func() {
+		srv.serve(conn)
+		errCh <- nil
+	}()
+	if err := <-errCh; err != nil {
+		log.Fatalf("sdpd: %v", err)
+	}
 }
 
 // server is the directory node state. With both the UDP and HTTP front
@@ -120,10 +128,12 @@ func main() {
 // per-request work is microseconds, so serialization is not a bottleneck
 // for this tool).
 type server struct {
-	mu      sync.Mutex
-	reg     *codes.Registry
-	backend *discovery.SemanticBackend
-	journal *journal
+	mu sync.Mutex
+	// reg and backend are not internally synchronized; every request
+	// handler mutates or reads them under mu.
+	reg     *codes.Registry            // guarded by mu
+	backend *discovery.SemanticBackend // guarded by mu
+	journal *journal                   // guarded by mu
 }
 
 func newServer(ontologyFiles []string) (*server, error) {
@@ -134,7 +144,7 @@ func newServer(ontologyFiles []string) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = s.addOntology(f)
+		err = s.addOntologyLocked(f)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("ontology %s: %w", path, err)
@@ -143,11 +153,11 @@ func newServer(ontologyFiles []string) (*server, error) {
 	return s, nil
 }
 
-func (s *server) addOntologyText(doc string) error {
-	return s.addOntology(strings.NewReader(doc))
+func (s *server) addOntologyTextLocked(doc string) error {
+	return s.addOntologyLocked(strings.NewReader(doc))
 }
 
-func (s *server) addOntology(r interface{ Read([]byte) (int, error) }) error {
+func (s *server) addOntologyLocked(r interface{ Read([]byte) (int, error) }) error {
 	o, err := ontology.Decode(r)
 	if err != nil {
 		return err
@@ -197,7 +207,7 @@ func (s *server) handle(datagram []byte) response {
 		if err != nil {
 			return response{Error: err.Error()}
 		}
-		if err := s.persist(journalEntry{Op: "register", Doc: req.Doc}); err != nil {
+		if err := s.persistLocked(journalEntry{Op: "register", Doc: req.Doc}); err != nil {
 			return response{Error: err.Error()}
 		}
 		log.Printf("sdpd: registered %s (%d capabilities total)", name, s.backend.Len())
@@ -206,7 +216,7 @@ func (s *server) handle(datagram []byte) response {
 		if !s.backend.Deregister(req.Name) {
 			return response{Error: fmt.Sprintf("service %q not registered", req.Name)}
 		}
-		if err := s.persist(journalEntry{Op: "deregister", Name: req.Name}); err != nil {
+		if err := s.persistLocked(journalEntry{Op: "deregister", Name: req.Name}); err != nil {
 			return response{Error: err.Error()}
 		}
 		return response{OK: true}
@@ -217,10 +227,10 @@ func (s *server) handle(datagram []byte) response {
 		}
 		return response{OK: true, Hits: hits}
 	case "add-ontology":
-		if err := s.addOntologyText(req.Doc); err != nil {
+		if err := s.addOntologyTextLocked(req.Doc); err != nil {
 			return response{Error: err.Error()}
 		}
-		if err := s.persist(journalEntry{Op: "add-ontology", Doc: req.Doc}); err != nil {
+		if err := s.persistLocked(journalEntry{Op: "add-ontology", Doc: req.Doc}); err != nil {
 			return response{Error: err.Error()}
 		}
 		return response{OK: true}
@@ -246,8 +256,8 @@ func (s *server) handle(datagram []byte) response {
 	}
 }
 
-// persist journals a successful mutation when durability is enabled.
-func (s *server) persist(e journalEntry) error {
+// persistLocked journals a successful mutation when durability is enabled.
+func (s *server) persistLocked(e journalEntry) error {
 	if s.journal == nil {
 		return nil
 	}

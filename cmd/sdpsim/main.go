@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sdpsim -scenario demo.json [-timescale 1.0]
+//	sdpsim -scenario demo.json [-timescale 1.0] [-seed 7]
 //
 // Scenario format (times in milliseconds from start):
 //
@@ -39,6 +39,7 @@ func main() {
 	log.SetFlags(0)
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
 	timescale := flag.Float64("timescale", 1.0, "multiply all event times (0.1 = 10x faster)")
+	seed := flag.Int64("seed", 0, "override the scenario's network and workload seeds (0 = use scenario values)")
 	flag.Parse()
 	if *scenarioPath == "" {
 		flag.Usage()
@@ -51,6 +52,12 @@ func main() {
 	sc, err := parseScenario(data)
 	if err != nil {
 		log.Fatalf("sdpsim: %v", err)
+	}
+	if *seed != 0 {
+		// One flag pins every stochastic input, so a flaky run can be
+		// replayed exactly regardless of what the scenario file says.
+		sc.Seed = *seed
+		sc.Workload.Seed = *seed
 	}
 	if err := runScenario(sc, *timescale, os.Stdout); err != nil {
 		log.Fatalf("sdpsim: %v", err)

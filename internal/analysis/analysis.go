@@ -1,0 +1,121 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the subset of golang.org/x/tools/go/analysis that sdplint needs. The
+// container this repo grows in has no module proxy access, so vendoring
+// x/tools is not an option; the API below mirrors the upstream shape
+// (Analyzer, Pass, Diagnostic) closely enough that the analyzers could be
+// ported to the real framework by changing one import line.
+//
+// Differences from x/tools kept deliberate and small:
+//   - no Requires/ResultOf fact plumbing (our passes are independent),
+//   - no SuggestedFixes,
+//   - suppression is built in: a "//sdplint:ignore <analyzer> <reason>"
+//     comment on the diagnostic's line or the line above it silences the
+//     finding (the reason is mandatory so suppressions stay auditable).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-paragraph description shown by `sdplint -help`.
+	Doc string
+	// Run applies the pass to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the input to one Analyzer.Run invocation: a type-checked
+// package plus a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*sdplint:ignore\s+([\w,]+)\s+\S`)
+
+// ignoredLines collects, per file line, the analyzer names silenced by an
+// sdplint:ignore comment on that line. An ignore comment suppresses
+// findings on its own line and on the line directly below (so it can sit
+// above the flagged statement).
+func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					out[pos.Filename] = byLine
+				}
+				names := strings.Split(m[1], ",")
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+			}
+		}
+	}
+	return out
+}
+
+// Run applies one analyzer to a package and returns its diagnostics,
+// sorted by position, with sdplint:ignore suppressions already applied.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ignored := ignoredLines(fset, files)
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		pos := fset.Position(d.Pos)
+		if names, ok := ignored[pos.Filename][pos.Line]; ok {
+			suppressed := false
+			for _, n := range names {
+				if n == a.Name || n == "all" {
+					suppressed = true
+					break
+				}
+			}
+			if suppressed {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

@@ -1,0 +1,123 @@
+// Package analysistest runs an analyzer over a testdata tree and checks
+// its diagnostics against expectations written in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are comments of the form
+//
+//	code // want "regexp"
+//
+// Every diagnostic must be matched by a want on the same line, and every
+// want must be matched by a diagnostic whose message matches the regexp.
+// Lines may carry several quoted patterns when several diagnostics land
+// on one line. Go tooling skips directories named "testdata", so the
+// trees may contain deliberately buggy code (and even _test.go files)
+// without breaking `go build ./...`.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sariadne/internal/analysis"
+	"sariadne/internal/analysis/load"
+)
+
+// TestData returns the canonical testdata root used by analyzer tests.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+var patRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg>, applies the analyzer, and reports any
+// mismatch between its diagnostics and the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	loader := load.NewLoader("", nil)
+	units, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no Go packages in %s", dir)
+	}
+
+	wants := make(map[string]map[int][]*want) // file → line → expectations
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := loader.Fset.Position(c.Pos())
+					for _, q := range patRe.FindAllString(m[1], -1) {
+						pat := q[1 : len(q)-1]
+						if q[0] == '"' {
+							pat = strings.ReplaceAll(pat, `\"`, `"`)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						byLine := wants[pos.Filename]
+						if byLine == nil {
+							byLine = make(map[int][]*want)
+							wants[pos.Filename] = byLine
+						}
+						byLine[pos.Line] = append(byLine[pos.Line], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, u := range units {
+		diags, err := analysis.Run(a, loader.Fset, u.Files, u.Pkg, u.Info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, u.Path, err)
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			if !claim(wants, pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+	}
+
+	for file, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+func claim(wants map[string]map[int][]*want, pos token.Position, msg string) bool {
+	for _, w := range wants[pos.Filename][pos.Line] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+// Package detrand forbids the global math/rand source in library code.
+//
+// Simulation results (sdpsim scenarios, workload generation, simnet loss
+// and jitter) must be reproducible from a seed. Calls to math/rand's
+// top-level functions draw from a process-global source that other code
+// can perturb, so any package using them silently loses determinism.
+// Library code must thread an injected *rand.Rand instead; _test.go
+// files are exempt.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sariadne/internal/analysis"
+)
+
+// Analyzer flags global math/rand top-level function calls in non-test code.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid the global math/rand source in library code; " +
+		"inject a seeded *rand.Rand so simulations stay reproducible",
+	Run: run,
+}
+
+// globalFns are the math/rand package-level functions that consult the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine.
+var globalFns = map[string]bool{
+	"ExpFloat64": true, "Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Intn": true, "NormFloat64": true, "Perm": true,
+	"Read": true, "Seed": true, "Shuffle": true,
+	"Uint32": true, "Uint64": true, "N": true, "IntN": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, isFn := obj.(*types.Func); !isFn || !globalFns[obj.Name()] {
+				return true
+			}
+			// Methods on *rand.Rand share names with the globals; only
+			// package-qualified uses (rand.Intn) are the global source.
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					pass.Reportf(sel.Pos(),
+						"call to global %s.%s makes results non-reproducible; inject a seeded *rand.Rand",
+						path, obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package a
+
+import "math/rand"
+
+// badGlobal draws from the process-global source: not reproducible.
+func badGlobal() int {
+	rand.Seed(42)          // want `global math/rand\.Seed`
+	x := rand.Intn(10)     // want `global math/rand\.Intn`
+	_ = rand.Float64()     // want `global math/rand\.Float64`
+	rand.Shuffle(x, swap)  // want `global math/rand\.Shuffle`
+	return x
+}
+
+func swap(i, j int) {}
+
+// goodInjected threads a seeded source: reproducible.
+func goodInjected(rng *rand.Rand) int {
+	return rng.Intn(10) + int(rng.Int63n(5))
+}
+
+// goodConstruct builds sources; constructors are allowed.
+var defaultRNG = rand.New(rand.NewSource(2006))

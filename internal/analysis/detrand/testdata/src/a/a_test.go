@@ -1,0 +1,9 @@
+package a
+
+import "math/rand"
+
+// Test files are exempt: fuzzing inputs and shuffled fixtures may use the
+// global source freely.
+func testHelper() int {
+	return rand.Intn(100)
+}

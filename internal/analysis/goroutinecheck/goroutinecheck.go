@@ -1,0 +1,144 @@
+// Package goroutinecheck flags goroutine launches with no visible join.
+//
+// The discovery and election runners are goroutine meshes whose shutdown
+// paths (Stop, StepDown, test teardown) must be able to wait for every
+// goroutine they started. A naked `go func() { ... }()` whose body never
+// touches a WaitGroup, a channel, or a select has no way to signal
+// completion: nothing can join it, and under churn it leaks. Launches
+// inside loops are the worst offenders — every iteration leaks one.
+//
+// A goroutine body counts as joinable when it contains any of:
+//   - a channel send, receive, close, select, or range over a channel
+//     (this includes <-ctx.Done()),
+//   - a call to (*sync.WaitGroup).Done / .Add / .Wait.
+//
+// Launches of named functions or methods (`go n.loop(ctx)`) are not
+// flagged: their join discipline lives in their own body, which this
+// intraprocedural pass cannot see. Genuinely fire-and-forget goroutines
+// can be suppressed with an explanatory sdplint:ignore comment.
+package goroutinecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sariadne/internal/analysis"
+)
+
+// Analyzer flags naked `go func` launches lacking a join mechanism.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinecheck",
+	Doc: "flag `go func` launches whose body has no WaitGroup, channel, " +
+		"or select join signal; such goroutines cannot be waited on and leak",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if hasJoinSignal(lit.Body, pass.TypesInfo) {
+				return true
+			}
+			if inLoop(stack) {
+				pass.Reportf(g.Pos(),
+					"goroutine launched inside a loop with no join signal; every iteration leaks one goroutine — add a WaitGroup or collect results on a channel")
+			} else {
+				pass.Reportf(g.Pos(),
+					"goroutine has no join signal (no WaitGroup, channel op, or select); nothing can wait for it to finish")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inLoop reports whether the innermost enclosing statement context of the
+// node on top of the stack, up to the nearest function boundary, contains
+// a for or range loop. Crossing a function literal stops the scan: how
+// often an enclosing closure runs is not knowable here.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// hasJoinSignal reports whether body contains a channel operation or a
+// sync.WaitGroup call through which the goroutine's completion can be
+// observed.
+func hasJoinSignal(body *ast.BlockStmt, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := info.Uses[fun].(*types.Builtin); ok && obj.Name() == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && isWaitGroupMethod(fn) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroupMethod(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Done", "Add", "Wait", "Go":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

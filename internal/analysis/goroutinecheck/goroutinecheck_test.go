@@ -1,0 +1,12 @@
+package goroutinecheck_test
+
+import (
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/goroutinecheck"
+)
+
+func TestGoroutinecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), goroutinecheck.Analyzer, "a")
+}

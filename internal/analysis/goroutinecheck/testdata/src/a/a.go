@@ -1,0 +1,67 @@
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func badNaked() {
+	go func() { // want `no join signal`
+		println("fire and forget")
+	}()
+}
+
+func badInLoop(items []int) {
+	for range items {
+		go func() { // want `inside a loop with no join signal`
+			println("leak per iteration")
+		}()
+	}
+}
+
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("joined via WaitGroup")
+	}()
+}
+
+func goodChannel() error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- nil
+	}()
+	return <-errCh
+}
+
+func goodClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		println("joined via close")
+	}()
+	<-done
+}
+
+func goodContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goodNamed launches a named function: join discipline lives in its own
+// body, out of intraprocedural reach, so it is not flagged.
+func goodNamed() {
+	go worker()
+}
+
+func worker() {}
+
+// suppressed documents a deliberate fire-and-forget goroutine.
+func suppressed() {
+	//sdplint:ignore goroutinecheck process-lifetime goroutine, exits with main
+	go func() {
+		println("daemon")
+	}()
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockcheck.Analyzer, "a")
+}

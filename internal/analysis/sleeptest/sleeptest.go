@@ -1,0 +1,53 @@
+// Package sleeptest flags time.Sleep-based synchronization in tests.
+//
+// A sleep in a test encodes a guess about scheduling latency: too short
+// and the test flakes under load (the race detector slows everything by
+// 5-10x), too long and the suite crawls. Tests should poll for the
+// condition they are actually waiting for — this repo provides
+// testutil.WaitFor(t, timeout, cond) for exactly that. Sleeps whose
+// purpose really is the passage of time (e.g. exercising simnet latency)
+// can be suppressed with an explanatory sdplint:ignore comment.
+package sleeptest
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sariadne/internal/analysis"
+)
+
+// Analyzer flags time.Sleep calls in _test.go files.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleeptest",
+	Doc: "flag time.Sleep-based synchronization in _test.go files; " +
+		"poll with testutil.WaitFor instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.Sleep in test synchronizes by guessing at latency; poll the condition with testutil.WaitFor")
+			return true
+		})
+	}
+	return nil
+}

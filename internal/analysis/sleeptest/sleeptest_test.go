@@ -1,0 +1,12 @@
+package sleeptest_test
+
+import (
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/sleeptest"
+)
+
+func TestSleeptest(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sleeptest.Analyzer, "a")
+}

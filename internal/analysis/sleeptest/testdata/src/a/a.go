@@ -1,0 +1,8 @@
+package a
+
+import "time"
+
+// Library code may sleep (backoff, pacing); only tests are checked.
+func pace() {
+	time.Sleep(10 * time.Millisecond)
+}

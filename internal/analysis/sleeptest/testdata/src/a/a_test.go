@@ -1,0 +1,16 @@
+package a
+
+import "time"
+
+func testWait() {
+	time.Sleep(50 * time.Millisecond) // want `time\.Sleep in test`
+
+	for i := 0; i < 10; i++ {
+		time.Sleep(2 * time.Millisecond) // want `time\.Sleep in test`
+	}
+
+	// A sleep that really models the passage of time can be suppressed
+	// with a justification.
+	//sdplint:ignore sleeptest exercising simnet latency, not synchronizing
+	time.Sleep(time.Millisecond)
+}

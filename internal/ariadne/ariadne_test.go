@@ -9,6 +9,7 @@ import (
 	"sariadne/internal/election"
 	"sariadne/internal/gen"
 	"sariadne/internal/simnet"
+	"sariadne/internal/testutil"
 	"sariadne/internal/wsdl"
 )
 
@@ -151,18 +152,11 @@ func TestAriadneOverProtocolShell(t *testing.T) {
 	})
 	nodes[1].BecomeDirectory()
 
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if _, ok := nodes[0].DirectoryID(); ok {
-			if _, ok := nodes[2].DirectoryID(); ok {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("directory advertisement timeout")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 2*time.Second, func() bool {
+		_, ok0 := nodes[0].DirectoryID()
+		_, ok2 := nodes[2].DirectoryID()
+		return ok0 && ok2
+	}, "directory advertisement")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

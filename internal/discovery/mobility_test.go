@@ -108,6 +108,7 @@ func TestMobilityChurn(t *testing.T) {
 		qctx, qcancel := context.WithTimeout(ctx, 250*time.Millisecond)
 		_, _ = nodes[10].Discover(qctx, pdaRequestDoc(t))
 		qcancel()
+		//sdplint:ignore sleeptest paces link churn so elections overlap topology changes; not a wait for a condition
 		time.Sleep(5 * time.Millisecond)
 	}
 	// Heal every link.

@@ -116,25 +116,25 @@ type Node struct {
 	cfg     Config
 
 	mu          sync.Mutex
-	elect       *election.Machine
-	filter      *bloom.Filter
-	peers       map[simnet.NodeID]*peerState
-	published   map[string][]byte
-	publishedAt simnet.NodeID
-	nextID      uint64
-	queryWait   map[uint64]chan QueryReply
-	regWait     map[uint64]chan RegisterReply
-	aggregates  map[uint64]*aggregation
+	elect       *election.Machine             // guarded by mu
+	filter      *bloom.Filter                 // guarded by mu
+	peers       map[simnet.NodeID]*peerState  // guarded by mu
+	published   map[string][]byte             // guarded by mu
+	publishedAt simnet.NodeID                 // guarded by mu
+	nextID      uint64                        // guarded by mu
+	queryWait   map[uint64]chan QueryReply    // guarded by mu
+	regWait     map[uint64]chan RegisterReply // guarded by mu
+	aggregates  map[uint64]*aggregation       // guarded by mu
 	// leases tracks, per registered service, when its advertisement was
 	// last (re)registered; stale ones are swept when LeaseTTL is set.
-	leases       map[string]time.Time
-	regSince     int
-	lastAnnounce time.Time
-	lastRefresh  time.Time
-	stats        Stats
+	leases       map[string]time.Time // guarded by mu
+	regSince     int                  // guarded by mu
+	lastAnnounce time.Time            // guarded by mu
+	lastRefresh  time.Time            // guarded by mu
+	stats        Stats                // guarded by mu
 
-	cancel context.CancelFunc
-	done   chan struct{}
+	cancel context.CancelFunc // guarded by mu
+	done   chan struct{}      // guarded by mu
 }
 
 // peerState is what a directory knows about a backbone peer: its latest
@@ -225,11 +225,12 @@ func (n *Node) Peers() []simnet.NodeID {
 // Start launches the protocol loop.
 func (n *Node) Start(ctx context.Context) {
 	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
 	n.mu.Lock()
 	n.cancel = cancel
-	n.done = make(chan struct{})
+	n.done = done
 	n.mu.Unlock()
-	go n.loop(ctx)
+	go n.loop(ctx, done)
 }
 
 // Stop terminates the loop and waits for it.
@@ -254,8 +255,8 @@ func (n *Node) BecomeDirectory() {
 	n.runElectionActions(actions)
 }
 
-func (n *Node) loop(ctx context.Context) {
-	defer close(n.done)
+func (n *Node) loop(ctx context.Context, done chan struct{}) {
+	defer close(done)
 	ticker := time.NewTicker(n.cfg.TickInterval)
 	defer ticker.Stop()
 	for {
@@ -802,6 +803,8 @@ func (n *Node) backendServiceName(doc []byte) (string, error) {
 	if b, ok := n.backend.(namer); ok {
 		return b.ServiceName(doc)
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return fmt.Sprintf("doc-%d", len(n.published)), nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sariadne/internal/ontology"
 	"sariadne/internal/profile"
 	"sariadne/internal/simnet"
+	"sariadne/internal/testutil"
 )
 
 // testCluster wires count nodes on a line topology with semantic backends.
@@ -51,14 +52,7 @@ func testCluster(t *testing.T, count int) (*simnet.Network, []*Node) {
 
 func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timeout waiting for %s", what)
+	testutil.WaitFor(t, timeout, cond, "%s", what)
 }
 
 func TestPublishDiscoverSingleDirectory(t *testing.T) {

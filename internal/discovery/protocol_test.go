@@ -235,13 +235,17 @@ func TestLeaseExpiry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The publisher refreshes, so the advertisement survives well past
-	// one TTL.
-	time.Sleep(3 * cfg.LeaseTTL)
-	hits, err := nodes[2].Discover(ctx, pdaRequestDoc(t))
-	if err != nil || len(hits) != 1 {
-		t.Fatalf("hits after refreshes = %v, err = %v", hits, err)
-	}
+	// The publisher refreshes, so the advertisement must stay discoverable
+	// continuously for several TTLs: poll Discover until the window has
+	// elapsed, failing the moment the advertisement drops out.
+	refreshWindow := time.Now().Add(3 * cfg.LeaseTTL)
+	waitUntil(t, 10*cfg.LeaseTTL, "advertisement to survive 3 lease TTLs", func() bool {
+		hits, err := nodes[2].Discover(ctx, pdaRequestDoc(t))
+		if err != nil || len(hits) != 1 {
+			t.Fatalf("hits during refresh window = %v, err = %v", hits, err)
+		}
+		return time.Now().After(refreshWindow)
+	})
 
 	// Kill the publisher: its lease lapses and the directory forgets it.
 	nodes[0].Stop()

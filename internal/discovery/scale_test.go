@@ -96,7 +96,26 @@ func TestLargeNetworkIntegration(t *testing.T) {
 			t.Fatalf("service %d never published", i)
 		}
 	}
-	time.Sleep(200 * time.Millisecond) // summaries settle
+	// Summaries settle once every directory has heard from every other
+	// directory on the backbone; residual filter staleness is absorbed by
+	// the per-query retries below.
+	waitUntil(t, 5*time.Second, "directory backbone to settle", func() bool {
+		var dirs []*Node
+		for _, n := range nodes {
+			if n.Role() == election.Directory {
+				dirs = append(dirs, n)
+			}
+		}
+		if len(dirs) < 2 {
+			return false
+		}
+		for _, d := range dirs {
+			if len(d.Peers()) < len(dirs)-1 {
+				return false
+			}
+		}
+		return true
+	})
 
 	success := 0
 	const queries = 30
@@ -117,6 +136,7 @@ func TestLargeNetworkIntegration(t *testing.T) {
 				success++
 				break
 			}
+			//sdplint:ignore sleeptest retry backoff between query attempts, not a synchronization wait
 			time.Sleep(50 * time.Millisecond)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sariadne/internal/simnet"
+	"sariadne/internal/testutil"
 )
 
 // testConfig returns a config with fast, deterministic-friendly timers.
@@ -285,8 +286,17 @@ func TestRunnerConvergence(t *testing.T) {
 		}
 	}()
 
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
+	// On failure, dump each runner's view so divergence is diagnosable.
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		for i, r := range runners {
+			dir, ok := r.Directory()
+			t.Logf("node %d: role=%v directory=%s ok=%v", i, r.Role(), dir, ok)
+		}
+	})
+	waitFor(t, 3*time.Second, func() bool {
 		directories := 0
 		covered := 0
 		for _, r := range runners {
@@ -297,16 +307,8 @@ func TestRunnerConvergence(t *testing.T) {
 				covered++
 			}
 		}
-		if directories >= 1 && covered == len(runners) {
-			return // converged
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	for i, r := range runners {
-		dir, ok := r.Directory()
-		t.Logf("node %d: role=%v directory=%s ok=%v", i, r.Role(), dir, ok)
-	}
-	t.Fatal("election did not converge")
+		return directories >= 1 && covered == len(runners)
+	}, "election convergence")
 }
 
 // TestRunnerReelection: when the only directory dies, members elect a new
@@ -363,12 +365,5 @@ func TestRunnerReelection(t *testing.T) {
 
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("timeout waiting for %s", what)
+	testutil.WaitFor(t, timeout, cond, "%s", what)
 }

@@ -18,8 +18,8 @@ type Runner struct {
 	m  *Machine
 
 	mu     sync.Mutex
-	cancel context.CancelFunc
-	done   chan struct{}
+	cancel context.CancelFunc // guarded by mu
+	done   chan struct{}      // guarded by mu
 	roleCh chan Role
 }
 
@@ -36,13 +36,14 @@ func NewRunner(ep *simnet.Endpoint, cfg Config) *Runner {
 // loop down and waits for it to exit.
 func (r *Runner) Start(ctx context.Context) {
 	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
 	r.mu.Lock()
 	r.cancel = cancel
-	r.done = make(chan struct{})
+	r.done = done
 	r.mu.Unlock()
 
 	go func() {
-		defer close(r.done)
+		defer close(done)
 		ticker := time.NewTicker(r.tickInterval())
 		defer ticker.Stop()
 		for {

@@ -35,6 +35,10 @@ type OntologyConfig struct {
 	ExtraParents int
 	// Seed drives the layout.
 	Seed int64
+	// Rand, when non-nil, supplies randomness directly and takes
+	// precedence over Seed, letting callers thread one seeded generator
+	// through several generation steps.
+	Rand *rand.Rand
 }
 
 // Ontology builds a random class hierarchy: a tree skeleton (guaranteeing
@@ -52,7 +56,10 @@ func Ontology(cfg OntologyConfig) *ontology.Ontology {
 	} else if cfg.ExtraParents == 0 {
 		cfg.ExtraParents = cfg.Classes / 10
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	o := ontology.New(cfg.URI, cfg.Version)
 
 	names := make([]string, cfg.Classes)
@@ -126,6 +133,10 @@ type WorkloadConfig struct {
 	OutputsPerCapability int
 	// Seed drives all randomness.
 	Seed int64
+	// Rand, when non-nil, supplies randomness directly and takes
+	// precedence over Seed (the ontologies then draw from the same
+	// stream instead of per-ontology derived seeds).
+	Rand *rand.Rand
 }
 
 func (c WorkloadConfig) withDefaults() WorkloadConfig {
@@ -169,14 +180,22 @@ type Workload struct {
 // NewWorkload generates a workload.
 func NewWorkload(cfg WorkloadConfig) (*Workload, error) {
 	cfg = cfg.withDefaults()
-	w := &Workload{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	w := &Workload{cfg: cfg, rng: rng}
 	for i := 0; i < cfg.Ontologies; i++ {
-		o := Ontology(OntologyConfig{
+		oc := OntologyConfig{
 			URI:        fmt.Sprintf("http://amigo.example/gen/ont%02d", i),
 			Classes:    cfg.ClassesPerOntology,
 			Properties: cfg.PropertiesPerOntology,
 			Seed:       cfg.Seed + int64(i) + 1,
-		})
+		}
+		if cfg.Rand != nil {
+			oc.Rand = rng
+		}
+		o := Ontology(oc)
 		cl, err := ontology.Classify(o)
 		if err != nil {
 			return nil, fmt.Errorf("gen: classify %s: %w", o.URI, err)

@@ -391,10 +391,10 @@ func (t *Tree) Depth() int {
 // and is safe for concurrent use.
 type Directory struct {
 	mu      sync.RWMutex
-	tree    *Tree
+	tree    *Tree // guarded by mu
 	reg     *codes.Registry
 	matcher *match.CodeMatcher
-	byName  map[string][]*registry.Entry
+	byName  map[string][]*registry.Entry // guarded by mu
 }
 
 // NewDirectory builds a directory over encoded code tables.

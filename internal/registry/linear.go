@@ -17,9 +17,9 @@ import (
 type LinearDirectory struct {
 	mu        sync.RWMutex
 	matcher   match.ConceptMatcher
-	entries   []*Entry
-	byService map[string][]*Entry
-	matchOps  uint64
+	entries   []*Entry            // guarded by mu
+	byService map[string][]*Entry // guarded by mu
+	matchOps  uint64              // guarded by mu
 }
 
 // NewLinearDirectory returns an empty flat directory matching with m.

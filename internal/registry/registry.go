@@ -112,12 +112,12 @@ func (g *graph) addOntologies(uris []string) {
 type Directory struct {
 	mu      sync.RWMutex
 	matcher match.ConceptMatcher
-	graphs  []*graph
+	graphs  []*graph // guarded by mu
 	// byOntology indexes graphs by the ontology URIs they contain, so
 	// query-time graph pre-selection does not scan every graph.
-	byOntology map[string][]*graph
+	byOntology map[string][]*graph // guarded by mu
 	// byService tracks entries for deregistration.
-	byService map[string][]*Entry
+	byService map[string][]*Entry // guarded by mu
 	// matchOps counts capability-level match operations (monotonic).
 	matchOps atomic.Uint64
 }
@@ -131,8 +131,8 @@ func NewDirectory(m match.ConceptMatcher) *Directory {
 	}
 }
 
-// indexGraph records g under every URI in uris not yet indexed for it.
-func (d *Directory) indexGraph(g *graph, uris []string) {
+// indexGraphLocked records g under every URI in uris not yet indexed for it.
+func (d *Directory) indexGraphLocked(g *graph, uris []string) {
 	for _, u := range uris {
 		if _, ok := g.ontologies[u]; ok {
 			continue // already indexed when first added
@@ -142,8 +142,8 @@ func (d *Directory) indexGraph(g *graph, uris []string) {
 	g.addOntologies(uris)
 }
 
-// unindexGraph removes g from the ontology index.
-func (d *Directory) unindexGraph(g *graph) {
+// unindexGraphLocked removes g from the ontology index.
+func (d *Directory) unindexGraphLocked(g *graph) {
 	for u := range g.ontologies {
 		list := d.byOntology[u]
 		for i, gg := range list {
@@ -158,10 +158,10 @@ func (d *Directory) unindexGraph(g *graph) {
 	}
 }
 
-// candidateGraphs returns the graphs whose ontology set covers uris,
+// candidateGraphsLocked returns the graphs whose ontology set covers uris,
 // using the index: it scans only the graphs listed under the rarest URI.
 // With no URI constraint every graph qualifies.
-func (d *Directory) candidateGraphs(uris []string) []*graph {
+func (d *Directory) candidateGraphsLocked(uris []string) []*graph {
 	if len(uris) == 0 {
 		return d.graphs
 	}
@@ -243,12 +243,12 @@ func (d *Directory) Register(s *profile.Service) error {
 	if old, ok := d.byService[s.Name]; ok {
 		delete(d.byService, s.Name)
 		for _, e := range old {
-			d.removeEntry(e)
+			d.removeEntryLocked(e)
 		}
 	}
 	for _, c := range s.Provided {
 		e := &Entry{Capability: c.Clone(), Service: s.Name, Provider: s.Provider}
-		d.insert(e)
+		d.insertLocked(e)
 		d.byService[s.Name] = append(d.byService[s.Name], e)
 	}
 	return nil
@@ -259,11 +259,11 @@ func (d *Directory) Register(s *profile.Service) error {
 // capability relates to existing vertices receives it, otherwise a new
 // graph is created (capabilities unrelated to everything become singleton
 // graphs, preserving the "graphs contain related capabilities" invariant).
-func (d *Directory) insert(e *Entry) {
+func (d *Directory) insertLocked(e *Entry) {
 	c := e.Capability
 	uris := c.Ontologies()
-	for _, g := range d.candidateGraphs(uris) {
-		if d.insertIntoGraph(g, e) {
+	for _, g := range d.candidateGraphsLocked(uris) {
+		if d.insertIntoGraphLocked(g, e) {
 			return
 		}
 	}
@@ -274,10 +274,10 @@ func (d *Directory) insert(e *Entry) {
 	g.roots[v] = struct{}{}
 	g.leaves[v] = struct{}{}
 	d.graphs = append(d.graphs, g)
-	d.indexGraph(g, uris)
+	d.indexGraphLocked(g, uris)
 }
 
-// insertIntoGraph tries to place the entry inside g. It returns false when
+// insertIntoGraphLocked tries to place the entry inside g. It returns false when
 // the capability is unrelated to every vertex of g.
 //
 // The matching region M = {V : Match(V, C)} is explored top-down from the
@@ -286,7 +286,7 @@ func (d *Directory) insert(e *Entry) {
 // Parents of C are the minimal frontier of M, children the maximal
 // frontier of S — a robust completion of the paper's root/leaf probing
 // algorithm.
-func (d *Directory) insertIntoGraph(g *graph, e *Entry) bool {
+func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 	c := e.Capability
 
 	// M: vertices that subsume C (can substitute for C).
@@ -348,7 +348,7 @@ func (d *Directory) insertIntoGraph(g *graph, e *Entry) bool {
 	for v := range m {
 		if _, both := sset[v]; both {
 			v.entries = append(v.entries, e)
-			d.indexGraph(g, c.Ontologies())
+			d.indexGraphLocked(g, c.Ontologies())
 			return true
 		}
 	}
@@ -407,7 +407,7 @@ func (d *Directory) insertIntoGraph(g *graph, e *Entry) bool {
 	if len(children) == 0 {
 		g.leaves[nv] = struct{}{}
 	}
-	d.indexGraph(g, c.Ontologies())
+	d.indexGraphLocked(g, c.Ontologies())
 	return true
 }
 
@@ -422,14 +422,14 @@ func (d *Directory) Deregister(service string) bool {
 	}
 	delete(d.byService, service)
 	for _, e := range entries {
-		d.removeEntry(e)
+		d.removeEntryLocked(e)
 	}
 	return true
 }
 
-// removeEntry drops one entry; vertices left without entries are removed
+// removeEntryLocked drops one entry; vertices left without entries are removed
 // and their predecessors reconnected to their successors.
-func (d *Directory) removeEntry(e *Entry) {
+func (d *Directory) removeEntryLocked(e *Entry) {
 	for gi, g := range d.graphs {
 		for v := range g.vertices {
 			idx := -1
@@ -475,7 +475,7 @@ func (d *Directory) removeEntry(e *Entry) {
 			}
 			if len(g.vertices) == 0 {
 				d.graphs = append(d.graphs[:gi], d.graphs[gi+1:]...)
-				d.unindexGraph(g)
+				d.unindexGraphLocked(g)
 			}
 			return
 		}
@@ -495,7 +495,7 @@ func (d *Directory) Query(req *profile.Capability) []Result {
 	// go unused by a provider, so their ontologies must not prune.
 	uris := req.RequiredOntologies()
 	var results []Result
-	for _, g := range d.candidateGraphs(uris) {
+	for _, g := range d.candidateGraphsLocked(uris) {
 		matched := make(map[*vertex]struct{})
 		var frontier []*vertex
 		for r := range g.roots {

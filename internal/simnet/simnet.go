@@ -64,6 +64,12 @@ type Config struct {
 	QueueSize int
 	// Seed makes loss and jitter reproducible. Defaults to 1.
 	Seed int64
+	// Rand, when non-nil, supplies the randomness source directly and
+	// takes precedence over Seed. Injecting one generator lets an
+	// experiment share a single seeded stream across its network and
+	// workload. The network serializes access under its own mutex, so the
+	// caller must not use the generator concurrently afterwards.
+	Rand *rand.Rand
 }
 
 func (c Config) withDefaults() Config {
@@ -92,20 +98,24 @@ type Stats struct {
 type Network struct {
 	mu     sync.Mutex
 	cfg    Config
-	rng    *rand.Rand
-	nodes  map[NodeID]*Endpoint
-	links  map[NodeID]map[NodeID]struct{}
-	stats  Stats
-	closed bool
+	rng    *rand.Rand                     // guarded by mu
+	nodes  map[NodeID]*Endpoint           // guarded by mu
+	links  map[NodeID]map[NodeID]struct{} // guarded by mu
+	stats  Stats                          // guarded by mu
+	closed bool                           // guarded by mu
 	wg     sync.WaitGroup
 }
 
 // New returns an empty network.
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	return &Network{
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   rng,
 		nodes: make(map[NodeID]*Endpoint),
 		links: make(map[NodeID]map[NodeID]struct{}),
 	}

@@ -1,0 +1,56 @@
+// Package testutil holds shared test helpers for the S-Ariadne test
+// suites. Its main export, WaitFor, replaces time.Sleep-based
+// synchronization: instead of guessing how long the goroutine meshes
+// (discovery loops, elections, simnet delivery) need, tests poll for the
+// condition they actually care about. The sleeptest analyzer in
+// internal/analysis enforces the habit.
+package testutil
+
+import (
+	"fmt"
+	"time"
+)
+
+// PollInterval is how often WaitFor re-evaluates its condition. 2ms is
+// fine-grained enough for the discovery tick intervals used in tests
+// (10ms and below) while keeping the race detector's slowdown harmless.
+const PollInterval = 2 * time.Millisecond
+
+// failer is the subset of testing.TB WaitFor needs; taking the interface
+// keeps testutil importable from benchmarks and example tests alike.
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// WaitFor polls cond every PollInterval until it returns true or timeout
+// elapses, then fails the test with the optional printf-style message.
+// The condition is evaluated once before any waiting, so already-true
+// conditions return immediately.
+func WaitFor(t failer, timeout time.Duration, cond func() bool, msgAndArgs ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			msg := "condition not reached"
+			if len(msgAndArgs) > 0 {
+				msg = fmt.Sprintf(msgAndArgs[0].(string), msgAndArgs[1:]...)
+			}
+			t.Fatalf("timed out after %v: %s", timeout, msg)
+			// Fatalf normally does not return; the explicit return keeps
+			// non-testing.T failers (which do return) out of a spin loop.
+			return
+		}
+		time.Sleep(PollInterval)
+	}
+}
+
+// Eventually is WaitFor with a conventional default timeout, for the
+// common "the mesh settles within a few seconds" waits.
+func Eventually(t failer, cond func() bool, msgAndArgs ...any) {
+	t.Helper()
+	WaitFor(t, 5*time.Second, cond, msgAndArgs...)
+}

@@ -1,0 +1,56 @@
+package testutil
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeT captures Fatalf so the timeout path can be tested without
+// failing the real test.
+type fakeT struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeT) Helper() {}
+func (f *fakeT) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func TestWaitForImmediate(t *testing.T) {
+	calls := 0
+	WaitFor(t, time.Second, func() bool { calls++; return true })
+	if calls != 1 {
+		t.Fatalf("already-true condition evaluated %d times, want 1", calls)
+	}
+}
+
+func TestWaitForEventually(t *testing.T) {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	WaitFor(t, 5*time.Second, func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+func TestWaitForTimeout(t *testing.T) {
+	ft := &fakeT{}
+	start := time.Now()
+	WaitFor(ft, 10*time.Millisecond, func() bool { return false }, "count=%d", 7)
+	if !ft.failed {
+		t.Fatal("WaitFor did not fail on timeout")
+	}
+	if ft.msg != "timed out after 10ms: count=7" {
+		t.Fatalf("unexpected failure message %q", ft.msg)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v, far past the 10ms deadline", elapsed)
+	}
+}

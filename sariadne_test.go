@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sariadne/internal/profile"
+	"sariadne/internal/testutil"
 )
 
 // newFixtureSystem loads the Figure 1 ontologies.
@@ -161,18 +162,11 @@ func TestNetworkEndToEnd(t *testing.T) {
 		t.Fatal("hub not a directory")
 	}
 
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if _, ok := nodes[0].DirectoryID(); ok {
-			if _, ok := nodes[2].DirectoryID(); ok {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("advertisement timeout")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 2*time.Second, func() bool {
+		_, ok0 := nodes[0].DirectoryID()
+		_, ok2 := nodes[2].DirectoryID()
+		return ok0 && ok2
+	}, "directory advertisement")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
