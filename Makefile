@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint check clean
+.PHONY: build test race bench lint metrics-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,17 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # lint runs go vet plus the project analyzers (lockcheck, goroutinecheck,
-# detrand, sleeptest). Exit status 1 means findings.
+# detrand, sleeptest, metricnames). Exit status 1 means findings.
 lint:
 	$(GO) run ./cmd/sdplint ./...
 
+# metrics-smoke boots a real sdpd, scrapes GET /metrics, and fails on
+# malformed Prometheus exposition or missing acceptance metrics.
+metrics-smoke:
+	$(GO) run ./cmd/metricsmoke
+
 # check is the full CI gate.
-check: build lint test race
+check: build lint test race metrics-smoke
 
 clean:
 	$(GO) clean ./...

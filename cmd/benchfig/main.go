@@ -27,6 +27,7 @@ import (
 	"sariadne/internal/profile"
 	"sariadne/internal/reasoner"
 	"sariadne/internal/registry"
+	"sariadne/internal/telemetry"
 	"sariadne/internal/wsdl"
 )
 
@@ -68,6 +69,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	// End-of-run telemetry snapshot: how much parse/classify/match work
+	// the figures above actually exercised.
+	if err := telemetry.Default().WriteSummary(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

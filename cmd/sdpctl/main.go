@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"time"
@@ -38,6 +38,7 @@ type hit struct {
 type response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
 	Hits  []hit  `json:"hits,omitempty"`
 	Stats *struct {
 		Capabilities int      `json:"capabilities"`
@@ -47,10 +48,22 @@ type response struct {
 }
 
 func main() {
-	log.SetFlags(0)
 	server := flag.String("server", "localhost:7474", "sdpd address")
 	timeout := flag.Duration("timeout", 3*time.Second, "reply timeout")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "sdpctl: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	logger := slog.With("component", "ctl")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	args := flag.Args()
 	if len(args) < 1 {
@@ -64,7 +77,7 @@ func main() {
 		}
 		doc, err := os.ReadFile(args[1])
 		if err != nil {
-			log.Fatalf("sdpctl: %v", err)
+			fatal("read document", "err", err)
 		}
 		op := args[0]
 		if op == "ontology" {
@@ -89,10 +102,10 @@ func main() {
 
 	resp, err := send(*server, *timeout, req)
 	if err != nil {
-		log.Fatalf("sdpctl: %v", err)
+		fatal("request failed", "server", *server, "err", err)
 	}
 	if !resp.OK {
-		log.Fatalf("sdpctl: server error: %s", resp.Error)
+		fatal("server error", "code", resp.Code, "err", resp.Error)
 	}
 	switch args[0] {
 	case "query":

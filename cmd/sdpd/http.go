@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
-	"strings"
+	"net/http/pprof"
+
+	"sariadne/internal/telemetry"
 )
 
 // httpGateway exposes the directory over HTTP for clients that prefer REST
@@ -18,16 +20,22 @@ import (
 //	POST /ontologies        body: ontology XML       -> 201
 //	GET  /tables?uri={ontology-uri}                  -> 200 code table JSON
 //	GET  /stats                                      -> 200 {"capabilities":..,"ontologies":[..]}
+//	GET  /metrics                                    -> 200 Prometheus text exposition
+//	GET  /debug/vars                                 -> 200 expvar-style JSON snapshot
+//	GET  /debug/pprof/*     (only with -pprof)       -> net/http/pprof
 //
 // The handler funnels every mutation through the same server.handle path
 // as the UDP front end, so journaling and validation behave identically.
 type httpGateway struct {
 	srv *server
+	log *slog.Logger
 }
 
-// newHTTPGateway builds the REST mux over a directory server.
-func newHTTPGateway(srv *server) http.Handler {
-	g := &httpGateway{srv: srv}
+// newHTTPGateway builds the REST mux over a directory server. withPprof
+// additionally mounts net/http/pprof under /debug/pprof (off by default:
+// profiling endpoints leak heap contents and should be opt-in).
+func newHTTPGateway(srv *server, withPprof bool) http.Handler {
+	g := &httpGateway{srv: srv, log: slog.With("component", "http")}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /services", g.postServices)
 	mux.HandleFunc("DELETE /services/{name}", g.deleteService)
@@ -35,7 +43,28 @@ func newHTTPGateway(srv *server) http.Handler {
 	mux.HandleFunc("POST /ontologies", g.postOntologies)
 	mux.HandleFunc("GET /tables", g.getTable)
 	mux.HandleFunc("GET /stats", g.getStats)
+	mux.HandleFunc("GET /metrics", g.getMetrics)
+	mux.HandleFunc("GET /debug/vars", g.getDebugVars)
+	if withPprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// httpStatus maps a response error code to an HTTP status.
+func httpStatus(code string) int {
+	switch code {
+	case codeNotFound:
+		return http.StatusNotFound
+	case codeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // dispatch runs a request through the shared handler and writes the reply.
@@ -47,17 +76,13 @@ func (g *httpGateway) dispatch(w http.ResponseWriter, req request, okStatus int)
 	}
 	resp := g.srv.handle(data)
 	if !resp.OK {
-		status := http.StatusBadRequest
-		if strings.Contains(resp.Error, "not registered") || strings.Contains(resp.Error, "no table") {
-			status = http.StatusNotFound
-		}
-		http.Error(w, resp.Error, status)
+		http.Error(w, resp.Error, httpStatus(resp.Code))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(okStatus)
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("sdpd: http encode: %v", err)
+		g.log.Error("encode reply", "err", err)
 	}
 }
 
@@ -122,10 +147,29 @@ func (g *httpGateway) getStats(w http.ResponseWriter, _ *http.Request) {
 	g.dispatch(w, request{Op: "stats"}, http.StatusOK)
 }
 
+// getMetrics serves the process-wide telemetry registry in Prometheus
+// text exposition format: the paper's phase timers (Figure 2), registry
+// insert/query histograms, discovery forward counters and the live Bloom
+// false-positive-rate gauge, all from one scrape.
+func (g *httpGateway) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.Default().WritePrometheus(w); err != nil {
+		g.log.Error("write metrics", "err", err)
+	}
+}
+
+// getDebugVars serves the same snapshot as an expvar-style JSON object.
+func (g *httpGateway) getDebugVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := telemetry.Default().WriteJSON(w); err != nil {
+		g.log.Error("write debug vars", "err", err)
+	}
+}
+
 // serveHTTP runs the gateway; it blocks like serve.
-func serveHTTP(addr string, srv *server) error {
-	s := &http.Server{Addr: addr, Handler: newHTTPGateway(srv)}
-	log.Printf("sdpd: serving HTTP gateway on %s", addr)
+func serveHTTP(addr string, srv *server, withPprof bool) error {
+	s := &http.Server{Addr: addr, Handler: newHTTPGateway(srv, withPprof)}
+	slog.Info("serving HTTP gateway", "component", "http", "addr", addr, "pprof", withPprof)
 	if err := s.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return fmt.Errorf("http gateway: %w", err)
 	}

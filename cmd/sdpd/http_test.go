@@ -16,7 +16,7 @@ import (
 func newGatewayServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
 	srv := newTestServer(t)
-	ts := httptest.NewServer(newHTTPGateway(srv))
+	ts := httptest.NewServer(newHTTPGateway(srv, false))
 	t.Cleanup(ts.Close)
 	return ts, srv
 }

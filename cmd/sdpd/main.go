@@ -17,18 +17,21 @@
 //	{"op":"get-table", "name":"<ontology uri>"}
 //	{"op":"stats"}
 //
-// Every reply is {"ok":bool, "error":string, "hits":[...], "stats":{...}}.
+// Every reply is {"ok":bool, "error":string, "code":string, "hits":[...],
+// "stats":{...}}; failed requests carry a machine-readable code alongside
+// the human-readable error text.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"sariadne/internal/codes"
 	"sariadne/internal/discovery"
@@ -42,10 +45,20 @@ type request struct {
 	Name string `json:"name,omitempty"`
 }
 
+// Machine-readable error codes carried in failed responses. The HTTP
+// gateway maps them to status codes; UDP clients can branch on them
+// without parsing English.
+const (
+	codeBadRequest = "bad_request" // malformed or semantically invalid input
+	codeNotFound   = "not_found"   // named service/ontology does not exist
+	codeInternal   = "internal"    // server-side failure (journal, encoding)
+)
+
 // response is the wire format of server replies.
 type response struct {
 	OK    bool            `json:"ok"`
 	Error string          `json:"error,omitempty"`
+	Code  string          `json:"code,omitempty"`
 	Hits  []discovery.Hit `json:"hits,omitempty"`
 	Stats *statsBody      `json:"stats,omitempty"`
 	Table json.RawMessage `json:"table,omitempty"`
@@ -66,41 +79,66 @@ func (l *ontologyList) Set(v string) error {
 	return nil
 }
 
+// setupLogging installs the process-wide slog handler at the requested
+// level and returns the root logger. Shared by sdpd's front ends; each
+// component derives a tagged child via With("component", ...).
+func setupLogging(level string) (*slog.Logger, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l}))
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
 func main() {
-	log.SetFlags(log.LstdFlags)
 	listen := flag.String("listen", ":7474", "UDP address to listen on")
 	httpAddr := flag.String("http", "", "also serve an HTTP gateway on this address (optional)")
 	state := flag.String("state", "", "journal file for durable registrations (optional)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the HTTP gateway")
 	var ontologies ontologyList
 	flag.Var(&ontologies, "ontology", "ontology XML file to load (repeatable)")
 	flag.Parse()
 
+	logger, err := setupLogging(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpd: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	srv, err := newServer(ontologies)
 	if err != nil {
-		log.Fatalf("sdpd: %v", err)
+		fatal("startup", err)
 	}
 	if *state != "" {
+		jlog := logger.With("component", "journal")
 		applied, skipped, err := replayJournal(*state, srv)
 		if err != nil {
-			log.Fatalf("sdpd: %v", err)
+			fatal("journal replay", err)
 		}
 		if applied+skipped > 0 {
-			log.Printf("sdpd: recovered %d journal entries (%d skipped)", applied, skipped)
+			jlog.Info("recovered journal entries", "applied", applied, "skipped", skipped)
 		}
 		j, err := openJournal(*state)
 		if err != nil {
-			log.Fatalf("sdpd: %v", err)
+			fatal("journal open", err)
 		}
 		defer j.close()
 		srv.journal = j
 	}
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
-		log.Fatalf("sdpd: resolve %q: %v", *listen, err)
+		fatal("resolve "+*listen, err)
 	}
 	conn, err := net.ListenUDP("udp", addr)
 	if err != nil {
-		log.Fatalf("sdpd: listen: %v", err)
+		fatal("listen", err)
 	}
 	defer conn.Close()
 	// Both front ends report termination on one channel so a failing HTTP
@@ -109,16 +147,17 @@ func main() {
 	errCh := make(chan error, 2)
 	if *httpAddr != "" {
 		go func() {
-			errCh <- serveHTTP(*httpAddr, srv)
+			errCh <- serveHTTP(*httpAddr, srv, *pprofFlag)
 		}()
 	}
-	log.Printf("sdpd: serving semantic discovery on %s (%d ontologies)", conn.LocalAddr(), len(ontologies))
+	logger.Info("serving semantic discovery",
+		"component", "udp", "addr", conn.LocalAddr().String(), "ontologies", len(ontologies))
 	go func() {
 		srv.serve(conn)
 		errCh <- nil
 	}()
 	if err := <-errCh; err != nil {
-		log.Fatalf("sdpd: %v", err)
+		fatal("front end failed", err)
 	}
 }
 
@@ -134,11 +173,16 @@ type server struct {
 	reg     *codes.Registry            // guarded by mu
 	backend *discovery.SemanticBackend // guarded by mu
 	journal *journal                   // guarded by mu
+	log     *slog.Logger
 }
 
 func newServer(ontologyFiles []string) (*server, error) {
 	reg := codes.NewRegistry()
-	s := &server{reg: reg, backend: discovery.NewSemanticBackend(reg)}
+	s := &server{
+		reg:     reg,
+		backend: discovery.NewSemanticBackend(reg),
+		log:     slog.With("component", "directory"),
+	}
 	for _, path := range ontologyFiles {
 		f, err := os.Open(path)
 		if err != nil {
@@ -175,63 +219,76 @@ func (s *server) addOntologyLocked(r interface{ Read([]byte) (int, error) }) err
 }
 
 func (s *server) serve(conn *net.UDPConn) {
+	udpLog := slog.With("component", "udp")
 	buf := make([]byte, 64*1024)
 	for {
 		n, peer, err := conn.ReadFromUDP(buf)
 		if err != nil {
-			log.Printf("sdpd: read: %v", err)
+			udpLog.Error("read", "err", err)
 			return
 		}
 		resp := s.handle(buf[:n])
 		data, err := json.Marshal(resp)
 		if err != nil {
-			log.Printf("sdpd: marshal reply: %v", err)
+			udpLog.Error("marshal reply", "err", err)
 			continue
 		}
 		if _, err := conn.WriteToUDP(data, peer); err != nil {
-			log.Printf("sdpd: write to %s: %v", peer, err)
+			udpLog.Error("write reply", "peer", peer.String(), "err", err)
 		}
 	}
 }
 
+// handle times and counts one request, then runs it through process.
 func (s *server) handle(datagram []byte) response {
+	start := time.Now()
+	resp := s.process(datagram)
+	requestsTotal.Inc()
+	if !resp.OK {
+		requestErrorsTotal.Inc()
+	}
+	requestSeconds.ObserveSince(start)
+	return resp
+}
+
+func (s *server) process(datagram []byte) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var req request
 	if err := json.Unmarshal(datagram, &req); err != nil {
-		return response{Error: "malformed request: " + err.Error()}
+		return response{Error: "malformed request: " + err.Error(), Code: codeBadRequest}
 	}
 	switch req.Op {
 	case "register":
 		name, err := s.backend.Register([]byte(req.Doc))
 		if err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeBadRequest}
 		}
 		if err := s.persistLocked(journalEntry{Op: "register", Doc: req.Doc}); err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeInternal}
 		}
-		log.Printf("sdpd: registered %s (%d capabilities total)", name, s.backend.Len())
+		s.log.Info("registered service", "name", name, "capabilities", s.backend.Len())
 		return response{OK: true}
 	case "deregister":
 		if !s.backend.Deregister(req.Name) {
-			return response{Error: fmt.Sprintf("service %q not registered", req.Name)}
+			return response{Error: fmt.Sprintf("service %q not registered", req.Name), Code: codeNotFound}
 		}
 		if err := s.persistLocked(journalEntry{Op: "deregister", Name: req.Name}); err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeInternal}
 		}
 		return response{OK: true}
 	case "query":
 		hits, err := s.backend.Query([]byte(req.Doc))
 		if err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeBadRequest}
 		}
 		return response{OK: true, Hits: hits}
 	case "add-ontology":
 		if err := s.addOntologyTextLocked(req.Doc); err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeBadRequest}
 		}
 		if err := s.persistLocked(journalEntry{Op: "add-ontology", Doc: req.Doc}); err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeInternal}
 		}
 		return response{OK: true}
 	case "get-table":
@@ -239,11 +296,11 @@ func (s *server) handle(datagram []byte) response {
 		// reasoner themselves (Section 3.2's code distribution).
 		table, ok := s.reg.Resolve(req.Name)
 		if !ok {
-			return response{Error: fmt.Sprintf("no table for ontology %q", req.Name)}
+			return response{Error: fmt.Sprintf("no table for ontology %q", req.Name), Code: codeNotFound}
 		}
 		data, err := codes.MarshalTable(table)
 		if err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: codeInternal}
 		}
 		return response{OK: true, Table: data}
 	case "stats":
@@ -252,7 +309,7 @@ func (s *server) handle(datagram []byte) response {
 			Ontologies:   s.reg.URIs(),
 		}}
 	default:
-		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: codeBadRequest}
 	}
 }
 

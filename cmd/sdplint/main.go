@@ -1,6 +1,6 @@
 // Command sdplint is the repo's multichecker: it runs the standard `go
-// vet` passes plus the four codebase-specific analyzers from
-// internal/analysis (lockcheck, goroutinecheck, detrand, sleeptest) over
+// vet` passes plus the five codebase-specific analyzers from
+// internal/analysis (lockcheck, goroutinecheck, detrand, sleeptest, metricnames) over
 // a set of package patterns.
 //
 // Usage:
@@ -36,6 +36,7 @@ import (
 	"sariadne/internal/analysis/goroutinecheck"
 	"sariadne/internal/analysis/load"
 	"sariadne/internal/analysis/lockcheck"
+	"sariadne/internal/analysis/metricnames"
 	"sariadne/internal/analysis/sleeptest"
 )
 
@@ -44,15 +45,16 @@ var analyzers = []*analysis.Analyzer{
 	goroutinecheck.Analyzer,
 	detrand.Analyzer,
 	sleeptest.Analyzer,
+	metricnames.Analyzer,
 }
 
 // listedPackage is the subset of `go list -json` output sdplint needs.
 type listedPackage struct {
-	Dir         string
-	ImportPath  string
-	Module      *struct{ Path string }
-	GoFiles     []string
-	TestGoFiles []string
+	Dir          string
+	ImportPath   string
+	Module       *struct{ Path string }
+	GoFiles      []string
+	TestGoFiles  []string
 	XTestGoFiles []string
 }
 

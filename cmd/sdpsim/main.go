@@ -31,27 +31,39 @@ package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"os"
 )
 
 func main() {
-	log.SetFlags(0)
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
 	timescale := flag.Float64("timescale", 1.0, "multiply all event times (0.1 = 10x faster)")
 	seed := flag.Int64("seed", 0, "override the scenario's network and workload seeds (0 = use scenario values)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 	if *scenarioPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "sdpsim: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	logger := slog.With("component", "sim")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 	data, err := os.ReadFile(*scenarioPath)
 	if err != nil {
-		log.Fatalf("sdpsim: %v", err)
+		fatal("read scenario", err)
 	}
 	sc, err := parseScenario(data)
 	if err != nil {
-		log.Fatalf("sdpsim: %v", err)
+		fatal("parse scenario", err)
 	}
 	if *seed != 0 {
 		// One flag pins every stochastic input, so a flaky run can be
@@ -60,6 +72,6 @@ func main() {
 		sc.Workload.Seed = *seed
 	}
 	if err := runScenario(sc, *timescale, os.Stdout); err != nil {
-		log.Fatalf("sdpsim: %v", err)
+		fatal("run scenario", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sariadne/internal/gen"
 	"sariadne/internal/profile"
 	"sariadne/internal/simnet"
+	"sariadne/internal/telemetry"
 )
 
 // scenario is the parsed experiment description.
@@ -252,7 +253,9 @@ func runScenario(sc *scenario, timescale float64, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "\nqueries: %d answered, %d empty, %d failed\n", queriesOK, queriesEmpty, queriesErr)
-	return nil
+	// End-of-run telemetry: the same registry snapshot sdpd serves on
+	// /metrics, so simulated and deployed runs are compared one-to-one.
+	return telemetry.Default().WriteSummary(w)
 }
 
 // writeReport prints the protocol state: directories, per-node stats,

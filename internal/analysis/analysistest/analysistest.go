@@ -47,8 +47,20 @@ type want struct {
 // mismatch between its diagnostics and the // want expectations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	runWith(t, load.NewLoader("", nil), testdata, a, pkg)
+}
+
+// RunWithModule is Run for testdata that imports module-local packages:
+// moduleFiles maps each import path the testdata uses to the absolute
+// paths of its non-test sources, exactly as load.NewLoader expects.
+func RunWithModule(t *testing.T, testdata string, a *analysis.Analyzer, pkg, modulePath string, moduleFiles map[string][]string) {
+	t.Helper()
+	runWith(t, load.NewLoader(modulePath, moduleFiles), testdata, a, pkg)
+}
+
+func runWith(t *testing.T, loader *load.Loader, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)
-	loader := load.NewLoader("", nil)
 	units, err := loader.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)

@@ -1,0 +1,43 @@
+package metricnames_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/metricnames"
+)
+
+// telemetryFiles resolves the real telemetry package sources so the
+// testdata can import it the way production code does.
+func telemetryFiles(t *testing.T) []string {
+	t.Helper()
+	pattern := filepath.Join("..", "..", "telemetry", "*.go")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		abs, err := filepath.Abs(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, abs)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no telemetry sources matched %s", pattern)
+	}
+	return files
+}
+
+func TestMetricNames(t *testing.T) {
+	analysistest.RunWithModule(t, analysistest.TestData(t), metricnames.Analyzer, "a",
+		"sariadne", map[string][]string{
+			"sariadne/internal/telemetry": telemetryFiles(t),
+		})
+}

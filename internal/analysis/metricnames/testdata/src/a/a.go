@@ -1,0 +1,39 @@
+package a
+
+import "sariadne/internal/telemetry"
+
+// Package-level registration with conforming names: the sanctioned shape.
+var (
+	goodCounter = telemetry.NewCounter("pkg_requests_total", "requests handled")
+	goodHist    = telemetry.NewHistogram("pkg_request_seconds", "request latency")
+)
+
+var badCamel = telemetry.NewGauge("PkgEntries", "x") // want `not snake_case`
+
+var noPrefix = telemetry.NewCounter("requests", "x") // want `not snake_case`
+
+var trailing = telemetry.NewSizeHistogram("pkg_bytes_", "x") // want `not snake_case`
+
+func init() {
+	// init-time registration is as good as a package-level var.
+	telemetry.NewFloatGauge("pkg_fill_ratio", "ok")
+}
+
+func handleRequest(name string) {
+	goodCounter.Inc()
+	telemetry.NewCounter("pkg_lazy_total", "x") // want `outside a package-level var or init`
+	telemetry.NewCounter(name, "x")             // want `outside a package-level var or init` `string literal`
+	telemetry.NewCounter("per_request_total", "x").Inc() // want `outside a package-level var or init`
+}
+
+func scopedRegistry() {
+	// Scoped registries may be built anywhere (tests, tools), but names
+	// are still checked.
+	r := telemetry.NewRegistry()
+	r.NewCounter("tool_runs_total", "fine")
+	r.NewGauge("Bad", "still name-checked") // want `not snake_case`
+	_ = goodHist
+	_ = badCamel
+	_ = noPrefix
+	_ = trailing
+}

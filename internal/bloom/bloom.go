@@ -162,6 +162,8 @@ func (f *Filter) Reset() {
 // Marshal serializes the filter for transmission between directories:
 // 4-byte m, 4-byte k, 4-byte additions, then the bit words, little endian.
 func (f *Filter) Marshal() []byte {
+	marshalsTotal.Inc()
+	summaryBytes.ObserveInt(int64(12 + 8*len(f.bits)))
 	out := make([]byte, 12+8*len(f.bits))
 	binary.LittleEndian.PutUint32(out[0:], f.m)
 	binary.LittleEndian.PutUint32(out[4:], f.k)
@@ -174,6 +176,7 @@ func (f *Filter) Marshal() []byte {
 
 // Unmarshal parses a filter serialized by Marshal.
 func Unmarshal(data []byte) (*Filter, error) {
+	unmarshalsTotal.Inc()
 	if len(data) < 12 {
 		return nil, fmt.Errorf("bloom: truncated filter (%d bytes)", len(data))
 	}

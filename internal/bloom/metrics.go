@@ -1,0 +1,15 @@
+package bloom
+
+import "sariadne/internal/telemetry"
+
+// Summary-exchange instruments: how often filters cross the wire and how
+// big they are. The Add/Test hot paths stay uninstrumented on purpose —
+// they run once per peer per query.
+var (
+	marshalsTotal = telemetry.NewCounter("bloom_marshals_total",
+		"Bloom filters serialized for transmission")
+	unmarshalsTotal = telemetry.NewCounter("bloom_unmarshals_total",
+		"Bloom filters parsed from the wire")
+	summaryBytes = telemetry.NewSizeHistogram("bloom_summary_bytes",
+		"wire size in bytes of serialized Bloom summaries")
+)

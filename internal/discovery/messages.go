@@ -1,6 +1,9 @@
 package discovery
 
-import "sariadne/internal/simnet"
+import (
+	"sariadne/internal/simnet"
+	"sariadne/internal/telemetry"
+)
 
 // Wire messages of the discovery protocol. Service and request documents
 // travel as serialized XML ([]byte) so that the parse costs the paper
@@ -33,7 +36,10 @@ type QueryRequest struct {
 	// Forwarded marks directory-to-directory hops; forwarded queries are
 	// answered locally only (no second-level fan-out).
 	Forwarded bool
-	Doc       []byte
+	// Trace, when non-zero, asks every directory touching the query to
+	// record hop-level spans that travel back inside QueryReply.
+	Trace uint64
+	Doc   []byte
 }
 
 // QueryReply carries hits back. For forwarded queries the replying
@@ -44,7 +50,10 @@ type QueryReply struct {
 	From    simnet.NodeID
 	Partial bool // true for peer replies consumed by the aggregator
 	Hits    []Hit
-	Err     string
+	// Spans carries the hop-level trace for traced queries (empty
+	// otherwise); aggregators merge partial spans into the final reply.
+	Spans []telemetry.Span
+	Err   string
 }
 
 // DirectoryAnnounce advertises a (new) directory to the directory

@@ -1,0 +1,51 @@
+package discovery
+
+import "sariadne/internal/telemetry"
+
+// Process-wide protocol instruments. Per-node counts stay in Stats; these
+// aggregate every Node in the process so /metrics, sdpsim and benchfig
+// see the whole deployment, and they make the StaleRatio reactive-refresh
+// machinery observable instead of inferred.
+var (
+	registrationsTotal = telemetry.NewCounter("discovery_registrations_total",
+		"advertisements accepted by directories")
+	queriesServedTotal = telemetry.NewCounter("discovery_queries_served_total",
+		"queries answered from a local directory store")
+	queriesForwardedTotal = telemetry.NewCounter("discovery_queries_forwarded_total",
+		"origin queries fanned out to peer directories")
+	forwardsSentTotal = telemetry.NewCounter("discovery_forwards_sent_total",
+		"peer directories contacted by forwarded queries")
+	forwardsPrunedTotal = telemetry.NewCounter("discovery_forwards_pruned_total",
+		"peers skipped because their Bloom summary cannot match")
+	forwardEmptyTotal = telemetry.NewCounter("discovery_forward_empty_total",
+		"Bloom-selected forwards that returned no hits (false positives)")
+	remoteHitsTotal = telemetry.NewCounter("discovery_remote_hits_total",
+		"hits contributed by peer directories")
+	summaryPushesTotal = telemetry.NewCounter("discovery_summary_pushes_total",
+		"Bloom summaries pushed to peer directories")
+	summaryRefreshesTotal = telemetry.NewCounter("discovery_summary_refreshes_total",
+		"reactive summary refresh requests triggered by the StaleRatio rule")
+	localMatchSeconds = telemetry.NewHistogram("discovery_local_match_seconds",
+		"latency of the backend match phase while serving one query")
+	// bloomFPRGauge is the live false-positive-rate estimator: of all
+	// Bloom membership probes whose key turned out absent at the probed
+	// peer, the fraction that tested positive anyway. Pruned peers are
+	// true negatives; Bloom-selected forwards that came back empty are
+	// false positives (the filter has no false negatives, so a peer
+	// holding a match is never pruned).
+	bloomFPRGauge = telemetry.NewFloatGauge("discovery_bloom_false_positive_rate",
+		"observed Bloom false-positive rate: empty forwards / (empty forwards + prunes)")
+	summaryFPRGauge = telemetry.NewFloatGauge("bloom_summary_estimated_fpr",
+		"analytic (1-e^(-kn/m))^k estimate of the most recently rebuilt summary")
+)
+
+// updateBloomFPR recomputes the live false-positive-rate gauge from the
+// outcome counters. Called after prunes and after empty partial replies.
+func updateBloomFPR() {
+	fp := forwardEmptyTotal.Value()
+	tn := forwardsPrunedTotal.Value()
+	if fp+tn == 0 {
+		return
+	}
+	bloomFPRGauge.Set(float64(fp) / float64(fp+tn))
+}

@@ -11,6 +11,7 @@ import (
 	"sariadne/internal/bloom"
 	"sariadne/internal/election"
 	"sariadne/internal/simnet"
+	"sariadne/internal/telemetry"
 )
 
 // Protocol errors.
@@ -152,9 +153,11 @@ type peerState struct {
 type aggregation struct {
 	origin   simnet.NodeID
 	originID uint64
+	trace    uint64
 	deadline time.Time
 	awaiting map[simnet.NodeID]struct{}
 	hits     []Hit
+	spans    []telemetry.Span // mutated under the owning node's mu
 }
 
 // NewNode creates a discovery node over an endpoint and backend.
@@ -396,6 +399,7 @@ func (n *Node) handleMessage(msg simnet.Message) {
 		data := n.filter.Marshal()
 		count := n.backend.Len()
 		n.mu.Unlock()
+		summaryPushesTotal.Inc()
 		_ = n.ep.Send(msg.From, SummaryPush{From: n.ID(), Filter: data, Count: count})
 	default:
 		// Election traffic.
@@ -464,6 +468,7 @@ func (n *Node) onRegister(from simnet.NodeID, req RegisterRequest) {
 		n.mu.Lock()
 		n.leases[name] = time.Now()
 		n.stats.Registrations++
+		registrationsTotal.Inc()
 		n.regSince++
 		push := n.regSince >= n.cfg.SummaryPushEvery
 		if push {
@@ -484,6 +489,7 @@ func (n *Node) rebuildFilter() {
 	for _, k := range n.backend.Keys() {
 		f.Add(k)
 	}
+	summaryFPRGauge.Set(f.EstimateFPR())
 	n.mu.Lock()
 	n.filter = f
 	n.mu.Unlock()
@@ -499,6 +505,7 @@ func (n *Node) pushSummary() {
 		peers = append(peers, id)
 	}
 	n.mu.Unlock()
+	summaryPushesTotal.Add(uint64(len(peers)))
 	for _, id := range peers {
 		_ = n.ep.Send(id, SummaryPush{From: n.ID(), Filter: data, Count: count})
 	}
@@ -518,6 +525,7 @@ func (n *Node) onAnnounce(a DirectoryAnnounce) {
 	n.mu.Unlock()
 	if isDir && a.From != n.ID() {
 		// Introduce ourselves with our summary; the peer records us.
+		summaryPushesTotal.Inc()
 		_ = n.ep.Send(a.From, SummaryPush{From: n.ID(), Filter: data, Count: count})
 	}
 }
@@ -544,6 +552,7 @@ func (n *Node) onSummary(s SummaryPush, hops int) {
 	if !known {
 		// First contact from an unknown peer: send our summary back so
 		// the relationship is symmetric.
+		summaryPushesTotal.Inc()
 		_ = n.ep.Send(s.From, SummaryPush{From: n.ID(), Filter: data, Count: count})
 	}
 }
@@ -552,28 +561,50 @@ func (n *Node) onSummary(s SummaryPush, hops int) {
 // origin query with no local hits fans out to the peers whose Bloom
 // summaries pass (Section 4, Figure 6).
 func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
+	var spans []telemetry.Span
+	if q.Trace != 0 {
+		s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventReceived)
+		s.Peer = string(from)
+		spans = append(spans, s)
+	}
 	n.mu.Lock()
 	isDir := n.elect.Role() == election.Directory
 	n.mu.Unlock()
 	if !isDir {
-		n.replyQuery(q, from, nil, ErrNotDirectory.Error())
+		n.replyQuery(q, from, nil, ErrNotDirectory.Error(), spans)
 		return
 	}
 
+	matchStart := time.Now()
 	hits, err := n.backend.Query(q.Doc)
+	matchDur := time.Since(matchStart)
+	localMatchSeconds.Observe(matchDur)
 	if err != nil {
-		n.replyQuery(q, from, nil, err.Error())
+		n.replyQuery(q, from, nil, err.Error(), spans)
 		return
 	}
 	for i := range hits {
 		hits[i].Directory = string(n.ID())
 	}
+	if q.Trace != 0 {
+		s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventLocalMatch)
+		s.Hits = len(hits)
+		s.Dur = matchDur
+		spans = append(spans, s)
+	}
 	n.mu.Lock()
 	n.stats.QueriesServed++
 	n.mu.Unlock()
+	queriesServedTotal.Inc()
 
 	if q.Forwarded {
-		_ = n.ep.Send(from, QueryReply{ID: q.ID, From: n.ID(), Partial: true, Hits: hits})
+		if q.Trace != 0 {
+			s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventReply)
+			s.Peer = string(from)
+			s.Hits = len(hits)
+			spans = append(spans, s)
+		}
+		_ = n.ep.Send(from, QueryReply{ID: q.ID, From: n.ID(), Partial: true, Hits: hits, Spans: spans})
 		return
 	}
 
@@ -581,19 +612,32 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 	// store could not answer.
 	missing := n.missingRequirements(q.Doc, hits)
 	if len(missing) == 0 {
-		n.replyQuery(q, q.Origin, hits, "")
+		n.replyQuery(q, q.Origin, hits, "", spans)
 		return
 	}
 	fwdDoc, err := n.backend.Subset(q.Doc, missing)
 	if err != nil {
 		// Cannot build the partial request; answer with what we have.
-		n.replyQuery(q, q.Origin, hits, "")
+		n.replyQuery(q, q.Origin, hits, "", spans)
 		return
 	}
 
-	targets := n.selectForwardTargets(fwdDoc)
+	targets, pruned := n.selectForwardTargets(fwdDoc)
+	updateBloomFPR()
+	if q.Trace != 0 {
+		for _, id := range pruned {
+			s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventBloomPrune)
+			s.Peer = string(id)
+			spans = append(spans, s)
+		}
+		for _, id := range targets {
+			s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventForward)
+			s.Peer = string(id)
+			spans = append(spans, s)
+		}
+	}
 	if len(targets) == 0 {
-		n.replyQuery(q, q.Origin, hits, "")
+		n.replyQuery(q, q.Origin, hits, "", spans)
 		return
 	}
 	n.mu.Lock()
@@ -602,9 +646,11 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 	agg := &aggregation{
 		origin:   q.Origin,
 		originID: q.ID,
+		trace:    q.Trace,
 		deadline: time.Now().Add(n.cfg.QueryTimeout),
 		awaiting: make(map[simnet.NodeID]struct{}, len(targets)),
 		hits:     hits, // local answers ride along with the remote ones
+		spans:    spans,
 	}
 	n.nextID++
 	fwdID := n.nextID
@@ -613,9 +659,11 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 	}
 	n.aggregates[fwdID] = agg
 	n.mu.Unlock()
+	queriesForwardedTotal.Inc()
+	forwardsSentTotal.Add(uint64(len(targets)))
 
 	for _, id := range targets {
-		_ = n.ep.Send(id, QueryRequest{ID: fwdID, Origin: n.ID(), Forwarded: true, Doc: fwdDoc})
+		_ = n.ep.Send(id, QueryRequest{ID: fwdID, Origin: n.ID(), Forwarded: true, Trace: q.Trace, Doc: fwdDoc})
 	}
 }
 
@@ -644,7 +692,7 @@ func (n *Node) missingRequirements(doc []byte, hits []Hit) []string {
 // pruned and counted), then ranked nearest-first and truncated to
 // MaxForwardPeers — the paper's "Bloom filters and additional parameters
 // such as ... the distance between the respective directories".
-func (n *Node) selectForwardTargets(doc []byte) []simnet.NodeID {
+func (n *Node) selectForwardTargets(doc []byte) (targets, pruned []simnet.NodeID) {
 	key, keyErr := n.backend.RequestKey(doc)
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -656,6 +704,8 @@ func (n *Node) selectForwardTargets(doc []byte) []simnet.NodeID {
 	for id, ps := range n.peers {
 		if keyErr == nil && ps.filter != nil && !ps.filter.Test(key) {
 			n.stats.ForwardsPruned++
+			forwardsPrunedTotal.Inc()
+			pruned = append(pruned, id)
 			continue
 		}
 		cands = append(cands, cand{id: id, hops: ps.hops})
@@ -669,12 +719,13 @@ func (n *Node) selectForwardTargets(doc []byte) []simnet.NodeID {
 	if n.cfg.MaxForwardPeers > 0 && len(cands) > n.cfg.MaxForwardPeers {
 		cands = cands[:n.cfg.MaxForwardPeers]
 	}
-	out := make([]simnet.NodeID, 0, len(cands))
+	targets = make([]simnet.NodeID, 0, len(cands))
 	for _, c := range cands {
 		n.peers[c.id].forwards++
-		out = append(out, c.id)
+		targets = append(targets, c.id)
 	}
-	return out
+	sort.Slice(pruned, func(i, j int) bool { return pruned[i] < pruned[j] })
+	return targets, pruned
 }
 
 // onQueryReply routes replies: partial ones feed an aggregation, final
@@ -691,14 +742,18 @@ func (n *Node) onQueryReply(r QueryReply) {
 		if r.Err == "" {
 			agg.hits = append(agg.hits, r.Hits...)
 			n.stats.RemoteHits += uint64(len(r.Hits))
+			remoteHitsTotal.Add(uint64(len(r.Hits)))
 		}
+		agg.spans = append(agg.spans, r.Spans...)
 		var askRefresh bool
+		emptyForward := false
 		if ps, known := n.peers[r.From]; known {
 			if len(r.Hits) == 0 {
 				// A Bloom-selected peer with no answer is a false
 				// positive; enough of them means the summary went stale
 				// (Section 4's reactive exchange trigger).
 				ps.empties++
+				emptyForward = true
 				if n.cfg.StaleRatio > 0 && ps.forwards >= 4 &&
 					float64(ps.empties)/float64(ps.forwards) > n.cfg.StaleRatio {
 					askRefresh = true
@@ -711,7 +766,12 @@ func (n *Node) onQueryReply(r QueryReply) {
 			delete(n.aggregates, r.ID)
 		}
 		n.mu.Unlock()
+		if emptyForward {
+			forwardEmptyTotal.Inc()
+			updateBloomFPR()
+		}
 		if askRefresh {
+			summaryRefreshesTotal.Inc()
 			_ = n.ep.Send(r.From, SummaryRequest{From: n.ID()})
 		}
 		if done {
@@ -742,12 +802,25 @@ func (n *Node) expireAggregationsLocked(now time.Time) []*aggregation {
 
 // finishAggregation sends the collected hits to the origin client.
 func (n *Node) finishAggregation(agg *aggregation) {
-	_ = n.ep.Send(agg.origin, QueryReply{ID: agg.originID, From: n.ID(), Hits: agg.hits})
+	spans := agg.spans
+	if agg.trace != 0 {
+		s := telemetry.NewSpan(agg.trace, string(n.ID()), telemetry.EventReply)
+		s.Peer = string(agg.origin)
+		s.Hits = len(agg.hits)
+		spans = append(spans, s)
+	}
+	_ = n.ep.Send(agg.origin, QueryReply{ID: agg.originID, From: n.ID(), Hits: agg.hits, Spans: spans})
 }
 
 // replyQuery sends a final reply toward the origin.
-func (n *Node) replyQuery(q QueryRequest, to simnet.NodeID, hits []Hit, errStr string) {
-	_ = n.ep.Send(to, QueryReply{ID: q.ID, From: n.ID(), Hits: hits, Err: errStr})
+func (n *Node) replyQuery(q QueryRequest, to simnet.NodeID, hits []Hit, errStr string, spans []telemetry.Span) {
+	if q.Trace != 0 {
+		s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventReply)
+		s.Peer = string(to)
+		s.Hits = len(hits)
+		spans = append(spans, s)
+	}
+	_ = n.ep.Send(to, QueryReply{ID: q.ID, From: n.ID(), Hits: hits, Err: errStr, Spans: spans})
 }
 
 // Publish registers a service advertisement document with this node's
@@ -880,11 +953,24 @@ func (n *Node) Deregister(ctx context.Context, service string) error {
 // Discover resolves a request document through this node's directory and
 // returns the hits (best first for semantic backends).
 func (n *Node) Discover(ctx context.Context, doc []byte) ([]Hit, error) {
+	hits, _, err := n.discover(ctx, doc, 0)
+	return hits, err
+}
+
+// DiscoverTrace resolves a request like Discover while recording the
+// hop-level trace: every directory that touches the query appends spans
+// (received, local-match, Bloom prunes, forwards, reply) which come back
+// alongside the hits, ordered by recording sequence.
+func (n *Node) DiscoverTrace(ctx context.Context, doc []byte) ([]Hit, []telemetry.Span, error) {
+	return n.discover(ctx, doc, telemetry.NextTraceID())
+}
+
+func (n *Node) discover(ctx context.Context, doc []byte, trace uint64) ([]Hit, []telemetry.Span, error) {
 	n.mu.Lock()
 	dir, ok := n.directoryLocked()
 	if !ok {
 		n.mu.Unlock()
-		return nil, ErrNoDirectory
+		return nil, nil, ErrNoDirectory
 	}
 	n.nextID++
 	id := n.nextID
@@ -892,22 +978,23 @@ func (n *Node) Discover(ctx context.Context, doc []byte) ([]Hit, error) {
 	n.queryWait[id] = ch
 	n.mu.Unlock()
 
-	if err := n.ep.Send(dir, QueryRequest{ID: id, Origin: n.ID(), Doc: doc}); err != nil {
+	if err := n.ep.Send(dir, QueryRequest{ID: id, Origin: n.ID(), Trace: trace, Doc: doc}); err != nil {
 		n.mu.Lock()
 		delete(n.queryWait, id)
 		n.mu.Unlock()
-		return nil, err
+		return nil, nil, err
 	}
 	select {
 	case rep := <-ch:
+		telemetry.SortSpans(rep.Spans)
 		if rep.Err != "" {
-			return nil, fmt.Errorf("discovery: query failed: %s", rep.Err)
+			return nil, rep.Spans, fmt.Errorf("discovery: query failed: %s", rep.Err)
 		}
-		return rep.Hits, nil
+		return rep.Hits, rep.Spans, nil
 	case <-ctx.Done():
 		n.mu.Lock()
 		delete(n.queryWait, id)
 		n.mu.Unlock()
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	}
 }

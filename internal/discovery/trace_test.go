@@ -1,0 +1,138 @@
+package discovery
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sariadne/internal/telemetry"
+)
+
+// spanWith reports whether spans contain an entry matching node/event and
+// (when non-empty) peer.
+func spanWith(spans []telemetry.Span, node, event, peer string) bool {
+	for _, s := range spans {
+		if s.Node == node && s.Event == event && (peer == "" || s.Peer == peer) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDiscoverTraceRecordsForwardingHops publishes on one side of a
+// three-directory line and queries from the other: the returned trace
+// must show the entry directory receiving the query, missing locally,
+// pruning the empty middle directory via its Bloom summary, forwarding
+// to the directory that holds the service, and both replies.
+func TestDiscoverTraceRecordsForwardingHops(t *testing.T) {
+	_, nodes := testCluster(t, 7)
+	nodes[1].BecomeDirectory()
+	nodes[3].BecomeDirectory()
+	nodes[5].BecomeDirectory()
+
+	waitUntil(t, 2*time.Second, "backbone handshake", func() bool {
+		return len(nodes[1].Peers()) == 2 && len(nodes[3].Peers()) == 2 && len(nodes[5].Peers()) == 2
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+
+	// n6's vicinity directory is n5: the workstation advertisement lands
+	// there. n3 stores nothing, so its summary stays empty and n1 must
+	// prune it for any request.
+	waitUntil(t, 2*time.Second, "n6 directory", func() bool {
+		d, ok := nodes[6].DirectoryID()
+		return ok && d == "n5"
+	})
+	if err := nodes[6].Publish(ctx, workstationDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	key, err := nodes[1].backend.RequestKey(pdaRequestDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, "summaries at n1", func() bool {
+		nodes[1].mu.Lock()
+		defer nodes[1].mu.Unlock()
+		ps3, ps5 := nodes[1].peers["n3"], nodes[1].peers["n5"]
+		return ps3 != nil && ps3.filter != nil &&
+			ps5 != nil && ps5.filter != nil && ps5.filter.Test(key)
+	})
+
+	waitUntil(t, 2*time.Second, "n0 directory", func() bool {
+		d, ok := nodes[0].DirectoryID()
+		return ok && d == "n1"
+	})
+	hits, spans, err := nodes[0].DiscoverTrace(ctx, pdaRequestDoc(t))
+	if err != nil {
+		t.Fatalf("DiscoverTrace: %v", err)
+	}
+	if len(hits) != 1 || hits[0].Directory != "n5" {
+		t.Fatalf("hits = %v, want one from n5", hits)
+	}
+
+	trace := spans[0].Trace
+	if trace == 0 {
+		t.Fatal("zero trace ID on spans")
+	}
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("mixed trace IDs in %v", spans)
+		}
+	}
+	for _, want := range []struct{ node, event, peer string }{
+		{"n1", telemetry.EventReceived, "n0"},
+		{"n1", telemetry.EventLocalMatch, ""},
+		{"n1", telemetry.EventBloomPrune, "n3"},
+		{"n1", telemetry.EventForward, "n5"},
+		{"n5", telemetry.EventReceived, "n1"},
+		{"n5", telemetry.EventLocalMatch, ""},
+		{"n5", telemetry.EventReply, "n1"},
+		{"n1", telemetry.EventReply, "n0"},
+	} {
+		if !spanWith(spans, want.node, want.event, want.peer) {
+			t.Errorf("missing span %s/%s peer=%q in:\n%s",
+				want.node, want.event, want.peer, telemetry.FormatSpans(spans))
+		}
+	}
+
+	// The local-match at n5 found the hit; n1 found nothing.
+	for _, s := range spans {
+		if s.Event != telemetry.EventLocalMatch {
+			continue
+		}
+		switch s.Node {
+		case "n1":
+			if s.Hits != 0 {
+				t.Errorf("n1 local-match hits = %d, want 0", s.Hits)
+			}
+		case "n5":
+			if s.Hits != 1 {
+				t.Errorf("n5 local-match hits = %d, want 1", s.Hits)
+			}
+		}
+	}
+
+	// Spans come back in causal order: n1 received the query before
+	// forwarding, and n5's work happened between forward and final reply.
+	idx := func(node, event string) int {
+		for i, s := range spans {
+			if s.Node == node && s.Event == event {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx("n1", telemetry.EventReceived) < idx("n1", telemetry.EventForward) &&
+		idx("n1", telemetry.EventForward) < idx("n5", telemetry.EventReceived) &&
+		idx("n5", telemetry.EventReply) < idx("n1", telemetry.EventReply)) {
+		t.Fatalf("spans out of causal order:\n%s", telemetry.FormatSpans(spans))
+	}
+
+	// Untraced queries stay untraced: no spans on the plain path.
+	plainHits, err := nodes[0].Discover(ctx, pdaRequestDoc(t))
+	if err != nil || len(plainHits) != 1 {
+		t.Fatalf("plain Discover: %v, %v", plainHits, err)
+	}
+}

@@ -1,0 +1,28 @@
+package match
+
+import "sariadne/internal/telemetry"
+
+// The paper's central performance claim (Fig. 9) is that encoded code
+// tables replace online reasoner calls during matching; these counters
+// attribute capability-level match work to one side or the other.
+var (
+	encodedOpsTotal = telemetry.NewCounter("match_encoded_ops_total",
+		"capability match operations answered by encoded code tables")
+	reasonerOpsTotal = telemetry.NewCounter("match_reasoner_ops_total",
+		"capability match operations answered by reasoner-backed hierarchies")
+)
+
+// CountOps attributes n capability-level match operations to m's kind.
+// Callers batch their counts (e.g. one call per directory query) so the
+// per-match hot path stays free of atomics.
+func CountOps(m ConceptMatcher, n uint64) {
+	if n == 0 {
+		return
+	}
+	switch m.(type) {
+	case *CodeMatcher:
+		encodedOpsTotal.Add(n)
+	default:
+		reasonerOpsTotal.Add(n)
+	}
+}

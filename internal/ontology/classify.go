@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // Classified is the result of classifying an ontology: an explicit
@@ -46,6 +47,8 @@ type Classified struct {
 //
 // Classify returns an error if the ontology fails Validate.
 func Classify(o *Ontology) (*Classified, error) {
+	start := time.Now()
+	defer classifySeconds.ObserveSince(start)
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}

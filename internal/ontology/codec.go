@@ -5,6 +5,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"time"
 )
 
 // The XML vocabulary is a deliberately small OWL subset. A document looks
@@ -53,6 +54,8 @@ type xmlProperty struct {
 
 // Decode parses an ontology document from r and validates it.
 func Decode(r io.Reader) (*Ontology, error) {
+	start := time.Now()
+	defer parseSeconds.ObserveSince(start)
 	var doc xmlOntology
 	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("ontology: decode: %w", err)

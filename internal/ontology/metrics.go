@@ -1,0 +1,14 @@
+package ontology
+
+import "sariadne/internal/telemetry"
+
+// Fig. 2 of the paper decomposes semantic matching into parse, classify
+// and match phases; these timers expose the first two for ontology
+// documents (profile documents and the match phase are timed in their
+// own packages).
+var (
+	parseSeconds = telemetry.NewHistogram("ontology_parse_seconds",
+		"latency of parsing one ontology XML document")
+	classifySeconds = telemetry.NewHistogram("ontology_classify_seconds",
+		"latency of classifying one ontology (equivalence collapse + closure)")
+)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"time"
 
 	"sariadne/internal/ontology"
 	"sariadne/internal/process"
@@ -76,6 +77,8 @@ type xmlQoSRequire struct {
 
 // Decode parses and validates an Amigo-S service document.
 func Decode(r io.Reader) (*Service, error) {
+	start := time.Now()
+	defer parseSeconds.ObserveSince(start)
 	var doc xmlService
 	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("profile: decode: %w", err)

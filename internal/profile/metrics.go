@@ -1,0 +1,8 @@
+package profile
+
+import "sariadne/internal/telemetry"
+
+// parseSeconds times Amigo-S service document parsing — the "parse"
+// share of the paper's Fig. 2 response-time decomposition.
+var parseSeconds = telemetry.NewHistogram("profile_parse_seconds",
+	"latency of parsing one Amigo-S service document")

@@ -3,6 +3,7 @@ package reasoner
 import (
 	"errors"
 	"io"
+	"time"
 
 	"sariadne/internal/ontology"
 )
@@ -24,6 +25,8 @@ func (b *baseEngine) load(r io.Reader) error {
 }
 
 func (b *baseEngine) loadOntology(o *ontology.Ontology) error {
+	start := time.Now()
+	defer loadSeconds.ObserveSince(start)
 	g, err := loadGraph(o)
 	if err != nil {
 		return err
@@ -56,6 +59,8 @@ func (e *Naive) Classify() (Hierarchy, error) {
 	if e.g == nil {
 		return nil, ErrNotLoaded
 	}
+	start := time.Now()
+	defer classifySeconds.ObserveSince(start)
 	g := e.g
 	n := g.n
 	c := newClosure(g)
@@ -113,6 +118,8 @@ func (e *Rule) Classify() (Hierarchy, error) {
 	if e.g == nil {
 		return nil, ErrNotLoaded
 	}
+	start := time.Now()
+	defer classifySeconds.ObserveSince(start)
 	g := e.g
 	n := g.n
 	c := newClosure(g)
@@ -176,6 +183,8 @@ func (e *Tableau) Classify() (Hierarchy, error) {
 	if e.g == nil {
 		return nil, ErrNotLoaded
 	}
+	start := time.Now()
+	defer classifySeconds.ObserveSince(start)
 	h := &tableauHierarchy{g: e.g}
 	// Classification: verify the taxonomy by testing every ordered concept
 	// pair once, exactly as tableau engines do to publish a taxonomy. The

@@ -1,0 +1,12 @@
+package reasoner
+
+import "sariadne/internal/telemetry"
+
+// Fig. 2's "load + classify" phase: how long online reasoners spend
+// building taxonomies, the cost encoded code tables amortize away.
+var (
+	loadSeconds = telemetry.NewHistogram("reasoner_load_seconds",
+		"latency of loading one ontology into a reasoner engine")
+	classifySeconds = telemetry.NewHistogram("reasoner_classify_seconds",
+		"latency of one reasoner Classify run (any engine)")
+)

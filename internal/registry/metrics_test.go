@@ -1,0 +1,116 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"sariadne/internal/codes"
+	"sariadne/internal/gen"
+	"sariadne/internal/match"
+	"sariadne/internal/telemetry"
+)
+
+// findGauge returns the value of a named gauge in the default registry.
+func findMetric(t *testing.T, name string) telemetry.MetricSnapshot {
+	t.Helper()
+	for _, s := range telemetry.Default().Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return telemetry.MetricSnapshot{}
+}
+
+// TestStructuralGaugesTrackStats churns a directory through register /
+// re-register / deregister cycles on a generated workload and checks the
+// delta-maintained process gauges agree exactly with the O(V+E) Stats()
+// recount at every step.
+func TestStructuralGaugesTrackStats(t *testing.T) {
+	w := gen.MustNewWorkload(gen.WorkloadConfig{Ontologies: 6, Services: 40, Seed: 7})
+	reg, err := w.Registry(codes.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	telemetry.Default().Reset()
+	d := NewDirectory(match.NewCodeMatcher(reg))
+
+	check := func(step string) {
+		t.Helper()
+		s := d.Stats()
+		for _, probe := range []struct {
+			name string
+			want int
+		}{
+			{"registry_graphs", s.Graphs},
+			{"registry_vertices", s.Vertices},
+			{"registry_edges", s.Edges},
+			{"registry_entries", s.Entries},
+		} {
+			if got := findMetric(t, probe.name).Value; got != float64(probe.want) {
+				t.Fatalf("%s: %s = %v, want %d\n%s", step, probe.name, got, probe.want, d.Snapshot())
+			}
+		}
+		if err := d.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+	}
+
+	for i, svc := range w.Services {
+		if err := d.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			check(fmt.Sprintf("after register %d", i))
+		}
+	}
+	check("fully populated")
+
+	// Re-registration replaces in place.
+	for _, svc := range w.Services[:10] {
+		if err := d.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after re-register")
+
+	for i, svc := range w.Services {
+		if !d.Deregister(svc.Name) {
+			t.Fatalf("service %s not registered", svc.Name)
+		}
+		if i%7 == 0 {
+			check(fmt.Sprintf("after deregister %d", i))
+		}
+	}
+	check("emptied")
+	if s := d.Stats(); s.Entries != 0 || s.Graphs != 0 {
+		t.Fatalf("directory not empty: %+v", s)
+	}
+}
+
+// TestQueryAndInsertInstrumentsMove checks the latency histograms and the
+// root-probe counter record activity.
+func TestQueryAndInsertInstrumentsMove(t *testing.T) {
+	telemetry.Default().Reset()
+	d, _ := newFixtureDirectory(t)
+	if err := d.Register(service("s1", capability("Print", "Server", "File", "Paper"))); err != nil {
+		t.Fatal(err)
+	}
+	d.Query(capability("req", "Server", "File", "Paper"))
+
+	if got := findMetric(t, "registry_insert_seconds").Count; got == 0 {
+		t.Error("registry_insert_seconds never observed")
+	}
+	if got := findMetric(t, "registry_query_seconds").Count; got != 1 {
+		t.Errorf("registry_query_seconds count = %d, want 1", got)
+	}
+	if got := findMetric(t, "registry_root_probes_total").Value; got == 0 {
+		t.Error("registry_root_probes_total = 0 after query")
+	}
+	if got := findMetric(t, "registry_insert_depth").Count; got == 0 {
+		t.Error("registry_insert_depth never observed")
+	}
+	if got := findMetric(t, "match_encoded_ops_total").Value; got == 0 {
+		t.Error("match_encoded_ops_total = 0 after encoded-matcher query")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sariadne/internal/match"
 	"sariadne/internal/profile"
@@ -238,6 +239,8 @@ func (d *Directory) Register(s *profile.Service) error {
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidCapability, err)
 	}
+	start := time.Now()
+	opsBefore := d.matchOps.Load()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if old, ok := d.byService[s.Name]; ok {
@@ -251,6 +254,8 @@ func (d *Directory) Register(s *profile.Service) error {
 		d.insertLocked(e)
 		d.byService[s.Name] = append(d.byService[s.Name], e)
 	}
+	match.CountOps(d.matcher, d.matchOps.Load()-opsBefore)
+	insertSeconds.ObserveSince(start)
 	return nil
 }
 
@@ -275,6 +280,10 @@ func (d *Directory) insertLocked(e *Entry) {
 	g.leaves[v] = struct{}{}
 	d.graphs = append(d.graphs, g)
 	d.indexGraphLocked(g, uris)
+	graphsGauge.Add(1)
+	verticesGauge.Add(1)
+	entriesGauge.Add(1)
+	insertDepth.ObserveInt(0)
 }
 
 // insertIntoGraphLocked tries to place the entry inside g. It returns false when
@@ -298,6 +307,7 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 			frontier = append(frontier, r)
 		}
 	}
+	depth := 0
 	for len(frontier) > 0 {
 		var next []*vertex
 		for _, v := range frontier {
@@ -310,6 +320,9 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 					next = append(next, s)
 				}
 			}
+		}
+		if len(next) > 0 {
+			depth++
 		}
 		frontier = next
 	}
@@ -349,6 +362,8 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 		if _, both := sset[v]; both {
 			v.entries = append(v.entries, e)
 			d.indexGraphLocked(g, c.Ontologies())
+			entriesGauge.Add(1)
+			insertDepth.ObserveInt(int64(depth))
 			return true
 		}
 	}
@@ -384,21 +399,25 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 
 	nv := &vertex{rep: c, entries: []*Entry{e}, preds: map[*vertex]struct{}{}, succs: map[*vertex]struct{}{}}
 	g.vertices[nv] = struct{}{}
+	edgeDelta := 0
 	for _, p := range parents {
 		// Drop direct edges p→child that the new vertex now mediates.
 		for _, ch := range children {
 			if _, ok := p.succs[ch]; ok {
 				delete(p.succs, ch)
 				delete(ch.preds, p)
+				edgeDelta--
 			}
 		}
 		p.succs[nv] = struct{}{}
 		nv.preds[p] = struct{}{}
+		edgeDelta++
 		delete(g.leaves, p)
 	}
 	for _, ch := range children {
 		nv.succs[ch] = struct{}{}
 		ch.preds[nv] = struct{}{}
+		edgeDelta++
 		delete(g.roots, ch)
 	}
 	if len(parents) == 0 {
@@ -408,6 +427,10 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 		g.leaves[nv] = struct{}{}
 	}
 	d.indexGraphLocked(g, c.Ontologies())
+	verticesGauge.Add(1)
+	entriesGauge.Add(1)
+	edgesGauge.Add(int64(edgeDelta))
+	insertDepth.ObserveInt(int64(depth))
 	return true
 }
 
@@ -443,6 +466,7 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 				continue
 			}
 			v.entries = append(v.entries[:idx], v.entries[idx+1:]...)
+			entriesGauge.Add(-1)
 			if len(v.entries) > 0 {
 				return
 			}
@@ -450,6 +474,7 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 			delete(g.vertices, v)
 			delete(g.roots, v)
 			delete(g.leaves, v)
+			edgeDelta := -len(v.preds) - len(v.succs)
 			for p := range v.preds {
 				delete(p.succs, v)
 			}
@@ -459,10 +484,15 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 			for p := range v.preds {
 				for s := range v.succs {
 					// Reconnect unless another path already implies it.
-					p.succs[s] = struct{}{}
-					s.preds[p] = struct{}{}
+					if _, ok := p.succs[s]; !ok {
+						p.succs[s] = struct{}{}
+						s.preds[p] = struct{}{}
+						edgeDelta++
+					}
 				}
 			}
+			verticesGauge.Add(-1)
+			edgesGauge.Add(int64(edgeDelta))
 			for p := range v.preds {
 				if len(p.succs) == 0 {
 					g.leaves[p] = struct{}{}
@@ -476,6 +506,7 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 			if len(g.vertices) == 0 {
 				d.graphs = append(d.graphs[:gi], d.graphs[gi+1:]...)
 				d.unindexGraphLocked(g)
+				graphsGauge.Add(-1)
 			}
 			return
 		}
@@ -488,6 +519,9 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 // user requests": graphs are pre-selected by ontology index, only matching
 // roots are expanded, and only matching vertices are traversed.
 func (d *Directory) Query(req *profile.Capability) []Result {
+	start := time.Now()
+	opsBefore := d.matchOps.Load()
+	rootProbes := 0
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	// Filter graphs by the ontologies a matching provider must use (the
@@ -499,6 +533,7 @@ func (d *Directory) Query(req *profile.Capability) []Result {
 		matched := make(map[*vertex]struct{})
 		var frontier []*vertex
 		for r := range g.roots {
+			rootProbes++
 			if d.matches(r.rep, req) {
 				matched[r] = struct{}{}
 				frontier = append(frontier, r)
@@ -544,6 +579,9 @@ func (d *Directory) Query(req *profile.Capability) []Result {
 		}
 		return results[i].Entry.Capability.Name < results[j].Entry.Capability.Name
 	})
+	rootProbesTotal.Add(uint64(rootProbes))
+	match.CountOps(d.matcher, d.matchOps.Load()-opsBefore)
+	querySeconds.ObserveSince(start)
 	return results
 }
 

@@ -1,0 +1,23 @@
+package simnet
+
+import "sariadne/internal/telemetry"
+
+// Process-wide traffic instruments mirroring Stats: per-network counters
+// stay in Stats for scoped assertions, while these aggregate every
+// simulated network in the process for the /metrics and end-of-run views.
+var (
+	unicastsTotal = telemetry.NewCounter("simnet_unicasts_total",
+		"unicast messages sent across all simulated networks")
+	broadcastsTotal = telemetry.NewCounter("simnet_broadcasts_total",
+		"hop-limited broadcasts initiated")
+	deliveredTotal = telemetry.NewCounter("simnet_delivered_total",
+		"messages delivered to an inbox")
+	dropsTotal = telemetry.NewCounter("simnet_link_drops_total",
+		"messages lost to link drops")
+	overflowsTotal = telemetry.NewCounter("simnet_overflows_total",
+		"messages lost to full inboxes")
+	traversalsTotal = telemetry.NewCounter("simnet_link_traversals_total",
+		"individual link traversals (the paper's generated-traffic axis)")
+	unicastHops = telemetry.NewSizeHistogram("simnet_unicast_hops",
+		"route length in hops of each unicast send")
+)

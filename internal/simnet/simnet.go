@@ -287,10 +287,14 @@ func (e *Endpoint) Send(to NodeID, payload any) error {
 	}
 	n.stats.UnicastsSent++
 	n.stats.LinkTraversals += uint64(hops)
+	unicastsTotal.Inc()
+	traversalsTotal.Add(uint64(hops))
+	unicastHops.ObserveInt(int64(hops))
 	// Per-link loss along the path.
 	for i := 0; i < hops; i++ {
 		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
 			n.stats.MessagesDropped++
+			dropsTotal.Inc()
 			n.mu.Unlock()
 			return nil
 		}
@@ -315,6 +319,7 @@ func (e *Endpoint) Broadcast(ttl int, payload any) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, e.id)
 	}
 	n.stats.BroadcastsSent++
+	broadcastsTotal.Inc()
 	reached := 0
 	visited := map[NodeID]int{e.id: 0}
 	frontier := []NodeID{e.id}
@@ -326,8 +331,10 @@ func (e *Endpoint) Broadcast(ttl int, payload any) (int, error) {
 					continue
 				}
 				n.stats.LinkTraversals++
+				traversalsTotal.Inc()
 				if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
 					n.stats.MessagesDropped++
+					dropsTotal.Inc()
 					continue
 				}
 				visited[v] = depth
@@ -355,13 +362,16 @@ func (n *Network) deliverLocked(target *Endpoint, msg Message) {
 			defer n.mu.Unlock()
 			if _, ok := n.nodes[target.id]; !ok {
 				n.stats.MessagesDropped++
+				dropsTotal.Inc()
 				return
 			}
 			select {
 			case target.inbox <- msg:
 				n.stats.MessagesDelivered++
+				deliveredTotal.Inc()
 			default:
 				n.stats.MessagesOverflowed++
+				overflowsTotal.Inc()
 			}
 		}()
 		return
@@ -369,8 +379,10 @@ func (n *Network) deliverLocked(target *Endpoint, msg Message) {
 	select {
 	case target.inbox <- msg:
 		n.stats.MessagesDelivered++
+		deliveredTotal.Inc()
 	default:
 		n.stats.MessagesOverflowed++
+		overflowsTotal.Inc()
 	}
 }
 

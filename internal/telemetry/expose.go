@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format 0.0.4: HELP/TYPE comments followed by samples, histograms as
+// cumulative le-labelled buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, formatFloat(b.UpperBound), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, formatFloat(s.Sum), s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// representation that round-trips, no exponent for integral values.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonHistogram is the /debug/vars shape for histograms.
+type jsonHistogram struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// WriteJSON writes the registry as a single expvar-style JSON object
+// mapping metric name to value (histograms become {count, sum, buckets}).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	obj := make(map[string]any)
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case KindHistogram:
+			h := jsonHistogram{Count: s.Count, Sum: s.Sum}
+			if len(s.Buckets) > 0 {
+				h.Buckets = make(map[string]uint64, len(s.Buckets))
+				for _, b := range s.Buckets {
+					h.Buckets[formatFloat(b.UpperBound)] = b.Count
+				}
+			}
+			obj[s.Name] = h
+		default:
+			obj[s.Name] = s.Value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}
+
+// WriteSummary writes a compact human-readable snapshot — the end-of-run
+// report sdpsim and benchfig print. Metrics that never moved are elided
+// so short runs stay readable.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "-- telemetry --"); err != nil {
+		return err
+	}
+	for _, s := range r.Snapshot() {
+		switch s.Kind {
+		case KindHistogram:
+			if s.Count == 0 {
+				continue
+			}
+			mean := s.Sum / float64(s.Count)
+			_, err := fmt.Fprintf(w, "%s: count=%d sum=%s mean=%s p50<=%s p99<=%s\n",
+				s.Name, s.Count, formatFloat(s.Sum), formatFloat(mean),
+				formatFloat(s.Quantile(0.50)), formatFloat(s.Quantile(0.99)))
+			if err != nil {
+				return err
+			}
+		default:
+			if s.Value == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s: %s\n", s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary returns WriteSummary's output as a string.
+func (r *Registry) Summary() string {
+	var b strings.Builder
+	_ = r.WriteSummary(&b)
+	return b.String()
+}

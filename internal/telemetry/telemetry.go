@@ -1,0 +1,359 @@
+// Package telemetry is the in-process observability core for S-Ariadne:
+// atomic counters, gauges and fixed-bucket latency histograms registered
+// in a process-wide Registry, plus the hop-level trace spans discovery
+// queries carry (trace.go).
+//
+// The package is deliberately stdlib-only and allocation-free on the hot
+// path: a Counter.Inc is one atomic add, a Histogram.Observe is two
+// atomic adds plus a bits.Len64. Metrics are created once at package
+// init (the metricnames sdplint analyzer enforces this) and never
+// looked up by name at runtime, so instrumented code pays no map or
+// lock cost.
+//
+// Snapshot/Reset semantics: Registry.Snapshot copies every metric's
+// current value without stopping writers, and Registry.Reset zeroes
+// them, so benchmarks and simulation runs can meter exactly their own
+// window of activity.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nameRe is the naming scheme the metricnames analyzer enforces
+// statically and New* re-checks at registration time: snake_case with at
+// least a subsystem prefix and one further word (e.g. registry_edges,
+// match_encoded_total).
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// Kind discriminates metric types in snapshots and expositions.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindFloatGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindFloatGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is the private interface every registered instrument satisfies.
+type metric interface {
+	kind() Kind
+	reset()
+}
+
+// Counter is a monotonically increasing uint64. The zero value is usable
+// but unregistered; create through NewCounter so it appears in /metrics.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) kind() Kind { return KindCounter }
+func (c *Counter) reset()     { c.v.Store(0) }
+
+// Gauge is an int64 that can go up and down. Components that exist many
+// times per process (every Directory, every Node) call Add with signed
+// deltas at their mutation sites, so the process-wide gauge is the sum
+// over all live instances.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add applies a signed delta.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) kind() Kind { return KindGauge }
+func (g *Gauge) reset()     { g.v.Store(0) }
+
+// FloatGauge is a float64 gauge (e.g. an estimated false-positive rate).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores an absolute value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) kind() Kind { return KindFloatGauge }
+func (g *FloatGauge) reset()     { g.bits.Store(0) }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// counts observations v (in the histogram's unit) with bits.Len64(v) == i,
+// i.e. 2^(i-1) <= v < 2^i; bucket 0 holds v == 0. 48 buckets cover
+// 2^47 ns ≈ 39 hours when the unit is nanoseconds, and any realistic
+// depth or byte count when it is not.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket power-of-two histogram. Observe is
+// allocation-free: one bits.Len64 plus three atomic adds. The unit is
+// whatever the caller observes — nanoseconds for the *_seconds latency
+// histograms (the exposition converts to seconds), plain counts for
+// depth/size histograms.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+	scale   float64 // exposition multiplier: 1e-9 for ns→seconds, 1 for counts
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveInt(int64(d)) }
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.ObserveInt(int64(time.Since(start))) }
+
+// ObserveInt records one raw observation in the histogram's unit.
+func (h *Histogram) ObserveInt(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of raw observations (histogram units).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) kind() Kind { return KindHistogram }
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the inclusive upper edge in exposition units
+	// (seconds for latency histograms, raw counts otherwise).
+	UpperBound float64
+	// Count is the cumulative number of observations <= UpperBound.
+	Count uint64
+}
+
+// MetricSnapshot is one metric's state at snapshot time.
+type MetricSnapshot struct {
+	Name string
+	Help string
+	Kind Kind
+
+	// Value holds the counter/gauge reading (unset for histograms).
+	Value float64
+
+	// Count, Sum and Buckets hold histogram state in exposition units.
+	Count   uint64
+	Sum     float64
+	Buckets []BucketCount
+}
+
+// Registry owns a named set of metrics. Most code uses the process-wide
+// Default registry through the package-level New* constructors.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string // registration order, for stable exposition
+	metrics map[string]*entry
+}
+
+type entry struct {
+	help string
+	m    metric
+}
+
+// NewRegistry returns an empty registry (tests use private registries;
+// production code shares Default).
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*entry)}
+}
+
+// std is the process-wide registry behind the package-level helpers.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// register validates the name and adds m, panicking on duplicates or
+// malformed names: both are programming errors caught at init.
+func (r *Registry) register(name, help string, m metric) {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: metric name %q is not prefixed snake_case", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.metrics[name] = &entry{help: help, m: m}
+	r.order = append(r.order, name)
+}
+
+// NewCounter registers and returns a counter. Counter names end in
+// _total by convention.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, c)
+	return c
+}
+
+// NewGauge registers and returns an integer gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// NewFloatGauge registers and returns a float gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// NewHistogram registers a latency histogram whose observations are
+// nanoseconds and whose exposition is in seconds; name it *_seconds.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{scale: 1e-9}
+	r.register(name, help, h)
+	return h
+}
+
+// NewSizeHistogram registers a histogram over dimensionless magnitudes
+// (depths, byte counts): observations are exposed unscaled.
+func (r *Registry) NewSizeHistogram(name, help string) *Histogram {
+	h := &Histogram{scale: 1}
+	r.register(name, help, h)
+	return h
+}
+
+// Package-level constructors registering in the Default registry.
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return std.NewCounter(name, help) }
+
+// NewGauge registers an integer gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return std.NewGauge(name, help) }
+
+// NewFloatGauge registers a float gauge in the Default registry.
+func NewFloatGauge(name, help string) *FloatGauge { return std.NewFloatGauge(name, help) }
+
+// NewHistogram registers a seconds histogram in the Default registry.
+func NewHistogram(name, help string) *Histogram { return std.NewHistogram(name, help) }
+
+// NewSizeHistogram registers an unscaled histogram in the Default registry.
+func NewSizeHistogram(name, help string) *Histogram { return std.NewSizeHistogram(name, help) }
+
+// Reset zeroes every registered metric. Benchmarks and simulation
+// harnesses call it before their measured window.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.metrics {
+		e.m.reset()
+	}
+}
+
+// Snapshot copies every metric's current value in registration order.
+// Writers are not paused; each individual value is read atomically.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		e := r.metrics[name]
+		s := MetricSnapshot{Name: name, Help: e.help, Kind: e.m.kind()}
+		switch m := e.m.(type) {
+		case *Counter:
+			s.Value = float64(m.Value())
+		case *Gauge:
+			s.Value = float64(m.Value())
+		case *FloatGauge:
+			s.Value = m.Value()
+		case *Histogram:
+			s.Count = m.Count()
+			s.Sum = float64(m.Sum()) * m.scale
+			var cum uint64
+			for i := 0; i < histBuckets; i++ {
+				n := m.buckets[i].Load()
+				if n == 0 {
+					continue
+				}
+				cum += n
+				// Bucket i holds v < 2^i; the inclusive upper
+				// bound in raw units is 2^i - 1, but le edges are
+				// conventionally the open edge value.
+				s.Buckets = append(s.Buckets, BucketCount{
+					UpperBound: math.Ldexp(1, i) * m.scale,
+					Count:      cum,
+				})
+			}
+			// Cumulative counts can momentarily trail Count under
+			// concurrent writes; clamp so the +Inf bucket stays
+			// consistent in the exposition.
+			if cum > s.Count {
+				s.Count = cum
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) of a histogram snapshot from
+// its bucket upper bounds. It returns 0 for empty histograms.
+func (s MetricSnapshot) Quantile(q float64) float64 {
+	if s.Kind != KindHistogram || s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	i := sort.Search(len(s.Buckets), func(i int) bool { return s.Buckets[i].Count >= target })
+	if i >= len(s.Buckets) {
+		i = len(s.Buckets) - 1
+	}
+	return s.Buckets[i].UpperBound
+}

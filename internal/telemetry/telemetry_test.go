@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "ops")
+	g := r.NewGauge("test_depth", "depth")
+	f := r.NewFloatGauge("test_rate", "rate")
+
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	f.Set(0.125)
+	if got := f.Value(); got != 0.125 {
+		t.Fatalf("float gauge = %v, want 0.125", got)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 {
+		t.Fatalf("reset left values: %d %d %v", c.Value(), g.Value(), f.Value())
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "X", "camelCase", "noprefix", "has space", "trailing_", "_leading"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "")
+		}()
+	}
+	r.NewCounter("ok_name_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration: expected panic")
+			}
+		}()
+		r.NewGauge("ok_name_total", "")
+	}()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewSizeHistogram("test_depth_hist", "")
+	// 0 lands in bucket 0; 1 in bucket 1 (le 2); 5 in bucket 3 (le 8).
+	h.ObserveInt(0)
+	h.ObserveInt(1)
+	h.ObserveInt(5)
+	h.ObserveInt(5)
+	if h.Count() != 4 || h.Sum() != 11 {
+		t.Fatalf("count=%d sum=%d, want 4, 11", h.Count(), h.Sum())
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot size %d", len(snaps))
+	}
+	s := snaps[0]
+	if s.Count != 4 || s.Sum != 11 {
+		t.Fatalf("snapshot count=%d sum=%v", s.Count, s.Sum)
+	}
+	// Buckets are cumulative and only non-empty ones appear.
+	want := []BucketCount{{1, 1}, {2, 2}, {8, 4}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	if q := s.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v, want 2", q)
+	}
+	if q := s.Quantile(0.99); q != 8 {
+		t.Fatalf("p99 = %v, want 8", q)
+	}
+}
+
+func TestHistogramSecondsScaling(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "")
+	h.Observe(1500 * time.Nanosecond)
+	s := r.Snapshot()[0]
+	if got, want := s.Sum, 1.5e-6; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// 1500 ns has bit length 11 → upper bound 2^11 ns = 2.048 µs.
+	if got, want := s.Buckets[0].UpperBound, 2048e-9; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("bucket edge = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewSizeHistogram("test_extreme_hist", "")
+	h.ObserveInt(-5) // clamped to 0
+	h.ObserveInt(math.MaxInt64)
+	s := r.Snapshot()[0]
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Buckets[len(s.Buckets)-1].Count != 2 {
+		t.Fatalf("last cumulative = %d, want 2", s.Buckets[len(s.Buckets)-1].Count)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_conc_total", "")
+	h := r.NewHistogram("test_conc_seconds", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.ObserveInt(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSnapshotOrderIsRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zz_last_total", "")
+	r.NewCounter("aa_first_total", "")
+	snaps := r.Snapshot()
+	if snaps[0].Name != "zz_last_total" || snaps[1].Name != "aa_first_total" {
+		t.Fatalf("order = %s, %s", snaps[0].Name, snaps[1].Name)
+	}
+}
+
+func TestDefaultRegistryHasCoreMetrics(t *testing.T) {
+	// The instrumented packages register at init; importing telemetry
+	// alone must at least yield a working default registry.
+	if Default() == nil {
+		t.Fatal("nil default registry")
+	}
+	var b strings.Builder
+	if err := Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+}

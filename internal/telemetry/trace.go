@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Span event names appended by directories while serving a traced query.
+// The vocabulary is closed so tests and dashboards can match on it.
+const (
+	EventReceived   = "received"    // query arrived at a directory
+	EventLocalMatch = "local-match" // local registry lookup finished
+	EventBloomPrune = "bloom-prune" // peer skipped because its summary cannot match
+	EventForward    = "forward"     // query forwarded to a peer directory
+	EventReply      = "reply"       // reply (full or partial) sent back
+)
+
+// Span is one hop-level event in a traced discovery query. Spans are
+// appended by every directory that touches the query and travel back to
+// the querier inside QueryReply messages.
+type Span struct {
+	Trace uint64        `json:"trace"`          // query trace ID
+	Node  string        `json:"node"`           // directory that recorded the span
+	Event string        `json:"event"`          // one of the Event* constants
+	Peer  string        `json:"peer,omitempty"` // remote party (source, prune/forward target)
+	Hits  int           `json:"hits,omitempty"` // result count for local-match / reply
+	Dur   time.Duration `json:"dur,omitempty"`  // elapsed time for timed events
+	Seq   uint64        `json:"seq"`            // per-process monotonic order
+}
+
+// traceSeq orders spans recorded within one process without consulting
+// the wall clock (simulated runs compress time too far for timestamps
+// to discriminate).
+var traceSeq atomic.Uint64
+
+// NewSpan builds a span stamped with the next process-wide sequence
+// number.
+func NewSpan(trace uint64, node, event string) Span {
+	return Span{Trace: trace, Node: node, Event: event, Seq: traceSeq.Add(1)}
+}
+
+// traceID hands out non-zero query trace IDs. Zero means "untraced", so
+// the counter starts at one.
+var traceID atomic.Uint64
+
+// NextTraceID returns a process-unique non-zero trace ID.
+func NextTraceID() uint64 { return traceID.Add(1) }
+
+// SortSpans orders spans by recording sequence. Spans from different
+// processes interleave arbitrarily but each node's causal order holds.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+}
+
+// FormatSpans renders spans one per line for logs and CLI output.
+func FormatSpans(spans []Span) string {
+	var b strings.Builder
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  [%d] %s %s", s.Trace, s.Node, s.Event)
+		if s.Peer != "" {
+			fmt.Fprintf(&b, " peer=%s", s.Peer)
+		}
+		if s.Event == EventLocalMatch || s.Event == EventReply {
+			fmt.Fprintf(&b, " hits=%d", s.Hits)
+		}
+		if s.Dur > 0 {
+			fmt.Fprintf(&b, " dur=%s", s.Dur)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNextTraceIDNonZeroAndUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := NextTraceID()
+		if id == 0 {
+			t.Fatal("zero trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanOrdering(t *testing.T) {
+	a := NewSpan(1, "n0", EventReceived)
+	b := NewSpan(1, "n0", EventLocalMatch)
+	c := NewSpan(1, "n0", EventReply)
+	shuffled := []Span{c, a, b}
+	SortSpans(shuffled)
+	if shuffled[0].Event != EventReceived || shuffled[1].Event != EventLocalMatch || shuffled[2].Event != EventReply {
+		t.Fatalf("wrong order: %+v", shuffled)
+	}
+}
+
+func TestFormatSpans(t *testing.T) {
+	s := NewSpan(7, "n1", EventForward)
+	s.Peer = "n3"
+	out := FormatSpans([]Span{s})
+	for _, want := range []string{"[7]", "n1", "forward", "peer=n3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSpans missing %q: %q", want, out)
+		}
+	}
+}
