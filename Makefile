@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint metrics-smoke check clean
+.PHONY: build test race bench chaos lint metrics-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# chaos replays the deterministic fault-injection suite (seeded
+# partitions, burst loss, directory crashes, hedged forwarding) under the
+# race detector. The seed matrix lives in the tests themselves.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Hedge|Evicted|Fault|Churn|Partition' \
+		./internal/discovery/ ./internal/simnet/ -v
 
 # lint runs go vet plus the project analyzers (lockcheck, goroutinecheck,
 # detrand, sleeptest, metricnames). Exit status 1 means findings.

@@ -15,9 +15,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"os"
+	"strings"
 	"time"
 )
 
@@ -36,11 +38,13 @@ type hit struct {
 }
 
 type response struct {
-	OK    bool   `json:"ok"`
-	Error string `json:"error,omitempty"`
-	Code  string `json:"code,omitempty"`
-	Hits  []hit  `json:"hits,omitempty"`
-	Stats *struct {
+	OK          bool     `json:"ok"`
+	Error       string   `json:"error,omitempty"`
+	Code        string   `json:"code,omitempty"`
+	Hits        []hit    `json:"hits,omitempty"`
+	Partial     bool     `json:"partial,omitempty"`
+	Unreachable []string `json:"unreachable,omitempty"`
+	Stats       *struct {
 		Capabilities int      `json:"capabilities"`
 		Ontologies   []string `json:"ontologies"`
 	} `json:"stats,omitempty"`
@@ -109,14 +113,7 @@ func main() {
 	}
 	switch args[0] {
 	case "query":
-		if len(resp.Hits) == 0 {
-			fmt.Println("no matching service")
-			return
-		}
-		fmt.Printf("%-24s %-24s %-20s %s\n", "SERVICE", "CAPABILITY", "PROVIDER", "DISTANCE")
-		for _, h := range resp.Hits {
-			fmt.Printf("%-24s %-24s %-20s %d\n", h.Service, h.Capability, h.Provider, h.Distance)
-		}
+		renderQuery(os.Stdout, resp)
 	case "stats":
 		fmt.Printf("capabilities: %d\n", resp.Stats.Capabilities)
 		for _, u := range resp.Stats.Ontologies {
@@ -126,6 +123,30 @@ func main() {
 		fmt.Println(string(resp.Table))
 	default:
 		fmt.Println("ok")
+	}
+}
+
+// renderQuery prints a query reply, surfacing the server's completeness
+// marker: a partial result is still shown (graceful degradation), but
+// the user is told which backbone directories never answered so they can
+// retry once the network heals.
+func renderQuery(w io.Writer, resp *response) {
+	if len(resp.Hits) == 0 {
+		if resp.Partial {
+			fmt.Fprintf(w, "no matching service (partial result: %s unreachable — retry may find more)\n",
+				strings.Join(resp.Unreachable, ", "))
+			return
+		}
+		fmt.Fprintln(w, "no matching service")
+		return
+	}
+	fmt.Fprintf(w, "%-24s %-24s %-20s %s\n", "SERVICE", "CAPABILITY", "PROVIDER", "DISTANCE")
+	for _, h := range resp.Hits {
+		fmt.Fprintf(w, "%-24s %-24s %-20s %d\n", h.Service, h.Capability, h.Provider, h.Distance)
+	}
+	if resp.Partial {
+		fmt.Fprintf(w, "partial result: %s unreachable — more services may exist\n",
+			strings.Join(resp.Unreachable, ", "))
 	}
 }
 

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderQueryComplete(t *testing.T) {
+	var b strings.Builder
+	renderQuery(&b, &response{OK: true, Hits: []hit{
+		{Service: "MediaWorkstation", Capability: "PlayMovie", Provider: "ws-1", Distance: 3},
+	}})
+	out := b.String()
+	if !strings.Contains(out, "MediaWorkstation") || !strings.Contains(out, "PlayMovie") {
+		t.Fatalf("output lost the hit:\n%s", out)
+	}
+	if strings.Contains(out, "partial") {
+		t.Fatalf("complete result rendered a partial marker:\n%s", out)
+	}
+}
+
+func TestRenderQueryPartialWithHits(t *testing.T) {
+	var b strings.Builder
+	renderQuery(&b, &response{
+		OK:          true,
+		Hits:        []hit{{Service: "MediaWorkstation", Capability: "PlayMovie", Provider: "ws-1", Distance: 3}},
+		Partial:     true,
+		Unreachable: []string{"n4", "n9"},
+	})
+	out := b.String()
+	if !strings.Contains(out, "partial result: n4, n9 unreachable") {
+		t.Fatalf("partial marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "MediaWorkstation") {
+		t.Fatalf("partial result dropped usable hits:\n%s", out)
+	}
+}
+
+func TestRenderQueryPartialEmpty(t *testing.T) {
+	var b strings.Builder
+	renderQuery(&b, &response{OK: true, Partial: true, Unreachable: []string{"n2"}})
+	out := b.String()
+	if !strings.Contains(out, "no matching service") || !strings.Contains(out, "n2 unreachable") {
+		t.Fatalf("empty partial result must say both 'nothing found' and 'coverage was incomplete':\n%s", out)
+	}
+}
+
+func TestRenderQueryEmptyComplete(t *testing.T) {
+	var b strings.Builder
+	renderQuery(&b, &response{OK: true})
+	if got := b.String(); got != "no matching service\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sariadne/internal/codes"
+	"sariadne/internal/discovery"
 	"sariadne/internal/profile"
 )
 
@@ -83,6 +84,40 @@ func TestHTTPGatewayLifecycle(t *testing.T) {
 	resp, _ = do(t, "DELETE", ts.URL+"/services/MediaWorkstation", "")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("double DELETE = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPGatewayPartialQuery: the REST front end serves the same
+// completeness marker as the UDP one — a degraded backbone shows up in
+// the JSON body, not as an error status.
+func TestHTTPGatewayPartialQuery(t *testing.T) {
+	ts, srv := newGatewayServer(t)
+	resp, _ := do(t, "POST", ts.URL+"/services", mustDoc(t, profile.WorkstationService()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /services = %d", resp.StatusCode)
+	}
+	srv.mu.Lock()
+	local := srv.resolve
+	srv.resolve = func(doc []byte) (discovery.Result, error) {
+		res, err := local(doc)
+		res.Unreachable = append(res.Unreachable, "n7")
+		return res, err
+	}
+	srv.mu.Unlock()
+
+	resp, body := do(t, "POST", ts.URL+"/query", mustDoc(t, profile.PDAService()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query = %d: %s", resp.StatusCode, body)
+	}
+	var qr response
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Hits) != 1 {
+		t.Fatalf("hits = %+v", qr.Hits)
+	}
+	if !qr.Partial || len(qr.Unreachable) != 1 || qr.Unreachable[0] != "n7" {
+		t.Fatalf("completeness marker lost over HTTP: %s", body)
 	}
 }
 

@@ -19,7 +19,10 @@
 //
 // Every reply is {"ok":bool, "error":string, "code":string, "hits":[...],
 // "stats":{...}}; failed requests carry a machine-readable code alongside
-// the human-readable error text.
+// the human-readable error text. Query replies additionally carry a
+// completeness marker: {"partial":true, "unreachable":["n4"]} means the
+// answer is usable but some backbone directories never responded, so a
+// better answer may exist (the paper's graceful-degradation contract).
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"sariadne/internal/codes"
 	"sariadne/internal/discovery"
 	"sariadne/internal/ontology"
+	"sariadne/internal/simnet"
 )
 
 // request is the wire format of client commands.
@@ -54,14 +58,18 @@ const (
 	codeInternal   = "internal"    // server-side failure (journal, encoding)
 )
 
-// response is the wire format of server replies.
+// response is the wire format of server replies. Partial and Unreachable
+// mirror discovery.Result: when the resolver could not reach every
+// backbone directory the hits are still served, flagged as a lower bound.
 type response struct {
-	OK    bool            `json:"ok"`
-	Error string          `json:"error,omitempty"`
-	Code  string          `json:"code,omitempty"`
-	Hits  []discovery.Hit `json:"hits,omitempty"`
-	Stats *statsBody      `json:"stats,omitempty"`
-	Table json.RawMessage `json:"table,omitempty"`
+	OK          bool            `json:"ok"`
+	Error       string          `json:"error,omitempty"`
+	Code        string          `json:"code,omitempty"`
+	Hits        []discovery.Hit `json:"hits,omitempty"`
+	Partial     bool            `json:"partial,omitempty"`
+	Unreachable []simnet.NodeID `json:"unreachable,omitempty"`
+	Stats       *statsBody      `json:"stats,omitempty"`
+	Table       json.RawMessage `json:"table,omitempty"`
 }
 
 type statsBody struct {
@@ -173,6 +181,11 @@ type server struct {
 	reg     *codes.Registry            // guarded by mu
 	backend *discovery.SemanticBackend // guarded by mu
 	journal *journal                   // guarded by mu
+	// resolve answers query requests. The default resolver consults the
+	// node-local backend only; a deployment embedding a backbone node (or a
+	// test exercising degradation) swaps in one that returns federated,
+	// possibly partial results. Called with mu held.
+	resolve func(doc []byte) (discovery.Result, error) // guarded by mu
 	log     *slog.Logger
 }
 
@@ -182,6 +195,15 @@ func newServer(ontologyFiles []string) (*server, error) {
 		reg:     reg,
 		backend: discovery.NewSemanticBackend(reg),
 		log:     slog.With("component", "directory"),
+	}
+	s.resolve = func(doc []byte) (discovery.Result, error) {
+		hits, err := s.backend.Query(doc)
+		if err != nil {
+			return discovery.Result{}, err
+		}
+		// A standalone directory has no backbone to lose peers on, so the
+		// local answer is complete by construction.
+		return discovery.Result{Hits: hits}, nil
 	}
 	for _, path := range ontologyFiles {
 		f, err := os.Open(path)
@@ -278,11 +300,16 @@ func (s *server) process(datagram []byte) response {
 		}
 		return response{OK: true}
 	case "query":
-		hits, err := s.backend.Query([]byte(req.Doc))
+		res, err := s.resolve([]byte(req.Doc))
 		if err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}
 		}
-		return response{OK: true, Hits: hits}
+		if res.Partial() {
+			partialRepliesTotal.Inc()
+			s.log.Warn("serving partial query result",
+				"hits", len(res.Hits), "unreachable", len(res.Unreachable))
+		}
+		return response{OK: true, Hits: res.Hits, Partial: res.Partial(), Unreachable: res.Unreachable}
 	case "add-ontology":
 		if err := s.addOntologyTextLocked(req.Doc); err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}

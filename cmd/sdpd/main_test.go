@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sariadne/internal/codes"
+	"sariadne/internal/discovery"
 	"sariadne/internal/ontology"
 	"sariadne/internal/profile"
 )
@@ -78,6 +79,40 @@ func TestHandleRegisterQueryDeregister(t *testing.T) {
 	resp = s.handle(mustJSON(t, request{Op: "query", Doc: mustDoc(t, profile.PDAService())}))
 	if !resp.OK || len(resp.Hits) != 0 {
 		t.Fatalf("query after deregister: %+v", resp)
+	}
+}
+
+// TestHandleQueryPartialMarker: when the resolver reports degraded
+// backbone coverage, the UDP reply carries the completeness marker
+// alongside the usable hits instead of hiding the gap.
+func TestHandleQueryPartialMarker(t *testing.T) {
+	s := newTestServer(t)
+	resp := s.handle(mustJSON(t, request{Op: "register", Doc: mustDoc(t, profile.WorkstationService())}))
+	if !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+	local := s.resolve
+	s.resolve = func(doc []byte) (discovery.Result, error) {
+		res, err := local(doc)
+		res.Unreachable = append(res.Unreachable, "n4", "n9")
+		return res, err
+	}
+
+	resp = s.handle(mustJSON(t, request{Op: "query", Doc: mustDoc(t, profile.PDAService())}))
+	if !resp.OK || len(resp.Hits) != 1 {
+		t.Fatalf("query: %+v", resp)
+	}
+	if !resp.Partial || len(resp.Unreachable) != 2 || resp.Unreachable[0] != "n4" {
+		t.Fatalf("completeness marker lost: %+v", resp)
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"partial":true`, `"unreachable":["n4","n9"]`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("wire reply %s missing %s", data, want)
+		}
 	}
 }
 

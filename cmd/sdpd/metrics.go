@@ -13,4 +13,6 @@ var (
 		"requests rejected with an error code")
 	requestSeconds = telemetry.NewHistogram("sdpd_request_seconds",
 		"end-to-end handling latency of one request")
+	partialRepliesTotal = telemetry.NewCounter("sdpd_partial_replies_total",
+		"query replies served with an incomplete-coverage marker")
 )

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sariadne/internal/simnet"
+)
+
+// faultsSpec is the JSON authoring format for a simnet.FaultPlan, loaded
+// with -faults and armed when the scenario timeline starts. Times are
+// milliseconds from scenario start; a zero heal/until/up time means the
+// condition never clears:
+//
+//	{
+//	  "partitions": [{"name": "split", "groups": [["n0","n1"],["n2"]],
+//	                  "atMs": 0, "healMs": 800}],
+//	  "links":      [{"from": "n1", "to": "n2", "drop": 0.5,
+//	                  "extraLatencyMs": 5, "atMs": 0, "untilMs": 0}],
+//	  "bursts":     [{"drop": 0.3, "atMs": 100, "untilMs": 600}],
+//	  "churn":      [{"node": "n3", "downAtMs": 200, "upAtMs": 700}]
+//	}
+type faultsSpec struct {
+	Partitions []partitionSpec `json:"partitions"`
+	Links      []linkFaultSpec `json:"links"`
+	Bursts     []burstSpec     `json:"bursts"`
+	Churn      []churnSpec     `json:"churn"`
+}
+
+type partitionSpec struct {
+	Name   string     `json:"name"`
+	Groups [][]string `json:"groups"`
+	AtMs   int        `json:"atMs"`
+	HealMs int        `json:"healMs"`
+}
+
+type linkFaultSpec struct {
+	From           string  `json:"from"`
+	To             string  `json:"to"`
+	Drop           float64 `json:"drop"`
+	ExtraLatencyMs int     `json:"extraLatencyMs"`
+	AtMs           int     `json:"atMs"`
+	UntilMs        int     `json:"untilMs"`
+}
+
+type burstSpec struct {
+	Drop    float64 `json:"drop"`
+	AtMs    int     `json:"atMs"`
+	UntilMs int     `json:"untilMs"`
+}
+
+type churnSpec struct {
+	Node     string `json:"node"`
+	DownAtMs int    `json:"downAtMs"`
+	UpAtMs   int    `json:"upAtMs"`
+}
+
+// parseFaults decodes and sanity-checks a fault plan document.
+func parseFaults(data []byte) (*faultsSpec, error) {
+	var f faultsSpec
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("fault plan: %w", err)
+	}
+	for i, p := range f.Partitions {
+		if p.Name == "" {
+			return nil, fmt.Errorf("fault plan: partition %d has no name", i)
+		}
+		if len(p.Groups) < 2 {
+			return nil, fmt.Errorf("fault plan: partition %q needs at least two groups", p.Name)
+		}
+	}
+	for i, l := range f.Links {
+		if l.From == "" || l.To == "" {
+			return nil, fmt.Errorf("fault plan: link fault %d needs from and to", i)
+		}
+		if l.Drop < 0 || l.Drop > 1 {
+			return nil, fmt.Errorf("fault plan: link fault %d drop %v outside [0,1]", i, l.Drop)
+		}
+	}
+	for i, b := range f.Bursts {
+		if b.Drop <= 0 || b.Drop > 1 {
+			return nil, fmt.Errorf("fault plan: burst %d drop %v outside (0,1]", i, b.Drop)
+		}
+	}
+	for i, c := range f.Churn {
+		if c.Node == "" {
+			return nil, fmt.Errorf("fault plan: churn entry %d has no node", i)
+		}
+	}
+	return &f, nil
+}
+
+// plan converts the spec to a simnet.FaultPlan, scaling every window by
+// the same timescale the event timeline uses so faults and events stay
+// aligned under -timescale.
+func (f *faultsSpec) plan(timescale float64) simnet.FaultPlan {
+	ms := func(v int) time.Duration {
+		return time.Duration(float64(v)*timescale) * time.Millisecond
+	}
+	var p simnet.FaultPlan
+	for _, ps := range f.Partitions {
+		groups := make([][]simnet.NodeID, len(ps.Groups))
+		for g, ids := range ps.Groups {
+			for _, id := range ids {
+				groups[g] = append(groups[g], simnet.NodeID(id))
+			}
+		}
+		p.Partitions = append(p.Partitions, simnet.Partition{
+			Name: ps.Name, Groups: groups, At: ms(ps.AtMs), Heal: ms(ps.HealMs),
+		})
+	}
+	for _, ls := range f.Links {
+		p.Links = append(p.Links, simnet.LinkFault{
+			From: simnet.NodeID(ls.From), To: simnet.NodeID(ls.To),
+			Drop: ls.Drop, ExtraLatency: ms(ls.ExtraLatencyMs),
+			At: ms(ls.AtMs), Until: ms(ls.UntilMs),
+		})
+	}
+	for _, bs := range f.Bursts {
+		p.Bursts = append(p.Bursts, simnet.Burst{Drop: bs.Drop, At: ms(bs.AtMs), Until: ms(bs.UntilMs)})
+	}
+	for _, cs := range f.Churn {
+		p.Churn = append(p.Churn, simnet.Churn{
+			Node: simnet.NodeID(cs.Node), DownAt: ms(cs.DownAtMs), UpAt: ms(cs.UpAtMs),
+		})
+	}
+	return p
+}

@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	sdpsim -scenario demo.json [-timescale 1.0] [-seed 7]
+//	sdpsim -scenario demo.json [-faults faults.json] [-timescale 1.0] [-seed 7]
+//
+// The optional -faults file is a scripted fault plan (partitions with
+// heal times, per-link loss/latency overrides, loss bursts, node churn —
+// see cmd/sdpsim/faults.go for the schema) armed when the timeline
+// starts. Queries answered while coverage is degraded are narrated with
+// a "[partial: N unreachable]" marker. Scenario events "crash" and
+// "restart" toggle a node's process without removing it from the
+// topology, unlike "kill" which deletes it for good.
 //
 // Scenario format (times in milliseconds from start):
 //
@@ -22,6 +30,8 @@
 //	    {"atMs": 300,  "action": "publish", "node": "n0", "service": 0},
 //	    {"atMs": 600,  "action": "query",   "node": "n15", "request": 0},
 //	    {"atMs": 800,  "action": "kill",    "node": "n5"},
+//	    {"atMs": 820,  "action": "crash",   "node": "n6"},
+//	    {"atMs": 880,  "action": "restart", "node": "n6"},
 //	    {"atMs": 900,  "action": "unlink",  "a": "n1", "b": "n2"},
 //	    {"atMs": 1000, "action": "link",    "a": "n1", "b": "n2"},
 //	    {"atMs": 1500, "action": "report"}
@@ -38,6 +48,7 @@ import (
 
 func main() {
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
+	faultsPath := flag.String("faults", "", "fault plan JSON file armed at scenario start (optional)")
 	timescale := flag.Float64("timescale", 1.0, "multiply all event times (0.1 = 10x faster)")
 	seed := flag.Int64("seed", 0, "override the scenario's network and workload seeds (0 = use scenario values)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -71,7 +82,18 @@ func main() {
 		sc.Seed = *seed
 		sc.Workload.Seed = *seed
 	}
-	if err := runScenario(sc, *timescale, os.Stdout); err != nil {
+	var faults *faultsSpec
+	if *faultsPath != "" {
+		fdata, err := os.ReadFile(*faultsPath)
+		if err != nil {
+			fatal("read fault plan", err)
+		}
+		faults, err = parseFaults(fdata)
+		if err != nil {
+			fatal("parse fault plan", err)
+		}
+	}
+	if err := runScenario(sc, faults, *timescale, os.Stdout); err != nil {
 		fatal("run scenario", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"sariadne/internal/codes"
@@ -51,7 +52,7 @@ type workloadSpec struct {
 
 type eventSpec struct {
 	AtMs    int    `json:"atMs"`
-	Action  string `json:"action"` // publish | query | kill | link | unlink | promote | report
+	Action  string `json:"action"` // publish | query | kill | crash | restart | link | unlink | promote | report
 	Node    string `json:"node"`
 	Service int    `json:"service"`
 	Request int    `json:"request"`
@@ -86,6 +87,7 @@ func parseScenario(data []byte) (*scenario, error) {
 		return nil, fmt.Errorf("scenario: workload.services must be positive")
 	}
 	valid := map[string]bool{"publish": true, "query": true, "kill": true,
+		"crash": true, "restart": true,
 		"link": true, "unlink": true, "promote": true, "report": true}
 	for i, e := range sc.Events {
 		if !valid[e.Action] {
@@ -96,8 +98,10 @@ func parseScenario(data []byte) (*scenario, error) {
 	return &sc, nil
 }
 
-// runScenario executes the timeline and writes the narration to w.
-func runScenario(sc *scenario, timescale float64, w io.Writer) error {
+// runScenario executes the timeline and writes the narration to w. A
+// non-nil fault plan is armed the instant the timeline starts, so plan
+// offsets and event stamps share one clock.
+func runScenario(sc *scenario, faults *faultsSpec, timescale float64, w io.Writer) error {
 	workload, err := gen.NewWorkload(gen.WorkloadConfig{
 		Ontologies: sc.Workload.Ontologies,
 		Services:   sc.Workload.Services,
@@ -166,9 +170,14 @@ func runScenario(sc *scenario, timescale float64, w io.Writer) error {
 	fmt.Fprintf(w, "sdpsim: %d nodes (%s), %d services in workload, drop rate %.2f\n",
 		len(eps), sc.Topology.Kind, sc.Workload.Services, sc.DropRate)
 
+	if faults != nil {
+		net.ApplyFaultPlan(faults.plan(timescale))
+		fmt.Fprintf(w, "fault plan armed: %d partition(s), %d link fault(s), %d burst(s), %d churn entr(ies)\n",
+			len(faults.Partitions), len(faults.Links), len(faults.Bursts), len(faults.Churn))
+	}
 	ctx := context.Background()
 	start := time.Now()
-	queriesOK, queriesEmpty, queriesErr := 0, 0, 0
+	queriesOK, queriesEmpty, queriesErr, queriesPartial := 0, 0, 0, 0
 	for _, e := range sc.Events {
 		due := time.Duration(float64(e.AtMs)*timescale) * time.Millisecond
 		if wait := due - time.Since(start); wait > 0 {
@@ -208,20 +217,27 @@ func runScenario(sc *scenario, timescale float64, w io.Writer) error {
 				return err
 			}
 			qctx, cancel := context.WithTimeout(ctx, time.Second)
-			hits, err := node.Discover(qctx, doc)
+			res, err := node.DiscoverResult(qctx, doc)
 			cancel()
+			// A partial answer is still an answer; the marker tells the
+			// reader which directories the retry machinery gave up on.
+			marker := ""
+			if err == nil && res.Partial() {
+				queriesPartial++
+				marker = fmt.Sprintf(" [partial: %d unreachable]", len(res.Unreachable))
+			}
 			switch {
 			case err != nil:
 				queriesErr++
 				fmt.Fprintf(w, "[%7s] query req%d @ %s: error (%v)\n", stamp, e.Request, e.Node, err)
-			case len(hits) == 0:
+			case len(res.Hits) == 0:
 				queriesEmpty++
-				fmt.Fprintf(w, "[%7s] query req%d @ %s: no match\n", stamp, e.Request, e.Node)
+				fmt.Fprintf(w, "[%7s] query req%d @ %s: no match%s\n", stamp, e.Request, e.Node, marker)
 			default:
 				queriesOK++
-				best := hits[0]
-				fmt.Fprintf(w, "[%7s] query req%d @ %s: %d hit(s), best %s/%s d=%d via %s\n",
-					stamp, e.Request, e.Node, len(hits), best.Service, best.Capability, best.Distance, best.Directory)
+				best := res.Hits[0]
+				fmt.Fprintf(w, "[%7s] query req%d @ %s: %d hit(s), best %s/%s d=%d via %s%s\n",
+					stamp, e.Request, e.Node, len(res.Hits), best.Service, best.Capability, best.Distance, best.Directory, marker)
 			}
 		case "kill":
 			id := simnet.NodeID(e.Node)
@@ -233,6 +249,23 @@ func runScenario(sc *scenario, timescale float64, w io.Writer) error {
 			delete(nodes, id)
 			net.RemoveNode(id)
 			fmt.Fprintf(w, "[%7s] kill %s\n", stamp, e.Node)
+		case "crash":
+			// Unlike kill, a crash keeps the node's identity and links: it
+			// just stops moving traffic until a matching restart, modeling a
+			// process crash (cached registrations at survivors stay valid).
+			id := simnet.NodeID(e.Node)
+			if _, ok := nodes[id]; !ok {
+				return fmt.Errorf("crash: unknown node %q", e.Node)
+			}
+			net.SetNodeDown(id, true)
+			fmt.Fprintf(w, "[%7s] crash %s\n", stamp, e.Node)
+		case "restart":
+			id := simnet.NodeID(e.Node)
+			if _, ok := nodes[id]; !ok {
+				return fmt.Errorf("restart: unknown node %q", e.Node)
+			}
+			net.SetNodeDown(id, false)
+			fmt.Fprintf(w, "[%7s] restart %s\n", stamp, e.Node)
 		case "link":
 			if err := net.Connect(simnet.NodeID(e.A), simnet.NodeID(e.B)); err != nil {
 				return fmt.Errorf("link: %w", err)
@@ -252,7 +285,8 @@ func runScenario(sc *scenario, timescale float64, w io.Writer) error {
 			writeReport(w, stamp, net, nodes)
 		}
 	}
-	fmt.Fprintf(w, "\nqueries: %d answered, %d empty, %d failed\n", queriesOK, queriesEmpty, queriesErr)
+	fmt.Fprintf(w, "\nqueries: %d answered, %d empty, %d failed, %d partial\n",
+		queriesOK, queriesEmpty, queriesErr, queriesPartial)
 	// End-of-run telemetry: the same registry snapshot sdpd serves on
 	// /metrics, so simulated and deployed runs are compared one-to-one.
 	return telemetry.Default().WriteSummary(w)
@@ -276,7 +310,11 @@ func writeReport(w io.Writer, stamp time.Duration, net *simnet.Network, nodes ma
 		fmt.Fprintf(w, "  directory %s: %d registrations, %d queries served, %d forwarded, %d pruned\n",
 			id, st.Registrations, st.QueriesServed, st.QueriesForwarded, st.ForwardsPruned)
 	}
+	if af := net.ActiveFaults(); len(af) > 0 {
+		fmt.Fprintf(w, "  faults: %s\n", strings.Join(af, " "))
+	}
 	netStats := net.Stats()
-	fmt.Fprintf(w, "  traffic: %d unicasts, %d broadcasts, %d delivered, %d dropped\n",
-		netStats.UnicastsSent, netStats.BroadcastsSent, netStats.MessagesDelivered, netStats.MessagesDropped)
+	fmt.Fprintf(w, "  traffic: %d unicasts, %d broadcasts, %d delivered, %d dropped (%d by faults, %d partition-blocked)\n",
+		netStats.UnicastsSent, netStats.BroadcastsSent, netStats.MessagesDelivered,
+		netStats.MessagesDropped, netStats.FaultDrops, netStats.PartitionBlocks)
 }

@@ -64,7 +64,7 @@ func TestRunScenarioEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runScenario(sc, 1.0, &out); err != nil {
+	if err := runScenario(sc, nil, 1.0, &out); err != nil {
 		t.Fatalf("runScenario: %v\n%s", err, out.String())
 	}
 	text := out.String()
@@ -107,7 +107,7 @@ func TestRunScenarioChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runScenario(sc, 1.0, &out); err != nil {
+	if err := runScenario(sc, nil, 1.0, &out); err != nil {
 		t.Fatalf("runScenario: %v\n%s", err, out.String())
 	}
 	for _, want := range []string{"promote n1", "unlink n2-n3", "link n2-n3", "kill n3"} {
@@ -136,8 +136,76 @@ func TestRunScenarioBadEventTargets(t *testing.T) {
 			t.Fatalf("%s: parse: %v", name, err)
 		}
 		var out strings.Builder
-		if err := runScenario(sc, 0.1, &out); err == nil {
+		if err := runScenario(sc, nil, 0.1, &out); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	bad := map[string]string{
+		"garbage":         `nope`,
+		"unnamed split":   `{"partitions":[{"groups":[["n0"],["n1"]]}]}`,
+		"one-sided split": `{"partitions":[{"name":"x","groups":[["n0"]]}]}`,
+		"link no ends":    `{"links":[{"drop":0.5}]}`,
+		"link drop > 1":   `{"links":[{"from":"a","to":"b","drop":1.5}]}`,
+		"burst drop zero": `{"bursts":[{"drop":0}]}`,
+		"churn no node":   `{"churn":[{"downAtMs":10}]}`,
+	}
+	for name, doc := range bad {
+		if _, err := parseFaults([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestRunScenarioFaultPlan arms a partition that isolates directory n2
+// after the backbone has meshed: the query issued during the cut must be
+// answered gracefully with a partial marker (n2 holds the only match),
+// and the crash/restart events must narrate without touching topology.
+func TestRunScenarioFaultPlan(t *testing.T) {
+	sc, err := parseScenario([]byte(`{
+	  "seed": 11,
+	  "topology": {"kind": "star", "count": 3},
+	  "election": {"advertiseIntervalMs": 15, "advertiseTTL": 4,
+	               "electionTimeoutMs": 5000, "candidacyWaitMs": 20},
+	  "workload": {"ontologies": 3, "services": 4, "seed": 5},
+	  "events": [
+	    {"atMs": 30,   "action": "promote", "node": "n0"},
+	    {"atMs": 40,   "action": "promote", "node": "n2"},
+	    {"atMs": 300,  "action": "publish", "node": "n2", "service": 0},
+	    {"atMs": 1000, "action": "query",   "node": "n1", "request": 0},
+	    {"atMs": 1100, "action": "crash",   "node": "n1"},
+	    {"atMs": 1150, "action": "restart", "node": "n1"},
+	    {"atMs": 1200, "action": "report"}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := parseFaults([]byte(`{
+	  "partitions": [{"name": "cut-n2", "groups": [["n0","n1"],["n2"]], "atMs": 900, "healMs": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runScenario(sc, faults, 1.0, &out); err != nil {
+		t.Fatalf("runScenario: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fault plan armed: 1 partition(s)",
+		"publish svc0000 @ n2: ok",
+		"[partial: 1 unreachable]",
+		"crash n1",
+		"restart n1",
+		"faults: partition:cut-n2",
+		"partition-blocked)",
+		"1 partial",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
 		}
 	}
 }

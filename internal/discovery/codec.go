@@ -1,0 +1,107 @@
+package discovery
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Wire codec for the discovery protocol. Inside the simulator payloads
+// travel as Go values, but a real deployment (and the fuzz harness) needs
+// a byte form: a one-byte message tag followed by the JSON encoding of
+// the message struct. The tagged envelope keeps decoding total — every
+// input either yields exactly one known message type or an error, never a
+// panic — so malformed or replayed frames cannot take down a node.
+
+// Message tags. The values are part of the wire format; append only.
+const (
+	tagRegisterRequest byte = iota + 1
+	tagRegisterReply
+	tagDeregisterRequest
+	tagQueryRequest
+	tagQueryReply
+	tagDirectoryAnnounce
+	tagSummaryPush
+	tagSummaryRequest
+	tagForwardAck
+	tagRepublishSolicit
+)
+
+// EncodeMessage serializes one protocol message into its tagged wire
+// form. Unknown payload types are an error, not a panic.
+func EncodeMessage(payload any) ([]byte, error) {
+	var tag byte
+	switch payload.(type) {
+	case RegisterRequest:
+		tag = tagRegisterRequest
+	case RegisterReply:
+		tag = tagRegisterReply
+	case DeregisterRequest:
+		tag = tagDeregisterRequest
+	case QueryRequest:
+		tag = tagQueryRequest
+	case QueryReply:
+		tag = tagQueryReply
+	case DirectoryAnnounce:
+		tag = tagDirectoryAnnounce
+	case SummaryPush:
+		tag = tagSummaryPush
+	case SummaryRequest:
+		tag = tagSummaryRequest
+	case ForwardAck:
+		tag = tagForwardAck
+	case RepublishSolicit:
+		tag = tagRepublishSolicit
+	default:
+		return nil, fmt.Errorf("discovery: encode: unknown message type %T", payload)
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: encode %T: %w", payload, err)
+	}
+	return append([]byte{tag}, body...), nil
+}
+
+// decodeAs unmarshals a frame body into M and returns it by value,
+// matching what nodes put on the simulated wire and what handleMessage
+// switches on.
+func decodeAs[M any](tag byte, body []byte) (any, error) {
+	var m M
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("discovery: decode tag %d: %w", tag, err)
+	}
+	return m, nil
+}
+
+// DecodeMessage parses a tagged wire frame back into the concrete message
+// struct. Every failure mode returns an error; arbitrary input never
+// panics.
+func DecodeMessage(frame []byte) (any, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("discovery: decode: empty frame")
+	}
+	tag, body := frame[0], frame[1:]
+	switch tag {
+	case tagRegisterRequest:
+		return decodeAs[RegisterRequest](tag, body)
+	case tagRegisterReply:
+		return decodeAs[RegisterReply](tag, body)
+	case tagDeregisterRequest:
+		return decodeAs[DeregisterRequest](tag, body)
+	case tagQueryRequest:
+		return decodeAs[QueryRequest](tag, body)
+	case tagQueryReply:
+		return decodeAs[QueryReply](tag, body)
+	case tagDirectoryAnnounce:
+		return decodeAs[DirectoryAnnounce](tag, body)
+	case tagSummaryPush:
+		return decodeAs[SummaryPush](tag, body)
+	case tagSummaryRequest:
+		return decodeAs[SummaryRequest](tag, body)
+	case tagForwardAck:
+		return decodeAs[ForwardAck](tag, body)
+	case tagRepublishSolicit:
+		return decodeAs[RepublishSolicit](tag, body)
+	default:
+		return nil, fmt.Errorf("discovery: decode: unknown tag %d", tag)
+	}
+}

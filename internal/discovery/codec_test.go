@@ -1,0 +1,66 @@
+package discovery
+
+import (
+	"reflect"
+	"testing"
+
+	"sariadne/internal/simnet"
+	"sariadne/internal/telemetry"
+)
+
+// wireFixtures is one instance of every protocol message, with enough
+// fields populated to make shallow encodings fail the comparison.
+func wireFixtures() []any {
+	return []any{
+		RegisterRequest{ID: 7, Doc: []byte("<service/>")},
+		RegisterReply{ID: 7, Err: "duplicate"},
+		DeregisterRequest{ID: 9, Service: "printer"},
+		QueryRequest{ID: 3, Origin: "n0", Forwarded: true, Trace: 42, Doc: []byte("<request/>")},
+		QueryReply{
+			ID: 3, From: "n5", Partial: true,
+			Hits:        []Hit{{Service: "ws", Capability: "print", Provider: "p", Distance: 2, For: "print", Directory: "n5"}},
+			Unreachable: []simnet.NodeID{"n7"},
+			Spans:       []telemetry.Span{{Trace: 42, Node: "n5", Event: telemetry.EventReply, Seq: 1}},
+		},
+		DirectoryAnnounce{From: "n3"},
+		SummaryPush{From: "n3", Filter: []byte{1, 2, 3}, Count: 4},
+		SummaryRequest{From: "n1"},
+		ForwardAck{ID: 3, From: "n5"},
+		RepublishSolicit{From: "n3"},
+	}
+}
+
+func TestCodecRoundTripsEveryMessage(t *testing.T) {
+	for _, msg := range wireFixtures() {
+		frame, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		back, err := DecodeMessage(frame)
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, back) {
+			t.Fatalf("round trip changed %T:\n in: %#v\nout: %#v", msg, msg, back)
+		}
+	}
+}
+
+func TestCodecRejectsMalformedFrames(t *testing.T) {
+	if _, err := EncodeMessage(struct{ X int }{1}); err == nil {
+		t.Fatal("encoding an unknown type succeeded")
+	}
+	for _, frame := range [][]byte{
+		nil,
+		{},
+		{0},                       // tag zero is reserved
+		{200, '{', '}'},           // unknown tag
+		{tagQueryRequest},         // empty body
+		{tagQueryRequest, 'x'},    // not JSON
+		{tagQueryReply, '[', ']'}, // wrong JSON shape
+	} {
+		if _, err := DecodeMessage(frame); err == nil {
+			t.Fatalf("decoding %v succeeded", frame)
+		}
+	}
+}

@@ -44,16 +44,41 @@ type QueryRequest struct {
 
 // QueryReply carries hits back. For forwarded queries the replying
 // directory sends it to the forwarding directory, which aggregates and
-// relays to the origin.
+// relays to the origin. Directories answer every forwarded QueryRequest
+// they receive, including retransmitted duplicates — re-answering is the
+// recovery path for lost replies, and the aggregator deduplicates.
 type QueryReply struct {
 	ID      uint64
 	From    simnet.NodeID
 	Partial bool // true for peer replies consumed by the aggregator
 	Hits    []Hit
+	// Unreachable lists peer directories the aggregator gave up on after
+	// exhausting retries; a non-empty list marks the result as possibly
+	// incomplete (graceful degradation instead of failing closed).
+	Unreachable []simnet.NodeID
 	// Spans carries the hop-level trace for traced queries (empty
 	// otherwise); aggregators merge partial spans into the final reply.
 	Spans []telemetry.Span
 	Err   string
+}
+
+// ForwardAck is sent immediately by a directory receiving a forwarded
+// query, before the (possibly slow) match runs. It tells the aggregator
+// the peer is alive — suppressing hedges and unreachable marking — but
+// does not stop retransmissions: only a QueryReply does, so a lost reply
+// is recovered by the duplicate request provoking a re-answer.
+type ForwardAck struct {
+	ID   uint64
+	From simnet.NodeID
+}
+
+// RepublishSolicit is broadcast by a node that just won a directory
+// election. Members whose current directory is the sender re-register
+// their published services even if they believe them already registered
+// there — the recovery path for a directory that crashed, lost its store,
+// and was re-elected under the same identity.
+type RepublishSolicit struct {
+	From simnet.NodeID
 }
 
 // DirectoryAnnounce advertises a (new) directory to the directory

@@ -21,6 +21,18 @@ var (
 		"Bloom-selected forwards that returned no hits (false positives)")
 	remoteHitsTotal = telemetry.NewCounter("discovery_remote_hits_total",
 		"hits contributed by peer directories")
+	forwardRetriesTotal = telemetry.NewCounter("discovery_forward_retries_total",
+		"forwarded queries retransmitted after a silent backoff window")
+	forwardAcksTotal = telemetry.NewCounter("discovery_forward_acks_total",
+		"forward acknowledgements received from peer directories")
+	forwardHedgesTotal = telemetry.NewCounter("discovery_forward_hedges_total",
+		"queries hedged to a spare peer after a forward went unacknowledged")
+	forwardGiveupsTotal = telemetry.NewCounter("discovery_forward_giveups_total",
+		"forwards abandoned after exhausting retries or the query deadline")
+	peersEvictedTotal = telemetry.NewCounter("discovery_peers_evicted_total",
+		"peer directories evicted after consecutive unacknowledged give-ups")
+	partialRepliesTotal = telemetry.NewCounter("discovery_partial_replies_total",
+		"final query replies carrying an unreachable-peers completeness marker")
 	summaryPushesTotal = telemetry.NewCounter("discovery_summary_pushes_total",
 		"Bloom summaries pushed to peer directories")
 	summaryRefreshesTotal = telemetry.NewCounter("discovery_summary_refreshes_total",

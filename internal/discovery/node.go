@@ -52,6 +52,28 @@ type Config struct {
 	// targets by Bloom filter, distance and remaining resources). Zero
 	// means no bound.
 	MaxForwardPeers int
+	// ForwardRetries bounds retransmissions per forward after the first
+	// attempt; a forward is abandoned (and the peer marked unreachable in
+	// the reply) once they are exhausted. Defaults to 2; negative disables
+	// retries and hedging entirely, restoring fire-and-forget forwarding
+	// where pending forwards wait out the full QueryTimeout.
+	ForwardRetries int
+	// RetryBackoff is the delay before the first retransmission of a
+	// forward with no reply; it doubles per attempt up to RetryBackoffMax.
+	// Defaults to QueryTimeout/8.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential retransmission backoff.
+	// Defaults to QueryTimeout/2.
+	RetryBackoffMax time.Duration
+	// HedgeSpares allows dispatching the query to up to this many
+	// next-best peers that MaxForwardPeers cut off, when a forward reaches
+	// its first retransmission without even an ack. Zero disables hedging.
+	HedgeSpares int
+	// PeerFailureLimit evicts a peer from the backbone view after this
+	// many consecutive forwards that were abandoned without any sign of
+	// life (no ack, no reply); a reply resets the count. Defaults to 3;
+	// negative disables eviction.
+	PeerFailureLimit int
 	// StaleRatio triggers a reactive summary refresh: when more than this
 	// fraction of a peer's Bloom-selected forwards come back empty (false
 	// positives), the peer is asked for a fresh summary (Section 4's
@@ -90,6 +112,22 @@ func (c Config) withDefaults() Config {
 	if c.StaleRatio == 0 {
 		c.StaleRatio = 0.5
 	}
+	if c.ForwardRetries == 0 {
+		c.ForwardRetries = 2
+	} else if c.ForwardRetries < 0 {
+		c.ForwardRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = c.QueryTimeout / 8
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = c.QueryTimeout / 2
+	}
+	if c.PeerFailureLimit == 0 {
+		c.PeerFailureLimit = 3
+	} else if c.PeerFailureLimit < 0 {
+		c.PeerFailureLimit = 0
+	}
 	if c.LeaseTTL > 0 && c.RefreshInterval <= 0 {
 		c.RefreshInterval = c.LeaseTTL / 3
 	}
@@ -107,6 +145,12 @@ type Stats struct {
 	ForwardsSent     uint64 // peer directories contacted
 	ForwardsPruned   uint64 // peers skipped thanks to Bloom summaries
 	RemoteHits       uint64 // hits contributed by peers
+	ForwardRetries   uint64 // forwards retransmitted after a silent backoff
+	ForwardAcks      uint64 // forward acknowledgements received
+	ForwardHedges    uint64 // queries hedged to a spare peer
+	ForwardGiveups   uint64 // forwards abandoned after exhausting retries
+	PeersEvicted     uint64 // peers dropped after consecutive give-ups
+	PartialReplies   uint64 // final replies sent with an unreachable marker
 }
 
 // Node is one participant of the discovery protocol: always a potential
@@ -140,13 +184,31 @@ type Node struct {
 
 // peerState is what a directory knows about a backbone peer: its latest
 // Bloom summary, its hop distance (observed from received messages, used
-// to rank forwarding targets), and forwarding outcome counters driving the
-// reactive summary refresh.
+// to rank forwarding targets), forwarding outcome counters driving the
+// reactive summary refresh, and a consecutive-give-up count driving
+// eviction of peers that stopped responding entirely.
 type peerState struct {
 	filter   *bloom.Filter
 	hops     int
 	forwards int
 	empties  int
+	failures int
+}
+
+// forwardState is the per-peer retransmission state machine for one
+// forwarded query: attempt counting with capped exponential backoff until
+// a reply arrives (done), the retries are exhausted, or the aggregation
+// deadline passes (failed). An ack proves the peer alive — it suppresses
+// hedging and the eviction counter — but does not stop retransmissions,
+// because a lost reply is only recovered by the duplicate request
+// provoking a re-answer.
+type forwardState struct {
+	attempts  int
+	acked     bool
+	done      bool // a reply arrived
+	failed    bool // gave up waiting
+	nextRetry time.Time
+	backoff   time.Duration
 }
 
 // aggregation tracks one origin query fanned out to peer directories.
@@ -154,10 +216,32 @@ type aggregation struct {
 	origin   simnet.NodeID
 	originID uint64
 	trace    uint64
+	doc      []byte // forwarded subset document, kept for retransmissions
 	deadline time.Time
-	awaiting map[simnet.NodeID]struct{}
-	hits     []Hit
-	spans    []telemetry.Span // mutated under the owning node's mu
+	forwards map[simnet.NodeID]*forwardState
+	// spares are ranked peers MaxForwardPeers cut off, available for
+	// hedged re-dispatch when a forward goes silent.
+	spares      []simnet.NodeID
+	hedges      int
+	hits        []Hit
+	unreachable []simnet.NodeID
+	spans       []telemetry.Span // mutated under the owning node's mu
+}
+
+// pending reports whether any forward is still awaiting a reply.
+func (a *aggregation) pending() bool {
+	for _, fs := range a.forwards {
+		if !fs.done && !fs.failed {
+			return true
+		}
+	}
+	return false
+}
+
+// outMsg is a message staged under the lock for sending after release.
+type outMsg struct {
+	to      simnet.NodeID
+	payload any
 }
 
 // NewNode creates a discovery node over an endpoint and backend.
@@ -293,7 +377,7 @@ func (n *Node) tick() {
 		n.lastAnnounce = now
 		announce = true
 	}
-	expired := n.expireAggregationsLocked(now)
+	resends, finished := n.maintainAggregationsLocked(now)
 	n.mu.Unlock()
 
 	if announce {
@@ -301,7 +385,10 @@ func (n *Node) tick() {
 	}
 
 	n.runElectionActions(electionActions)
-	for _, agg := range expired {
+	for _, m := range resends {
+		_ = n.ep.Send(m.to, m.payload)
+	}
+	for _, agg := range finished {
 		n.finishAggregation(agg)
 	}
 	n.sweepLeases(now)
@@ -390,6 +477,18 @@ func (n *Node) handleMessage(msg simnet.Message) {
 		n.onQuery(msg.From, p)
 	case QueryReply:
 		n.onQueryReply(p)
+	case ForwardAck:
+		n.mu.Lock()
+		if agg, ok := n.aggregates[p.ID]; ok {
+			if fs, known := agg.forwards[p.From]; known && !fs.acked {
+				fs.acked = true
+				n.stats.ForwardAcks++
+				forwardAcksTotal.Inc()
+			}
+		}
+		n.mu.Unlock()
+	case RepublishSolicit:
+		n.onSolicit(p)
 	case DirectoryAnnounce:
 		n.onAnnounce(p)
 	case SummaryPush:
@@ -424,6 +523,10 @@ func (n *Node) runElectionActions(actions []any) {
 			if act.Role == election.Directory {
 				// Join the directory backbone and solicit summaries.
 				_, _ = n.ep.Broadcast(n.cfg.AnnounceTTL, DirectoryAnnounce{From: n.ID()})
+				// Ask the vicinity to re-register: if this node crashed
+				// and won re-election with an empty store, publishers
+				// believing themselves registered here must re-send.
+				_, _ = n.ep.Broadcast(n.cfg.AnnounceTTL, RepublishSolicit{From: n.ID()})
 			}
 		}
 	}
@@ -437,6 +540,30 @@ func (n *Node) republishIfMoved() {
 	n.mu.Lock()
 	dir, ok := n.directoryLocked()
 	if !ok || dir == n.publishedAt || len(n.published) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.publishedAt = dir
+	docs := make([][]byte, 0, len(n.published))
+	for _, doc := range n.published {
+		docs = append(docs, doc)
+	}
+	n.mu.Unlock()
+	for _, doc := range docs {
+		id := n.allocID()
+		_ = n.ep.Send(dir, RegisterRequest{ID: id, Doc: doc})
+	}
+}
+
+// onSolicit re-registers this node's published services at a freshly
+// (re-)elected directory. Unlike republishIfMoved this fires even when
+// publishedAt already names the soliciting directory — that is exactly
+// the crash-and-re-elect case where the directory's store is empty while
+// the publishers believe themselves registered.
+func (n *Node) onSolicit(s RepublishSolicit) {
+	n.mu.Lock()
+	dir, ok := n.directoryLocked()
+	if !ok || dir != s.From || len(n.published) == 0 {
 		n.mu.Unlock()
 		return
 	}
@@ -567,10 +694,21 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 		s.Peer = string(from)
 		spans = append(spans, s)
 	}
+	if q.Forwarded {
+		// Ack first, before the possibly slow match: the aggregator needs
+		// a fast liveness signal to steer hedging and eviction.
+		_ = n.ep.Send(from, ForwardAck{ID: q.ID, From: n.ID()})
+	}
 	n.mu.Lock()
 	isDir := n.elect.Role() == election.Directory
 	n.mu.Unlock()
 	if !isDir {
+		if q.Forwarded {
+			// A demoted peer answers partial so the aggregator settles the
+			// forward instead of retrying into a node that cannot serve.
+			_ = n.ep.Send(from, QueryReply{ID: q.ID, From: n.ID(), Partial: true, Err: ErrNotDirectory.Error(), Spans: spans})
+			return
+		}
 		n.replyQuery(q, from, nil, ErrNotDirectory.Error(), spans)
 		return
 	}
@@ -622,7 +760,7 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 		return
 	}
 
-	targets, pruned := n.selectForwardTargets(fwdDoc)
+	targets, spares, pruned := n.selectForwardTargets(fwdDoc)
 	updateBloomFPR()
 	if q.Trace != 0 {
 		for _, id := range pruned {
@@ -640,6 +778,7 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 		n.replyQuery(q, q.Origin, hits, "", spans)
 		return
 	}
+	now := time.Now()
 	n.mu.Lock()
 	n.stats.QueriesForwarded++
 	n.stats.ForwardsSent += uint64(len(targets))
@@ -647,15 +786,21 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 		origin:   q.Origin,
 		originID: q.ID,
 		trace:    q.Trace,
-		deadline: time.Now().Add(n.cfg.QueryTimeout),
-		awaiting: make(map[simnet.NodeID]struct{}, len(targets)),
+		doc:      fwdDoc,
+		deadline: now.Add(n.cfg.QueryTimeout),
+		forwards: make(map[simnet.NodeID]*forwardState, len(targets)),
+		spares:   spares,
 		hits:     hits, // local answers ride along with the remote ones
 		spans:    spans,
 	}
 	n.nextID++
 	fwdID := n.nextID
 	for _, id := range targets {
-		agg.awaiting[id] = struct{}{}
+		agg.forwards[id] = &forwardState{
+			attempts:  1,
+			backoff:   n.cfg.RetryBackoff,
+			nextRetry: now.Add(n.cfg.RetryBackoff),
+		}
 	}
 	n.aggregates[fwdID] = agg
 	n.mu.Unlock()
@@ -691,8 +836,12 @@ func (n *Node) missingRequirements(doc []byte, hits []Hit) []string {
 // Bloom-filtered first (peers whose summary cannot contain the request are
 // pruned and counted), then ranked nearest-first and truncated to
 // MaxForwardPeers — the paper's "Bloom filters and additional parameters
-// such as ... the distance between the respective directories".
-func (n *Node) selectForwardTargets(doc []byte) (targets, pruned []simnet.NodeID) {
+// such as ... the distance between the respective directories". The
+// ranking breaks hop-count ties by NodeID so the order is deterministic
+// regardless of map iteration, which retries, hedging, and seeded tests
+// all depend on. Candidates the bound cut off come back as spares, in
+// rank order, for hedged re-dispatch.
+func (n *Node) selectForwardTargets(doc []byte) (targets, spares, pruned []simnet.NodeID) {
 	key, keyErr := n.backend.RequestKey(doc)
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -717,6 +866,9 @@ func (n *Node) selectForwardTargets(doc []byte) (targets, pruned []simnet.NodeID
 		return cands[i].id < cands[j].id
 	})
 	if n.cfg.MaxForwardPeers > 0 && len(cands) > n.cfg.MaxForwardPeers {
+		for _, c := range cands[n.cfg.MaxForwardPeers:] {
+			spares = append(spares, c.id)
+		}
 		cands = cands[:n.cfg.MaxForwardPeers]
 	}
 	targets = make([]simnet.NodeID, 0, len(cands))
@@ -725,7 +877,7 @@ func (n *Node) selectForwardTargets(doc []byte) (targets, pruned []simnet.NodeID
 		targets = append(targets, c.id)
 	}
 	sort.Slice(pruned, func(i, j int) bool { return pruned[i] < pruned[j] })
-	return targets, pruned
+	return targets, spares, pruned
 }
 
 // onQueryReply routes replies: partial ones feed an aggregation, final
@@ -738,17 +890,34 @@ func (n *Node) onQueryReply(r QueryReply) {
 			n.mu.Unlock()
 			return
 		}
-		delete(agg.awaiting, r.From)
+		fs, known := agg.forwards[r.From]
+		if !known || fs.done {
+			// Unsolicited or duplicate (a retransmitted request provokes a
+			// re-answer): the first reply already counted.
+			n.mu.Unlock()
+			return
+		}
+		fs.done = true
 		if r.Err == "" {
 			agg.hits = append(agg.hits, r.Hits...)
 			n.stats.RemoteHits += uint64(len(r.Hits))
 			remoteHitsTotal.Add(uint64(len(r.Hits)))
+		} else {
+			// The peer answered but could not serve (typically demoted
+			// mid-election): its cached content is unavailable, so the
+			// final reply must carry the completeness marker.
+			agg.unreachable = append(agg.unreachable, r.From)
+			if r.Err == ErrNotDirectory.Error() {
+				delete(n.peers, r.From)
+			}
 		}
 		agg.spans = append(agg.spans, r.Spans...)
 		var askRefresh bool
 		emptyForward := false
-		if ps, known := n.peers[r.From]; known {
-			if len(r.Hits) == 0 {
+		if ps, stillPeer := n.peers[r.From]; stillPeer {
+			// Any reply proves the peer alive; forget past give-ups.
+			ps.failures = 0
+			if r.Err == "" && len(r.Hits) == 0 {
 				// A Bloom-selected peer with no answer is a false
 				// positive; enough of them means the summary went stale
 				// (Section 4's reactive exchange trigger).
@@ -761,7 +930,7 @@ func (n *Node) onQueryReply(r QueryReply) {
 				}
 			}
 		}
-		done := len(agg.awaiting) == 0
+		done := !agg.pending()
 		if done {
 			delete(n.aggregates, r.ID)
 		}
@@ -788,19 +957,135 @@ func (n *Node) onQueryReply(r QueryReply) {
 	}
 }
 
-// expireAggregationsLocked collects aggregations past their deadline.
-func (n *Node) expireAggregationsLocked(now time.Time) []*aggregation {
-	var expired []*aggregation
+// maintainAggregationsLocked drives every pending forward's state machine
+// one step: retransmit forwards whose backoff window elapsed, hedge to a
+// spare peer when a forward reaches its first retransmission without an
+// ack, abandon forwards out of retries, and collect aggregations that are
+// complete (all forwards answered or abandoned) or past their deadline.
+// Messages are staged and sent by the caller after releasing n.mu.
+func (n *Node) maintainAggregationsLocked(now time.Time) (resends []outMsg, finished []*aggregation) {
 	for id, agg := range n.aggregates {
 		if now.After(agg.deadline) {
-			expired = append(expired, agg)
+			for peer, fs := range agg.forwards {
+				if !fs.done && !fs.failed {
+					n.giveUpForwardLocked(agg, peer, fs)
+				}
+			}
 			delete(n.aggregates, id)
+			finished = append(finished, agg)
+			continue
+		}
+		for peer, fs := range agg.forwards {
+			if fs.done || fs.failed || now.Before(fs.nextRetry) {
+				continue
+			}
+			// Fire-and-forget mode: pending forwards simply wait out the
+			// aggregation deadline, as before the retry machinery existed.
+			if n.cfg.ForwardRetries == 0 {
+				continue
+			}
+			if fs.attempts > n.cfg.ForwardRetries {
+				n.giveUpForwardLocked(agg, peer, fs)
+				continue
+			}
+			fs.attempts++
+			fs.backoff *= 2
+			if fs.backoff > n.cfg.RetryBackoffMax {
+				fs.backoff = n.cfg.RetryBackoffMax
+			}
+			fs.nextRetry = now.Add(fs.backoff)
+			n.stats.ForwardRetries++
+			forwardRetriesTotal.Inc()
+			if agg.trace != 0 {
+				s := telemetry.NewSpan(agg.trace, string(n.ID()), telemetry.EventRetry)
+				s.Peer = string(peer)
+				agg.spans = append(agg.spans, s)
+			}
+			resends = append(resends, outMsg{to: peer, payload: QueryRequest{
+				ID: id, Origin: n.ID(), Forwarded: true, Trace: agg.trace, Doc: agg.doc,
+			}})
+			// First retransmission with no ack: the peer may be gone, so
+			// hedge the query to the next-best spare in parallel.
+			if fs.attempts == 2 && !fs.acked {
+				if m := n.hedgeLocked(agg, id, now); m != nil {
+					resends = append(resends, *m)
+				}
+			}
+		}
+		if !agg.pending() {
+			delete(n.aggregates, id)
+			finished = append(finished, agg)
 		}
 	}
-	return expired
+	return resends, finished
 }
 
-// finishAggregation sends the collected hits to the origin client.
+// hedgeLocked dispatches the aggregation's query to the next spare peer,
+// if the hedge budget allows, returning the staged message.
+func (n *Node) hedgeLocked(agg *aggregation, id uint64, now time.Time) *outMsg {
+	if n.cfg.HedgeSpares <= 0 || agg.hedges >= n.cfg.HedgeSpares {
+		return nil
+	}
+	for len(agg.spares) > 0 {
+		peer := agg.spares[0]
+		agg.spares = agg.spares[1:]
+		if _, dup := agg.forwards[peer]; dup {
+			continue
+		}
+		if ps, known := n.peers[peer]; known {
+			ps.forwards++
+		}
+		agg.hedges++
+		agg.forwards[peer] = &forwardState{
+			attempts:  1,
+			backoff:   n.cfg.RetryBackoff,
+			nextRetry: now.Add(n.cfg.RetryBackoff),
+		}
+		n.stats.ForwardHedges++
+		n.stats.ForwardsSent++
+		forwardHedgesTotal.Inc()
+		forwardsSentTotal.Inc()
+		if agg.trace != 0 {
+			s := telemetry.NewSpan(agg.trace, string(n.ID()), telemetry.EventHedge)
+			s.Peer = string(peer)
+			agg.spans = append(agg.spans, s)
+		}
+		return &outMsg{to: peer, payload: QueryRequest{
+			ID: id, Origin: n.ID(), Forwarded: true, Trace: agg.trace, Doc: agg.doc,
+		}}
+	}
+	return nil
+}
+
+// giveUpForwardLocked abandons a forward that never produced a reply: the
+// peer joins the reply's unreachable marker and, if it never even acked,
+// its consecutive-failure count grows toward eviction from the backbone
+// view.
+func (n *Node) giveUpForwardLocked(agg *aggregation, peer simnet.NodeID, fs *forwardState) {
+	fs.failed = true
+	n.stats.ForwardGiveups++
+	forwardGiveupsTotal.Inc()
+	agg.unreachable = append(agg.unreachable, peer)
+	if agg.trace != 0 {
+		s := telemetry.NewSpan(agg.trace, string(n.ID()), telemetry.EventUnreach)
+		s.Peer = string(peer)
+		agg.spans = append(agg.spans, s)
+	}
+	if fs.acked {
+		return // alive but slow or reply-lossy: not an eviction candidate
+	}
+	if ps, known := n.peers[peer]; known {
+		ps.failures++
+		if n.cfg.PeerFailureLimit > 0 && ps.failures >= n.cfg.PeerFailureLimit {
+			delete(n.peers, peer)
+			n.stats.PeersEvicted++
+			peersEvictedTotal.Inc()
+		}
+	}
+}
+
+// finishAggregation sends the collected hits to the origin client,
+// carrying the unreachable-peers marker when forwards were abandoned.
 func (n *Node) finishAggregation(agg *aggregation) {
 	spans := agg.spans
 	if agg.trace != 0 {
@@ -809,7 +1094,17 @@ func (n *Node) finishAggregation(agg *aggregation) {
 		s.Hits = len(agg.hits)
 		spans = append(spans, s)
 	}
-	_ = n.ep.Send(agg.origin, QueryReply{ID: agg.originID, From: n.ID(), Hits: agg.hits, Spans: spans})
+	sort.Slice(agg.unreachable, func(i, j int) bool { return agg.unreachable[i] < agg.unreachable[j] })
+	if len(agg.unreachable) > 0 {
+		n.mu.Lock()
+		n.stats.PartialReplies++
+		n.mu.Unlock()
+		partialRepliesTotal.Inc()
+	}
+	_ = n.ep.Send(agg.origin, QueryReply{
+		ID: agg.originID, From: n.ID(), Hits: agg.hits,
+		Unreachable: agg.unreachable, Spans: spans,
+	})
 }
 
 // replyQuery sends a final reply toward the origin.
@@ -950,27 +1245,52 @@ func (n *Node) Deregister(ctx context.Context, service string) error {
 	}
 }
 
-// Discover resolves a request document through this node's directory and
-// returns the hits (best first for semantic backends).
-func (n *Node) Discover(ctx context.Context, doc []byte) ([]Hit, error) {
-	hits, _, err := n.discover(ctx, doc, 0)
-	return hits, err
+// Result is the complete outcome of a discovery call: the hits, the
+// hop-level trace for traced queries, and the completeness marker.
+type Result struct {
+	Hits []Hit
+	// Spans is the hop-level trace (traced queries only).
+	Spans []telemetry.Span
+	// Unreachable lists peer directories that never answered despite
+	// retries; non-empty means remote content may be missing.
+	Unreachable []simnet.NodeID
 }
 
-// DiscoverTrace resolves a request like Discover while recording the
-// hop-level trace: every directory that touches the query appends spans
-// (received, local-match, Bloom prunes, forwards, reply) which come back
-// alongside the hits, ordered by recording sequence.
-func (n *Node) DiscoverTrace(ctx context.Context, doc []byte) ([]Hit, []telemetry.Span, error) {
+// Partial reports whether the result may be incomplete because some peer
+// directories were unreachable.
+func (r Result) Partial() bool { return len(r.Unreachable) > 0 }
+
+// Discover resolves a request document through this node's directory and
+// returns the hits (best first for semantic backends). Use DiscoverResult
+// to also observe the partial-result completeness marker.
+func (n *Node) Discover(ctx context.Context, doc []byte) ([]Hit, error) {
+	res, err := n.discover(ctx, doc, 0)
+	return res.Hits, err
+}
+
+// DiscoverResult resolves a request like Discover and returns the full
+// Result, including the unreachable-peers completeness marker: under
+// partitions or churn the query degrades gracefully to whatever hits
+// arrived, flagged Partial instead of failing closed.
+func (n *Node) DiscoverResult(ctx context.Context, doc []byte) (Result, error) {
+	return n.discover(ctx, doc, 0)
+}
+
+// DiscoverTrace resolves a request like DiscoverResult while recording
+// the hop-level trace: every directory that touches the query appends
+// spans (received, local-match, Bloom prunes, forwards, retries, hedges,
+// reply) which come back inside the Result, ordered by recording
+// sequence.
+func (n *Node) DiscoverTrace(ctx context.Context, doc []byte) (Result, error) {
 	return n.discover(ctx, doc, telemetry.NextTraceID())
 }
 
-func (n *Node) discover(ctx context.Context, doc []byte, trace uint64) ([]Hit, []telemetry.Span, error) {
+func (n *Node) discover(ctx context.Context, doc []byte, trace uint64) (Result, error) {
 	n.mu.Lock()
 	dir, ok := n.directoryLocked()
 	if !ok {
 		n.mu.Unlock()
-		return nil, nil, ErrNoDirectory
+		return Result{}, ErrNoDirectory
 	}
 	n.nextID++
 	id := n.nextID
@@ -982,19 +1302,19 @@ func (n *Node) discover(ctx context.Context, doc []byte, trace uint64) ([]Hit, [
 		n.mu.Lock()
 		delete(n.queryWait, id)
 		n.mu.Unlock()
-		return nil, nil, err
+		return Result{}, err
 	}
 	select {
 	case rep := <-ch:
 		telemetry.SortSpans(rep.Spans)
 		if rep.Err != "" {
-			return nil, rep.Spans, fmt.Errorf("discovery: query failed: %s", rep.Err)
+			return Result{Spans: rep.Spans}, fmt.Errorf("discovery: query failed: %s", rep.Err)
 		}
-		return rep.Hits, rep.Spans, nil
+		return Result{Hits: rep.Hits, Spans: rep.Spans, Unreachable: rep.Unreachable}, nil
 	case <-ctx.Done():
 		n.mu.Lock()
 		delete(n.queryWait, id)
 		n.mu.Unlock()
-		return nil, nil, ctx.Err()
+		return Result{}, ctx.Err()
 	}
 }

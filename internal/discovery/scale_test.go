@@ -43,6 +43,11 @@ func TestLargeNetworkIntegration(t *testing.T) {
 		TickInterval:     2 * time.Millisecond,
 		SummaryPushEvery: 1,
 		AnnounceInterval: 50 * time.Millisecond,
+		// The 7x7 grid has diameter 12; the default AnnounceTTL of 8 would
+		// leave far-corner directory pairs permanently unaware of each
+		// other whenever election timing puts directories there, and the
+		// backbone-settle wait below would never finish.
+		AnnounceTTL: 13,
 		Election: election.Config{
 			AdvertiseInterval: 20 * time.Millisecond,
 			AdvertiseTTL:      2,
@@ -98,8 +103,9 @@ func TestLargeNetworkIntegration(t *testing.T) {
 	}
 	// Summaries settle once every directory has heard from every other
 	// directory on the backbone; residual filter staleness is absorbed by
-	// the per-query retries below.
-	waitUntil(t, 5*time.Second, "directory backbone to settle", func() bool {
+	// the per-query retries below. The budget matches the election wait —
+	// under the race detector a 49-node grid needs well over 5s.
+	waitUntil(t, 15*time.Second, "directory backbone to settle", func() bool {
 		var dirs []*Node
 		for _, n := range nodes {
 			if n.Role() == election.Directory {

@@ -64,12 +64,16 @@ func TestDiscoverTraceRecordsForwardingHops(t *testing.T) {
 		d, ok := nodes[0].DirectoryID()
 		return ok && d == "n1"
 	})
-	hits, spans, err := nodes[0].DiscoverTrace(ctx, pdaRequestDoc(t))
+	res, err := nodes[0].DiscoverTrace(ctx, pdaRequestDoc(t))
 	if err != nil {
 		t.Fatalf("DiscoverTrace: %v", err)
 	}
+	hits, spans := res.Hits, res.Spans
 	if len(hits) != 1 || hits[0].Directory != "n5" {
 		t.Fatalf("hits = %v, want one from n5", hits)
+	}
+	if res.Partial() {
+		t.Fatalf("healthy cluster returned partial result: %v", res.Unreachable)
 	}
 
 	trace := spans[0].Trace

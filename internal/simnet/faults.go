@@ -1,0 +1,281 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Fault injection: a deterministic, scripted layer over the simulated
+// network that reproduces the failure modes the paper's hybrid MANETs
+// exhibit — partitions that later heal, asymmetric lossy or slow links,
+// bursts of congestion loss, and node churn. A FaultPlan is a schedule of
+// such conditions relative to the instant it is applied; the same plan
+// over the same seeded network yields the same drop decisions, so chaos
+// experiments replay deterministically.
+//
+// Faults are evaluated at send/delivery time rather than by mutating the
+// topology, which means healing is automatic (the schedule simply stops
+// matching) and the underlying link set stays intact for inspection.
+
+// Partition severs every link between nodes of different groups for the
+// window [At, Heal). Nodes not listed in any group are unaffected. A zero
+// Heal means the partition never heals.
+type Partition struct {
+	// Name labels the partition in ActiveFaults output and logs.
+	Name string
+	// Groups are the sides of the cut; links inside a group stay up.
+	Groups [][]NodeID
+	// At and Heal are offsets from the moment the plan is applied.
+	At, Heal time.Duration
+}
+
+// LinkFault overrides the conditions of one directional link From → To
+// for the window [At, Until). Asymmetric behaviour (a link lossy one way,
+// clean the other) is expressed with two entries. A zero Until means the
+// fault persists.
+type LinkFault struct {
+	From, To NodeID
+	// Drop replaces the network-wide DropRate on this link (0 keeps the
+	// traversal reliable, so a LinkFault can also repair a lossy base).
+	Drop float64
+	// ExtraLatency is added to the delivery delay per traversal.
+	ExtraLatency time.Duration
+	At, Until    time.Duration
+}
+
+// Burst raises the loss probability of every link traversal during the
+// window [At, Until) — congestion or interference bursts. The effective
+// rate on a link is the maximum of the base rate, any LinkFault override,
+// and every active burst.
+type Burst struct {
+	Drop      float64
+	At, Until time.Duration
+}
+
+// Churn crashes a node for the window [DownAt, UpAt): a down node neither
+// sends, receives, nor relays traffic, but keeps its identity and links —
+// the model of a process crash followed by a restart. A zero UpAt means
+// the node stays down.
+type Churn struct {
+	Node         NodeID
+	DownAt, UpAt time.Duration
+}
+
+// FaultPlan is a complete scripted fault schedule.
+type FaultPlan struct {
+	Partitions []Partition
+	Links      []LinkFault
+	Bursts     []Burst
+	Churn      []Churn
+}
+
+// faultState is the plan plus its activation instant.
+type faultState struct {
+	plan  FaultPlan
+	start time.Time
+	// groupOf caches partition group membership: partition index -> node
+	// -> group index.
+	groupOf []map[NodeID]int
+}
+
+// ApplyFaultPlan activates a fault plan now, replacing any previous one.
+// All plan offsets are relative to this call.
+func (n *Network) ApplyFaultPlan(p FaultPlan) {
+	st := &faultState{plan: p, start: time.Now()}
+	st.groupOf = make([]map[NodeID]int, len(p.Partitions))
+	for i, part := range p.Partitions {
+		m := make(map[NodeID]int)
+		for g, group := range part.Groups {
+			for _, id := range group {
+				m[id] = g
+			}
+		}
+		st.groupOf[i] = m
+	}
+	n.mu.Lock()
+	n.faults = st
+	n.mu.Unlock()
+}
+
+// ClearFaults removes the active fault plan (manual down flags set with
+// SetNodeDown persist until cleared individually).
+func (n *Network) ClearFaults() {
+	n.mu.Lock()
+	n.faults = nil
+	n.mu.Unlock()
+}
+
+// SetNodeDown crashes or restarts a node manually, outside any plan. A
+// down node neither sends, receives, nor relays traffic.
+func (n *Network) SetNodeDown(id NodeID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.manualDown[id] = true
+	} else {
+		delete(n.manualDown, id)
+	}
+}
+
+// ActiveFaults describes the currently active fault conditions, sorted,
+// for test synchronization ("wait until the plan has drained") and
+// operator reports. Manual down flags are included.
+func (n *Network) ActiveFaults() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	var out []string
+	for id := range n.manualDown {
+		out = append(out, fmt.Sprintf("down:%s", id))
+	}
+	if n.faults != nil {
+		off := now.Sub(n.faults.start)
+		for _, p := range n.faults.plan.Partitions {
+			if windowActive(off, p.At, p.Heal) {
+				out = append(out, fmt.Sprintf("partition:%s", p.Name))
+			}
+		}
+		for _, l := range n.faults.plan.Links {
+			if windowActive(off, l.At, l.Until) {
+				out = append(out, fmt.Sprintf("link:%s->%s", l.From, l.To))
+			}
+		}
+		for _, b := range n.faults.plan.Bursts {
+			if windowActive(off, b.At, b.Until) {
+				out = append(out, fmt.Sprintf("burst:%.2f", b.Drop))
+			}
+		}
+		for _, c := range n.faults.plan.Churn {
+			if windowActive(off, c.DownAt, c.UpAt) {
+				out = append(out, fmt.Sprintf("down:%s", c.Node))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// windowActive reports whether offset off falls in [at, until); a zero
+// until means the window never closes.
+func windowActive(off, at, until time.Duration) bool {
+	if off < at {
+		return false
+	}
+	return until == 0 || off < until
+}
+
+// nodeDownLocked reports whether a node is crashed at offset time now.
+// Callers hold n.mu.
+func (n *Network) nodeDownLocked(id NodeID, now time.Time) bool {
+	if n.manualDown[id] {
+		return true
+	}
+	if n.faults == nil {
+		return false
+	}
+	off := now.Sub(n.faults.start)
+	for _, c := range n.faults.plan.Churn {
+		if c.Node == id && windowActive(off, c.DownAt, c.UpAt) {
+			return true
+		}
+	}
+	return false
+}
+
+// linkCutLocked reports whether an active partition severs the link
+// between a and b. Callers hold n.mu.
+func (n *Network) linkCutLocked(a, b NodeID, now time.Time) bool {
+	if n.faults == nil {
+		return false
+	}
+	off := now.Sub(n.faults.start)
+	for i, p := range n.faults.plan.Partitions {
+		if !windowActive(off, p.At, p.Heal) {
+			continue
+		}
+		ga, oka := n.faults.groupOf[i][a]
+		gb, okb := n.faults.groupOf[i][b]
+		if oka && okb && ga != gb {
+			return true
+		}
+	}
+	return false
+}
+
+// linkConditionsLocked returns the effective drop probability and extra
+// latency for one directional traversal from → to, and whether a fault
+// (override or burst) shaped the drop rate. Callers hold n.mu.
+func (n *Network) linkConditionsLocked(from, to NodeID, now time.Time) (drop float64, extra time.Duration, faulted bool) {
+	drop = n.cfg.DropRate
+	if n.faults == nil {
+		return drop, 0, false
+	}
+	off := now.Sub(n.faults.start)
+	for _, l := range n.faults.plan.Links {
+		if l.From == from && l.To == to && windowActive(off, l.At, l.Until) {
+			drop = l.Drop
+			extra += l.ExtraLatency
+			faulted = true
+		}
+	}
+	for _, b := range n.faults.plan.Bursts {
+		if windowActive(off, b.At, b.Until) && b.Drop > drop {
+			drop = b.Drop
+			faulted = true
+		}
+	}
+	return drop, extra, faulted
+}
+
+// usableLinkLocked reports whether a message can traverse from u to v at
+// time now: the physical link exists, no partition cuts it, and the far
+// end is not crashed. Callers hold n.mu.
+func (n *Network) usableLinkLocked(u, v NodeID, now time.Time) bool {
+	if _, ok := n.links[u][v]; !ok {
+		return false
+	}
+	if n.linkCutLocked(u, v, now) {
+		return false
+	}
+	return !n.nodeDownLocked(v, now)
+}
+
+// pathLocked computes a shortest usable path (including both endpoints)
+// honoring active faults when faultAware is true. Callers hold n.mu.
+func (n *Network) pathLocked(from, to NodeID, now time.Time, faultAware bool) ([]NodeID, bool) {
+	if from == to {
+		return []NodeID{from}, true
+	}
+	parent := map[NodeID]NodeID{from: from}
+	frontier := []NodeID{from}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, u := range frontier {
+			for v := range n.links[u] {
+				if _, seen := parent[v]; seen {
+					continue
+				}
+				if faultAware && (n.linkCutLocked(u, v, now) || (v != to && n.nodeDownLocked(v, now))) {
+					continue
+				}
+				parent[v] = u
+				if v == to {
+					// Walk back to build the path.
+					path := []NodeID{v}
+					for cur := v; cur != from; {
+						cur = parent[cur]
+						path = append(path, cur)
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path, true
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}

@@ -1,0 +1,256 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sariadne/internal/testutil"
+)
+
+// drain empties an endpoint's inbox, returning how many messages were
+// pending.
+func drain(e *Endpoint) int {
+	n := 0
+	for {
+		select {
+		case <-e.inbox:
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// TestPartitionCutsAndHeals: during an active partition no unicast
+// crosses the cut and Send reports no route; after the heal offset the
+// same call delivers again without any topology surgery.
+func TestPartitionCutsAndHeals(t *testing.T) {
+	net := New(Config{})
+	t.Cleanup(net.Close)
+	eps, err := BuildLine(net, "n", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyFaultPlan(FaultPlan{Partitions: []Partition{{
+		Name:   "split",
+		Groups: [][]NodeID{{"n0", "n1"}, {"n2", "n3"}},
+		Heal:   60 * time.Millisecond,
+	}}})
+
+	if err := eps[0].Send("n3", "blocked"); err == nil {
+		t.Fatal("Send across an active partition succeeded")
+	}
+	if _, ok := net.HopDistance("n0", "n3"); ok {
+		t.Fatal("HopDistance crossed an active partition")
+	}
+	if got := net.NodesWithin("n0", 8); len(got) != 1 || got[0] != "n1" {
+		t.Fatalf("NodesWithin during partition = %v, want [n1]", got)
+	}
+	if st := net.Stats(); st.PartitionBlocks == 0 {
+		t.Fatalf("stats = %+v, want PartitionBlocks > 0", st)
+	}
+	// Broadcast stays on the near side of the cut.
+	reached, err := eps[0].Broadcast(8, "flood")
+	if err != nil || reached != 1 {
+		t.Fatalf("broadcast during partition reached %d (%v), want 1", reached, err)
+	}
+
+	// After the heal offset the route is back.
+	testutil.WaitFor(t, time.Second, func() bool {
+		return len(net.ActiveFaults()) == 0
+	}, "partition to heal")
+	if err := eps[0].Send("n3", "healed"); err != nil {
+		t.Fatalf("Send after heal: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	msg, err := eps[3].Recv(ctx)
+	if err != nil || msg.Payload != "healed" {
+		t.Fatalf("Recv after heal = %v, %v", msg, err)
+	}
+}
+
+// TestLinkFaultAsymmetric: a directional 100% drop override loses every
+// message one way while the reverse direction stays reliable, and the
+// drops are attributed to the fault counters.
+func TestLinkFaultAsymmetric(t *testing.T) {
+	net := New(Config{})
+	t.Cleanup(net.Close)
+	eps, err := BuildLine(net, "n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyFaultPlan(FaultPlan{Links: []LinkFault{{From: "n0", To: "n1", Drop: 1}}})
+
+	for i := 0; i < 5; i++ {
+		if err := eps[0].Send("n1", i); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if err := eps[1].Send("n0", i); err != nil {
+			t.Fatalf("reverse Send: %v", err)
+		}
+	}
+	if got := drain(eps[1]); got != 0 {
+		t.Fatalf("lossy direction delivered %d messages, want 0", got)
+	}
+	if got := drain(eps[0]); got != 5 {
+		t.Fatalf("clean direction delivered %d messages, want 5", got)
+	}
+	st := net.Stats()
+	if st.FaultDrops != 5 || st.MessagesDropped != 5 {
+		t.Fatalf("stats = %+v, want 5 fault drops", st)
+	}
+}
+
+// TestLinkFaultExtraLatency: a latency override defers delivery, and the
+// message still arrives once the delay elapses.
+func TestLinkFaultExtraLatency(t *testing.T) {
+	net := New(Config{})
+	t.Cleanup(net.Close)
+	eps, err := BuildLine(net, "n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyFaultPlan(FaultPlan{Links: []LinkFault{
+		{From: "n0", To: "n1", ExtraLatency: 30 * time.Millisecond},
+	}})
+	start := time.Now()
+	if err := eps[0].Send("n1", "slow"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := eps[1].Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("delivery took %v, want >= 30ms", elapsed)
+	}
+}
+
+// TestBurstLossWindow: a total-loss burst swallows everything inside its
+// window; sends after the window deliver again. Seeded, so the outcome is
+// reproducible.
+func TestBurstLossWindow(t *testing.T) {
+	net := New(Config{Seed: 5})
+	t.Cleanup(net.Close)
+	eps, err := BuildLine(net, "n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyFaultPlan(FaultPlan{Bursts: []Burst{{Drop: 1, Until: 50 * time.Millisecond}}})
+	for i := 0; i < 5; i++ {
+		if err := eps[0].Send("n1", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(eps[1]); got != 0 {
+		t.Fatalf("burst window delivered %d messages, want 0", got)
+	}
+	testutil.WaitFor(t, time.Second, func() bool {
+		return len(net.ActiveFaults()) == 0
+	}, "burst to end")
+	if err := eps[0].Send("n1", "after"); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(eps[1]); got != 1 {
+		t.Fatalf("after the burst %d messages, want 1", got)
+	}
+	if st := net.Stats(); st.FaultDrops != 5 {
+		t.Fatalf("stats = %+v, want FaultDrops=5", st)
+	}
+}
+
+// TestChurnCrashRestart: a crashed node is unreachable as a destination
+// and as a relay; SetNodeDown(false) restores it.
+func TestChurnCrashRestart(t *testing.T) {
+	net := New(Config{})
+	t.Cleanup(net.Close)
+	eps, err := BuildLine(net, "n", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetNodeDown("n1", true)
+
+	// Sends to the crashed node are silently lost; routes through it fail.
+	if err := eps[0].Send("n1", "x"); err != nil {
+		t.Fatalf("Send to down node should be silently lost, got %v", err)
+	}
+	if got := drain(eps[1]); got != 0 {
+		t.Fatalf("down node received %d messages", got)
+	}
+	if err := eps[0].Send("n2", "via"); err == nil {
+		t.Fatal("route through a crashed relay should fail")
+	}
+	// Sends from the crashed node vanish.
+	if err := eps[1].Send("n0", "ghost"); err != nil {
+		t.Fatalf("Send from down node: %v", err)
+	}
+	if got := drain(eps[0]); got != 0 {
+		t.Fatalf("crashed node's message was delivered (%d)", got)
+	}
+
+	net.SetNodeDown("n1", false)
+	if err := eps[0].Send("n2", "back"); err != nil {
+		t.Fatalf("Send after restart: %v", err)
+	}
+	if got := drain(eps[2]); got != 1 {
+		t.Fatalf("after restart delivered %d, want 1", got)
+	}
+}
+
+// TestScriptedChurnWindow: plan-driven crash windows open and close on
+// schedule without manual intervention.
+func TestScriptedChurnWindow(t *testing.T) {
+	net := New(Config{})
+	t.Cleanup(net.Close)
+	eps, err := BuildLine(net, "n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyFaultPlan(FaultPlan{Churn: []Churn{{Node: "n1", UpAt: 50 * time.Millisecond}}})
+	if err := eps[0].Send("n1", "lost"); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(eps[1]); got != 0 {
+		t.Fatalf("delivered %d during crash window", got)
+	}
+	testutil.WaitFor(t, time.Second, func() bool {
+		return len(net.ActiveFaults()) == 0
+	}, "churn window to close")
+	if err := eps[0].Send("n1", "alive"); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(eps[1]); got != 1 {
+		t.Fatalf("delivered %d after restart, want 1", got)
+	}
+}
+
+// TestFaultPlanDeterminism: two identically seeded networks replaying the
+// same plan and traffic lose exactly the same messages.
+func TestFaultPlanDeterminism(t *testing.T) {
+	run := func() (delivered int, stats Stats) {
+		net := New(Config{Seed: 11})
+		defer net.Close()
+		eps, err := BuildLine(net, "n", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyFaultPlan(FaultPlan{Bursts: []Burst{{Drop: 0.4}}})
+		for i := 0; i < 200; i++ {
+			if err := eps[0].Send("n2", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return drain(eps[2]), net.Stats()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("same seed, same plan diverged: %d/%+v vs %d/%+v", d1, s1, d2, s2)
+	}
+	if d1 == 0 || s1.FaultDrops == 0 {
+		t.Fatalf("burst at 0.4 should both deliver and drop: delivered=%d stats=%+v", d1, s1)
+	}
+}

@@ -20,4 +20,8 @@ var (
 		"individual link traversals (the paper's generated-traffic axis)")
 	unicastHops = telemetry.NewSizeHistogram("simnet_unicast_hops",
 		"route length in hops of each unicast send")
+	faultDropsTotal = telemetry.NewCounter("simnet_fault_drops_total",
+		"messages lost to injected faults: bursts, link overrides, crashed nodes")
+	partitionBlocksTotal = telemetry.NewCounter("simnet_partition_blocks_total",
+		"unicast sends refused because an active partition cut every route")
 )

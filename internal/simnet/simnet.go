@@ -91,19 +91,23 @@ type Stats struct {
 	MessagesDropped    uint64 // lost to link drops
 	MessagesOverflowed uint64 // lost to full inboxes
 	LinkTraversals     uint64
+	FaultDrops         uint64 // drops attributed to an injected fault (bursts, link overrides, down nodes)
+	PartitionBlocks    uint64 // sends refused because an active partition cut every route
 }
 
 // Network is the simulated topology. All methods are safe for concurrent
 // use.
 type Network struct {
-	mu     sync.Mutex
-	cfg    Config
-	rng    *rand.Rand                     // guarded by mu
-	nodes  map[NodeID]*Endpoint           // guarded by mu
-	links  map[NodeID]map[NodeID]struct{} // guarded by mu
-	stats  Stats                          // guarded by mu
-	closed bool                           // guarded by mu
-	wg     sync.WaitGroup
+	mu         sync.Mutex
+	cfg        Config
+	rng        *rand.Rand                     // guarded by mu
+	nodes      map[NodeID]*Endpoint           // guarded by mu
+	links      map[NodeID]map[NodeID]struct{} // guarded by mu
+	stats      Stats                          // guarded by mu
+	closed     bool                           // guarded by mu
+	faults     *faultState                    // guarded by mu
+	manualDown map[NodeID]bool                // guarded by mu
+	wg         sync.WaitGroup
 }
 
 // New returns an empty network.
@@ -114,10 +118,11 @@ func New(cfg Config) *Network {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	return &Network{
-		cfg:   cfg,
-		rng:   rng,
-		nodes: make(map[NodeID]*Endpoint),
-		links: make(map[NodeID]map[NodeID]struct{}),
+		cfg:        cfg,
+		rng:        rng,
+		nodes:      make(map[NodeID]*Endpoint),
+		links:      make(map[NodeID]map[NodeID]struct{}),
+		manualDown: make(map[NodeID]bool),
 	}
 }
 
@@ -259,11 +264,14 @@ func (n *Network) Close() {
 	}
 }
 
-// Send routes a unicast message along a shortest path to the target. The
-// per-hop drop probability applies to every link on the path; a dropped
-// message is silently lost (the network is unreliable by design) but
-// counted in Stats. Send fails only when the network is closed, the nodes
-// are unknown, or no route exists.
+// Send routes a unicast message along a shortest usable path to the
+// target. The per-link drop probability (base rate, link-fault overrides
+// and burst windows) applies to every link on the path; a dropped message
+// is silently lost (the network is unreliable by design) but counted in
+// Stats. Messages from or to a crashed node are silently lost too — a
+// dead radio, not an error the sender can observe. Send fails only when
+// the network is closed, the nodes are unknown, or no usable route
+// exists (including routes cut by an active partition).
 func (e *Endpoint) Send(to NodeID, payload any) error {
 	n := e.net
 	n.mu.Lock()
@@ -280,34 +288,59 @@ func (e *Endpoint) Send(to NodeID, payload any) error {
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
-	hops, reachable := n.hopDistanceLocked(e.id, to)
+	now := time.Now()
+	if n.nodeDownLocked(e.id, now) || n.nodeDownLocked(to, now) {
+		n.stats.MessagesDropped++
+		n.stats.FaultDrops++
+		dropsTotal.Inc()
+		faultDropsTotal.Inc()
+		n.mu.Unlock()
+		return nil
+	}
+	path, reachable := n.pathLocked(e.id, to, now, true)
 	if !reachable {
+		// Distinguish "partitioned" from "physically unreachable" for the
+		// fault counters: a route that exists without faults was blocked
+		// by the plan.
+		if _, physical := n.pathLocked(e.id, to, now, false); physical {
+			n.stats.PartitionBlocks++
+			partitionBlocksTotal.Inc()
+		}
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %s -> %s", ErrNoRoute, e.id, to)
 	}
+	hops := len(path) - 1
 	n.stats.UnicastsSent++
 	n.stats.LinkTraversals += uint64(hops)
 	unicastsTotal.Inc()
 	traversalsTotal.Add(uint64(hops))
 	unicastHops.ObserveInt(int64(hops))
-	// Per-link loss along the path.
-	for i := 0; i < hops; i++ {
-		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+	// Per-link loss and latency along the path.
+	var extra time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		drop, lat, faulted := n.linkConditionsLocked(path[i], path[i+1], now)
+		extra += lat
+		if drop > 0 && n.rng.Float64() < drop {
 			n.stats.MessagesDropped++
 			dropsTotal.Inc()
+			if faulted {
+				n.stats.FaultDrops++
+				faultDropsTotal.Inc()
+			}
 			n.mu.Unlock()
 			return nil
 		}
 	}
 	msg := Message{From: e.id, To: to, Hops: hops, Payload: payload}
-	n.deliverLocked(target, msg)
+	n.deliverLocked(target, msg, time.Duration(hops)*n.cfg.LatencyPerHop+extra)
 	n.mu.Unlock()
 	return nil
 }
 
 // Broadcast floods a message up to ttl hops from the sender (the sender
 // itself does not receive it). It returns the number of nodes the message
-// reached.
+// reached. Crashed nodes neither receive nor relay; partitioned links do
+// not propagate the flood.
 func (e *Endpoint) Broadcast(ttl int, payload any) (int, error) {
 	n := e.net
 	n.mu.Lock()
@@ -317,6 +350,12 @@ func (e *Endpoint) Broadcast(ttl int, payload any) (int, error) {
 	}
 	if _, ok := n.nodes[e.id]; !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, e.id)
+	}
+	now := time.Now()
+	if n.nodeDownLocked(e.id, now) {
+		// A crashed sender's broadcast reaches nobody; it is not an error
+		// the (crashed) caller can act on.
+		return 0, nil
 	}
 	n.stats.BroadcastsSent++
 	broadcastsTotal.Inc()
@@ -330,17 +369,25 @@ func (e *Endpoint) Broadcast(ttl int, payload any) (int, error) {
 				if _, seen := visited[v]; seen {
 					continue
 				}
+				if !n.usableLinkLocked(u, v, now) {
+					continue
+				}
 				n.stats.LinkTraversals++
 				traversalsTotal.Inc()
-				if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+				drop, lat, faulted := n.linkConditionsLocked(u, v, now)
+				if drop > 0 && n.rng.Float64() < drop {
 					n.stats.MessagesDropped++
 					dropsTotal.Inc()
+					if faulted {
+						n.stats.FaultDrops++
+						faultDropsTotal.Inc()
+					}
 					continue
 				}
 				visited[v] = depth
 				next = append(next, v)
 				msg := Message{From: e.id, To: v, Hops: depth, Broadcast: true, Payload: payload}
-				n.deliverLocked(n.nodes[v], msg)
+				n.deliverLocked(n.nodes[v], msg, time.Duration(depth)*n.cfg.LatencyPerHop+lat)
 				reached++
 			}
 		}
@@ -349,11 +396,11 @@ func (e *Endpoint) Broadcast(ttl int, payload any) (int, error) {
 	return reached, nil
 }
 
-// deliverLocked hands a message to an inbox, honoring latency and queue
-// bounds. Callers hold n.mu.
-func (n *Network) deliverLocked(target *Endpoint, msg Message) {
-	if n.cfg.LatencyPerHop > 0 && msg.Hops > 0 {
-		delay := time.Duration(msg.Hops) * n.cfg.LatencyPerHop
+// deliverLocked hands a message to an inbox after the given delay,
+// honoring queue bounds. A target that crashed or left the network by
+// delivery time loses the message. Callers hold n.mu.
+func (n *Network) deliverLocked(target *Endpoint, msg Message, delay time.Duration) {
+	if delay > 0 {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
@@ -363,6 +410,13 @@ func (n *Network) deliverLocked(target *Endpoint, msg Message) {
 			if _, ok := n.nodes[target.id]; !ok {
 				n.stats.MessagesDropped++
 				dropsTotal.Inc()
+				return
+			}
+			if n.nodeDownLocked(target.id, time.Now()) {
+				n.stats.MessagesDropped++
+				n.stats.FaultDrops++
+				dropsTotal.Inc()
+				faultDropsTotal.Inc()
 				return
 			}
 			select {
@@ -386,34 +440,8 @@ func (n *Network) deliverLocked(target *Endpoint, msg Message) {
 	}
 }
 
-// hopDistanceLocked computes the BFS hop count between two nodes. Callers
-// hold n.mu.
-func (n *Network) hopDistanceLocked(from, to NodeID) (int, bool) {
-	if from == to {
-		return 0, true
-	}
-	visited := map[NodeID]bool{from: true}
-	frontier := []NodeID{from}
-	for depth := 1; len(frontier) > 0; depth++ {
-		var next []NodeID
-		for _, u := range frontier {
-			for v := range n.links[u] {
-				if visited[v] {
-					continue
-				}
-				if v == to {
-					return depth, true
-				}
-				visited[v] = true
-				next = append(next, v)
-			}
-		}
-		frontier = next
-	}
-	return 0, false
-}
-
-// HopDistance returns the current hop count between two nodes.
+// HopDistance returns the current hop count between two nodes along
+// usable links (active faults included).
 func (n *Network) HopDistance(from, to NodeID) (int, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -423,14 +451,19 @@ func (n *Network) HopDistance(from, to NodeID) (int, bool) {
 	if _, ok := n.nodes[to]; !ok {
 		return 0, false
 	}
-	return n.hopDistanceLocked(from, to)
+	path, ok := n.pathLocked(from, to, time.Now(), true)
+	if !ok {
+		return 0, false
+	}
+	return len(path) - 1, true
 }
 
-// NodesWithin returns all nodes at most ttl hops from the origin,
-// excluding the origin, sorted by ID.
+// NodesWithin returns all nodes at most ttl hops from the origin along
+// usable links, excluding the origin, sorted by ID.
 func (n *Network) NodesWithin(origin NodeID, ttl int) []NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	now := time.Now()
 	var out []NodeID
 	visited := map[NodeID]bool{origin: true}
 	frontier := []NodeID{origin}
@@ -438,7 +471,7 @@ func (n *Network) NodesWithin(origin NodeID, ttl int) []NodeID {
 		var next []NodeID
 		for _, u := range frontier {
 			for v := range n.links[u] {
-				if visited[v] {
+				if visited[v] || !n.usableLinkLocked(u, v, now) {
 					continue
 				}
 				visited[v] = true

@@ -16,6 +16,9 @@ const (
 	EventBloomPrune = "bloom-prune" // peer skipped because its summary cannot match
 	EventForward    = "forward"     // query forwarded to a peer directory
 	EventReply      = "reply"       // reply (full or partial) sent back
+	EventRetry      = "retry"       // forward retransmitted after a silent timeout
+	EventHedge      = "hedge"       // query hedged to a spare peer directory
+	EventUnreach    = "unreachable" // forward abandoned; peer marked unreachable
 )
 
 // Span is one hop-level event in a traced discovery query. Spans are
