@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench chaos lint metrics-smoke check clean
+.PHONY: build test race bench chaos lint metrics-smoke federation-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,8 @@ chaos:
 		./internal/discovery/ ./internal/simnet/ -v
 
 # lint runs go vet plus the project analyzers (lockcheck, goroutinecheck,
-# detrand, sleeptest, metricnames). Exit status 1 means findings.
+# detrand, sleeptest, metricnames, simnetimport). Exit status 1 means
+# findings.
 lint:
 	$(GO) run ./cmd/sdplint ./...
 
@@ -31,8 +32,14 @@ lint:
 metrics-smoke:
 	$(GO) run ./cmd/metricsmoke
 
+# federation-smoke boots three sdpd processes federated over loopback
+# UDP, registers a service on one daemon, resolves it from another, and
+# checks /metrics shows real backbone traffic.
+federation-smoke:
+	$(GO) run ./cmd/fedsmoke
+
 # check is the full CI gate.
-check: build lint test race metrics-smoke
+check: build lint test race metrics-smoke federation-smoke
 
 clean:
 	$(GO) clean ./...

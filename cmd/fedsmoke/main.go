@@ -1,0 +1,306 @@
+// Command fedsmoke is the CI smoke check behind `make federation-smoke`:
+// it builds sdpd, boots three daemons federated over loopback UDP,
+// registers a service advertisement on one, resolves a semantic query
+// from another, and fails unless the hit comes back across the backbone.
+// It also scrapes GET /metrics on a federated daemon and requires the
+// transport byte counters to be nonzero, proving real datagrams moved.
+//
+// Usage:
+//
+//	go run ./cmd/fedsmoke
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+const smokeDeadline = 60 * time.Second
+
+var ontologies = []string{
+	"internal/profile/testdata/media-ontology.xml",
+	"internal/profile/testdata/servers-ontology.xml",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fedsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("fedsmoke: ok")
+}
+
+// request and response mirror the sdpd client protocol: one JSON
+// datagram each way.
+type request struct {
+	Op   string `json:"op"`
+	Doc  string `json:"doc,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+type response struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Partial bool   `json:"partial,omitempty"`
+	Hits    []struct {
+		Service    string `json:"service"`
+		Capability string `json:"capability"`
+		Provider   string `json:"provider"`
+	} `json:"hits,omitempty"`
+	Peers []struct {
+		Addr       string `json:"addr"`
+		Entries    int    `json:"entries"`
+		HasSummary bool   `json:"has_summary"`
+	} `json:"peers,omitempty"`
+}
+
+// daemon is one booted sdpd process.
+type daemon struct {
+	name       string
+	clientAddr string
+	fedAddr    string
+	httpAddr   string
+	cmd        *exec.Cmd
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "fedsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "sdpd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sdpd")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build sdpd: %w", err)
+	}
+
+	deadline := time.Now().Add(smokeDeadline)
+
+	// Three daemons on loopback: A is the seed, B and C peer with it (C
+	// also with B, so summaries and queries travel every edge we assert).
+	a, err := boot(bin, "a", true)
+	if err != nil {
+		return err
+	}
+	defer a.stop()
+	b, err := boot(bin, "b", false, a.fedAddr)
+	if err != nil {
+		return err
+	}
+	defer b.stop()
+	c, err := boot(bin, "c", false, a.fedAddr, b.fedAddr)
+	if err != nil {
+		return err
+	}
+	defer c.stop()
+	for _, d := range []*daemon{a, b, c} {
+		if err := d.awaitUp(deadline); err != nil {
+			return err
+		}
+	}
+
+	// Register the media center on B, then wait until C's view of the
+	// backbone shows B's directory carrying entries.
+	doc, err := os.ReadFile("internal/profile/testdata/media-center.xml")
+	if err != nil {
+		return err
+	}
+	resp, err := send(b.clientAddr, request{Op: "register", Doc: string(doc)})
+	if err != nil {
+		return fmt.Errorf("register on %s: %w", b.name, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("register on %s: %s", b.name, resp.Error)
+	}
+	if err := c.awaitSummary(deadline, 1); err != nil {
+		return err
+	}
+
+	// Resolve the tablet's requirement from C: the only VideoServer that
+	// can serve it lives in B's directory, across the backbone.
+	req, err := os.ReadFile("internal/profile/testdata/tablet-request.xml")
+	if err != nil {
+		return err
+	}
+	resp, err = send(c.clientAddr, request{Op: "query", Doc: string(req)})
+	if err != nil {
+		return fmt.Errorf("query on %s: %w", c.name, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("query on %s: %s", c.name, resp.Error)
+	}
+	if resp.Partial {
+		return fmt.Errorf("query on %s came back partial with all daemons alive", c.name)
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.Service == "HomeMediaCenter" {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("query on %s: HomeMediaCenter not among %d hit(s)", c.name, len(resp.Hits))
+	}
+
+	return checkTransportCounters("http://" + a.httpAddr + "/metrics")
+}
+
+// boot starts one daemon; withHTTP additionally exposes the gateway for
+// the metrics assertion.
+func boot(bin, name string, withHTTP bool, peers ...string) (*daemon, error) {
+	d := &daemon{name: name}
+	var err error
+	if d.clientAddr, err = freePort(); err != nil {
+		return nil, err
+	}
+	if d.fedAddr, err = freePort(); err != nil {
+		return nil, err
+	}
+	args := []string{"-listen", d.clientAddr, "-federate", d.fedAddr}
+	if withHTTP {
+		if d.httpAddr, err = freePort(); err != nil {
+			return nil, err
+		}
+		args = append(args, "-http", d.httpAddr)
+	}
+	for _, o := range ontologies {
+		args = append(args, "-ontology", o)
+	}
+	for _, p := range peers {
+		args = append(args, "-peer", p)
+	}
+	d.cmd = exec.Command(bin, args...)
+	d.cmd.Stdout, d.cmd.Stderr = os.Stderr, os.Stderr
+	if err := d.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start sdpd %s: %w", name, err)
+	}
+	return d, nil
+}
+
+func (d *daemon) stop() {
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+}
+
+// awaitUp polls the client port until the daemon answers a stats op.
+func (d *daemon) awaitUp(deadline time.Time) error {
+	for {
+		if resp, err := send(d.clientAddr, request{Op: "stats"}); err == nil && resp.OK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon %s never answered on %s", d.name, d.clientAddr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// awaitSummary polls the peers op until some backbone peer advertises at
+// least want entries, i.e. a remote directory's summary has arrived.
+func (d *daemon) awaitSummary(deadline time.Time, want int) error {
+	for {
+		resp, err := send(d.clientAddr, request{Op: "peers"})
+		if err == nil && resp.OK {
+			for _, p := range resp.Peers {
+				if p.HasSummary && p.Entries >= want {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon %s never saw a peer summary with >=%d entries", d.name, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func send(server string, req request) (*response, error) {
+	conn, err := net.Dial("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(data); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 256*1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("waiting for reply: %w", err)
+	}
+	var resp response
+	if err := json.Unmarshal(buf[:n], &resp); err != nil {
+		return nil, fmt.Errorf("malformed reply: %w", err)
+	}
+	return &resp, nil
+}
+
+var counterLine = regexp.MustCompile(`^(transport_bytes_(?:sent|received)_total) ([0-9.eE+]+)$`)
+
+// checkTransportCounters scrapes /metrics and requires both transport
+// byte counters to be present and nonzero.
+func checkTransportCounters(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	seen := map[string]float64{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(body), -1) {
+		if m := counterLine.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return fmt.Errorf("unparseable sample %q: %w", line, err)
+			}
+			seen[m[1]] = v
+		}
+	}
+	for _, name := range []string{"transport_bytes_sent_total", "transport_bytes_received_total"} {
+		v, ok := seen[name]
+		if !ok {
+			return fmt.Errorf("%s missing from /metrics", name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("%s is %v; expected nonzero backbone traffic", name, v)
+		}
+	}
+	return nil
+}
+
+// freePort reserves a loopback port by binding and releasing it; the
+// daemon rebinds the same address (UDP and TCP port spaces are disjoint,
+// but loopback reuse races are vanishingly rare for a smoke).
+func freePort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}

@@ -9,6 +9,7 @@
 //	sdpctl -server localhost:7474 ontology media.xml
 //	sdpctl -server localhost:7474 deregister MediaWorkstation
 //	sdpctl -server localhost:7474 stats
+//	sdpctl -server localhost:7474 peers
 package main
 
 import (
@@ -48,7 +49,24 @@ type response struct {
 		Capabilities int      `json:"capabilities"`
 		Ontologies   []string `json:"ontologies"`
 	} `json:"stats,omitempty"`
+	Peers []peer          `json:"peers,omitempty"`
 	Table json.RawMessage `json:"table,omitempty"`
+}
+
+// peer mirrors sdpd's peerEntry: the daemon's protocol-level view of one
+// backbone peer, with socket stats when the transport tracks them.
+type peer struct {
+	Addr         string    `json:"addr"`
+	LastAnnounce time.Time `json:"last_announce"`
+	Failures     int       `json:"failures"`
+	HasSummary   bool      `json:"has_summary"`
+	Entries      int       `json:"entries"`
+	Transport    *struct {
+		FramesSent     uint64 `json:"frames_sent"`
+		FramesReceived uint64 `json:"frames_received"`
+		BytesSent      uint64 `json:"bytes_sent"`
+		BytesReceived  uint64 `json:"bytes_received"`
+	} `json:"transport,omitempty"`
 }
 
 func main() {
@@ -100,6 +118,8 @@ func main() {
 		req = request{Op: "get-table", Name: args[1]}
 	case "stats":
 		req = request{Op: "stats"}
+	case "peers":
+		req = request{Op: "peers"}
 	default:
 		usage()
 	}
@@ -121,8 +141,36 @@ func main() {
 		}
 	case "table":
 		fmt.Println(string(resp.Table))
+	case "peers":
+		renderPeers(os.Stdout, resp)
 	default:
 		fmt.Println("ok")
+	}
+}
+
+// renderPeers prints the daemon's live backbone view: who it federates
+// with, how fresh their announcements are, whether their content
+// summaries are held, and how many forwards to them were abandoned.
+func renderPeers(w io.Writer, resp *response) {
+	if len(resp.Peers) == 0 {
+		fmt.Fprintln(w, "no backbone peers")
+		return
+	}
+	fmt.Fprintf(w, "%-24s %-16s %-10s %-8s %s\n", "PEER", "LAST-ANNOUNCE", "ENTRIES", "GIVEUPS", "TRAFFIC")
+	for _, p := range resp.Peers {
+		last := "never"
+		if !p.LastAnnounce.IsZero() {
+			last = time.Since(p.LastAnnounce).Round(time.Millisecond).String() + " ago"
+		}
+		entries := "no summary"
+		if p.HasSummary {
+			entries = fmt.Sprintf("%d", p.Entries)
+		}
+		traffic := "-"
+		if p.Transport != nil {
+			traffic = fmt.Sprintf("%dB out / %dB in", p.Transport.BytesSent, p.Transport.BytesReceived)
+		}
+		fmt.Fprintf(w, "%-24s %-16s %-10s %-8d %s\n", p.Addr, last, entries, p.Failures, traffic)
 	}
 }
 
@@ -186,6 +234,7 @@ commands:
   query <request.xml>       resolve the required capabilities
   ontology <ontology.xml>   upload an ontology (classified+encoded server-side)
   table <ontology-uri>      fetch the encoded code table for an ontology
-  stats                     show directory state`)
+  stats                     show directory state
+  peers                     show the daemon's directory backbone view`)
 	os.Exit(2)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"strings"
+	"time"
 	"testing"
 )
 
@@ -50,5 +51,28 @@ func TestRenderQueryEmptyComplete(t *testing.T) {
 	renderQuery(&b, &response{OK: true})
 	if got := b.String(); got != "no matching service\n" {
 		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestRenderPeers(t *testing.T) {
+	var b strings.Builder
+	renderPeers(&b, &response{OK: true, Peers: []peer{
+		{Addr: "127.0.0.1:8475", LastAnnounce: time.Now().Add(-time.Second), HasSummary: true, Entries: 2, Failures: 1},
+		{Addr: "127.0.0.1:8476"},
+	}})
+	out := b.String()
+	if !strings.Contains(out, "127.0.0.1:8475") || !strings.Contains(out, "127.0.0.1:8476") {
+		t.Fatalf("output lost a peer:\n%s", out)
+	}
+	if !strings.Contains(out, "no summary") || !strings.Contains(out, "never") {
+		t.Fatalf("summary-less seed not marked:\n%s", out)
+	}
+}
+
+func TestRenderPeersEmpty(t *testing.T) {
+	var b strings.Builder
+	renderPeers(&b, &response{OK: true})
+	if !strings.Contains(b.String(), "no backbone peers") {
+		t.Fatalf("output = %q", b.String())
 	}
 }

@@ -20,6 +20,7 @@ import (
 //	POST /ontologies        body: ontology XML       -> 201
 //	GET  /tables?uri={ontology-uri}                  -> 200 code table JSON
 //	GET  /stats                                      -> 200 {"capabilities":..,"ontologies":[..]}
+//	GET  /peers                                      -> 200 {"peers":[...]} (federated daemons)
 //	GET  /metrics                                    -> 200 Prometheus text exposition
 //	GET  /debug/vars                                 -> 200 expvar-style JSON snapshot
 //	GET  /debug/pprof/*     (only with -pprof)       -> net/http/pprof
@@ -43,6 +44,7 @@ func newHTTPGateway(srv *server, withPprof bool) http.Handler {
 	mux.HandleFunc("POST /ontologies", g.postOntologies)
 	mux.HandleFunc("GET /tables", g.getTable)
 	mux.HandleFunc("GET /stats", g.getStats)
+	mux.HandleFunc("GET /peers", g.getPeers)
 	mux.HandleFunc("GET /metrics", g.getMetrics)
 	mux.HandleFunc("GET /debug/vars", g.getDebugVars)
 	if withPprof {
@@ -145,6 +147,11 @@ func (g *httpGateway) getTable(w http.ResponseWriter, r *http.Request) {
 
 func (g *httpGateway) getStats(w http.ResponseWriter, _ *http.Request) {
 	g.dispatch(w, request{Op: "stats"}, http.StatusOK)
+}
+
+// getPeers serves the live backbone view of a federated daemon.
+func (g *httpGateway) getPeers(w http.ResponseWriter, _ *http.Request) {
+	g.dispatch(w, request{Op: "peers"}, http.StatusOK)
 }
 
 // getMetrics serves the process-wide telemetry registry in Prometheus

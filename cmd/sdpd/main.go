@@ -8,6 +8,16 @@
 //
 //	sdpd -listen :7474 -ontology media.xml -ontology servers.xml
 //
+// Daemons federate into a directory backbone with -federate (plus
+// -peer seeds and optionally -advertise and -federate-transport): each
+// daemon becomes a backbone directory exchanging announcements, Bloom
+// summaries and forwarded queries over real UDP or TCP sockets, so a
+// query at any daemon is answered from the whole federation, degrading
+// to explicitly-partial results when peers die:
+//
+//	sdpd -listen :7474 -federate :8474
+//	sdpd -listen :7475 -federate :8475 -peer 127.0.0.1:8474
+//
 // Protocol (one JSON object per datagram):
 //
 //	{"op":"register", "doc":"<service .../>"}
@@ -16,6 +26,7 @@
 //	{"op":"add-ontology", "doc":"<ontology .../>"}
 //	{"op":"get-table", "name":"<ontology uri>"}
 //	{"op":"stats"}
+//	{"op":"peers"}
 //
 // Every reply is {"ok":bool, "error":string, "code":string, "hits":[...],
 // "stats":{...}}; failed requests carry a machine-readable code alongside
@@ -39,7 +50,7 @@ import (
 	"sariadne/internal/codes"
 	"sariadne/internal/discovery"
 	"sariadne/internal/ontology"
-	"sariadne/internal/simnet"
+	"sariadne/internal/transport"
 )
 
 // request is the wire format of client commands.
@@ -62,14 +73,23 @@ const (
 // mirror discovery.Result: when the resolver could not reach every
 // backbone directory the hits are still served, flagged as a lower bound.
 type response struct {
-	OK          bool            `json:"ok"`
-	Error       string          `json:"error,omitempty"`
-	Code        string          `json:"code,omitempty"`
-	Hits        []discovery.Hit `json:"hits,omitempty"`
-	Partial     bool            `json:"partial,omitempty"`
-	Unreachable []simnet.NodeID `json:"unreachable,omitempty"`
-	Stats       *statsBody      `json:"stats,omitempty"`
-	Table       json.RawMessage `json:"table,omitempty"`
+	OK          bool             `json:"ok"`
+	Error       string           `json:"error,omitempty"`
+	Code        string           `json:"code,omitempty"`
+	Hits        []discovery.Hit  `json:"hits,omitempty"`
+	Partial     bool             `json:"partial,omitempty"`
+	Unreachable []transport.Addr `json:"unreachable,omitempty"`
+	Peers       []peerEntry      `json:"peers,omitempty"`
+	Stats       *statsBody       `json:"stats,omitempty"`
+	Table       json.RawMessage  `json:"table,omitempty"`
+}
+
+// peerEntry is one backbone peer in a "peers" reply: the discovery
+// layer's protocol view (summary freshness, give-up count) joined with
+// the transport layer's socket stats when the substrate tracks them.
+type peerEntry struct {
+	discovery.PeerInfo
+	Transport *transport.Peer `json:"transport,omitempty"`
 }
 
 type statsBody struct {
@@ -77,12 +97,12 @@ type statsBody struct {
 	Ontologies   []string `json:"ontologies"`
 }
 
-// ontologyList collects repeated -ontology flags.
-type ontologyList []string
+// stringList collects repeated string flags (-ontology, -peer).
+type stringList []string
 
-func (l *ontologyList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) String() string { return strings.Join(*l, ",") }
 
-func (l *ontologyList) Set(v string) error {
+func (l *stringList) Set(v string) error {
 	*l = append(*l, v)
 	return nil
 }
@@ -106,8 +126,13 @@ func main() {
 	state := flag.String("state", "", "journal file for durable registrations (optional)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the HTTP gateway")
-	var ontologies ontologyList
+	federate := flag.String("federate", "", "socket address for directory backbone traffic; empty runs standalone")
+	fedTransport := flag.String("federate-transport", "udp", "backbone substrate: udp or tcp")
+	advertise := flag.String("advertise", "", "backbone address announced to peers (defaults to the bound -federate address)")
+	var ontologies stringList
 	flag.Var(&ontologies, "ontology", "ontology XML file to load (repeatable)")
+	var peers stringList
+	flag.Var(&peers, "peer", "backbone address of another daemon to seed from (repeatable)")
 	flag.Parse()
 
 	logger, err := setupLogging(*logLevel)
@@ -139,6 +164,20 @@ func main() {
 		}
 		defer j.close()
 		srv.journal = j
+	}
+	if *federate != "" {
+		fed, err := startFederation(srv, federationOptions{
+			Listen:    *federate,
+			Transport: *fedTransport,
+			Advertise: *advertise,
+			Peers:     peers,
+		}, logger)
+		if err != nil {
+			fatal("federation", err)
+		}
+		defer fed.close()
+	} else if len(peers) > 0 || *advertise != "" {
+		logger.Warn("-peer/-advertise have no effect without -federate")
 	}
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
@@ -186,7 +225,9 @@ type server struct {
 	// test exercising degradation) swaps in one that returns federated,
 	// possibly partial results. Called with mu held.
 	resolve func(doc []byte) (discovery.Result, error) // guarded by mu
-	log     *slog.Logger
+	// fed is the daemon's backbone membership; nil when standalone.
+	fed *federation // guarded by mu
+	log *slog.Logger
 }
 
 func newServer(ontologyFiles []string) (*server, error) {
@@ -289,6 +330,7 @@ func (s *server) process(datagram []byte) response {
 		if err := s.persistLocked(journalEntry{Op: "register", Doc: req.Doc}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
 		}
+		s.refreshLocked()
 		s.log.Info("registered service", "name", name, "capabilities", s.backend.Len())
 		return response{OK: true}
 	case "deregister":
@@ -298,6 +340,7 @@ func (s *server) process(datagram []byte) response {
 		if err := s.persistLocked(journalEntry{Op: "deregister", Name: req.Name}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
 		}
+		s.refreshLocked()
 		return response{OK: true}
 	case "query":
 		res, err := s.resolve([]byte(req.Doc))
@@ -335,8 +378,21 @@ func (s *server) process(datagram []byte) response {
 			Capabilities: s.backend.Len(),
 			Ontologies:   s.reg.URIs(),
 		}}
+	case "peers":
+		if s.fed == nil {
+			return response{Error: "daemon is not federated (run with -federate)", Code: codeBadRequest}
+		}
+		return response{OK: true, Peers: s.fed.peers()}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: codeBadRequest}
+	}
+}
+
+// refreshLocked pushes the post-mutation Bloom summary to backbone peers
+// when federated; standalone daemons have nobody to tell.
+func (s *server) refreshLocked() {
+	if s.fed != nil {
+		s.fed.refresh()
 	}
 }
 

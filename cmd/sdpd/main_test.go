@@ -167,8 +167,8 @@ func TestServeOverUDP(t *testing.T) {
 	}
 }
 
-func TestOntologyListFlag(t *testing.T) {
-	var l ontologyList
+func TestStringListFlag(t *testing.T) {
+	var l stringList
 	if err := l.Set("a.xml"); err != nil {
 		t.Fatal(err)
 	}

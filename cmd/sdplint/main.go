@@ -1,7 +1,7 @@
 // Command sdplint is the repo's multichecker: it runs the standard `go
-// vet` passes plus the five codebase-specific analyzers from
-// internal/analysis (lockcheck, goroutinecheck, detrand, sleeptest, metricnames) over
-// a set of package patterns.
+// vet` passes plus the six codebase-specific analyzers from
+// internal/analysis (lockcheck, goroutinecheck, detrand, sleeptest,
+// metricnames, simnetimport) over a set of package patterns.
 //
 // Usage:
 //
@@ -37,6 +37,7 @@ import (
 	"sariadne/internal/analysis/load"
 	"sariadne/internal/analysis/lockcheck"
 	"sariadne/internal/analysis/metricnames"
+	"sariadne/internal/analysis/simnetimport"
 	"sariadne/internal/analysis/sleeptest"
 )
 
@@ -46,6 +47,7 @@ var analyzers = []*analysis.Analyzer{
 	detrand.Analyzer,
 	sleeptest.Analyzer,
 	metricnames.Analyzer,
+	simnetimport.Analyzer,
 }
 
 // listedPackage is the subset of `go list -json` output sdplint needs.

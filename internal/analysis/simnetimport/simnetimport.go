@@ -1,0 +1,72 @@
+// Package simnetimport keeps the transport abstraction from eroding.
+//
+// PR 4 moved the discovery and election layers off the in-memory
+// simulator and onto internal/transport, whose Transport interface the
+// same protocol code speaks over simnet, UDP and TCP alike. That
+// boundary only holds if protocol and tool code cannot quietly reach
+// back into internal/simnet; one direct import would re-couple the
+// protocol to the simulator and silently exclude it from real
+// federation. This analyzer forbids importing sariadne/internal/simnet
+// outside an explicit allowlist:
+//
+//   - sariadne (the root facade builds simulated networks by design)
+//   - sariadne/internal/simnet itself
+//   - sariadne/internal/transport (the adapter is the boundary)
+//   - sariadne/cmd/sdpsim and sariadne/cmd/benchfig (simulation tools)
+//
+// The allowlist extends the issue's minimum (transport, simnet, sdpsim)
+// with the root facade and benchfig, which exist to construct
+// simulations and cannot do so through the transport interface alone.
+// _test.go files are exempt everywhere: tests legitimately build simnet
+// networks as fixtures.
+package simnetimport
+
+import (
+	"strconv"
+	"strings"
+
+	"sariadne/internal/analysis"
+)
+
+// simnetPath is the guarded import path.
+const simnetPath = "sariadne/internal/simnet"
+
+// allowed lists the package paths that may import simnet directly.
+var allowed = map[string]bool{
+	"sariadne":                    true,
+	"sariadne/internal/simnet":    true,
+	"sariadne/internal/transport": true,
+	"sariadne/cmd/sdpsim":         true,
+	"sariadne/cmd/benchfig":       true,
+}
+
+// Analyzer flags direct internal/simnet imports outside the transport
+// boundary.
+var Analyzer = &analysis.Analyzer{
+	Name: "simnetimport",
+	Doc: "forbid direct internal/simnet imports outside the transport boundary; " +
+		"protocol code speaks transport.Transport so it runs over real sockets too",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != simnetPath {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"direct import of %s outside the transport boundary; speak sariadne/internal/transport instead",
+				simnetPath)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package simnetimport_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/simnetimport"
+)
+
+// pkgFiles resolves a real module package's non-test sources so the
+// testdata can import it the way production code does.
+func pkgFiles(t *testing.T, elems ...string) []string {
+	t.Helper()
+	pattern := filepath.Join(append([]string{"..", ".."}, append(elems, "*.go")...)...)
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		abs, err := filepath.Abs(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, abs)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no sources matched %s", pattern)
+	}
+	return files
+}
+
+func moduleFiles(t *testing.T) map[string][]string {
+	t.Helper()
+	return map[string][]string{
+		"sariadne/internal/simnet":    pkgFiles(t, "simnet"),
+		"sariadne/internal/telemetry": pkgFiles(t, "telemetry"),
+	}
+}
+
+// TestSimnetImportFlagged: a protocol-layer package importing simnet is
+// diagnosed, but its _test.go files are exempt.
+func TestSimnetImportFlagged(t *testing.T) {
+	analysistest.RunWithModule(t, analysistest.TestData(t), simnetimport.Analyzer, "a",
+		"sariadne", moduleFiles(t))
+}
+
+// TestAllowlistedPackageClean: the root facade package (path "sariadne")
+// imports simnet with no diagnostics.
+func TestAllowlistedPackageClean(t *testing.T) {
+	analysistest.RunWithModule(t, analysistest.TestData(t), simnetimport.Analyzer, "allowed",
+		"sariadne", moduleFiles(t))
+}

@@ -1,0 +1,10 @@
+// Package a is protocol-layer code that must not reach past the
+// transport boundary.
+package a
+
+import (
+	"sariadne/internal/simnet" // want `direct import of sariadne/internal/simnet outside the transport boundary`
+)
+
+// ID leaks the simulator's address type into protocol code.
+type ID = simnet.NodeID

@@ -1,0 +1,13 @@
+package a
+
+import (
+	"testing"
+
+	"sariadne/internal/simnet"
+)
+
+// Tests may build simulated networks as fixtures; no diagnostic here.
+func TestFixture(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+}

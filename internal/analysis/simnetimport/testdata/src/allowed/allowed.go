@@ -1,0 +1,12 @@
+// Package sariadne mimics the root facade, which is allowlisted: it
+// exists to construct simulated networks. No diagnostics in this file.
+package sariadne
+
+import (
+	"sariadne/internal/simnet"
+)
+
+// NewSimulation builds a simulator the facade way.
+func NewSimulation() *simnet.Network {
+	return simnet.New(simnet.Config{})
+}

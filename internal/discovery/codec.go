@@ -7,10 +7,30 @@ import (
 
 // Wire codec for the discovery protocol. Inside the simulator payloads
 // travel as Go values, but a real deployment (and the fuzz harness) needs
-// a byte form: a one-byte message tag followed by the JSON encoding of
-// the message struct. The tagged envelope keeps decoding total — every
-// input either yields exactly one known message type or an error, never a
-// panic — so malformed or replayed frames cannot take down a node.
+// a byte form: a one-byte wire version, a one-byte message tag, then the
+// JSON encoding of the message struct. The tagged envelope keeps decoding
+// total — every input either yields exactly one known message type or an
+// error, never a panic — so malformed or replayed frames cannot take down
+// a node. The version byte guards the "append only" tag promise across
+// deployments: a node never guesses at frames minted by a build speaking
+// a different wire dialect, it rejects them with *VersionError.
+
+// WireVersion is the codec version this build emits and accepts. Bump it
+// on any change that re-reads an existing tag differently; appending new
+// tags does not require a bump.
+const WireVersion byte = 1
+
+// VersionError reports a frame whose wire version this build does not
+// speak.
+type VersionError struct {
+	// Got is the version byte found on the wire.
+	Got byte
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("discovery: wire version %d, this build speaks %d", e.Got, WireVersion)
+}
 
 // Message tags. The values are part of the wire format; append only.
 const (
@@ -58,7 +78,7 @@ func EncodeMessage(payload any) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("discovery: encode %T: %w", payload, err)
 	}
-	return append([]byte{tag}, body...), nil
+	return append([]byte{WireVersion, tag}, body...), nil
 }
 
 // decodeAs unmarshals a frame body into M and returns it by value,
@@ -79,7 +99,13 @@ func DecodeMessage(frame []byte) (any, error) {
 	if len(frame) == 0 {
 		return nil, fmt.Errorf("discovery: decode: empty frame")
 	}
-	tag, body := frame[0], frame[1:]
+	if frame[0] != WireVersion {
+		return nil, &VersionError{Got: frame[0]}
+	}
+	if len(frame) < 2 {
+		return nil, fmt.Errorf("discovery: decode: frame lacks message tag")
+	}
+	tag, body := frame[1], frame[2:]
 	switch tag {
 	case tagRegisterRequest:
 		return decodeAs[RegisterRequest](tag, body)
@@ -105,3 +131,14 @@ func DecodeMessage(frame []byte) (any, error) {
 		return nil, fmt.Errorf("discovery: decode: unknown tag %d", tag)
 	}
 }
+
+// WireCodec exposes the package codec through the transport.Codec
+// interface, so socket transports can serialize discovery traffic
+// without importing this package (the dependency points the other way).
+type WireCodec struct{}
+
+// Encode implements transport.Codec.
+func (WireCodec) Encode(payload any) ([]byte, error) { return EncodeMessage(payload) }
+
+// Decode implements transport.Codec.
+func (WireCodec) Decode(frame []byte) (any, error) { return DecodeMessage(frame) }

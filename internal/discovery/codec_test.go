@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -62,5 +63,60 @@ func TestCodecRejectsMalformedFrames(t *testing.T) {
 		if _, err := DecodeMessage(frame); err == nil {
 			t.Fatalf("decoding %v succeeded", frame)
 		}
+	}
+}
+
+// TestCodecFixturesCoverEveryTag fails when a message type is added to
+// the wire format without a round-trip fixture: every tag from 1 through
+// the newest must encode from exactly one fixture.
+func TestCodecFixturesCoverEveryTag(t *testing.T) {
+	seen := make(map[byte]bool)
+	for _, msg := range wireFixtures() {
+		frame, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		tag := frame[1] // frame[0] is WireVersion
+		if seen[tag] {
+			t.Fatalf("two fixtures share tag %d", tag)
+		}
+		seen[tag] = true
+	}
+	for tag := byte(1); tag <= tagRepublishSolicit; tag++ {
+		if !seen[tag] {
+			t.Fatalf("no fixture encodes tag %d — extend wireFixtures for new message types", tag)
+		}
+	}
+	if len(seen) != int(tagRepublishSolicit) {
+		t.Fatalf("fixtures produced %d tags, want %d", len(seen), tagRepublishSolicit)
+	}
+}
+
+// TestCodecRejectsForeignWireVersion pins the cross-version contract:
+// frames minted by a build speaking another wire dialect come back as a
+// typed *VersionError, never as a misparsed message.
+func TestCodecRejectsForeignWireVersion(t *testing.T) {
+	frame, err := EncodeMessage(DirectoryAnnounce{From: "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != WireVersion {
+		t.Fatalf("frame starts with %d, want WireVersion %d", frame[0], WireVersion)
+	}
+	frame[0] = WireVersion + 1
+	_, err = DecodeMessage(frame)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("decode error = %v, want *VersionError", err)
+	}
+	if ve.Got != WireVersion+1 {
+		t.Fatalf("Got = %d", ve.Got)
+	}
+	if ve.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	// A frame that is only a version byte errors without panicking.
+	if _, err := DecodeMessage([]byte{WireVersion}); err == nil {
+		t.Fatal("version-only frame decoded")
 	}
 }

@@ -1,17 +1,20 @@
 package discovery
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
 	"sariadne/internal/simnet"
+	"sariadne/internal/transport"
 )
 
-// FuzzDecodeMessage hardens the protocol wire decoder and the node's
-// message dispatch: arbitrary frames never panic the decoder, successful
-// decodes round trip exactly, and every decoded message — malformed
-// documents, replayed replies, stray acks — passes through a live node's
-// handler without crashing it.
+// FuzzDecodeMessage hardens the full wire path a federated daemon reads:
+// the transport's length/version envelope and the protocol codec behind
+// it. Arbitrary bytes never panic either decoder, successful decodes
+// round trip exactly, and every decoded message — malformed documents,
+// replayed replies, stray acks — passes through a live node's handler
+// without crashing it.
 func FuzzDecodeMessage(f *testing.F) {
 	for _, msg := range wireFixtures() {
 		frame, err := EncodeMessage(msg)
@@ -19,10 +22,16 @@ func FuzzDecodeMessage(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(frame)
+		// The same frame as a transport datagram, so the corpus explores
+		// both decoder layers.
+		if wrapped, err := transport.EncodeFrame("127.0.0.1:8474", frame); err == nil {
+			f.Add(wrapped)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{tagQueryRequest, '{', '}'})
 	f.Add([]byte{255, 0, 1, 2})
+	f.Add([]byte{transport.FrameVersion, 0, 0, 0, 0, 0, 0})
 
 	net := simnet.New(simnet.Config{})
 	defer net.Close()
@@ -41,6 +50,30 @@ func FuzzDecodeMessage(f *testing.F) {
 	// panic surfaces in the fuzzing process instead of a goroutine.
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The transport envelope decoder must be total, and any body it
+		// accepts must survive an envelope round trip bit-exactly.
+		if from, body, err := transport.DecodeFrame(data); err == nil {
+			rewrapped, err := transport.EncodeFrame(from, body)
+			if err != nil {
+				t.Fatalf("decoded frame failed to re-encode: %v", err)
+			}
+			from2, body2, err := transport.DecodeFrame(rewrapped)
+			if err != nil {
+				t.Fatalf("re-decode of frame failed: %v", err)
+			}
+			if from2 != from || !bytes.Equal(body2, body) {
+				t.Fatalf("envelope round trip changed frame: %q/%x -> %q/%x", from, body, from2, body2)
+			}
+		}
+		// Stream form: one well-formed write must read back as one frame.
+		if _, _, err := transport.DecodeFrame(data); err == nil {
+			var buf bytes.Buffer
+			buf.Write(data)
+			if _, _, _, err := transport.ReadFrame(&buf); err != nil || buf.Len() != 0 {
+				t.Fatalf("stream reader disagreed with datagram decoder: err=%v leftover=%d", err, buf.Len())
+			}
+		}
+
 		msg, err := DecodeMessage(data)
 		if err != nil {
 			return

@@ -1,7 +1,7 @@
 package discovery
 
 import (
-	"sariadne/internal/simnet"
+	"sariadne/internal/transport"
 	"sariadne/internal/telemetry"
 )
 
@@ -32,7 +32,7 @@ type DeregisterRequest struct {
 type QueryRequest struct {
 	ID uint64
 	// Origin is the client node awaiting the final answer.
-	Origin simnet.NodeID
+	Origin transport.Addr
 	// Forwarded marks directory-to-directory hops; forwarded queries are
 	// answered locally only (no second-level fan-out).
 	Forwarded bool
@@ -49,13 +49,13 @@ type QueryRequest struct {
 // recovery path for lost replies, and the aggregator deduplicates.
 type QueryReply struct {
 	ID      uint64
-	From    simnet.NodeID
+	From    transport.Addr
 	Partial bool // true for peer replies consumed by the aggregator
 	Hits    []Hit
 	// Unreachable lists peer directories the aggregator gave up on after
 	// exhausting retries; a non-empty list marks the result as possibly
 	// incomplete (graceful degradation instead of failing closed).
-	Unreachable []simnet.NodeID
+	Unreachable []transport.Addr
 	// Spans carries the hop-level trace for traced queries (empty
 	// otherwise); aggregators merge partial spans into the final reply.
 	Spans []telemetry.Span
@@ -69,7 +69,7 @@ type QueryReply struct {
 // is recovered by the duplicate request provoking a re-answer.
 type ForwardAck struct {
 	ID   uint64
-	From simnet.NodeID
+	From transport.Addr
 }
 
 // RepublishSolicit is broadcast by a node that just won a directory
@@ -78,19 +78,19 @@ type ForwardAck struct {
 // there — the recovery path for a directory that crashed, lost its store,
 // and was re-elected under the same identity.
 type RepublishSolicit struct {
-	From simnet.NodeID
+	From transport.Addr
 }
 
 // DirectoryAnnounce advertises a (new) directory to the directory
 // backbone; receivers respond with their summary.
 type DirectoryAnnounce struct {
-	From simnet.NodeID
+	From transport.Addr
 }
 
 // SummaryPush carries a directory's Bloom filter to a peer (Section 4's
 // exchange of directory content summaries).
 type SummaryPush struct {
-	From   simnet.NodeID
+	From   transport.Addr
 	Filter []byte // bloom.Filter wire form
 	Count  int    // number of stored advertisements, for diagnostics
 }
@@ -99,5 +99,5 @@ type SummaryPush struct {
 // reactively when too many Bloom-selected forwards to that peer come back
 // empty (stale-summary detection, Section 4).
 type SummaryRequest struct {
-	From simnet.NodeID
+	From transport.Addr
 }

@@ -10,7 +10,7 @@ import (
 
 	"sariadne/internal/bloom"
 	"sariadne/internal/election"
-	"sariadne/internal/simnet"
+	"sariadne/internal/transport"
 	"sariadne/internal/telemetry"
 )
 
@@ -30,7 +30,7 @@ type Config struct {
 	Election election.Config
 	// StaticDirectory pins the node to a fixed directory and disables the
 	// election timeout machinery (infrastructure mode).
-	StaticDirectory simnet.NodeID
+	StaticDirectory transport.Addr
 	// QueryTimeout bounds the wait for remote directories when a query is
 	// forwarded. Defaults to 2s.
 	QueryTimeout time.Duration
@@ -156,16 +156,16 @@ type Stats struct {
 // Node is one participant of the discovery protocol: always a potential
 // client (Publish/Discover), sometimes an elected or static directory.
 type Node struct {
-	ep      *simnet.Endpoint
+	ep      transport.Transport
 	backend Backend
 	cfg     Config
 
 	mu          sync.Mutex
 	elect       *election.Machine             // guarded by mu
 	filter      *bloom.Filter                 // guarded by mu
-	peers       map[simnet.NodeID]*peerState  // guarded by mu
+	peers       map[transport.Addr]*peerState  // guarded by mu
 	published   map[string][]byte             // guarded by mu
-	publishedAt simnet.NodeID                 // guarded by mu
+	publishedAt transport.Addr                 // guarded by mu
 	nextID      uint64                        // guarded by mu
 	queryWait   map[uint64]chan QueryReply    // guarded by mu
 	regWait     map[uint64]chan RegisterReply // guarded by mu
@@ -188,11 +188,13 @@ type Node struct {
 // reactive summary refresh, and a consecutive-give-up count driving
 // eviction of peers that stopped responding entirely.
 type peerState struct {
-	filter   *bloom.Filter
-	hops     int
-	forwards int
-	empties  int
-	failures int
+	filter       *bloom.Filter
+	entries      int // service count carried by the latest summary
+	hops         int
+	forwards     int
+	empties      int
+	failures     int
+	lastAnnounce time.Time // last DirectoryAnnounce or SummaryPush heard
 }
 
 // forwardState is the per-peer retransmission state machine for one
@@ -213,18 +215,18 @@ type forwardState struct {
 
 // aggregation tracks one origin query fanned out to peer directories.
 type aggregation struct {
-	origin   simnet.NodeID
+	origin   transport.Addr
 	originID uint64
 	trace    uint64
 	doc      []byte // forwarded subset document, kept for retransmissions
 	deadline time.Time
-	forwards map[simnet.NodeID]*forwardState
+	forwards map[transport.Addr]*forwardState
 	// spares are ranked peers MaxForwardPeers cut off, available for
 	// hedged re-dispatch when a forward goes silent.
-	spares      []simnet.NodeID
+	spares      []transport.Addr
 	hedges      int
 	hits        []Hit
-	unreachable []simnet.NodeID
+	unreachable []transport.Addr
 	spans       []telemetry.Span // mutated under the owning node's mu
 }
 
@@ -240,20 +242,23 @@ func (a *aggregation) pending() bool {
 
 // outMsg is a message staged under the lock for sending after release.
 type outMsg struct {
-	to      simnet.NodeID
+	to      transport.Addr
 	payload any
 }
 
-// NewNode creates a discovery node over an endpoint and backend.
-func NewNode(ep *simnet.Endpoint, backend Backend, cfg Config) *Node {
+// NewNode creates a discovery node over an endpoint and backend. The
+// endpoint may be a bare *simnet.Endpoint (simulations, tests) or any
+// transport.Transport (UDP/TCP federation); either way the node speaks
+// only the transport interface.
+func NewNode(ep transport.Endpoint, backend Backend, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		ep:         ep,
+		ep:         transport.Wrap(ep),
 		backend:    backend,
 		cfg:        cfg,
 		elect:      election.NewMachine(ep.ID(), cfg.Election, time.Now()),
 		filter:     bloom.MustNew(cfg.BloomBits, cfg.BloomHashes),
-		peers:      make(map[simnet.NodeID]*peerState),
+		peers:      make(map[transport.Addr]*peerState),
 		published:  make(map[string][]byte),
 		queryWait:  make(map[uint64]chan QueryReply),
 		regWait:    make(map[uint64]chan RegisterReply),
@@ -264,7 +269,7 @@ func NewNode(ep *simnet.Endpoint, backend Backend, cfg Config) *Node {
 }
 
 // ID returns the node's network ID.
-func (n *Node) ID() simnet.NodeID { return n.ep.ID() }
+func (n *Node) ID() transport.Addr { return n.ep.ID() }
 
 // Backend returns the node's directory backend.
 func (n *Node) Backend() Backend { return n.backend }
@@ -284,13 +289,13 @@ func (n *Node) Role() election.Role {
 }
 
 // DirectoryID returns the directory this node currently uses.
-func (n *Node) DirectoryID() (simnet.NodeID, bool) {
+func (n *Node) DirectoryID() (transport.Addr, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.directoryLocked()
 }
 
-func (n *Node) directoryLocked() (simnet.NodeID, bool) {
+func (n *Node) directoryLocked() (transport.Addr, bool) {
 	if n.cfg.StaticDirectory != "" && n.elect.Role() != election.Directory {
 		return n.cfg.StaticDirectory, true
 	}
@@ -299,14 +304,64 @@ func (n *Node) directoryLocked() (simnet.NodeID, bool) {
 
 // Peers returns the directory peers this node knows about (meaningful on
 // directories).
-func (n *Node) Peers() []simnet.NodeID {
+func (n *Node) Peers() []transport.Addr {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]simnet.NodeID, 0, len(n.peers))
+	out := make([]transport.Addr, 0, len(n.peers))
 	for id := range n.peers {
 		out = append(out, id)
 	}
 	return out
+}
+
+// PeerInfo is one directory peer as seen by this node's protocol layer,
+// for diagnostics surfaces (sdpd's GET /peers, sdpctl peers). Transport
+// socket stats live one layer down in transport.Peer; this view carries
+// what the discovery protocol itself knows.
+type PeerInfo struct {
+	// Addr is the peer's transport address.
+	Addr transport.Addr `json:"addr"`
+	// LastAnnounce is when this peer last announced itself or pushed a
+	// summary (zero when it never has).
+	LastAnnounce time.Time `json:"last_announce,omitzero"`
+	// Failures counts consecutive forwards to this peer abandoned with no
+	// sign of life; PeerFailureLimit of them evict the peer.
+	Failures int `json:"failures"`
+	// HasSummary reports whether a Bloom summary from this peer is held.
+	HasSummary bool `json:"has_summary"`
+	// Entries is the service count the latest summary advertised.
+	Entries int `json:"entries"`
+	// Hops is the observed network distance to the peer.
+	Hops int `json:"hops"`
+}
+
+// PeerInfos returns a snapshot of the node's backbone view, sorted by
+// address.
+func (n *Node) PeerInfos() []PeerInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerInfo, 0, len(n.peers))
+	for id, ps := range n.peers {
+		out = append(out, PeerInfo{
+			Addr:         id,
+			LastAnnounce: ps.lastAnnounce,
+			Failures:     ps.failures,
+			HasSummary:   ps.filter != nil,
+			Entries:      ps.entries,
+			Hops:         ps.hops,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// RefreshSummary recomputes the Bloom summary from the backend and
+// pushes it to every known peer. Embedders that register services
+// directly on the backend — sdpd's client front ends do — call this so
+// remote directories' views keep up with out-of-band registrations.
+func (n *Node) RefreshSummary() {
+	n.rebuildFilter()
+	n.pushSummary()
 }
 
 // Start launches the protocol loop.
@@ -450,7 +505,7 @@ func (n *Node) refreshOwnLeases(now time.Time) {
 }
 
 // handleMessage dispatches one inbound message.
-func (n *Node) handleMessage(msg simnet.Message) {
+func (n *Node) handleMessage(msg transport.Message) {
 	switch p := msg.Payload.(type) {
 	case RegisterRequest:
 		n.onRegister(msg.From, p)
@@ -587,7 +642,7 @@ func (n *Node) allocID() uint64 {
 }
 
 // onRegister stores an advertisement (directory side).
-func (n *Node) onRegister(from simnet.NodeID, req RegisterRequest) {
+func (n *Node) onRegister(from transport.Addr, req RegisterRequest) {
 	var errStr string
 	if name, err := n.backend.Register(req.Doc); err != nil {
 		errStr = err.Error()
@@ -627,7 +682,7 @@ func (n *Node) pushSummary() {
 	n.mu.Lock()
 	data := n.filter.Marshal()
 	count := n.backend.Len()
-	peers := make([]simnet.NodeID, 0, len(n.peers))
+	peers := make([]transport.Addr, 0, len(n.peers))
 	for id := range n.peers {
 		peers = append(peers, id)
 	}
@@ -643,9 +698,12 @@ func (n *Node) onAnnounce(a DirectoryAnnounce) {
 	n.mu.Lock()
 	isDir := n.elect.Role() == election.Directory
 	if isDir && a.From != n.ID() {
-		if _, known := n.peers[a.From]; !known {
-			n.peers[a.From] = &peerState{}
+		ps, known := n.peers[a.From]
+		if !known {
+			ps = &peerState{}
+			n.peers[a.From] = ps
 		}
+		ps.lastAnnounce = time.Now()
 	}
 	data := n.filter.Marshal()
 	count := n.backend.Len()
@@ -670,7 +728,9 @@ func (n *Node) onSummary(s SummaryPush, hops int) {
 		n.peers[s.From] = ps
 	}
 	ps.filter = f
+	ps.entries = s.Count
 	ps.hops = hops
+	ps.lastAnnounce = time.Now()
 	// A fresh summary resets the staleness counters.
 	ps.forwards, ps.empties = 0, 0
 	data := n.filter.Marshal()
@@ -687,7 +747,7 @@ func (n *Node) onSummary(s SummaryPush, hops int) {
 // onQuery is the directory-side request path: local discovery first; an
 // origin query with no local hits fans out to the peers whose Bloom
 // summaries pass (Section 4, Figure 6).
-func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
+func (n *Node) onQuery(from transport.Addr, q QueryRequest) {
 	var spans []telemetry.Span
 	if q.Trace != 0 {
 		s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventReceived)
@@ -788,7 +848,7 @@ func (n *Node) onQuery(from simnet.NodeID, q QueryRequest) {
 		trace:    q.Trace,
 		doc:      fwdDoc,
 		deadline: now.Add(n.cfg.QueryTimeout),
-		forwards: make(map[simnet.NodeID]*forwardState, len(targets)),
+		forwards: make(map[transport.Addr]*forwardState, len(targets)),
 		spares:   spares,
 		hits:     hits, // local answers ride along with the remote ones
 		spans:    spans,
@@ -841,12 +901,12 @@ func (n *Node) missingRequirements(doc []byte, hits []Hit) []string {
 // regardless of map iteration, which retries, hedging, and seeded tests
 // all depend on. Candidates the bound cut off come back as spares, in
 // rank order, for hedged re-dispatch.
-func (n *Node) selectForwardTargets(doc []byte) (targets, spares, pruned []simnet.NodeID) {
+func (n *Node) selectForwardTargets(doc []byte) (targets, spares, pruned []transport.Addr) {
 	key, keyErr := n.backend.RequestKey(doc)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	type cand struct {
-		id   simnet.NodeID
+		id   transport.Addr
 		hops int
 	}
 	var cands []cand
@@ -871,7 +931,7 @@ func (n *Node) selectForwardTargets(doc []byte) (targets, spares, pruned []simne
 		}
 		cands = cands[:n.cfg.MaxForwardPeers]
 	}
-	targets = make([]simnet.NodeID, 0, len(cands))
+	targets = make([]transport.Addr, 0, len(cands))
 	for _, c := range cands {
 		n.peers[c.id].forwards++
 		targets = append(targets, c.id)
@@ -1061,7 +1121,7 @@ func (n *Node) hedgeLocked(agg *aggregation, id uint64, now time.Time) *outMsg {
 // peer joins the reply's unreachable marker and, if it never even acked,
 // its consecutive-failure count grows toward eviction from the backbone
 // view.
-func (n *Node) giveUpForwardLocked(agg *aggregation, peer simnet.NodeID, fs *forwardState) {
+func (n *Node) giveUpForwardLocked(agg *aggregation, peer transport.Addr, fs *forwardState) {
 	fs.failed = true
 	n.stats.ForwardGiveups++
 	forwardGiveupsTotal.Inc()
@@ -1108,7 +1168,7 @@ func (n *Node) finishAggregation(agg *aggregation) {
 }
 
 // replyQuery sends a final reply toward the origin.
-func (n *Node) replyQuery(q QueryRequest, to simnet.NodeID, hits []Hit, errStr string, spans []telemetry.Span) {
+func (n *Node) replyQuery(q QueryRequest, to transport.Addr, hits []Hit, errStr string, spans []telemetry.Span) {
 	if q.Trace != 0 {
 		s := telemetry.NewSpan(q.Trace, string(n.ID()), telemetry.EventReply)
 		s.Peer = string(to)
@@ -1182,7 +1242,7 @@ func (n *Node) backendServiceName(doc []byte) (string, error) {
 // re-hosted), its summary state is cleared, and the node returns to the
 // Member role. The transfer is best-effort: lost registrations are
 // repaired later by lease refreshes from the publishers.
-func (n *Node) StepDown(successor simnet.NodeID) error {
+func (n *Node) StepDown(successor transport.Addr) error {
 	n.mu.Lock()
 	if n.elect.Role() != election.Directory {
 		n.mu.Unlock()
@@ -1201,7 +1261,7 @@ func (n *Node) StepDown(successor simnet.NodeID) error {
 
 	n.mu.Lock()
 	actions := n.elect.Demote(time.Now())
-	n.peers = make(map[simnet.NodeID]*peerState)
+	n.peers = make(map[transport.Addr]*peerState)
 	n.leases = make(map[string]time.Time)
 	n.mu.Unlock()
 	n.rebuildFilter()
@@ -1253,7 +1313,7 @@ type Result struct {
 	Spans []telemetry.Span
 	// Unreachable lists peer directories that never answered despite
 	// retries; non-empty means remote content may be missing.
-	Unreachable []simnet.NodeID
+	Unreachable []transport.Addr
 }
 
 // Partial reports whether the result may be incomplete because some peer

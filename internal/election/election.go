@@ -9,15 +9,15 @@
 // The protocol logic lives in Machine, a pure state machine: messages and
 // clock ticks go in, actions (sends, broadcasts, role changes) come out.
 // That keeps every protocol decision deterministic and unit-testable.
-// Runner (runner.go) drives a Machine over a simnet endpoint with real
-// timers.
+// Runner (runner.go) drives a Machine over a transport endpoint (the
+// simulator or a real socket) with real timers.
 package election
 
 import (
 	"fmt"
 	"time"
 
-	"sariadne/internal/simnet"
+	"sariadne/internal/transport"
 )
 
 // Role is a node's current protocol role.
@@ -109,35 +109,35 @@ func (c Config) withDefaults() Config {
 
 // Advertisement announces a live directory to its vicinity.
 type Advertisement struct {
-	Directory simnet.NodeID
+	Directory transport.Addr
 }
 
 // Call opens an election run by Initiator.
 type Call struct {
-	Initiator simnet.NodeID
+	Initiator transport.Addr
 	Election  uint64
 }
 
 // Candidacy answers a Call with the sender's score.
 type Candidacy struct {
-	Initiator simnet.NodeID
+	Initiator transport.Addr
 	Election  uint64
-	Candidate simnet.NodeID
+	Candidate transport.Addr
 	Score     Score
 }
 
 // Appointment closes an election, naming the winner.
 type Appointment struct {
-	Initiator simnet.NodeID
+	Initiator transport.Addr
 	Election  uint64
-	Winner    simnet.NodeID
+	Winner    transport.Addr
 }
 
 // Actions returned by the machine.
 
 // SendAction asks the transport to unicast a payload.
 type SendAction struct {
-	To      simnet.NodeID
+	To      transport.Addr
 	Payload any
 }
 
@@ -155,11 +155,11 @@ type RoleChange struct {
 // Machine is the deterministic election state machine for one node. It is
 // not safe for concurrent use; Runner serializes access.
 type Machine struct {
-	self simnet.NodeID
+	self transport.Addr
 	cfg  Config
 
 	role          Role
-	directory     simnet.NodeID
+	directory     transport.Addr
 	lastAdvert    time.Time
 	lastSelfAdv   time.Time
 	electionID    uint64
@@ -172,7 +172,7 @@ type Machine struct {
 
 // NewMachine returns a Member machine for the given node. The now argument
 // anchors the advertisement timeout clock.
-func NewMachine(self simnet.NodeID, cfg Config, now time.Time) *Machine {
+func NewMachine(self transport.Addr, cfg Config, now time.Time) *Machine {
 	m := &Machine{
 		self:       self,
 		cfg:        cfg.withDefaults(),
@@ -191,14 +191,14 @@ func NewMachine(self simnet.NodeID, cfg Config, now time.Time) *Machine {
 }
 
 // Self returns the node ID the machine runs on.
-func (m *Machine) Self() simnet.NodeID { return m.self }
+func (m *Machine) Self() transport.Addr { return m.self }
 
 // Role returns the current role.
 func (m *Machine) Role() Role { return m.role }
 
 // Directory returns the directory this node currently uses: itself when it
 // is a directory, the last advertised one otherwise.
-func (m *Machine) Directory() (simnet.NodeID, bool) {
+func (m *Machine) Directory() (transport.Addr, bool) {
 	if m.role == Directory {
 		return m.self, true
 	}
@@ -235,7 +235,7 @@ func (m *Machine) Demote(now time.Time) []any {
 
 // HandleMessage feeds one received protocol message into the machine and
 // returns the actions to execute. Non-election payloads yield nil.
-func (m *Machine) HandleMessage(from simnet.NodeID, payload any, now time.Time) []any {
+func (m *Machine) HandleMessage(from transport.Addr, payload any, now time.Time) []any {
 	switch p := payload.(type) {
 	case Advertisement:
 		return m.onAdvertisement(p, now)

@@ -5,16 +5,16 @@ import (
 	"sync"
 	"time"
 
-	"sariadne/internal/simnet"
+	"sariadne/internal/transport"
 )
 
-// Runner drives a Machine over a simnet endpoint with a real clock: it
+// Runner drives a Machine over a transport endpoint with a real clock: it
 // consumes the endpoint's inbox, fires ticks, and executes the machine's
 // actions. Runner is used by the standalone election examples and tests;
 // the discovery package embeds Machine directly in its own loop so a node
 // has a single inbox consumer.
 type Runner struct {
-	ep *simnet.Endpoint
+	ep transport.Endpoint
 	m  *Machine
 
 	mu     sync.Mutex
@@ -24,7 +24,7 @@ type Runner struct {
 }
 
 // NewRunner wraps a machine around an endpoint.
-func NewRunner(ep *simnet.Endpoint, cfg Config) *Runner {
+func NewRunner(ep transport.Endpoint, cfg Config) *Runner {
 	return &Runner{
 		ep:     ep,
 		m:      NewMachine(ep.ID(), cfg, time.Now()),
@@ -139,7 +139,7 @@ func (r *Runner) Role() Role {
 }
 
 // Directory returns the directory the node currently uses.
-func (r *Runner) Directory() (simnet.NodeID, bool) {
+func (r *Runner) Directory() (transport.Addr, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.m.Directory()

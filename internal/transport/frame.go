@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire envelope shared by the UDP and TCP transports. Every frame is
+//
+//	[1]  envelope version (FrameVersion)
+//	[2]  big-endian length of the sender address
+//	[n]  sender's advertised address (a dialable host:port)
+//	[4]  big-endian length of the body
+//	[m]  body: one Codec frame (the discovery codec's tagged message)
+//
+// The explicit sender address makes identity independent of socket
+// source addresses — a daemon behind NAT or bound to 0.0.0.0 advertises
+// the address peers can actually dial. The length prefix makes frames
+// self-delimiting on TCP streams; on UDP (one frame per datagram) it
+// cross-checks against the datagram size, catching truncation.
+
+// FrameVersion is the envelope version emitted by this build. Frames
+// carrying any other version are rejected with *FrameVersionError; the
+// body's own compatibility is the codec's concern (see
+// discovery.WireVersion).
+const FrameVersion byte = 1
+
+// Envelope size limits. MaxFrameBody bounds a body so a malformed or
+// hostile length prefix cannot make a TCP reader allocate without bound;
+// it is far above any real payload (Bloom pushes are ~1KiB, query
+// replies tens of KiB).
+const (
+	// MaxAddrLen bounds the advertised sender address.
+	MaxAddrLen = 256
+	// MaxFrameBody bounds one encoded message body (1 MiB).
+	MaxFrameBody = 1 << 20
+)
+
+// FrameVersionError reports a frame whose envelope version this build
+// does not speak.
+type FrameVersionError struct {
+	// Got is the version byte found on the wire.
+	Got byte
+}
+
+// Error implements error.
+func (e *FrameVersionError) Error() string {
+	return fmt.Sprintf("transport: frame version %d, this build speaks %d", e.Got, FrameVersion)
+}
+
+// ErrFrameTruncated reports an envelope shorter than its own length
+// fields claim.
+var ErrFrameTruncated = errors.New("transport: truncated frame")
+
+// ErrFrameOversize reports an envelope whose declared lengths exceed the
+// wire limits.
+var ErrFrameOversize = errors.New("transport: oversize frame")
+
+// frameHeaderLen is the fixed part of the envelope: version byte,
+// address length, body length.
+const frameHeaderLen = 1 + 2 + 4
+
+// EncodeFrame wraps an encoded message body in the wire envelope.
+func EncodeFrame(from Addr, body []byte) ([]byte, error) {
+	if len(from) > MaxAddrLen {
+		return nil, fmt.Errorf("%w: address %d bytes", ErrFrameOversize, len(from))
+	}
+	if len(body) > MaxFrameBody {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrFrameOversize, len(body))
+	}
+	buf := make([]byte, 0, frameHeaderLen+len(from)+len(body))
+	buf = append(buf, FrameVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(from)))
+	buf = append(buf, from...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return buf, nil
+}
+
+// DecodeFrame parses one datagram-shaped envelope: the buffer must hold
+// exactly one frame. Every failure mode is an error, never a panic, and
+// a foreign version is reported as *FrameVersionError before anything
+// else is trusted.
+func DecodeFrame(buf []byte) (from Addr, body []byte, err error) {
+	if len(buf) < frameHeaderLen {
+		return "", nil, ErrFrameTruncated
+	}
+	if buf[0] != FrameVersion {
+		return "", nil, &FrameVersionError{Got: buf[0]}
+	}
+	addrLen := int(binary.BigEndian.Uint16(buf[1:3]))
+	if addrLen > MaxAddrLen {
+		return "", nil, fmt.Errorf("%w: address %d bytes", ErrFrameOversize, addrLen)
+	}
+	rest := buf[3:]
+	if len(rest) < addrLen+4 {
+		return "", nil, ErrFrameTruncated
+	}
+	from = Addr(rest[:addrLen])
+	rest = rest[addrLen:]
+	bodyLen := int(binary.BigEndian.Uint32(rest[:4]))
+	if bodyLen > MaxFrameBody {
+		return "", nil, fmt.Errorf("%w: body %d bytes", ErrFrameOversize, bodyLen)
+	}
+	rest = rest[4:]
+	if len(rest) != bodyLen {
+		return "", nil, fmt.Errorf("%w: body %d of %d bytes", ErrFrameTruncated, len(rest), bodyLen)
+	}
+	return from, rest, nil
+}
+
+// WriteFrame writes one envelope to a stream, returning the bytes
+// written.
+func WriteFrame(w io.Writer, from Addr, body []byte) (int, error) {
+	frame, err := EncodeFrame(from, body)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(frame)
+}
+
+// ReadFrame reads exactly one envelope from a stream. Limits are
+// enforced before allocation, so a hostile peer cannot provoke unbounded
+// reads. The returned byte count includes the header.
+func ReadFrame(r io.Reader) (from Addr, body []byte, n int, err error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, 0, err
+	}
+	n = 3
+	if hdr[0] != FrameVersion {
+		return "", nil, n, &FrameVersionError{Got: hdr[0]}
+	}
+	addrLen := int(binary.BigEndian.Uint16(hdr[1:3]))
+	if addrLen > MaxAddrLen {
+		return "", nil, n, fmt.Errorf("%w: address %d bytes", ErrFrameOversize, addrLen)
+	}
+	addrBuf := make([]byte, addrLen+4)
+	if _, err := io.ReadFull(r, addrBuf); err != nil {
+		return "", nil, n, fmt.Errorf("%w: %w", ErrFrameTruncated, err)
+	}
+	n += len(addrBuf)
+	from = Addr(addrBuf[:addrLen])
+	bodyLen := int(binary.BigEndian.Uint32(addrBuf[addrLen:]))
+	if bodyLen > MaxFrameBody {
+		return "", nil, n, fmt.Errorf("%w: body %d bytes", ErrFrameOversize, bodyLen)
+	}
+	body = make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return "", nil, n, fmt.Errorf("%w: %w", ErrFrameTruncated, err)
+	}
+	n += bodyLen
+	return from, body, n, nil
+}

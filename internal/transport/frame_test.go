@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte(strings.Repeat("payload", 1000)),
+		bytes.Repeat([]byte{0}, MaxFrameBody),
+	}
+	for _, body := range bodies {
+		frame, err := EncodeFrame("127.0.0.1:7946", body)
+		if err != nil {
+			t.Fatalf("EncodeFrame(%d bytes): %v", len(body), err)
+		}
+		from, got, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%d bytes): %v", len(body), err)
+		}
+		if from != "127.0.0.1:7946" {
+			t.Fatalf("from = %q", from)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("body mismatch: %d bytes in, %d out", len(body), len(got))
+		}
+	}
+}
+
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{[]byte("first"), []byte("second"), bytes.Repeat([]byte("z"), 100_000)}
+	for _, body := range bodies {
+		if _, err := WriteFrame(&buf, "node-a:1", body); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range bodies {
+		from, body, n, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if from != "node-a:1" || !bytes.Equal(body, want) {
+			t.Fatalf("ReadFrame = %q, %d bytes; want %d bytes", from, len(body), len(want))
+		}
+		if n != frameHeaderLen+len("node-a:1")+len(want) {
+			t.Fatalf("ReadFrame count = %d", n)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left over", buf.Len())
+	}
+}
+
+func TestFrameRejectsForeignVersion(t *testing.T) {
+	frame, err := EncodeFrame("a:1", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[0] = FrameVersion + 1
+
+	_, _, err = DecodeFrame(frame)
+	var ve *FrameVersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("DecodeFrame error = %v, want *FrameVersionError", err)
+	}
+	if ve.Got != FrameVersion+1 {
+		t.Fatalf("Got = %d", ve.Got)
+	}
+
+	_, _, _, err = ReadFrame(bytes.NewReader(frame))
+	if !errors.As(err, &ve) {
+		t.Fatalf("ReadFrame error = %v, want *FrameVersionError", err)
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
+	frame, err := EncodeFrame("host:9", []byte("some body bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeFrame(frame[:cut]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("DecodeFrame(%d of %d bytes) = %v, want ErrFrameTruncated", cut, len(frame), err)
+		}
+		if cut == 0 {
+			continue // ReadFrame reports io.EOF before any header byte
+		}
+		_, _, _, err := ReadFrame(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("ReadFrame(%d of %d bytes) succeeded", cut, len(frame))
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if _, err := EncodeFrame(Addr(strings.Repeat("a", MaxAddrLen+1)), nil); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize addr: %v", err)
+	}
+	if _, err := EncodeFrame("a:1", make([]byte, MaxFrameBody+1)); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize body: %v", err)
+	}
+
+	// Hand-craft an envelope whose declared body length is hostile; the
+	// reader must reject it before allocating.
+	frame, err := EncodeFrame("a:1", []byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenOff := 1 + 2 + len("a:1")
+	frame[lenOff] = 0xff
+	frame[lenOff+1] = 0xff
+	frame[lenOff+2] = 0xff
+	frame[lenOff+3] = 0xff
+	if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("hostile body length, DecodeFrame: %v", err)
+	}
+	if _, _, _, err := ReadFrame(bytes.NewReader(frame)); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("hostile body length, ReadFrame: %v", err)
+	}
+}
+
+func TestFrameRejectsTrailingGarbage(t *testing.T) {
+	frame, err := EncodeFrame("a:1", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(append(frame, 0xde, 0xad)); err == nil {
+		t.Fatal("DecodeFrame accepted trailing garbage")
+	}
+}

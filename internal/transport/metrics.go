@@ -1,0 +1,25 @@
+package transport
+
+import "sariadne/internal/telemetry"
+
+// Process-wide transport instruments, aggregated over every socket
+// transport in the process. Per-peer latency breakdowns live in the Peer
+// snapshots (the telemetry namespace is flat and literal, so per-peer
+// metric names cannot be registered there); these histograms carry the
+// process-level distributions.
+var (
+	bytesSentTotal = telemetry.NewCounter("transport_bytes_sent_total",
+		"bytes written to peer sockets (envelope included)")
+	bytesReceivedTotal = telemetry.NewCounter("transport_bytes_received_total",
+		"bytes of well-formed frames read from peer sockets")
+	framesSentTotal = telemetry.NewCounter("transport_frames_sent_total",
+		"frames written to peer sockets")
+	framesReceivedTotal = telemetry.NewCounter("transport_frames_received_total",
+		"well-formed frames read from peer sockets")
+	framesDroppedTotal = telemetry.NewCounter("transport_frames_dropped_total",
+		"frames lost in the transport: malformed or foreign-version envelopes, undecodable bodies, full inboxes and write queues, failed dials and writes")
+	dialSeconds = telemetry.NewHistogram("transport_dial_seconds",
+		"latency of TCP dials to backbone peers")
+	sendSeconds = telemetry.NewHistogram("transport_send_seconds",
+		"latency of one frame write to a peer socket")
+)

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"sariadne/internal/simnet"
+	"sariadne/internal/testutil"
+)
+
+// testPayload is the message type the transport tests ship around; the
+// real protocol's codec is injected the same way by discovery.
+type testPayload struct {
+	Seq  int    `json:"seq"`
+	Note string `json:"note"`
+}
+
+// testCodec is a minimal Codec over testPayload.
+type testCodec struct{}
+
+func (testCodec) Encode(payload any) ([]byte, error) {
+	p, ok := payload.(testPayload)
+	if !ok {
+		return nil, fmt.Errorf("testCodec: unencodable %T", payload)
+	}
+	return json.Marshal(p)
+}
+
+func (testCodec) Decode(frame []byte) (any, error) {
+	var p testPayload
+	if err := json.Unmarshal(frame, &p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// recvPayload waits for one message on tr's inbox and returns its
+// payload, failing the test on timeout.
+func recvPayload(t *testing.T, tr Transport) (Addr, testPayload) {
+	t.Helper()
+	select {
+	case msg, ok := <-tr.Inbox():
+		if !ok {
+			t.Fatalf("%s: inbox closed", tr.ID())
+		}
+		p, ok := msg.Payload.(testPayload)
+		if !ok {
+			t.Fatalf("%s: payload %T", tr.ID(), msg.Payload)
+		}
+		return msg.From, p
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: no message within 5s", tr.ID())
+	}
+	panic("unreachable")
+}
+
+func TestWrapAdaptsSimnetEndpoint(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	a, err := net.AddNode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.AddNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	ta := Wrap(a)
+	tb := Wrap(b)
+	if ta.ID() != "a" || tb.ID() != "b" {
+		t.Fatalf("IDs = %q, %q", ta.ID(), tb.ID())
+	}
+	if err := ta.Send("b", "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case msg := <-tb.Inbox():
+		if msg.From != "a" || msg.Payload != "hello" {
+			t.Fatalf("got %+v", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery through adapter")
+	}
+	// Close must be a no-op: the network owns the endpoint's lifetime.
+	if err := ta.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ta.Send("b", "still alive"); err != nil {
+		t.Fatalf("Send after adapter Close: %v", err)
+	}
+}
+
+func TestWrapPassesTransportsThrough(t *testing.T) {
+	u, err := NewUDP(UDPConfig{Listen: "127.0.0.1:0", Codec: testCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if Wrap(u) != Transport(u) {
+		t.Fatal("Wrap re-wrapped a Transport")
+	}
+}
+
+func TestPeersSortedAndSnapshotted(t *testing.T) {
+	u, err := NewUDP(UDPConfig{
+		Listen: "127.0.0.1:0",
+		Codec:  testCodec{},
+		Seeds:  []string{"127.0.0.1:9002", "127.0.0.1:9001"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	peers := u.Peers()
+	if len(peers) != 2 || peers[0].Addr != "127.0.0.1:9001" || peers[1].Addr != "127.0.0.1:9002" {
+		t.Fatalf("Peers = %+v", peers)
+	}
+	if !peers[0].LastSeen.IsZero() {
+		t.Fatalf("seed never heard from has LastSeen %v", peers[0].LastSeen)
+	}
+}
+
+// waitPeerFrames blocks until the transport's stats for peer show at
+// least n received frames.
+func waitPeerFrames(t *testing.T, pl PeerLister, peer Addr, n uint64) {
+	t.Helper()
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		for _, p := range pl.Peers() {
+			if p.Addr == peer && p.FramesReceived >= n {
+				return true
+			}
+		}
+		return false
+	}, "peer %s never reached %d received frames", peer, n)
+}
