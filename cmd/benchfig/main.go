@@ -37,7 +37,10 @@ func main() {
 	maxServices := flag.Int("max", 100, "largest directory size for figures 7-10")
 	step := flag.Int("step", 20, "directory size step for figures 7-10")
 	reps := flag.Int("reps", 25, "repetitions per measurement point")
+	traceSample := flag.Int("trace-sample", 0,
+		"trace every Nth query in -fig traffic (0 = discovery default of 64, negative disables; for overhead A/B runs)")
 	flag.Parse()
+	trafficTraceSample = *traceSample
 
 	run := func(name string, f func(int, int, int)) {
 		fmt.Printf("==== Figure %s ====\n", name)

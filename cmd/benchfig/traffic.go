@@ -19,6 +19,11 @@ import (
 // corners, queries issued from every node — reporting end-to-end response
 // time, message counts and Bloom-pruning effectiveness. This is the
 // protocol-level complement to Figure 10's directory-local measurement.
+// trafficTraceSample carries the -trace-sample flag into the protocol
+// config, so the sampled-tracing overhead can be A/B measured by running
+// the same traffic workload with the sampler on and off.
+var trafficTraceSample int
+
 func traffic(maxServices, step, reps int) {
 	fmt.Printf("%-10s %14s %12s %12s %10s %10s\n",
 		"services", "avg response", "unicasts", "broadcasts", "forwards", "pruned")
@@ -45,6 +50,7 @@ func traffic(maxServices, step, reps int) {
 			TickInterval:     2 * time.Millisecond,
 			SummaryPushEvery: 1,
 			AnnounceInterval: 50 * time.Millisecond,
+			TraceSampleEvery: trafficTraceSample,
 			Election: election.Config{
 				AdvertiseInterval: 20 * time.Millisecond,
 				AdvertiseTTL:      2,

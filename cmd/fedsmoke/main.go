@@ -5,6 +5,12 @@
 // It also scrapes GET /metrics on a federated daemon and requires the
 // transport byte counters to be nonzero, proving real datagrams moved.
 //
+// The observability surfaces ride the same boot: a traced query from C
+// must return spans naming the cross-daemon hop to B, the origin daemon
+// must serve that trace back on GET /traces/{id}, trace IDs minted by
+// different processes must not collide, and GET /healthz must go green
+// on all three daemons.
+//
 // Usage:
 //
 //	go run ./cmd/fedsmoke
@@ -42,9 +48,10 @@ func main() {
 // request and response mirror the sdpd client protocol: one JSON
 // datagram each way.
 type request struct {
-	Op   string `json:"op"`
-	Doc  string `json:"doc,omitempty"`
-	Name string `json:"name,omitempty"`
+	Op    string `json:"op"`
+	Doc   string `json:"doc,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Trace bool   `json:"trace,omitempty"`
 }
 
 type response struct {
@@ -61,6 +68,12 @@ type response struct {
 		Entries    int    `json:"entries"`
 		HasSummary bool   `json:"has_summary"`
 	} `json:"peers,omitempty"`
+	TraceID uint64 `json:"trace_id,omitempty"`
+	Spans   []struct {
+		Node  string `json:"node"`
+		Event string `json:"event"`
+		Peer  string `json:"peer,omitempty"`
+	} `json:"spans,omitempty"`
 }
 
 // daemon is one booted sdpd process.
@@ -95,12 +108,12 @@ func run() error {
 		return err
 	}
 	defer a.stop()
-	b, err := boot(bin, "b", false, a.fedAddr)
+	b, err := boot(bin, "b", true, a.fedAddr)
 	if err != nil {
 		return err
 	}
 	defer b.stop()
-	c, err := boot(bin, "c", false, a.fedAddr, b.fedAddr)
+	c, err := boot(bin, "c", true, a.fedAddr, b.fedAddr)
 	if err != nil {
 		return err
 	}
@@ -154,7 +167,77 @@ func run() error {
 		return fmt.Errorf("query on %s: HomeMediaCenter not among %d hit(s)", c.name, len(resp.Hits))
 	}
 
+	if err := checkTracedQuery(b, c, string(req)); err != nil {
+		return err
+	}
+	for _, d := range []*daemon{a, b, c} {
+		if err := d.awaitHealthy(deadline); err != nil {
+			return err
+		}
+	}
 	return checkTransportCounters("http://" + a.httpAddr + "/metrics")
+}
+
+// checkTracedQuery resolves the same request from C with tracing on: the
+// inline spans must name the cross-backbone hop into B's directory, the
+// origin daemon must serve the trace back on GET /traces/{id}, and a
+// trace minted by B's process must not share C's entropy word (the
+// collision-proofing the random high word buys).
+func checkTracedQuery(b, c *daemon, req string) error {
+	resp, err := send(c.clientAddr, request{Op: "query", Doc: req, Trace: true})
+	if err != nil {
+		return fmt.Errorf("traced query on %s: %w", c.name, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("traced query on %s: %s", c.name, resp.Error)
+	}
+	if resp.TraceID == 0 || len(resp.Spans) == 0 {
+		return fmt.Errorf("traced query on %s returned no trace (id=%d, %d spans)", c.name, resp.TraceID, len(resp.Spans))
+	}
+	nodes := map[string]bool{}
+	for _, s := range resp.Spans {
+		nodes[s.Node] = true
+	}
+	if !nodes[c.fedAddr] || !nodes[b.fedAddr] {
+		return fmt.Errorf("trace spans cover %v; want both the origin %s and the answering directory %s",
+			nodes, c.fedAddr, b.fedAddr)
+	}
+
+	var rec struct {
+		ID    uint64 `json:"id"`
+		Spans []struct {
+			Node string `json:"node"`
+		} `json:"spans"`
+	}
+	url := fmt.Sprintf("http://%s/traces/%d", c.httpAddr, resp.TraceID)
+	hresp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, hresp.StatusCode)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&rec); err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	if rec.ID != resp.TraceID || len(rec.Spans) != len(resp.Spans) {
+		return fmt.Errorf("retained trace mismatch: id=%d spans=%d, query returned id=%d spans=%d",
+			rec.ID, len(rec.Spans), resp.TraceID, len(resp.Spans))
+	}
+
+	bresp, err := send(b.clientAddr, request{Op: "query", Doc: req, Trace: true})
+	if err != nil {
+		return fmt.Errorf("traced query on %s: %w", b.name, err)
+	}
+	if !bresp.OK || bresp.TraceID == 0 {
+		return fmt.Errorf("traced query on %s returned no trace ID", b.name)
+	}
+	if bresp.TraceID>>32 == resp.TraceID>>32 {
+		return fmt.Errorf("daemons %s and %s share trace entropy word %#x; cross-process IDs would collide",
+			b.name, c.name, resp.TraceID>>32)
+	}
+	return nil
 }
 
 // boot starts one daemon; withHTTP additionally exposes the gateway for
@@ -204,6 +287,28 @@ func (d *daemon) awaitUp(deadline time.Time) error {
 			return fmt.Errorf("daemon %s never answered on %s", d.name, d.clientAddr)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// awaitHealthy polls GET /healthz until the daemon reports 200: every
+// component probe (store, gateway, backbone transport) green.
+func (d *daemon) awaitHealthy(deadline time.Time) error {
+	url := "http://" + d.httpAddr + "/healthz"
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon %s never served %s: %v", d.name, url, err)
+			}
+			return fmt.Errorf("daemon %s still unhealthy at the deadline (status %d)", d.name, resp.StatusCode)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

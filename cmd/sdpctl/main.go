@@ -10,24 +10,36 @@
 //	sdpctl -server localhost:7474 deregister MediaWorkstation
 //	sdpctl -server localhost:7474 stats
 //	sdpctl -server localhost:7474 peers
+//	sdpctl -server localhost:7474 trace request.xml
+//	sdpctl health localhost:8080
+//	sdpctl top localhost:8080 localhost:8081 localhost:8082
+//
+// trace resolves a query with hop-level tracing on and renders the
+// cross-daemon span tree; health and top talk to daemons' HTTP gateways
+// instead of the UDP control port.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
 
 type request struct {
-	Op   string `json:"op"`
-	Doc  string `json:"doc,omitempty"`
-	Name string `json:"name,omitempty"`
+	Op    string `json:"op"`
+	Doc   string `json:"doc,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Trace bool   `json:"trace,omitempty"`
 }
 
 type hit struct {
@@ -49,8 +61,24 @@ type response struct {
 		Capabilities int      `json:"capabilities"`
 		Ontologies   []string `json:"ontologies"`
 	} `json:"stats,omitempty"`
-	Peers []peer          `json:"peers,omitempty"`
-	Table json.RawMessage `json:"table,omitempty"`
+	Peers   []peer          `json:"peers,omitempty"`
+	Table   json.RawMessage `json:"table,omitempty"`
+	TraceID uint64          `json:"trace_id,omitempty"`
+	Spans   []span          `json:"spans,omitempty"`
+}
+
+// span mirrors telemetry.Span: one hop-level event recorded by a
+// directory while the traced query crossed the backbone.
+type span struct {
+	Trace  uint64        `json:"trace"`
+	Node   string        `json:"node"`
+	Event  string        `json:"event"`
+	Peer   string        `json:"peer,omitempty"`
+	Hits   int           `json:"hits,omitempty"`
+	Dur    time.Duration `json:"dur,omitempty"`
+	Seq    uint64        `json:"seq"`
+	Time   time.Time     `json:"time,omitzero"`
+	Reason string        `json:"reason,omitempty"`
 }
 
 // peer mirrors sdpd's peerEntry: the daemon's protocol-level view of one
@@ -91,9 +119,31 @@ func main() {
 	if len(args) < 1 {
 		usage()
 	}
+	// health and top speak HTTP to daemon gateways, not UDP to -server.
+	switch args[0] {
+	case "health":
+		if len(args) != 2 {
+			usage()
+		}
+		ok, err := runHealth(os.Stdout, args[1], *timeout)
+		if err != nil {
+			fatal("health check failed", "addr", args[1], "err", err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	case "top":
+		if len(args) < 2 {
+			usage()
+		}
+		runTop(os.Stdout, args[1:], *timeout)
+		return
+	}
+
 	var req request
 	switch args[0] {
-	case "register", "query", "ontology":
+	case "register", "query", "ontology", "trace":
 		if len(args) != 2 {
 			usage()
 		}
@@ -101,11 +151,14 @@ func main() {
 		if err != nil {
 			fatal("read document", "err", err)
 		}
-		op := args[0]
-		if op == "ontology" {
-			op = "add-ontology"
+		switch args[0] {
+		case "ontology":
+			req = request{Op: "add-ontology", Doc: string(doc)}
+		case "trace":
+			req = request{Op: "query", Doc: string(doc), Trace: true}
+		default:
+			req = request{Op: args[0], Doc: string(doc)}
 		}
-		req = request{Op: op, Doc: string(doc)}
 	case "deregister":
 		if len(args) != 2 {
 			usage()
@@ -134,6 +187,9 @@ func main() {
 	switch args[0] {
 	case "query":
 		renderQuery(os.Stdout, resp)
+	case "trace":
+		renderQuery(os.Stdout, resp)
+		renderTrace(os.Stdout, resp)
 	case "stats":
 		fmt.Printf("capabilities: %d\n", resp.Stats.Capabilities)
 		for _, u := range resp.Stats.Ontologies {
@@ -198,6 +254,212 @@ func renderQuery(w io.Writer, resp *response) {
 	}
 }
 
+// renderTrace prints the hop tree of a traced query: spans in recorded
+// order, indented by forwarding depth so the cross-daemon fan-out reads
+// like a call tree. The origin daemon sits at depth zero; every forward
+// or hedge span pushes its target one level deeper.
+func renderTrace(w io.Writer, resp *response) {
+	if resp.TraceID == 0 || len(resp.Spans) == 0 {
+		fmt.Fprintln(w, "no trace returned (daemon predates tracing?)")
+		return
+	}
+	spans := make([]span, len(resp.Spans))
+	copy(spans, resp.Spans)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+
+	// Depths come from forward/hedge edges alone, iterated to a fixpoint:
+	// Seq counters are per-process, so a remote daemon's spans can sort
+	// before the origin's forward span and a single ordered pass would
+	// misfile them at the root. The root is the node no one forwarded to.
+	forwarded := map[string]bool{}
+	for _, s := range spans {
+		if s.Event == "forward" || s.Event == "hedge" {
+			forwarded[s.Peer] = true
+		}
+	}
+	root := spans[0].Node
+	for _, s := range spans {
+		if !forwarded[s.Node] {
+			root = s.Node
+			break
+		}
+	}
+	depth := map[string]int{root: 0}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range spans {
+			if s.Event != "forward" && s.Event != "hedge" {
+				continue
+			}
+			d, ok := depth[s.Node]
+			if !ok {
+				continue
+			}
+			if _, ok := depth[s.Peer]; !ok {
+				depth[s.Peer] = d + 1
+				changed = true
+			}
+		}
+	}
+	nodes := map[string]bool{}
+	for _, s := range spans {
+		nodes[s.Node] = true
+	}
+	fmt.Fprintf(w, "trace 0x%x: %d spans across %d directories\n", resp.TraceID, len(spans), len(nodes))
+	for _, s := range spans {
+		line := strings.Repeat("  ", depth[s.Node]) + s.Node + " " + s.Event
+		if s.Peer != "" {
+			line += " peer=" + s.Peer
+		}
+		if s.Event == "local-match" || s.Event == "reply" {
+			line += fmt.Sprintf(" hits=%d", s.Hits)
+		}
+		if s.Reason != "" {
+			line += " reason=" + s.Reason
+		}
+		if s.Dur > 0 {
+			line += " dur=" + s.Dur.Round(time.Microsecond).String()
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// httpClient builds a client with the shared request timeout.
+func httpClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
+// runHealth fetches one daemon's /healthz and renders the probe table.
+// It reports whether the daemon is healthy so main can exit non-zero for
+// scripts; 503 is a verdict, not a transport error.
+func runHealth(w io.Writer, addr string, timeout time.Duration) (bool, error) {
+	resp, err := httpClient(timeout).Get("http://" + addr + "/healthz")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return false, err
+	}
+	var st struct {
+		Healthy bool      `json:"healthy"`
+		Ready   bool      `json:"ready"`
+		Checked time.Time `json:"checked"`
+		Probes  []struct {
+			Name string `json:"name"`
+			OK   bool   `json:"ok"`
+			Err  string `json:"err"`
+		} `json:"probes"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return false, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	renderHealth(w, addr, st.Healthy, st.Ready, func(yield func(name string, ok bool, detail string)) {
+		for _, p := range st.Probes {
+			yield(p.Name, p.OK, p.Err)
+		}
+	})
+	return st.Healthy, nil
+}
+
+// renderHealth prints one daemon's health verdicts and per-probe rows.
+func renderHealth(w io.Writer, addr string, healthy, ready bool, probes func(func(name string, ok bool, detail string))) {
+	verdict := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(w, "%s: healthy=%s ready=%s\n", addr, verdict(healthy), verdict(ready))
+	probes(func(name string, ok bool, detail string) {
+		fmt.Fprintf(w, "  %-10s %-5s %s\n", name, verdict(ok), detail)
+	})
+}
+
+// topColumns are the /metrics series rendered by top, in column order.
+// The short header keeps a three-daemon federation on one screen.
+var topColumns = []struct{ header, metric string }{
+	{"REQS", "sdpd_requests_total"},
+	{"ERRS", "sdpd_request_errors_total"},
+	{"SERVED", "discovery_queries_served_total"},
+	{"FWD", "discovery_forwards_sent_total"},
+	{"PRUNED", "discovery_forwards_pruned_total"},
+	{"GIVEUP", "discovery_forward_giveups_total"},
+	{"PARTIAL", "discovery_partial_replies_total"},
+	{"TRACES", "telemetry_recorder_traces_total"},
+	{"B-OUT", "transport_bytes_sent_total"},
+	{"B-IN", "transport_bytes_received_total"},
+	{"HEALTHY", "sdpd_healthy"},
+}
+
+// runTop scrapes every daemon's /metrics once and renders the shared
+// counters side by side — a federation-wide glance at load, pruning
+// effectiveness and degradation. Unreachable daemons get a "down" row
+// instead of failing the whole table.
+func runTop(w io.Writer, addrs []string, timeout time.Duration) {
+	client := httpClient(timeout)
+	fmt.Fprintf(w, "%-22s", "DAEMON")
+	for _, c := range topColumns {
+		fmt.Fprintf(w, " %8s", c.header)
+	}
+	fmt.Fprintln(w)
+	for _, addr := range addrs {
+		fmt.Fprintf(w, "%-22s", addr)
+		metrics, err := scrapeMetrics(client, addr)
+		if err != nil {
+			fmt.Fprintf(w, " down: %v\n", err)
+			continue
+		}
+		for _, c := range topColumns {
+			v, ok := metrics[c.metric]
+			if !ok {
+				fmt.Fprintf(w, " %8s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %8s", strconv.FormatFloat(v, 'f', -1, 64))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// scrapeMetrics fetches one daemon's Prometheus exposition and parses
+// the plain (label-free) series into a name->value map.
+func scrapeMetrics(client *http.Client, addr string) (map[string]float64, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return parseMetrics(resp.Body)
+}
+
+// parseMetrics reads Prometheus text exposition, keeping label-free
+// series ("name value") and skipping comments and histogram buckets.
+func parseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}
+
 func send(server string, timeout time.Duration, req request) (*response, error) {
 	conn, err := net.Dial("udp", server)
 	if err != nil {
@@ -232,9 +494,12 @@ commands:
   register <service.xml>    publish an Amigo-S advertisement
   deregister <name>         withdraw a service
   query <request.xml>       resolve the required capabilities
+  trace <request.xml>       resolve with tracing on and render the hop tree
   ontology <ontology.xml>   upload an ontology (classified+encoded server-side)
   table <ontology-uri>      fetch the encoded code table for an ontology
   stats                     show directory state
-  peers                     show the daemon's directory backbone view`)
+  peers                     show the daemon's directory backbone view
+  health <http-addr>        fetch a daemon's /healthz probe report (exit 1 if unhealthy)
+  top <http-addr>...        scrape several daemons' /metrics into one table`)
 	os.Exit(2)
 }

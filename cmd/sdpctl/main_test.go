@@ -1,9 +1,11 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"strings"
-	"time"
 	"testing"
+	"time"
 )
 
 func TestRenderQueryComplete(t *testing.T) {
@@ -74,5 +76,154 @@ func TestRenderPeersEmpty(t *testing.T) {
 	renderPeers(&b, &response{OK: true})
 	if !strings.Contains(b.String(), "no backbone peers") {
 		t.Fatalf("output = %q", b.String())
+	}
+}
+
+// TestRenderTraceHopTree: forwarded hops indent under their forwarder,
+// spans render in Seq order, and give-up reasons survive to the output.
+func TestRenderTraceHopTree(t *testing.T) {
+	var b strings.Builder
+	renderTrace(&b, &response{OK: true, TraceID: 0xabc100000001, Spans: []span{
+		// Deliberately shuffled: renderTrace must sort by Seq.
+		{Node: "n2", Event: "received", Peer: "n1", Seq: 4},
+		{Node: "n1", Event: "received", Seq: 1},
+		{Node: "n1", Event: "local-match", Hits: 1, Seq: 2, Dur: 80 * time.Microsecond},
+		{Node: "n1", Event: "forward", Peer: "n2", Seq: 3},
+		{Node: "n2", Event: "reply", Hits: 1, Seq: 5},
+		{Node: "n1", Event: "unreachable", Peer: "n3", Reason: "retries-exhausted", Seq: 6},
+		{Node: "n1", Event: "reply", Hits: 2, Seq: 7},
+	}})
+	out := b.String()
+	if !strings.Contains(out, "trace 0xabc100000001: 7 spans across 2 directories") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "\n  n2 received peer=n1\n") {
+		t.Fatalf("forwarded hop not indented under forwarder:\n%s", out)
+	}
+	if !strings.Contains(out, "n1 unreachable peer=n3 reason=retries-exhausted") {
+		t.Fatalf("give-up reason lost:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 || !strings.HasPrefix(lines[1], "n1 received") || !strings.HasSuffix(lines[7], "n1 reply hits=2") {
+		t.Fatalf("spans not in Seq order:\n%s", out)
+	}
+	if !strings.Contains(out, "dur=80µs") {
+		t.Fatalf("duration lost:\n%s", out)
+	}
+}
+
+// TestRenderTraceInterleavedSeq: Seq counters are per-process, so a
+// remote daemon's spans can carry smaller Seq values than the origin's
+// forward span. The hop depth must still come from the forward edge, not
+// from encounter order.
+func TestRenderTraceInterleavedSeq(t *testing.T) {
+	var b strings.Builder
+	renderTrace(&b, &response{OK: true, TraceID: 0x5100000001, Spans: []span{
+		{Node: "origin", Event: "received", Seq: 10},
+		{Node: "remote", Event: "received", Peer: "origin", Seq: 2}, // remote's own counter is younger
+		{Node: "origin", Event: "forward", Peer: "remote", Seq: 11},
+		{Node: "remote", Event: "reply", Hits: 1, Seq: 3},
+		{Node: "origin", Event: "reply", Hits: 1, Seq: 12},
+	}})
+	out := b.String()
+	for _, want := range []string{"\n  remote received peer=origin\n", "\n  remote reply hits=1\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("remote spans lost their indentation:\n%s", out)
+		}
+	}
+}
+
+func TestRenderTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	renderTrace(&b, &response{OK: true})
+	if !strings.Contains(b.String(), "no trace returned") {
+		t.Fatalf("output = %q", b.String())
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	in := `# HELP sdpd_requests_total requests handled
+# TYPE sdpd_requests_total counter
+sdpd_requests_total 42
+sdpd_request_seconds_bucket{le="0.001"} 7
+sdpd_healthy 1
+garbage line with three fields
+`
+	m, err := parseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["sdpd_requests_total"] != 42 || m["sdpd_healthy"] != 1 {
+		t.Fatalf("parsed = %v", m)
+	}
+	if _, ok := m[`sdpd_request_seconds_bucket{le="0.001"}`]; ok {
+		t.Fatal("labeled series leaked into the plain map")
+	}
+}
+
+// TestRunHealth drives the health command against a fake daemon gateway:
+// healthy and unhealthy verdicts, plus the probe detail in the output.
+func TestRunHealth(t *testing.T) {
+	body := `{"healthy":true,"ready":false,"probes":[{"name":"store","ok":true},{"name":"peers","ok":false,"err":"no backbone peers known"}]}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+
+	var b strings.Builder
+	healthy, err := runHealth(&b, ts.Listener.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !healthy || !strings.Contains(out, "healthy=ok ready=FAIL") {
+		t.Fatalf("verdicts wrong (healthy=%v):\n%s", healthy, out)
+	}
+	if !strings.Contains(out, "no backbone peers known") {
+		t.Fatalf("probe detail lost:\n%s", out)
+	}
+
+	body = `{"healthy":false,"ready":false,"probes":[{"name":"backbone","ok":false,"err":"transport: udp: closed"}]}`
+	b.Reset()
+	healthy, err = runHealth(&b, ts.Listener.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy || !strings.Contains(b.String(), "transport: udp: closed") {
+		t.Fatalf("unhealthy daemon misreported:\n%s", b.String())
+	}
+}
+
+// TestRunTop scrapes two fake daemons — one serving metrics, one dead —
+// and checks both land in the table without aborting it.
+func TestRunTop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("sdpd_requests_total 9\ndiscovery_forwards_sent_total 4\nsdpd_healthy 1\n"))
+	}))
+	t.Cleanup(ts.Close)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := dead.Listener.Addr().String()
+	dead.Close()
+
+	var b strings.Builder
+	runTop(&b, []string{ts.Listener.Addr().String(), deadAddr}, time.Second)
+	out := b.String()
+	if !strings.Contains(out, "DAEMON") || !strings.Contains(out, "REQS") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "9") || !strings.Contains(lines[1], "4") {
+		t.Fatalf("live daemon's counters missing:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "down") {
+		t.Fatalf("dead daemon not marked down:\n%s", out)
 	}
 }

@@ -24,6 +24,12 @@ type federationOptions struct {
 	Advertise string
 	// Peers are static seed addresses of other daemons' backbone ports.
 	Peers []string
+	// TraceSample traces every Nth query into the flight recorder; zero
+	// disables sampling (the -trace-sample flag, zero-is-off convention).
+	TraceSample int
+	// SlowQuery is the retention threshold for slow queries; zero keeps
+	// the discovery default (half the query timeout).
+	SlowQuery time.Duration
 }
 
 // federation is a daemon's membership in a directory backbone: a
@@ -68,13 +74,21 @@ func startFederation(srv *server, opts federationOptions, logger *slog.Logger) (
 		return nil, err
 	}
 
+	// The flag convention is zero-is-off; the discovery config's is
+	// zero-is-default, negative-is-off.
+	sampleEvery := opts.TraceSample
+	if sampleEvery == 0 {
+		sampleEvery = -1
+	}
 	node := discovery.NewNode(tr, srv.backend, discovery.Config{
 		// Client front ends register one service per request; push the
 		// updated summary immediately rather than batching.
 		SummaryPushEvery: 1,
 		// Daemons never self-elect: the backbone is static infrastructure
 		// and election payloads are not wire-encodable anyway.
-		Election: election.Config{ElectionTimeout: 24 * time.Hour},
+		Election:           election.Config{ElectionTimeout: 24 * time.Hour},
+		TraceSampleEvery:   sampleEvery,
+		SlowQueryThreshold: opts.SlowQuery,
 	})
 	node.Start(context.Background())
 	node.BecomeDirectory()
@@ -96,11 +110,14 @@ func startFederation(srv *server, opts federationOptions, logger *slog.Logger) (
 // local semantic match first, then Bloom-selected forwarding to peer
 // directories, with the retry/hedging machinery turning dead peers into
 // an explicit Unreachable marker instead of a hung request.
-func (f *federation) resolveFederated(doc []byte) (discovery.Result, error) {
+func (f *federation) resolveFederated(doc []byte, traced bool) (discovery.Result, error) {
 	// The node bounds forwarding by its own QueryTimeout; the context is
 	// a safety net above it.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if traced {
+		return f.node.DiscoverTrace(ctx, doc)
+	}
 	return f.node.DiscoverResult(ctx, doc)
 }
 

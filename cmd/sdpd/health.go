@@ -1,0 +1,163 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// probe is one named component check inside a health report.
+type probe struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+}
+
+// healthState is the cached outcome of the latest probe round, served
+// verbatim by GET /healthz and /readyz.
+type healthState struct {
+	// Healthy means the daemon's own components work: store answering,
+	// configured HTTP gateway serving, backbone transport not closed.
+	Healthy bool `json:"healthy"`
+	// Ready additionally requires the federation to be usable: at least
+	// one backbone peer heard from recently (standalone daemons are ready
+	// whenever they are healthy).
+	Ready   bool      `json:"ready"`
+	Checked time.Time `json:"checked,omitzero"`
+	Probes  []probe   `json:"probes"`
+}
+
+// healthChecker periodically probes the daemon's components and caches
+// the result, so the /healthz and /readyz surfaces answer instantly and
+// a wedged component cannot hang the health endpoint itself.
+type healthChecker struct {
+	srv         *server
+	interval    time.Duration
+	peerRecency time.Duration
+
+	mu   sync.Mutex
+	last healthState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startHealthChecker probes once synchronously (so the surfaces never
+// serve a zero state) and then keeps probing every interval until closed.
+// peerRecency bounds how long ago the freshest backbone peer may have
+// been heard for the daemon to count as ready; zero defaults to ten probe
+// intervals.
+func startHealthChecker(srv *server, interval, peerRecency time.Duration) *healthChecker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if peerRecency <= 0 {
+		peerRecency = 10 * interval
+	}
+	h := &healthChecker{
+		srv:         srv,
+		interval:    interval,
+		peerRecency: peerRecency,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	h.probeNow()
+	go h.loop()
+	srv.mu.Lock()
+	srv.health = h
+	srv.mu.Unlock()
+	return h
+}
+
+func (h *healthChecker) loop() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.probeNow()
+		}
+	}
+}
+
+// probeNow runs every component check and caches the verdicts.
+func (h *healthChecker) probeNow() {
+	store := probe{Name: "store", OK: true}
+	h.srv.mu.Lock()
+	// Touching the backend under mu doubles as a check that request
+	// serialization is not wedged.
+	_ = h.srv.backend.Len()
+	j := h.srv.journal
+	fed := h.srv.fed
+	h.srv.mu.Unlock()
+	if j != nil {
+		if err := j.healthy(); err != nil {
+			store.OK = false
+			store.Err = err.Error()
+		}
+	}
+
+	httpP := probe{Name: "http", OK: !h.srv.httpOn.Load() || h.srv.httpLive.Load()}
+	if !httpP.OK {
+		httpP.Err = "gateway configured but not serving"
+	}
+
+	backbone := probe{Name: "backbone", OK: true}
+	peersP := probe{Name: "peers", OK: true}
+	if fed != nil {
+		if hp, ok := fed.tr.(interface{ Healthy() error }); ok {
+			if err := hp.Healthy(); err != nil {
+				backbone.OK = false
+				backbone.Err = err.Error()
+			}
+		}
+		infos := fed.node.PeerInfos()
+		recent := false
+		for _, pi := range infos {
+			if !pi.LastAnnounce.IsZero() && time.Since(pi.LastAnnounce) <= h.peerRecency {
+				recent = true
+				break
+			}
+		}
+		switch {
+		case len(infos) == 0:
+			peersP.OK = false
+			peersP.Err = "no backbone peers known"
+		case !recent:
+			peersP.OK = false
+			peersP.Err = "no backbone peer heard recently"
+		}
+	}
+
+	st := healthState{
+		Healthy: store.OK && httpP.OK && backbone.OK,
+		Checked: time.Now(),
+		Probes:  []probe{store, httpP, backbone, peersP},
+	}
+	st.Ready = st.Healthy && peersP.OK
+	healthyGauge.Set(st.Healthy)
+	readyGauge.Set(st.Ready)
+
+	h.mu.Lock()
+	h.last = st
+	h.mu.Unlock()
+}
+
+// state returns the latest cached health report.
+func (h *healthChecker) state() healthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// close stops the probe loop and waits for it.
+func (h *healthChecker) close() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}

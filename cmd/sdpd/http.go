@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"sariadne/internal/telemetry"
 )
@@ -16,11 +18,16 @@ import (
 //
 //	POST /services          body: Amigo-S XML        -> 201
 //	DELETE /services/{name}                          -> 204
-//	POST /query             body: Amigo-S XML        -> 200 {"hits":[...]}
+//	POST /query[?trace=1]   body: Amigo-S XML        -> 200 {"hits":[...]}; trace=1 adds spans inline
 //	POST /ontologies        body: ontology XML       -> 201
 //	GET  /tables?uri={ontology-uri}                  -> 200 code table JSON
 //	GET  /stats                                      -> 200 {"capabilities":..,"ontologies":[..]}
 //	GET  /peers                                      -> 200 {"peers":[...]} (federated daemons)
+//	GET  /traces                                     -> 200 {"traces":[...]} flight-recorder listing, newest first
+//	GET  /traces/{id}                                -> 200 one retained trace with its span tree
+//	GET  /events                                     -> 200 {"events":[...]} protocol events, newest first
+//	GET  /healthz                                    -> 200/503 component health report
+//	GET  /readyz                                     -> 200/503 readiness (health + fresh backbone peer)
 //	GET  /metrics                                    -> 200 Prometheus text exposition
 //	GET  /debug/vars                                 -> 200 expvar-style JSON snapshot
 //	GET  /debug/pprof/*     (only with -pprof)       -> net/http/pprof
@@ -45,6 +52,11 @@ func newHTTPGateway(srv *server, withPprof bool) http.Handler {
 	mux.HandleFunc("GET /tables", g.getTable)
 	mux.HandleFunc("GET /stats", g.getStats)
 	mux.HandleFunc("GET /peers", g.getPeers)
+	mux.HandleFunc("GET /traces", g.getTraces)
+	mux.HandleFunc("GET /traces/{id}", g.getTrace)
+	mux.HandleFunc("GET /events", g.getEvents)
+	mux.HandleFunc("GET /healthz", g.getHealthz)
+	mux.HandleFunc("GET /readyz", g.getReadyz)
 	mux.HandleFunc("GET /metrics", g.getMetrics)
 	mux.HandleFunc("GET /debug/vars", g.getDebugVars)
 	if withPprof {
@@ -123,7 +135,10 @@ func (g *httpGateway) postQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	g.dispatch(w, request{Op: "query", Doc: doc}, http.StatusOK)
+	// The body is the raw XML document, so the trace switch rides the
+	// query string: POST /query?trace=1.
+	traced := r.URL.Query().Get("trace") == "1"
+	g.dispatch(w, request{Op: "query", Doc: doc, Trace: traced}, http.StatusOK)
 }
 
 func (g *httpGateway) postOntologies(w http.ResponseWriter, r *http.Request) {
@@ -154,6 +169,70 @@ func (g *httpGateway) getPeers(w http.ResponseWriter, _ *http.Request) {
 	g.dispatch(w, request{Op: "peers"}, http.StatusOK)
 }
 
+// writeJSON encodes v with the canonical content type.
+func (g *httpGateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		g.log.Error("encode reply", "err", err)
+	}
+}
+
+// getTraces lists the flight recorder's retained traces, newest first.
+func (g *httpGateway) getTraces(w http.ResponseWriter, _ *http.Request) {
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"traces": telemetry.FlightRecorder().Traces(),
+	})
+}
+
+// getTrace serves one retained trace by ID (decimal or 0x-hex).
+func (g *httpGateway) getTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 0, 64)
+	if err != nil {
+		http.Error(w, "bad trace ID: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	rec, ok := telemetry.FlightRecorder().Trace(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("trace %d not retained", id), http.StatusNotFound)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, rec)
+}
+
+// getEvents lists the flight recorder's protocol events, newest first.
+func (g *httpGateway) getEvents(w http.ResponseWriter, _ *http.Request) {
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"events": telemetry.FlightRecorder().Events(),
+	})
+}
+
+// healthReport answers a health or readiness check from the prober's
+// cached state; ok picks which verdict gates the status code.
+func (g *httpGateway) healthReport(w http.ResponseWriter, ok func(healthState) bool) {
+	g.srv.mu.Lock()
+	h := g.srv.health
+	g.srv.mu.Unlock()
+	if h == nil {
+		http.Error(w, "health checker not running", http.StatusServiceUnavailable)
+		return
+	}
+	st := h.state()
+	status := http.StatusOK
+	if !ok(st) {
+		status = http.StatusServiceUnavailable
+	}
+	g.writeJSON(w, status, st)
+}
+
+func (g *httpGateway) getHealthz(w http.ResponseWriter, _ *http.Request) {
+	g.healthReport(w, func(st healthState) bool { return st.Healthy })
+}
+
+func (g *httpGateway) getReadyz(w http.ResponseWriter, _ *http.Request) {
+	g.healthReport(w, func(st healthState) bool { return st.Ready })
+}
+
 // getMetrics serves the process-wide telemetry registry in Prometheus
 // text exposition format: the paper's phase timers (Figure 2), registry
 // insert/query histograms, discovery forward counters and the live Bloom
@@ -173,11 +252,18 @@ func (g *httpGateway) getDebugVars(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// serveHTTP runs the gateway; it blocks like serve.
+// serveHTTP runs the gateway; it blocks like serve. The server's
+// httpLive flag tracks the listener's lifetime for the health prober.
 func serveHTTP(addr string, srv *server, withPprof bool) error {
-	s := &http.Server{Addr: addr, Handler: newHTTPGateway(srv, withPprof)}
-	slog.Info("serving HTTP gateway", "component", "http", "addr", addr, "pprof", withPprof)
-	if err := s.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("http gateway: %w", err)
+	}
+	srv.httpLive.Store(true)
+	defer srv.httpLive.Store(false)
+	s := &http.Server{Handler: newHTTPGateway(srv, withPprof)}
+	slog.Info("serving HTTP gateway", "component", "http", "addr", ln.Addr().String(), "pprof", withPprof)
+	if err := s.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return fmt.Errorf("http gateway: %w", err)
 	}
 	return nil

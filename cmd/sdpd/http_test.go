@@ -98,8 +98,8 @@ func TestHTTPGatewayPartialQuery(t *testing.T) {
 	}
 	srv.mu.Lock()
 	local := srv.resolve
-	srv.resolve = func(doc []byte) (discovery.Result, error) {
-		res, err := local(doc)
+	srv.resolve = func(doc []byte, traced bool) (discovery.Result, error) {
+		res, err := local(doc, traced)
 		res.Unreachable = append(res.Unreachable, "n7")
 		return res, err
 	}

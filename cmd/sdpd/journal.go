@@ -45,6 +45,15 @@ func (j *journal) append(e journalEntry) error {
 	return j.f.Sync()
 }
 
+// healthy reports whether the journal file is still usable — a closed or
+// deleted-out-from-under handle fails the daemon's store probe.
+func (j *journal) healthy() error {
+	if _, err := j.f.Stat(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
 // close releases the file.
 func (j *journal) close() error { return j.f.Close() }
 

@@ -47,9 +47,12 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"sariadne/internal/codes"
 	"sariadne/internal/discovery"
 	"sariadne/internal/ontology"
+	"sariadne/internal/telemetry"
 	"sariadne/internal/transport"
 )
 
@@ -58,6 +61,10 @@ type request struct {
 	Op   string `json:"op"`
 	Doc  string `json:"doc,omitempty"`
 	Name string `json:"name,omitempty"`
+	// Trace asks for a hop-level trace of a query op: the reply carries
+	// the span tree inline and the trace is retained in the flight
+	// recorder for later retrieval via GET /traces/{id}.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Machine-readable error codes carried in failed responses. The HTTP
@@ -79,9 +86,15 @@ type response struct {
 	Hits        []discovery.Hit  `json:"hits,omitempty"`
 	Partial     bool             `json:"partial,omitempty"`
 	Unreachable []transport.Addr `json:"unreachable,omitempty"`
-	Peers       []peerEntry      `json:"peers,omitempty"`
-	Stats       *statsBody       `json:"stats,omitempty"`
-	Table       json.RawMessage  `json:"table,omitempty"`
+	// TraceID names the query's retained trace (explicitly requested or
+	// picked up by the sampler); fetch it later from GET /traces/{id}.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Spans is the hop-level trace, inline — only when the request asked
+	// for tracing (sampled queries just carry the ID).
+	Spans []telemetry.Span `json:"spans,omitempty"`
+	Peers []peerEntry      `json:"peers,omitempty"`
+	Stats *statsBody       `json:"stats,omitempty"`
+	Table json.RawMessage  `json:"table,omitempty"`
 }
 
 // peerEntry is one backbone peer in a "peers" reply: the discovery
@@ -129,6 +142,9 @@ func main() {
 	federate := flag.String("federate", "", "socket address for directory backbone traffic; empty runs standalone")
 	fedTransport := flag.String("federate-transport", "udp", "backbone substrate: udp or tcp")
 	advertise := flag.String("advertise", "", "backbone address announced to peers (defaults to the bound -federate address)")
+	traceSample := flag.Int("trace-sample", 64, "trace every Nth query into the flight recorder (0 disables sampling)")
+	slowQuery := flag.Duration("slow-query", 0, "retain queries at least this slow in the flight recorder (0 = half the query timeout)")
+	healthInterval := flag.Duration("health-interval", time.Second, "component health probe interval behind /healthz and /readyz")
 	var ontologies stringList
 	flag.Var(&ontologies, "ontology", "ontology XML file to load (repeatable)")
 	var peers stringList
@@ -149,6 +165,7 @@ func main() {
 	if err != nil {
 		fatal("startup", err)
 	}
+	srv.sampleEvery = *traceSample
 	if *state != "" {
 		jlog := logger.With("component", "journal")
 		applied, skipped, err := replayJournal(*state, srv)
@@ -167,10 +184,12 @@ func main() {
 	}
 	if *federate != "" {
 		fed, err := startFederation(srv, federationOptions{
-			Listen:    *federate,
-			Transport: *fedTransport,
-			Advertise: *advertise,
-			Peers:     peers,
+			Listen:      *federate,
+			Transport:   *fedTransport,
+			Advertise:   *advertise,
+			Peers:       peers,
+			TraceSample: *traceSample,
+			SlowQuery:   *slowQuery,
 		}, logger)
 		if err != nil {
 			fatal("federation", err)
@@ -179,6 +198,9 @@ func main() {
 	} else if len(peers) > 0 || *advertise != "" {
 		logger.Warn("-peer/-advertise have no effect without -federate")
 	}
+	srv.httpOn.Store(*httpAddr != "")
+	hc := startHealthChecker(srv, *healthInterval, 0)
+	defer hc.close()
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
 		fatal("resolve "+*listen, err)
@@ -223,28 +245,67 @@ type server struct {
 	// resolve answers query requests. The default resolver consults the
 	// node-local backend only; a deployment embedding a backbone node (or a
 	// test exercising degradation) swaps in one that returns federated,
-	// possibly partial results. Called with mu held.
-	resolve func(doc []byte) (discovery.Result, error) // guarded by mu
+	// possibly partial results. traced asks for a hop-level trace. Called
+	// with mu held.
+	resolve func(doc []byte, traced bool) (discovery.Result, error) // guarded by mu
 	// fed is the daemon's backbone membership; nil when standalone.
 	fed *federation // guarded by mu
-	log *slog.Logger
+	// sampleEvery traces every Nth standalone query (federated sampling
+	// lives in the discovery node); sampleCount counts them.
+	sampleEvery int    // guarded by mu
+	sampleCount uint64 // guarded by mu
+	// health is the daemon's component prober; nil until started.
+	health *healthChecker // guarded by mu
+	// httpOn records that an HTTP gateway was configured; httpLive that it
+	// is currently bound and serving. Health probes compare the two.
+	httpOn   atomic.Bool
+	httpLive atomic.Bool
+	log      *slog.Logger
 }
+
+// localNode names the standalone daemon in spans it synthesizes itself;
+// federated daemons use their backbone transport address instead.
+const localNode = "local"
 
 func newServer(ontologyFiles []string) (*server, error) {
 	reg := codes.NewRegistry()
 	s := &server{
-		reg:     reg,
-		backend: discovery.NewSemanticBackend(reg),
-		log:     slog.With("component", "directory"),
+		reg:         reg,
+		backend:     discovery.NewSemanticBackend(reg),
+		sampleEvery: 64,
+		log:         slog.With("component", "directory"),
 	}
-	s.resolve = func(doc []byte) (discovery.Result, error) {
+	s.resolve = func(doc []byte, traced bool) (discovery.Result, error) {
+		// A standalone directory has no backbone to lose peers on, so the
+		// local answer is complete by construction — but it still samples
+		// and traces so /traces works without federation.
+		sampled := false
+		s.sampleCount++
+		if !traced && s.sampleEvery > 0 && s.sampleCount%uint64(s.sampleEvery) == 0 {
+			traced, sampled = true, true
+		}
+		var trace uint64
+		var spans []telemetry.Span
+		if traced {
+			trace = telemetry.NextTraceID()
+			spans = append(spans, telemetry.NewSpan(trace, localNode, telemetry.EventReceived))
+		}
+		start := time.Now()
 		hits, err := s.backend.Query(doc)
 		if err != nil {
 			return discovery.Result{}, err
 		}
-		// A standalone directory has no backbone to lose peers on, so the
-		// local answer is complete by construction.
-		return discovery.Result{Hits: hits}, nil
+		if traced {
+			m := telemetry.NewSpan(trace, localNode, telemetry.EventLocalMatch)
+			m.Hits = len(hits)
+			m.Dur = time.Since(start)
+			spans = append(spans, m)
+			telemetry.FlightRecorder().RecordTrace(telemetry.TraceRecord{
+				ID: trace, Node: localNode, Start: start, Dur: time.Since(start),
+				Hits: len(hits), Sampled: sampled, Spans: spans,
+			})
+		}
+		return discovery.Result{Hits: hits, Trace: trace, Spans: spans}, nil
 	}
 	for _, path := range ontologyFiles {
 		f, err := os.Open(path)
@@ -343,7 +404,7 @@ func (s *server) process(datagram []byte) response {
 		s.refreshLocked()
 		return response{OK: true}
 	case "query":
-		res, err := s.resolve([]byte(req.Doc))
+		res, err := s.resolve([]byte(req.Doc), req.Trace)
 		if err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}
 		}
@@ -352,7 +413,12 @@ func (s *server) process(datagram []byte) response {
 			s.log.Warn("serving partial query result",
 				"hits", len(res.Hits), "unreachable", len(res.Unreachable))
 		}
-		return response{OK: true, Hits: res.Hits, Partial: res.Partial(), Unreachable: res.Unreachable}
+		resp := response{OK: true, Hits: res.Hits, Partial: res.Partial(),
+			Unreachable: res.Unreachable, TraceID: res.Trace}
+		if req.Trace {
+			resp.Spans = res.Spans
+		}
+		return resp
 	case "add-ontology":
 		if err := s.addOntologyTextLocked(req.Doc); err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}

@@ -92,8 +92,8 @@ func TestHandleQueryPartialMarker(t *testing.T) {
 		t.Fatalf("register: %s", resp.Error)
 	}
 	local := s.resolve
-	s.resolve = func(doc []byte) (discovery.Result, error) {
-		res, err := local(doc)
+	s.resolve = func(doc []byte, traced bool) (discovery.Result, error) {
+		res, err := local(doc, traced)
 		res.Unreachable = append(res.Unreachable, "n4", "n9")
 		return res, err
 	}

@@ -15,4 +15,8 @@ var (
 		"end-to-end handling latency of one request")
 	partialRepliesTotal = telemetry.NewCounter("sdpd_partial_replies_total",
 		"query replies served with an incomplete-coverage marker")
+	healthyGauge = telemetry.NewBoolGauge("sdpd_healthy",
+		"latest health probe verdict: store, gateway and backbone transport all up")
+	readyGauge = telemetry.NewBoolGauge("sdpd_ready",
+		"latest readiness verdict: healthy and a backbone peer heard recently")
 )

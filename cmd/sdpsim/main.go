@@ -44,6 +44,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+
+	"sariadne/internal/telemetry"
 )
 
 func main() {
@@ -81,6 +83,9 @@ func main() {
 		// replayed exactly regardless of what the scenario file says.
 		sc.Seed = *seed
 		sc.Workload.Seed = *seed
+		// Trace IDs too: replayed runs mint the same IDs, so recorded
+		// traces can be diffed across runs.
+		telemetry.SetTraceIDEntropy(uint32(*seed))
 	}
 	var faults *faultsSpec
 	if *faultsPath != "" {

@@ -40,6 +40,7 @@ var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
 var constructors = map[string]bool{
 	"NewCounter":       true,
 	"NewGauge":         true,
+	"NewBoolGauge":     true,
 	"NewFloatGauge":    true,
 	"NewHistogram":     true,
 	"NewSizeHistogram": true,

@@ -8,7 +8,11 @@ var (
 	goodHist    = telemetry.NewHistogram("pkg_request_seconds", "request latency")
 )
 
+var goodBool = telemetry.NewBoolGauge("pkg_healthy", "verdict gauge")
+
 var badCamel = telemetry.NewGauge("PkgEntries", "x") // want `not snake_case`
+
+var badBool = telemetry.NewBoolGauge("Healthy", "x") // want `not snake_case`
 
 var noPrefix = telemetry.NewCounter("requests", "x") // want `not snake_case`
 
@@ -33,7 +37,9 @@ func scopedRegistry() {
 	r.NewCounter("tool_runs_total", "fine")
 	r.NewGauge("Bad", "still name-checked") // want `not snake_case`
 	_ = goodHist
+	_ = goodBool
 	_ = badCamel
+	_ = badBool
 	_ = noPrefix
 	_ = trailing
 }

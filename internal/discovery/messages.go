@@ -1,8 +1,8 @@
 package discovery
 
 import (
-	"sariadne/internal/transport"
 	"sariadne/internal/telemetry"
+	"sariadne/internal/transport"
 )
 
 // Wire messages of the discovery protocol. Service and request documents

@@ -39,6 +39,12 @@ var (
 		"reactive summary refresh requests triggered by the StaleRatio rule")
 	localMatchSeconds = telemetry.NewHistogram("discovery_local_match_seconds",
 		"latency of the backend match phase while serving one query")
+	querySeconds = telemetry.NewHistogram("discovery_query_seconds",
+		"end-to-end latency of origin discovery queries")
+	tracesSampledTotal = telemetry.NewCounter("discovery_traces_sampled_total",
+		"origin queries traced by the 1-in-N sampler or the slow-query latch")
+	tracesSlowTotal = telemetry.NewCounter("discovery_traces_slow_total",
+		"origin queries whose end-to-end latency reached the slow-query threshold")
 	// bloomFPRGauge is the live false-positive-rate estimator: of all
 	// Bloom membership probes whose key turned out absent at the probed
 	// peer, the fraction that tested positive anyway. Pruned peers are

@@ -10,8 +10,8 @@ import (
 
 	"sariadne/internal/bloom"
 	"sariadne/internal/election"
-	"sariadne/internal/transport"
 	"sariadne/internal/telemetry"
+	"sariadne/internal/transport"
 )
 
 // Protocol errors.
@@ -88,6 +88,21 @@ type Config struct {
 	RefreshInterval time.Duration
 	// TickInterval is the loop timer resolution. Defaults to 10ms.
 	TickInterval time.Duration
+	// TraceSampleEvery turns on always-on sampled tracing: every Nth
+	// origin query dispatched through Discover/DiscoverResult carries a
+	// trace ID as if DiscoverTrace had been called, and its merged span
+	// tree is deposited into the flight recorder. Defaults to 64;
+	// negative disables sampling.
+	TraceSampleEvery int
+	// SlowQueryThreshold retains queries whose end-to-end latency reaches
+	// it: a traced slow query's record is flagged slow, and an untraced
+	// one deposits a spanless record and arms a latch so the next query
+	// is traced. Defaults to QueryTimeout/2; negative disables.
+	SlowQueryThreshold time.Duration
+	// Recorder receives retained traces and protocol events. Nil uses
+	// the process-wide telemetry.FlightRecorder(); tests inject private
+	// recorders.
+	Recorder *telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +149,19 @@ func (c Config) withDefaults() Config {
 	if c.TickInterval <= 0 {
 		c.TickInterval = 10 * time.Millisecond
 	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 64
+	} else if c.TraceSampleEvery < 0 {
+		c.TraceSampleEvery = 0
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = c.QueryTimeout / 2
+	} else if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0
+	}
+	if c.Recorder == nil {
+		c.Recorder = telemetry.FlightRecorder()
+	}
 	return c
 }
 
@@ -163,9 +191,9 @@ type Node struct {
 	mu          sync.Mutex
 	elect       *election.Machine             // guarded by mu
 	filter      *bloom.Filter                 // guarded by mu
-	peers       map[transport.Addr]*peerState  // guarded by mu
+	peers       map[transport.Addr]*peerState // guarded by mu
 	published   map[string][]byte             // guarded by mu
-	publishedAt transport.Addr                 // guarded by mu
+	publishedAt transport.Addr                // guarded by mu
 	nextID      uint64                        // guarded by mu
 	queryWait   map[uint64]chan QueryReply    // guarded by mu
 	regWait     map[uint64]chan RegisterReply // guarded by mu
@@ -177,6 +205,11 @@ type Node struct {
 	lastAnnounce time.Time            // guarded by mu
 	lastRefresh  time.Time            // guarded by mu
 	stats        Stats                // guarded by mu
+	// sampleCount counts origin queries for the 1-in-N trace sampler;
+	// traceNext is the slow-query latch: set when an untraced query came
+	// back slow, so the next query is traced regardless of the sampler.
+	sampleCount uint64 // guarded by mu
+	traceNext   bool   // guarded by mu
 
 	cancel context.CancelFunc // guarded by mu
 	done   chan struct{}      // guarded by mu
@@ -575,6 +608,7 @@ func (n *Node) runElectionActions(actions []any) {
 		case election.BroadcastAction:
 			_, _ = n.ep.Broadcast(act.TTL, act.Payload)
 		case election.RoleChange:
+			n.cfg.Recorder.RecordEvent(string(n.ID()), telemetry.ProtoElection, "", act.Role.String())
 			if act.Role == election.Directory {
 				// Join the directory backbone and solicit summaries.
 				_, _ = n.ep.Broadcast(n.cfg.AnnounceTTL, DirectoryAnnounce{From: n.ID()})
@@ -702,6 +736,7 @@ func (n *Node) onAnnounce(a DirectoryAnnounce) {
 		if !known {
 			ps = &peerState{}
 			n.peers[a.From] = ps
+			n.cfg.Recorder.RecordEvent(string(n.ID()), telemetry.ProtoPeerUp, string(a.From), "announce")
 		}
 		ps.lastAnnounce = time.Now()
 	}
@@ -726,6 +761,7 @@ func (n *Node) onSummary(s SummaryPush, hops int) {
 	if !known {
 		ps = &peerState{}
 		n.peers[s.From] = ps
+		n.cfg.Recorder.RecordEvent(string(n.ID()), telemetry.ProtoPeerUp, string(s.From), "summary")
 	}
 	ps.filter = f
 	ps.entries = s.Count
@@ -1028,7 +1064,7 @@ func (n *Node) maintainAggregationsLocked(now time.Time) (resends []outMsg, fini
 		if now.After(agg.deadline) {
 			for peer, fs := range agg.forwards {
 				if !fs.done && !fs.failed {
-					n.giveUpForwardLocked(agg, peer, fs)
+					n.giveUpForwardLocked(agg, peer, fs, telemetry.ReasonTimeout)
 				}
 			}
 			delete(n.aggregates, id)
@@ -1045,7 +1081,7 @@ func (n *Node) maintainAggregationsLocked(now time.Time) (resends []outMsg, fini
 				continue
 			}
 			if fs.attempts > n.cfg.ForwardRetries {
-				n.giveUpForwardLocked(agg, peer, fs)
+				n.giveUpForwardLocked(agg, peer, fs, telemetry.ReasonRetries)
 				continue
 			}
 			fs.attempts++
@@ -1118,10 +1154,11 @@ func (n *Node) hedgeLocked(agg *aggregation, id uint64, now time.Time) *outMsg {
 }
 
 // giveUpForwardLocked abandons a forward that never produced a reply: the
-// peer joins the reply's unreachable marker and, if it never even acked,
-// its consecutive-failure count grows toward eviction from the backbone
-// view.
-func (n *Node) giveUpForwardLocked(agg *aggregation, peer transport.Addr, fs *forwardState) {
+// peer joins the reply's unreachable marker — its span carrying why the
+// forward was abandoned (deadline vs. exhausted retries) — and, if it
+// never even acked, its consecutive-failure count grows toward eviction
+// from the backbone view.
+func (n *Node) giveUpForwardLocked(agg *aggregation, peer transport.Addr, fs *forwardState, reason string) {
 	fs.failed = true
 	n.stats.ForwardGiveups++
 	forwardGiveupsTotal.Inc()
@@ -1129,8 +1166,10 @@ func (n *Node) giveUpForwardLocked(agg *aggregation, peer transport.Addr, fs *fo
 	if agg.trace != 0 {
 		s := telemetry.NewSpan(agg.trace, string(n.ID()), telemetry.EventUnreach)
 		s.Peer = string(peer)
+		s.Reason = reason
 		agg.spans = append(agg.spans, s)
 	}
+	n.cfg.Recorder.RecordEvent(string(n.ID()), telemetry.ProtoGiveUp, string(peer), reason)
 	if fs.acked {
 		return // alive but slow or reply-lossy: not an eviction candidate
 	}
@@ -1140,6 +1179,8 @@ func (n *Node) giveUpForwardLocked(agg *aggregation, peer transport.Addr, fs *fo
 			delete(n.peers, peer)
 			n.stats.PeersEvicted++
 			peersEvictedTotal.Inc()
+			n.cfg.Recorder.RecordEvent(string(n.ID()), telemetry.ProtoPeerEvicted, string(peer),
+				fmt.Sprintf("%d consecutive give-ups", ps.failures))
 		}
 	}
 }
@@ -1309,6 +1350,11 @@ func (n *Node) Deregister(ctx context.Context, service string) error {
 // hop-level trace for traced queries, and the completeness marker.
 type Result struct {
 	Hits []Hit
+	// Trace is the query's trace ID when it was traced — explicitly via
+	// DiscoverTrace, by the 1-in-N sampler, or by the slow-query latch.
+	// Zero means untraced. Traced queries are retrievable from the flight
+	// recorder under this ID.
+	Trace uint64
 	// Spans is the hop-level trace (traced queries only).
 	Spans []telemetry.Span
 	// Unreachable lists peer directories that never answered despite
@@ -1346,18 +1392,33 @@ func (n *Node) DiscoverTrace(ctx context.Context, doc []byte) (Result, error) {
 }
 
 func (n *Node) discover(ctx context.Context, doc []byte, trace uint64) (Result, error) {
+	sampled := false
 	n.mu.Lock()
 	dir, ok := n.directoryLocked()
 	if !ok {
 		n.mu.Unlock()
 		return Result{}, ErrNoDirectory
 	}
+	if trace == 0 {
+		// Always-on sampled tracing: every Nth query carries a trace ID,
+		// as does the first query after an untraced one came back slow.
+		n.sampleCount++
+		if n.traceNext || (n.cfg.TraceSampleEvery > 0 && n.sampleCount%uint64(n.cfg.TraceSampleEvery) == 0) {
+			trace = telemetry.NextTraceID()
+			sampled = true
+			n.traceNext = false
+		}
+	}
 	n.nextID++
 	id := n.nextID
 	ch := make(chan QueryReply, 1)
 	n.queryWait[id] = ch
 	n.mu.Unlock()
+	if sampled {
+		tracesSampledTotal.Inc()
+	}
 
+	start := time.Now()
 	if err := n.ep.Send(dir, QueryRequest{ID: id, Origin: n.ID(), Trace: trace, Doc: doc}); err != nil {
 		n.mu.Lock()
 		delete(n.queryWait, id)
@@ -1367,14 +1428,50 @@ func (n *Node) discover(ctx context.Context, doc []byte, trace uint64) (Result, 
 	select {
 	case rep := <-ch:
 		telemetry.SortSpans(rep.Spans)
+		res := Result{Hits: rep.Hits, Trace: trace, Spans: rep.Spans, Unreachable: rep.Unreachable}
+		n.retainQuery(trace, sampled, start, res)
 		if rep.Err != "" {
-			return Result{Spans: rep.Spans}, fmt.Errorf("discovery: query failed: %s", rep.Err)
+			return Result{Trace: trace, Spans: rep.Spans}, fmt.Errorf("discovery: query failed: %s", rep.Err)
 		}
-		return Result{Hits: rep.Hits, Spans: rep.Spans, Unreachable: rep.Unreachable}, nil
+		return res, nil
 	case <-ctx.Done():
 		n.mu.Lock()
 		delete(n.queryWait, id)
 		n.mu.Unlock()
 		return Result{}, ctx.Err()
 	}
+}
+
+// retainQuery deposits a finished origin query into the flight recorder:
+// traced queries always, untraced ones only when they came back slow —
+// those leave a spanless record and arm the latch that traces the next
+// query, so a latency regression starts producing span trees within one
+// query of being noticed.
+func (n *Node) retainQuery(trace uint64, sampled bool, start time.Time, res Result) {
+	dur := time.Since(start)
+	querySeconds.Observe(dur)
+	slow := n.cfg.SlowQueryThreshold > 0 && dur >= n.cfg.SlowQueryThreshold
+	if slow {
+		tracesSlowTotal.Inc()
+	}
+	if trace == 0 {
+		if !slow {
+			return
+		}
+		n.mu.Lock()
+		n.traceNext = true
+		n.mu.Unlock()
+		trace = telemetry.NextTraceID()
+	}
+	n.cfg.Recorder.RecordTrace(telemetry.TraceRecord{
+		ID:      trace,
+		Node:    string(n.ID()),
+		Start:   start,
+		Dur:     dur,
+		Hits:    len(res.Hits),
+		Partial: res.Partial(),
+		Sampled: sampled,
+		Slow:    slow,
+		Spans:   res.Spans,
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"sariadne/internal/telemetry"
 )
 
 // Fault injection: a deterministic, scripted layer over the simulated
@@ -96,6 +98,9 @@ func (n *Network) ApplyFaultPlan(p FaultPlan) {
 	n.mu.Lock()
 	n.faults = st
 	n.mu.Unlock()
+	telemetry.FlightRecorder().RecordEvent("simnet", telemetry.ProtoFault, "",
+		fmt.Sprintf("plan applied: %d partitions, %d link overrides, %d bursts, %d churn entries",
+			len(p.Partitions), len(p.Links), len(p.Bursts), len(p.Churn)))
 }
 
 // ClearFaults removes the active fault plan (manual down flags set with
@@ -110,12 +115,17 @@ func (n *Network) ClearFaults() {
 // down node neither sends, receives, nor relays traffic.
 func (n *Network) SetNodeDown(id NodeID, down bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if down {
 		n.manualDown[id] = true
 	} else {
 		delete(n.manualDown, id)
 	}
+	n.mu.Unlock()
+	detail := "restarted"
+	if down {
+		detail = "crashed"
+	}
+	telemetry.FlightRecorder().RecordEvent("simnet", telemetry.ProtoFault, string(id), detail)
 }
 
 // ActiveFaults describes the currently active fault conditions, sorted,

@@ -2,9 +2,11 @@ package simnet
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
+	"sariadne/internal/telemetry"
 	"sariadne/internal/testutil"
 )
 
@@ -252,5 +254,38 @@ func TestFaultPlanDeterminism(t *testing.T) {
 	}
 	if d1 == 0 || s1.FaultDrops == 0 {
 		t.Fatalf("burst at 0.4 should both deliver and drop: delivered=%d stats=%+v", d1, s1)
+	}
+}
+
+// TestFaultInjectionRecorded: arming a plan and crashing a node land as
+// protocol events in the process flight recorder, so post-hoc trace
+// reading can correlate query behaviour with the faults active at the
+// time.
+func TestFaultInjectionRecorded(t *testing.T) {
+	net := New(Config{})
+	t.Cleanup(net.Close)
+	if _, err := BuildLine(net, "fr", 2); err != nil {
+		t.Fatal(err)
+	}
+	net.ApplyFaultPlan(FaultPlan{Bursts: []Burst{{Drop: 0.5, Until: time.Millisecond}}})
+	net.SetNodeDown("fr1", true)
+	net.SetNodeDown("fr1", false)
+
+	var planSeen, crashSeen, restartSeen bool
+	for _, ev := range telemetry.FlightRecorder().Events() {
+		if ev.Kind != telemetry.ProtoFault || ev.Node != "simnet" {
+			continue
+		}
+		switch {
+		case ev.Peer == "" && strings.Contains(ev.Detail, "1 bursts"):
+			planSeen = true
+		case ev.Peer == "fr1" && ev.Detail == "crashed":
+			crashSeen = true
+		case ev.Peer == "fr1" && ev.Detail == "restarted":
+			restartSeen = true
+		}
+	}
+	if !planSeen || !crashSeen || !restartSeen {
+		t.Fatalf("fault events missing: plan=%v crash=%v restart=%v", planSeen, crashSeen, restartSeen)
 	}
 }

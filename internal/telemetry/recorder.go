@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Protocol event kinds held by the flight recorder alongside traces.
+// Like span events the vocabulary is closed, so surfaces and tests can
+// match on it.
+const (
+	ProtoElection    = "election"     // a node changed election role
+	ProtoPeerUp      = "peer-up"      // a backbone peer was first heard from
+	ProtoPeerEvicted = "peer-evicted" // a peer was dropped after consecutive give-ups
+	ProtoGiveUp      = "give-up"      // a forward was abandoned
+	ProtoFault       = "fault"        // a fault was injected (simnet plans, manual crashes)
+)
+
+// TraceRecord is one retained traced query: the merged span tree plus
+// the origin-side envelope (who asked, how long it took, how it was
+// selected for retention).
+type TraceRecord struct {
+	// ID is the query's trace ID; the recorder keys retained traces by it.
+	ID uint64 `json:"id"`
+	// Node is the origin node that deposited the record.
+	Node string `json:"node"`
+	// Start is when the origin dispatched the query.
+	Start time.Time `json:"start"`
+	// Dur is the origin-observed end-to-end latency.
+	Dur time.Duration `json:"dur"`
+	// Hits counts the results returned to the caller.
+	Hits int `json:"hits"`
+	// Partial marks replies that carried an unreachable-peers marker.
+	Partial bool `json:"partial,omitempty"`
+	// Sampled marks queries traced by the 1-in-N sampler (as opposed to
+	// an explicit DiscoverTrace or the slow-query latch).
+	Sampled bool `json:"sampled,omitempty"`
+	// Slow marks queries that exceeded the slow-query threshold.
+	Slow bool `json:"slow,omitempty"`
+	// Spans is the merged cross-daemon span tree, in Seq order. Empty for
+	// slow queries that were not carrying a trace ID when dispatched.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// ProtoEvent is one retained protocol event: elections, peer state
+// transitions, forward give-ups, fault injections.
+type ProtoEvent struct {
+	Seq    uint64    `json:"seq"`              // recorder-local monotonic order
+	Time   time.Time `json:"time"`             // wall-clock stamp
+	Node   string    `json:"node"`             // node the event happened on
+	Kind   string    `json:"kind"`             // one of the Proto* constants
+	Peer   string    `json:"peer,omitempty"`   // remote party, when there is one
+	Detail string    `json:"detail,omitempty"` // free-form context (reason, role, counts)
+}
+
+// Recorder is a bounded flight recorder: a fixed-size ring of recent
+// traced queries keyed by trace ID plus a fixed-size ring of protocol
+// events. Appends are O(1) and never grow memory past the configured
+// capacities — the oldest entry is overwritten — so it is safe to leave
+// recording always-on in production daemons. All methods are
+// goroutine-safe; a nil *Recorder ignores appends and answers reads
+// empty, so call sites need no guards.
+type Recorder struct {
+	mu       sync.Mutex
+	traces   []TraceRecord // ring; grows to traceCap then wraps
+	traceCap int
+	nextT    int            // slot the next trace overwrites
+	byID     map[uint64]int // trace ID -> ring slot
+	events   []ProtoEvent   // ring; grows to eventCap then wraps
+	eventCap int
+	nextE    int // slot the next event overwrites
+	seq      uint64
+}
+
+// Capacity defaults for the process-wide recorder: enough to hold the
+// recent past of a busy daemon without unbounded growth.
+const (
+	DefaultTraceCap = 256
+	DefaultEventCap = 1024
+)
+
+// NewRecorder builds a recorder retaining up to traceCap traced queries
+// and eventCap protocol events; non-positive capacities get the
+// defaults.
+func NewRecorder(traceCap, eventCap int) *Recorder {
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCap
+	}
+	if eventCap <= 0 {
+		eventCap = DefaultEventCap
+	}
+	return &Recorder{
+		traceCap: traceCap,
+		eventCap: eventCap,
+		byID:     make(map[uint64]int),
+	}
+}
+
+// flight is the process-wide recorder behind FlightRecorder.
+var flight = NewRecorder(DefaultTraceCap, DefaultEventCap)
+
+// FlightRecorder returns the process-wide flight recorder that sdpd's
+// /traces and /events surfaces serve. Components record into it by
+// default; tests inject private recorders.
+func FlightRecorder() *Recorder { return flight }
+
+// RecordTrace retains one traced query, evicting the oldest retained
+// trace when the ring is full. Re-recording an ID overwrites in place is
+// NOT attempted: trace IDs are unique per query, so duplicates only
+// arise from callers recording twice, and both land in the ring.
+func (r *Recorder) RecordTrace(tr TraceRecord) {
+	if r == nil || tr.ID == 0 {
+		return
+	}
+	r.mu.Lock()
+	if len(r.traces) < r.traceCap {
+		r.byID[tr.ID] = len(r.traces)
+		r.traces = append(r.traces, tr)
+		r.nextT = len(r.traces) % r.traceCap
+	} else {
+		old := r.traces[r.nextT]
+		if r.byID[old.ID] == r.nextT {
+			delete(r.byID, old.ID)
+		}
+		recorderTraceEvictionsTotal.Inc()
+		r.byID[tr.ID] = r.nextT
+		r.traces[r.nextT] = tr
+		r.nextT = (r.nextT + 1) % r.traceCap
+	}
+	r.mu.Unlock()
+	recorderTracesTotal.Inc()
+}
+
+// Trace returns the retained record for a trace ID.
+func (r *Recorder) Trace(id uint64) (TraceRecord, bool) {
+	if r == nil {
+		return TraceRecord{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.byID[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return r.traces[slot], true
+}
+
+// Traces returns the retained traces, newest first. Span slices are
+// shared with the ring; treat them as read-only.
+func (r *Recorder) Traces() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, len(r.traces))
+	for i := 0; i < len(r.traces); i++ {
+		// Walk backward from the most recently written slot.
+		slot := (r.nextT - 1 - i + 2*len(r.traces)) % len(r.traces)
+		out = append(out, r.traces[slot])
+	}
+	return out
+}
+
+// RecordEvent retains one protocol event, stamped with the wall clock
+// and a recorder-local sequence number, evicting the oldest when full.
+func (r *Recorder) RecordEvent(node, kind, peer, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	ev := ProtoEvent{Seq: r.seq, Time: time.Now(), Node: node, Kind: kind, Peer: peer, Detail: detail}
+	if len(r.events) < r.eventCap {
+		r.events = append(r.events, ev)
+		r.nextE = len(r.events) % r.eventCap
+	} else {
+		r.events[r.nextE] = ev
+		r.nextE = (r.nextE + 1) % r.eventCap
+	}
+	r.mu.Unlock()
+	recorderEventsTotal.Inc()
+}
+
+// Events returns the retained protocol events, newest first.
+func (r *Recorder) Events() []ProtoEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ProtoEvent, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		slot := (r.nextE - 1 - i + 2*len(r.events)) % len(r.events)
+		out = append(out, r.events[slot])
+	}
+	return out
+}
+
+// Recorder occupancy and churn instruments. Registered here (package
+// init) like every other metric; the recorder itself stays registry-free
+// so private recorders in tests share them harmlessly.
+var (
+	recorderTracesTotal = NewCounter("telemetry_recorder_traces_total",
+		"traced queries deposited into flight recorders")
+	recorderTraceEvictionsTotal = NewCounter("telemetry_recorder_trace_evictions_total",
+		"retained traces overwritten by newer ones in a full ring")
+	recorderEventsTotal = NewCounter("telemetry_recorder_events_total",
+		"protocol events deposited into flight recorders")
+)

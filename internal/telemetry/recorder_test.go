@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderRoundTrip: a deposited trace is retrievable by ID and
+// appears in the newest-first listing.
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(4, 4)
+	r.RecordTrace(TraceRecord{ID: 10, Node: "a", Hits: 1, Dur: time.Millisecond})
+	r.RecordTrace(TraceRecord{ID: 11, Node: "a", Slow: true})
+
+	rec, ok := r.Trace(10)
+	if !ok || rec.Hits != 1 || rec.Dur != time.Millisecond {
+		t.Fatalf("Trace(10) = %+v, %v", rec, ok)
+	}
+	traces := r.Traces()
+	if len(traces) != 2 || traces[0].ID != 11 || traces[1].ID != 10 {
+		t.Fatalf("Traces() = %+v, want newest first [11 10]", traces)
+	}
+	if _, ok := r.Trace(99); ok {
+		t.Fatal("unknown trace ID resolved")
+	}
+}
+
+// TestRecorderZeroIDIgnored: zero means "untraced" everywhere, so the
+// recorder refuses it instead of creating an unreachable entry.
+func TestRecorderZeroIDIgnored(t *testing.T) {
+	r := NewRecorder(4, 4)
+	r.RecordTrace(TraceRecord{ID: 0})
+	if got := r.Traces(); len(got) != 0 {
+		t.Fatalf("zero-ID trace retained: %+v", got)
+	}
+}
+
+// TestRecorderEviction fills the trace ring past capacity and checks the
+// oldest entries are gone — from the listing AND from the by-ID index.
+func TestRecorderEviction(t *testing.T) {
+	const capN = 8
+	r := NewRecorder(capN, capN)
+	for id := uint64(1); id <= 3*capN; id++ {
+		r.RecordTrace(TraceRecord{ID: id, Node: "a"})
+	}
+	traces := r.Traces()
+	if len(traces) != capN {
+		t.Fatalf("ring holds %d traces, want %d", len(traces), capN)
+	}
+	for i, rec := range traces {
+		if want := uint64(3*capN - i); rec.ID != want {
+			t.Fatalf("traces[%d].ID = %d, want %d", i, rec.ID, want)
+		}
+	}
+	for id := uint64(1); id <= 2*capN; id++ {
+		if _, ok := r.Trace(id); ok {
+			t.Fatalf("evicted trace %d still resolvable", id)
+		}
+	}
+	for id := uint64(2*capN + 1); id <= 3*capN; id++ {
+		if _, ok := r.Trace(id); !ok {
+			t.Fatalf("retained trace %d not resolvable", id)
+		}
+	}
+}
+
+// TestRecorderEventEviction mirrors the trace test for the event ring.
+func TestRecorderEventEviction(t *testing.T) {
+	r := NewRecorder(4, 4)
+	for i := 0; i < 10; i++ {
+		r.RecordEvent("n1", ProtoGiveUp, fmt.Sprintf("p%d", i), "")
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		if want := fmt.Sprintf("p%d", 9-i); ev.Peer != want {
+			t.Fatalf("events[%d].Peer = %s, want %s (newest first)", i, ev.Peer, want)
+		}
+		if ev.Time.IsZero() || ev.Seq == 0 {
+			t.Fatalf("event missing stamps: %+v", ev)
+		}
+	}
+}
+
+// TestRecorderConcurrentAppend hammers both rings from many goroutines
+// while readers walk them; run under -race this is the concurrency
+// soundness check for the always-on production path.
+func TestRecorderConcurrentAppend(t *testing.T) {
+	r := NewRecorder(32, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint64(g)<<32 | uint64(i+1)
+				r.RecordTrace(TraceRecord{ID: id, Node: "n", Spans: []Span{{Trace: id}}})
+				r.RecordEvent("n", ProtoGiveUp, "p", "timeout")
+				if i%17 == 0 {
+					r.Traces()
+					r.Events()
+					r.Trace(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Traces()); got != 32 {
+		t.Fatalf("post-hammer ring size %d, want 32", got)
+	}
+	if got := len(r.Events()); got != 32 {
+		t.Fatalf("post-hammer event ring size %d, want 32", got)
+	}
+}
+
+// TestNilRecorderSafe: call sites pass recorders through configs where
+// nil means "default"; a literal nil must still be inert, not a panic.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.RecordTrace(TraceRecord{ID: 1})
+	r.RecordEvent("n", ProtoFault, "", "")
+	if got := r.Traces(); got != nil {
+		t.Fatalf("nil recorder listed traces: %v", got)
+	}
+	if _, ok := r.Trace(1); ok {
+		t.Fatal("nil recorder resolved a trace")
+	}
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder listed events: %v", got)
+	}
+}

@@ -100,6 +100,28 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 func (g *Gauge) kind() Kind { return KindGauge }
 func (g *Gauge) reset()     { g.v.Store(0) }
 
+// BoolGauge is a 0/1 gauge for binary component states (healthy, ready,
+// transport live). It exposes like a gauge; the Set(bool) surface keeps
+// call sites from inventing their own truthiness encodings.
+type BoolGauge struct {
+	v atomic.Int64
+}
+
+// Set stores the state: true exposes as 1, false as 0.
+func (g *BoolGauge) Set(ok bool) {
+	var v int64
+	if ok {
+		v = 1
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current state.
+func (g *BoolGauge) Value() bool { return g.v.Load() != 0 }
+
+func (g *BoolGauge) kind() Kind { return KindGauge }
+func (g *BoolGauge) reset()     { g.v.Store(0) }
+
 // FloatGauge is a float64 gauge (e.g. an estimated false-positive rate).
 type FloatGauge struct {
 	bits atomic.Uint64
@@ -248,6 +270,13 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return g
 }
 
+// NewBoolGauge registers and returns a 0/1 gauge.
+func (r *Registry) NewBoolGauge(name, help string) *BoolGauge {
+	g := &BoolGauge{}
+	r.register(name, help, g)
+	return g
+}
+
 // NewFloatGauge registers and returns a float gauge.
 func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
 	g := &FloatGauge{}
@@ -278,6 +307,9 @@ func NewCounter(name, help string) *Counter { return std.NewCounter(name, help) 
 
 // NewGauge registers an integer gauge in the Default registry.
 func NewGauge(name, help string) *Gauge { return std.NewGauge(name, help) }
+
+// NewBoolGauge registers a 0/1 gauge in the Default registry.
+func NewBoolGauge(name, help string) *BoolGauge { return std.NewBoolGauge(name, help) }
 
 // NewFloatGauge registers a float gauge in the Default registry.
 func NewFloatGauge(name, help string) *FloatGauge { return std.NewFloatGauge(name, help) }
@@ -312,6 +344,10 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			s.Value = float64(m.Value())
 		case *Gauge:
 			s.Value = float64(m.Value())
+		case *BoolGauge:
+			if m.Value() {
+				s.Value = 1
+			}
 		case *FloatGauge:
 			s.Value = m.Value()
 		case *Histogram:

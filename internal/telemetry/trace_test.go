@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNextTraceIDNonZeroAndUnique(t *testing.T) {
@@ -16,6 +17,48 @@ func TestNextTraceIDNonZeroAndUnique(t *testing.T) {
 			t.Fatalf("duplicate trace ID %d", id)
 		}
 		seen[id] = true
+	}
+}
+
+// TestTraceIDEntropyMixedIn pins the cross-process collision fix: every
+// minted ID carries the process entropy word in its high 32 bits, and
+// generators with distinct entropy words emit provably disjoint ID sets
+// — which is why two federated daemons can never mint the same ID.
+func TestTraceIDEntropyMixedIn(t *testing.T) {
+	if TraceIDEntropy() == 0 {
+		t.Fatal("process trace-ID entropy is zero")
+	}
+	if hi := uint32(NextTraceID() >> 32); hi != TraceIDEntropy() {
+		t.Fatalf("ID high word %#x, want process entropy %#x", hi, TraceIDEntropy())
+	}
+
+	a, b := NewTraceIDGen(0x11), NewTraceIDGen(0x22)
+	seen := make(map[uint64]string, 20000)
+	for i := 0; i < 10000; i++ {
+		for name, g := range map[string]*TraceIDGen{"a": a, "b": b} {
+			id := g.Next()
+			if id == 0 {
+				t.Fatalf("generator %s minted zero", name)
+			}
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("ID %#x minted by both %s and %s", id, prev, name)
+			}
+			seen[id] = name
+		}
+	}
+}
+
+// TestSetTraceIDEntropy checks the deterministic-injection hook seeded
+// simulations use, and restores random entropy afterwards.
+func TestSetTraceIDEntropy(t *testing.T) {
+	defer SetTraceIDEntropy(0)
+	SetTraceIDEntropy(7)
+	if got := NextTraceID(); got != 7<<32|1 {
+		t.Fatalf("first seeded ID = %#x, want %#x", got, uint64(7<<32|1))
+	}
+	SetTraceIDEntropy(0)
+	if TraceIDEntropy() == 0 {
+		t.Fatal("reseeding with zero kept zero entropy")
 	}
 }
 
@@ -34,9 +77,45 @@ func TestFormatSpans(t *testing.T) {
 	s := NewSpan(7, "n1", EventForward)
 	s.Peer = "n3"
 	out := FormatSpans([]Span{s})
-	for _, want := range []string{"[7]", "n1", "forward", "peer=n3"} {
+	for _, want := range []string{"[7]", "n1", "forward", "peer=n3", "t="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("FormatSpans missing %q: %q", want, out)
 		}
+	}
+}
+
+// TestNewSpanStampsWallClock pins the PR-5 contract: spans carry a
+// wall-clock stamp for humans, while Seq remains the sort key.
+func TestNewSpanStampsWallClock(t *testing.T) {
+	before := time.Now()
+	s := NewSpan(1, "n0", EventReceived)
+	if s.Time.Before(before) || time.Since(s.Time) > time.Minute {
+		t.Fatalf("span time %v not stamped from the wall clock", s.Time)
+	}
+}
+
+// TestFormatSpansGolden is the rendering golden test: every field a span
+// can carry (peer, hits, duration, give-up reason, wall-clock stamp)
+// shows up in its documented position, byte for byte.
+func TestFormatSpansGolden(t *testing.T) {
+	at := func(ms int) time.Time {
+		return time.Date(2026, 8, 6, 12, 30, 4, ms*1e6, time.UTC)
+	}
+	spans := []Span{
+		{Trace: 9, Node: "n1", Event: EventReceived, Peer: "n0", Seq: 1, Time: at(0)},
+		{Trace: 9, Node: "n1", Event: EventLocalMatch, Hits: 0, Dur: 1500 * time.Microsecond, Seq: 2, Time: at(2)},
+		{Trace: 9, Node: "n1", Event: EventForward, Peer: "n5", Seq: 3, Time: at(3)},
+		{Trace: 9, Node: "n1", Event: EventUnreach, Peer: "n5", Reason: ReasonRetries, Seq: 4, Time: at(250)},
+		{Trace: 9, Node: "n1", Event: EventReply, Peer: "n0", Hits: 2, Seq: 5}, // no stamp: stays bare
+	}
+	got := FormatSpans(spans)
+	want := "" +
+		"  [9] n1 received peer=n0 t=12:30:04.000\n" +
+		"  [9] n1 local-match hits=0 dur=1.5ms t=12:30:04.002\n" +
+		"  [9] n1 forward peer=n5 t=12:30:04.003\n" +
+		"  [9] n1 unreachable peer=n5 reason=retries-exhausted t=12:30:04.250\n" +
+		"  [9] n1 reply peer=n0 hits=2\n"
+	if got != want {
+		t.Fatalf("FormatSpans golden mismatch:\ngot:\n%swant:\n%s", got, want)
 	}
 }

@@ -361,6 +361,17 @@ func (t *TCP) Peers() []Peer {
 	return out
 }
 
+// Healthy implements the optional liveness probe health surfaces use: a
+// closed transport cannot carry backbone traffic.
+func (t *TCP) Healthy() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: tcp: closed")
+	}
+	return nil
+}
+
 // Close implements Transport: stop the listener, close send queues and
 // live connections, join every goroutine, then close the inbox.
 func (t *TCP) Close() error {

@@ -259,6 +259,17 @@ func (u *UDP) Peers() []Peer {
 	return out
 }
 
+// Healthy implements the optional liveness probe health surfaces use: a
+// closed transport cannot carry backbone traffic.
+func (u *UDP) Healthy() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return fmt.Errorf("transport: udp: closed")
+	}
+	return nil
+}
+
 // Close implements Transport: it stops the reader, then closes the
 // inbox. Safe to call twice.
 func (u *UDP) Close() error {
