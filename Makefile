@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench chaos lint metrics-smoke federation-smoke check clean
+.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,21 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Hedge|Evicted|Fault|Churn|Partition' \
 		./internal/discovery/ ./internal/simnet/ -v
 
-# lint runs go vet plus the project analyzers (lockcheck, goroutinecheck,
-# detrand, sleeptest, metricnames, simnetimport). Exit status 1 means
-# findings.
+# lint runs go vet plus the ten project analyzers (lockcheck,
+# goroutinecheck, detrand, sleeptest, metricnames, simnetimport,
+# atomicmix, immutcheck, hotalloc, errdrop). Exit status 1 means
+# findings; `make lint-json` emits them machine-readable.
 lint:
 	$(GO) run ./cmd/sdplint ./...
+
+lint-json:
+	$(GO) run ./cmd/sdplint -json ./...
+
+# bench-smoke runs the parallel discovery benchmark once under the race
+# detector: a cheap CI gate that the lock-free snapshot read path stays
+# publication-safe under concurrent register/query load.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench BenchmarkParallelDiscovery -benchtime=1x ./internal/registry/
 
 # metrics-smoke boots a real sdpd, scrapes GET /metrics, and fails on
 # malformed Prometheus exposition or missing acceptance metrics.

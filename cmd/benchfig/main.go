@@ -8,6 +8,14 @@
 //	benchfig -fig 2          # one figure
 //	benchfig -fig all        # everything
 //	benchfig -fig 9 -max 200 -step 20 -reps 50
+//	benchfig -fig 9 -benchjson   # also write BENCH_fig9.json
+//
+// With -benchjson, figures 9 and 10 additionally emit BENCH_fig9.json
+// and BENCH_fig10.json in the working directory: one array of points,
+// each carrying the directory size, series name (optimized /
+// non-optimized for figure 9, ariadne / s-ariadne for figure 10),
+// ops/sec, and p50/p95/p99 latency in nanoseconds over the per-point
+// repetitions.
 package main
 
 import (
@@ -39,6 +47,8 @@ func main() {
 	reps := flag.Int("reps", 25, "repetitions per measurement point")
 	traceSample := flag.Int("trace-sample", 0,
 		"trace every Nth query in -fig traffic (0 = discovery default of 64, negative disables; for overhead A/B runs)")
+	benchJSON := flag.Bool("benchjson", false,
+		"also write BENCH_fig9.json / BENCH_fig10.json (ops/sec + p50/p95/p99 per size and series) for the figures that ran")
 	flag.Parse()
 	trafficTraceSample = *traceSample
 
@@ -72,6 +82,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if *benchJSON {
+		if fig9Points != nil {
+			if err := writeBenchJSON("BENCH_fig9.json", fig9Points); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if fig10Points != nil {
+			if err := writeBenchJSON("BENCH_fig10.json", fig10Points); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	// End-of-run telemetry snapshot: how much parse/classify/match work
 	// the figures above actually exercised.
@@ -262,12 +284,13 @@ func fig9(maxServices, step, reps int) {
 			}
 		}
 		i := 0
-		opt := timeIt(reps, func() {
+		optSamples := sampleIt(reps, func() {
 			if res := dag.Query(reqs[i%len(reqs)]); len(res) == 0 {
 				log.Fatal("request must match")
 			}
 			i++
 		})
+		opt := mean(optSamples)
 		i = 0
 		opsBefore := dag.MatchOps()
 		for j := 0; j < len(reqs); j++ {
@@ -275,18 +298,22 @@ func fig9(maxServices, step, reps int) {
 		}
 		opsOpt := float64(dag.MatchOps()-opsBefore) / float64(len(reqs))
 
-		lin := timeIt(reps, func() {
+		linSamples := sampleIt(reps, func() {
 			if res := flat.Query(reqs[i%len(reqs)]); len(res) == 0 {
 				log.Fatal("request must match")
 			}
 			i++
 		})
+		lin := mean(linSamples)
 		opsBefore = flat.MatchOps()
 		for j := 0; j < len(reqs); j++ {
 			flat.Query(reqs[j])
 		}
 		opsLin := float64(flat.MatchOps()-opsBefore) / float64(len(reqs))
 
+		fig9Points = append(fig9Points,
+			point(n, "optimized", optSamples),
+			point(n, "non-optimized", linSamples))
 		fmt.Printf("%-10d %14s %16s %9.0f%% %10.1f %10.1f\n", n, opt, lin,
 			100*(float64(lin)/float64(opt)-1), opsOpt, opsLin)
 	}
@@ -328,18 +355,21 @@ func fig10(maxServices, step, reps int) {
 			log.Fatal(err)
 		}
 
-		ariadneTime := timeIt(reps, func() {
+		ariadneSamples := sampleIt(reps, func() {
 			hits, err := syntactic.Query(wsdlReq)
 			if err != nil || len(hits) == 0 {
 				log.Fatalf("ariadne query: hits=%v err=%v", hits, err)
 			}
 		})
-		sariadneTime := timeIt(reps, func() {
+		sariadneSamples := sampleIt(reps, func() {
 			hits, err := semantic.Query(semReq)
 			if err != nil || len(hits) == 0 {
 				log.Fatalf("s-ariadne query: hits=%v err=%v", hits, err)
 			}
 		})
-		fmt.Printf("%-10d %14s %14s\n", n, ariadneTime, sariadneTime)
+		fig10Points = append(fig10Points,
+			point(n, "ariadne", ariadneSamples),
+			point(n, "s-ariadne", sariadneSamples))
+		fmt.Printf("%-10d %14s %14s\n", n, mean(ariadneSamples), mean(sariadneSamples))
 	}
 }

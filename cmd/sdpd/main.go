@@ -179,7 +179,11 @@ func main() {
 		if err != nil {
 			fatal("journal open", err)
 		}
-		defer j.close()
+		defer func() {
+			if err := j.close(); err != nil {
+				jlog.Error("journal close", "err", err)
+			}
+		}()
 		srv.journal = j
 	}
 	if *federate != "" {

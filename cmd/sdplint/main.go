@@ -1,12 +1,20 @@
 // Command sdplint is the repo's multichecker: it runs the standard `go
-// vet` passes plus the six codebase-specific analyzers from
+// vet` passes plus the ten codebase-specific analyzers from
 // internal/analysis (lockcheck, goroutinecheck, detrand, sleeptest,
-// metricnames, simnetimport) over a set of package patterns.
+// metricnames, simnetimport, atomicmix, immutcheck, hotalloc, errdrop)
+// over a set of package patterns.
 //
 // Usage:
 //
 //	go run ./cmd/sdplint ./...
 //	go run ./cmd/sdplint -vet=false ./internal/discovery
+//	go run ./cmd/sdplint -json ./...   # machine-readable findings
+//
+// With -json, findings from the project analyzers are written to stdout
+// as one JSON array of {file, line, col, message, analyzer} objects —
+// the format CI tooling and editors consume; human-readable lines go to
+// CI logs via the default mode, which the checked-in GitHub problem
+// matcher (.github/sdplint-problem-matcher.json) annotates onto PRs.
 //
 // Package metadata comes from `go list`, so patterns mean exactly what
 // they mean to the go tool. Each package is analyzed three times when it
@@ -32,8 +40,12 @@ import (
 	"strings"
 
 	"sariadne/internal/analysis"
+	"sariadne/internal/analysis/atomicmix"
 	"sariadne/internal/analysis/detrand"
+	"sariadne/internal/analysis/errdrop"
 	"sariadne/internal/analysis/goroutinecheck"
+	"sariadne/internal/analysis/hotalloc"
+	"sariadne/internal/analysis/immutcheck"
 	"sariadne/internal/analysis/load"
 	"sariadne/internal/analysis/lockcheck"
 	"sariadne/internal/analysis/metricnames"
@@ -48,6 +60,19 @@ var analyzers = []*analysis.Analyzer{
 	sleeptest.Analyzer,
 	metricnames.Analyzer,
 	simnetimport.Analyzer,
+	atomicmix.Analyzer,
+	immutcheck.Analyzer,
+	hotalloc.Analyzer,
+	errdrop.Analyzer,
+}
+
+// finding is one diagnostic in -json output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
 }
 
 // listedPackage is the subset of `go list -json` output sdplint needs.
@@ -62,8 +87,9 @@ type listedPackage struct {
 
 func main() {
 	vet := flag.Bool("vet", true, "also run the standard `go vet` passes")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout instead of text lines")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: sdplint [-vet=false] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sdplint [-vet=false] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -76,7 +102,7 @@ func main() {
 	}
 
 	failed := false
-	if *vet {
+	if *vet && !*jsonOut {
 		if !runVet(patterns) {
 			failed = true
 		}
@@ -87,8 +113,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdplint: %v\n", err)
 		os.Exit(2)
 	}
-	if !runAnalyzers(pkgs) {
+	findings, ok := runAnalyzers(pkgs, !*jsonOut)
+	if !ok {
 		failed = true
+	}
+	if *jsonOut {
+		// Always an array (possibly empty), so consumers can parse
+		// unconditionally.
+		if findings == nil {
+			findings = []finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "sdplint: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if failed {
 		os.Exit(1)
@@ -133,7 +173,8 @@ func listPackages(patterns []string) ([]*listedPackage, error) {
 	return pkgs, nil
 }
 
-func runAnalyzers(pkgs []*listedPackage) bool {
+func runAnalyzers(pkgs []*listedPackage, print bool) ([]finding, bool) {
+	var findings []finding
 	modulePath := ""
 	for _, p := range pkgs {
 		if p.Module != nil && modulePath == "" {
@@ -203,13 +244,22 @@ func runAnalyzers(pkgs []*listedPackage) bool {
 					if u.testOnly && !strings.HasSuffix(pos.Filename, "_test.go") {
 						continue
 					}
-					fmt.Printf("%s: %s (%s)\n", rel(pos.String()), d.Message, d.Analyzer)
+					findings = append(findings, finding{
+						File:     rel(pos.Filename),
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  d.Message,
+						Analyzer: d.Analyzer,
+					})
+					if print {
+						fmt.Printf("%s: %s (%s)\n", rel(pos.String()), d.Message, d.Analyzer)
+					}
 					ok = false
 				}
 			}
 		}
 	}
-	return ok
+	return findings, ok
 }
 
 func abs(dir string, names []string) []string {

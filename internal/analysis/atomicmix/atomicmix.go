@@ -1,0 +1,152 @@
+// Package atomicmix enforces the repo's all-or-nothing atomics
+// discipline, the load-bearing invariant under the lock-free snapshot
+// read path: a word that is ever accessed with sync/atomic must be
+// accessed with sync/atomic everywhere.
+//
+// Two rules, checked per package:
+//
+//  1. A struct field whose address is ever passed to a sync/atomic
+//     function (atomic.LoadUint64(&s.n), atomic.AddInt64(&s.n, 1), ...)
+//     may not also be read or written with plain loads and stores. Mixed
+//     access is exactly the bug the race detector only catches when the
+//     interleaving happens; this pass catches it on every build.
+//
+//  2. A struct field of a sync/atomic type (atomic.Pointer[T],
+//     atomic.Value, atomic.Uint64, atomic.Bool, ...) may only be used as
+//     the receiver of a method call (.Load(), .Store(), .Swap(), ...).
+//     Any other use — copying the value, comparing it, taking its
+//     address to pass around — bypasses the atomic API and reads the
+//     published state with a plain load.
+//
+// The fix for a rule-1 finding is almost always to migrate the field to
+// the typed atomics of rule 2, which make plain access unrepresentable.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sariadne/internal/analysis"
+)
+
+// Analyzer flags mixed atomic/plain access to the same field and plain
+// uses of sync/atomic-typed fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "check that fields accessed via sync/atomic are never also accessed " +
+		"with plain loads/stores, and that atomic-typed fields are only used " +
+		"through their methods",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// First sweep: find every &x.f argument to a sync/atomic call. The
+	// fields collected here are the "atomic words" of rule 1; the selector
+	// nodes are remembered so the second sweep does not flag the atomic
+	// accesses themselves.
+	atomicFields := make(map[types.Object][]ast.Node) // field → atomic-use sites
+	atomicUseNodes := make(map[*ast.SelectorExpr]bool)
+	// methodRecv marks selectors of atomic-typed fields that appear as a
+	// method-call receiver (x.f.Load()): the only sanctioned use in rule 2.
+	methodRecv := make(map[*ast.SelectorExpr]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fun, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if recv, ok := fun.X.(*ast.SelectorExpr); ok && isAtomicType(pass.TypesInfo.Types[recv].Type) {
+					methodRecv[recv] = true
+				}
+			}
+			if !isAtomicPkgCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := fieldObject(pass, sel)
+				if obj == nil {
+					continue
+				}
+				atomicFields[obj] = append(atomicFields[obj], sel)
+				atomicUseNodes[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Second sweep: every other selector access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			if isAtomicType(obj.Type()) {
+				if !methodRecv[sel] {
+					pass.Reportf(sel.Pos(),
+						"field %s has atomic type %s but is used outside a method call; "+
+							"go through Load/Store/Swap so the access stays atomic",
+						obj.Name(), obj.Type())
+				}
+				return true
+			}
+			if _, mixed := atomicFields[obj]; mixed && !atomicUseNodes[sel] {
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is also accessed with sync/atomic; "+
+						"either use atomic ops everywhere or migrate the field to an atomic type",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldObject resolves sel to the struct field it selects, or nil when
+// sel is not a field selection (package-qualified names, methods, ...).
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// isAtomicPkgCall reports whether the call's callee is a function of the
+// sync/atomic package (LoadUint64, AddInt64, StorePointer, ...).
+func isAtomicPkgCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isAtomicType reports whether t is a named type of sync/atomic
+// (including instantiated generics like atomic.Pointer[T]).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

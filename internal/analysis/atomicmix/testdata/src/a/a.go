@@ -1,0 +1,76 @@
+package a
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access to n: every plain use must be
+// flagged once the field's address reaches a sync/atomic function.
+type counter struct {
+	n    uint64
+	safe uint64 // never touched atomically: plain access is fine
+	typed atomic.Uint64
+	ptr   atomic.Pointer[counter]
+}
+
+func (c *counter) add() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) mixedRead() uint64 {
+	return c.n // want `plain access to field n, which is also accessed with sync/atomic`
+}
+
+func (c *counter) mixedWrite() {
+	c.n = 0 // want `plain access to field n, which is also accessed with sync/atomic`
+}
+
+func (c *counter) mixedAlias() *uint64 {
+	return &c.n // want `plain access to field n, which is also accessed with sync/atomic`
+}
+
+func (c *counter) plainOnly() uint64 {
+	c.safe++ // no finding: safe is never accessed atomically
+	return c.safe
+}
+
+func (c *counter) typedOK() uint64 {
+	c.typed.Add(1)
+	p := c.ptr.Load()
+	_ = p
+	return c.typed.Load()
+}
+
+func (c *counter) typedCopy() atomic.Uint64 {
+	return c.typed // want `field typed has atomic type sync/atomic.Uint64 but is used outside a method call`
+}
+
+func (c *counter) typedAddr() *atomic.Pointer[counter] {
+	return &c.ptr // want `field ptr has atomic type .* but is used outside a method call`
+}
+
+// embedded carries the atomic discipline through an embedded struct:
+// selections through the embedded field resolve to the same field object.
+type embedded struct {
+	counter
+}
+
+func (e *embedded) throughEmbedded() uint64 {
+	return e.counter.n // want `plain access to field n, which is also accessed with sync/atomic`
+}
+
+// ignored shows an audited suppression.
+func (c *counter) ignored() uint64 {
+	//sdplint:ignore atomicmix read is single-threaded during shutdown
+	return c.n
+}
+
+// localVars are out of scope: the pass guards shared struct state, and
+// vet's own checks cover locals.
+func localMix() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	return n
+}

@@ -1,0 +1,24 @@
+package errdrop_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/errdrop"
+)
+
+// TestErrdrop exercises the analyzer against a stand-in transport package
+// mapped to the real sariadne/internal/transport import path, so the
+// package-path scoping rule runs exactly as it does on production code.
+func TestErrdrop(t *testing.T) {
+	testdata := analysistest.TestData(t)
+	stub, err := filepath.Abs(filepath.Join(testdata, "src", "transportstub", "transport.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.RunWithModule(t, testdata, errdrop.Analyzer, "a",
+		"sariadne", map[string][]string{
+			"sariadne/internal/transport": {stub},
+		})
+}

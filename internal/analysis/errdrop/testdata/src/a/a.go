@@ -1,0 +1,60 @@
+package a
+
+import "sariadne/internal/transport"
+
+// journal matches the receiver-name rule (contains "journal").
+type journal struct{}
+
+func (j *journal) append(e string) error { return nil }
+func (j *journal) close() error          { return nil }
+func (j *journal) size() int             { return 0 }
+
+// diskStore matches the receiver-name rule (contains "store").
+type diskStore struct{}
+
+func (s *diskStore) Put(k, v string) error { return nil }
+
+// logger is out of scope: dropped errors on it are someone else's lint.
+type logger struct{}
+
+func (l *logger) Log(msg string) error { return nil }
+
+func bareDrops(ep transport.Endpoint, j *journal, s *diskStore) {
+	ep.Send("peer", nil)  // want `error returned by Endpoint.Send is silently dropped`
+	ep.Close()            // want `error returned by Endpoint.Close is silently dropped`
+	transport.Flush()     // want `error returned by transport.Flush is silently dropped`
+	j.append("entry")     // want `error returned by journal.append is silently dropped`
+	j.close()             // want `error returned by journal.close is silently dropped`
+	s.Put("k", "v")       // want `error returned by diskStore.Put is silently dropped`
+}
+
+func goDeferDrops(ep transport.Endpoint, j *journal) {
+	go ep.Send("peer", nil) // want `go error returned by Endpoint.Send is silently dropped`
+	defer j.close()         // want `defer error returned by journal.close is silently dropped`
+}
+
+func handled(ep transport.Endpoint, j *journal) error {
+	if err := ep.Send("peer", nil); err != nil {
+		return err
+	}
+	return j.close()
+}
+
+func acknowledgedBlank(ep transport.Endpoint, j *journal) {
+	// Explicit blank assignment is the audited fire-and-forget idiom.
+	_ = ep.Send("peer", nil)
+	_ = j.close()
+}
+
+func outOfScope(l *logger) {
+	l.Log("hello") // no finding: logger is neither transport nor store/journal
+}
+
+func noErrorResult(j *journal) {
+	_ = j.size() // no error in the signature: nothing to drop
+}
+
+func suppressed(ep transport.Endpoint) {
+	//sdplint:ignore errdrop best-effort beacon on a lossy link
+	ep.Send("peer", nil)
+}

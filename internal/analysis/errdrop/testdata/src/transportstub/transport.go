@@ -1,0 +1,19 @@
+// Package transport is a minimal stand-in for sariadne/internal/transport
+// used by the errdrop analyzer tests: the analyzer scopes by import path,
+// so these declarations exercise the same resolution as production code.
+package transport
+
+// Addr identifies a peer.
+type Addr string
+
+// Endpoint is the messaging surface whose dropped errors errdrop guards.
+type Endpoint interface {
+	Send(to Addr, payload []byte) error
+	Close() error
+}
+
+// Dial is a package-level transport function returning an error.
+func Dial(addr Addr) (Endpoint, error) { return nil, nil }
+
+// Flush is a package-level transport function with a lone error result.
+func Flush() error { return nil }

@@ -1,0 +1,346 @@
+// Package hotalloc keeps the query hot path allocation-free. A function
+// annotated
+//
+//	//sdp:hotpath
+//
+// on its doc comment runs on the paper's match fast path — encoded-match
+// distance computations, Bloom membership tests, the registry's snapshot
+// walk — where a single heap allocation per call multiplies into GC
+// pressure at directory query rates. hotalloc flags every construct in an
+// annotated function's body that allocates (or may allocate) on the heap:
+//
+//   - make(...) and new(...),
+//   - append(...) — growth of the backing array cannot be ruled out
+//     statically; appends into caller-preallocated capacity carry an
+//     //sdplint:ignore hotalloc comment stating the capacity invariant,
+//   - slice, map and pointer-to-struct composite literals,
+//   - string concatenation (+ / += on strings),
+//   - string ↔ []byte / []rune conversions,
+//   - function literals that capture enclosing variables (the closure
+//     cell is heap-allocated),
+//   - implicit interface boxing: passing, assigning or returning a
+//     concrete non-pointer-shaped value where an interface is expected
+//     (fmt.Sprintf("%d", n) is the classic offender).
+//
+// The pass is syntactic plus type info — it does not run escape analysis,
+// so it over-approximates: a flagged construct the compiler provably
+// keeps on the stack may be suppressed with an audited ignore comment.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sariadne/internal/analysis"
+)
+
+// Analyzer flags heap allocations inside //sdp:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "check that functions annotated //sdp:hotpath do not allocate: no " +
+		"make/new/append/composite literals, string concatenation, capturing " +
+		"closures or interface boxing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd.Doc) {
+				continue
+			}
+			c := &checker{pass: pass, results: resultTypes(pass, fd)}
+			c.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+func isHotpath(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "sdp:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+// resultTypes records the declared result types so returns can be checked
+// for interface boxing.
+func resultTypes(pass *analysis.Pass, fd *ast.FuncDecl) []types.Type {
+	var out []types.Type
+	if fd.Type.Results == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Results.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	results []types.Type
+}
+
+func (c *checker) block(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "hotpath function takes the address of a composite literal, which escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.pass.TypesInfo.Types[n.X].Type) {
+				c.pass.Reportf(n.Pos(), "hotpath function concatenates strings, which allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(c.pass.TypesInfo.Types[n.Lhs[0]].Type) {
+				c.pass.Reportf(n.Pos(), "hotpath function concatenates strings, which allocates")
+			}
+			c.assign(n)
+		case *ast.GenDecl:
+			c.decl(n)
+		case *ast.FuncLit:
+			c.funcLit(n)
+		case *ast.ReturnStmt:
+			c.ret(n)
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "hotpath function starts a goroutine, which allocates a stack")
+		}
+		return true
+	})
+}
+
+// call checks builtin allocators, allocating conversions and interface
+// boxing of arguments.
+func (c *checker) call(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, builtin := c.pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				c.pass.Reportf(call.Pos(), "hotpath function calls make, which allocates")
+			case "new":
+				c.pass.Reportf(call.Pos(), "hotpath function calls new, which allocates")
+			case "append":
+				c.pass.Reportf(call.Pos(), "hotpath function calls append, which may grow the backing array")
+			}
+			return
+		}
+	}
+	// Type conversion?
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := c.pass.TypesInfo.Types[call.Args[0]].Type
+		if src != nil && allocatingConversion(src, dst) {
+			c.pass.Reportf(call.Pos(), "hotpath function converts %s to %s, which copies and allocates", src, dst)
+		}
+		return
+	}
+	// Interface boxing of arguments.
+	sig, ok := funcSignature(c.pass, call)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			slice, ok := last.(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.boxed(arg, pt)
+	}
+}
+
+// assign checks interface boxing on assignments.
+func (c *checker) assign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i := range a.Lhs {
+		lt := c.pass.TypesInfo.Types[a.Lhs[i]].Type
+		if lt == nil && a.Tok == token.DEFINE {
+			if id, ok := a.Lhs[i].(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		c.boxed(a.Rhs[i], lt)
+	}
+}
+
+// decl checks interface boxing in var declarations.
+func (c *checker) decl(gd *ast.GenDecl) {
+	if gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) == 0 {
+			continue
+		}
+		for i, v := range vs.Values {
+			if i < len(vs.Names) {
+				if obj := c.pass.TypesInfo.Defs[vs.Names[i]]; obj != nil {
+					c.boxed(v, obj.Type())
+				}
+			}
+		}
+	}
+}
+
+// ret checks interface boxing of return values.
+func (c *checker) ret(r *ast.ReturnStmt) {
+	if len(r.Results) != len(c.results) {
+		return
+	}
+	for i, e := range r.Results {
+		c.boxed(e, c.results[i])
+	}
+}
+
+// funcLit flags closures that capture enclosing variables.
+func (c *checker) funcLit(lit *ast.FuncLit) {
+	captured := false
+	var capturedName string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Package-level vars do not force a closure cell; locals declared
+		// outside the literal do.
+		if obj.Parent() == c.pass.Pkg.Scope() {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			captured = true
+			capturedName = id.Name
+		}
+		return true
+	})
+	if captured {
+		c.pass.Reportf(lit.Pos(), "hotpath function creates a closure capturing %s, which allocates", capturedName)
+	}
+}
+
+// composite flags slice and map literals (always heap-backed storage) —
+// plain struct literals stay on the stack and pass.
+func (c *checker) composite(lit *ast.CompositeLit) {
+	t := c.pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "hotpath function builds a slice literal, which allocates")
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "hotpath function builds a map literal, which allocates")
+	}
+}
+
+// boxed reports when expr (a concrete, non-pointer-shaped value) is
+// converted to an interface-typed destination.
+func (c *checker) boxed(expr ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if src == types.Typ[types.UntypedNil] {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return // interface-to-interface: no box
+	}
+	if pointerShaped(src) {
+		return // the value fits the interface data word
+	}
+	c.pass.Reportf(expr.Pos(), "hotpath function boxes %s into %s, which allocates", src, dst)
+}
+
+// pointerShaped reports whether values of t fit an interface's data word
+// without a heap copy.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// allocatingConversion reports string ↔ []byte/[]rune conversions.
+func allocatingConversion(src, dst types.Type) bool {
+	return (isString(src) && isByteOrRuneSlice(dst)) || (isByteOrRuneSlice(src) && isString(dst))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// funcSignature resolves the called function's signature, when the callee
+// is an ordinary function or method (not a builtin or conversion).
+func funcSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -1,0 +1,110 @@
+package a
+
+import "fmt"
+
+var global int
+
+type table struct {
+	names map[string]int
+	codes []int
+}
+
+// distance is the shape of the real encoded-match hot path: index
+// lookups, integer comparisons, no allocation — nothing to flag.
+//
+//sdp:hotpath
+func distance(t *table, a, b string) (int, bool) {
+	ai, ok := t.names[a]
+	if !ok {
+		return 0, false
+	}
+	bi, ok := t.names[b]
+	if !ok {
+		return 0, false
+	}
+	if ai == bi {
+		return 0, true
+	}
+	return t.codes[ai] - t.codes[bi], true
+}
+
+// cold is unannotated: it may allocate freely.
+func cold() []int {
+	out := make([]int, 8)
+	out = append(out, 1)
+	return out
+}
+
+//sdp:hotpath
+func allocators(n int) {
+	_ = make([]int, n)    // want `calls make, which allocates`
+	_ = new(table)        // want `calls new, which allocates`
+	var s []int
+	s = append(s, 1) // want `calls append, which may grow the backing array`
+	_ = s
+}
+
+//sdp:hotpath
+func literals() {
+	_ = []int{1, 2}            // want `builds a slice literal, which allocates`
+	_ = map[string]int{"a": 1} // want `builds a map literal, which allocates`
+	_ = &table{}               // want `takes the address of a composite literal`
+	v := table{}               // stack struct literal: fine
+	_ = v
+}
+
+//sdp:hotpath
+func strconcat(a, b string) string {
+	c := a + b // want `concatenates strings, which allocates`
+	c += a     // want `concatenates strings, which allocates`
+	return c
+}
+
+//sdp:hotpath
+func conversions(s string, b []byte) {
+	_ = []byte(s) // want `converts string to \[\]byte, which copies and allocates`
+	_ = string(b) // want `converts \[\]byte to string, which copies and allocates`
+	_ = int64(len(s)) // numeric conversion: fine
+}
+
+//sdp:hotpath
+func closures(xs []int) int {
+	total := 0
+	f := func() { // want `creates a closure capturing total, which allocates`
+		total++
+	}
+	f()
+	g := func(a, b int) int { return a + b } // no capture: fine
+	h := func() int { return global }        // package-level var: no cell
+	return g(total, h())
+}
+
+//sdp:hotpath
+func boxing(n int, p *table) {
+	fmt.Println(n)  // want `boxes int into any, which allocates`
+	fmt.Println(p)  // pointer-shaped: no box allocation
+	var i interface{ m() }
+	_ = i
+	var any1 any = n // want `boxes int into any, which allocates`
+	_ = any1
+	var any2 any = p // fine
+	_ = any2
+}
+
+//sdp:hotpath
+func boxedReturn(n int) any {
+	return n // want `boxes int into any, which allocates`
+}
+
+//sdp:hotpath
+func spawns() {
+	go cold() // want `starts a goroutine`
+}
+
+//sdp:hotpath
+func suppressed(dst []int) []int {
+	// The caller guarantees cap(dst) >= needed; growth cannot happen.
+	//sdplint:ignore hotalloc capacity preallocated by caller
+	dst = append(dst, 1)
+	return dst
+}

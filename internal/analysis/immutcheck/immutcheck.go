@@ -1,0 +1,200 @@
+// Package immutcheck enforces the snapshot-publish discipline behind the
+// lock-free read path: a type annotated
+//
+//	//sdp:immutable
+//
+// on its declaration is published by atomic pointer swap and read
+// concurrently without locks, so after construction it must never be
+// mutated — writers build a fresh value (copy-on-write) and swap the
+// pointer. immutcheck turns violations of that convention into build-time
+// findings instead of race-detector roulette.
+//
+// The contract it checks: fields of an annotated type may only be written
+// inside construction functions — functions (or methods) whose name
+// starts with "new", "make" or "clone", case-insensitively. Everything
+// else is a finding:
+//
+//   - direct field stores (s.f = v, s.f += v, s.f++),
+//   - writes through a field (s.slice[i] = v, s.m[k] = v, delete(s.m, k),
+//     s.inner.g = v),
+//   - writes to promoted fields reached through an embedded immutable
+//     struct.
+//
+// The annotation may sit on the type's own doc comment or on the doc of a
+// grouped `type (...)` declaration, in which case it covers every type in
+// the group.
+package immutcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sariadne/internal/analysis"
+)
+
+// Analyzer verifies that //sdp:immutable types are only written inside
+// constructor/clone functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "immutcheck",
+	Doc: "check that types annotated //sdp:immutable are only written inside " +
+		"construction functions (new*/make*/clone*), so atomically published " +
+		"snapshots stay copy-on-write",
+	Run: run,
+}
+
+// allowedPrefixes are the construction-function name prefixes permitted to
+// write immutable state.
+var allowedPrefixes = []string{"new", "make", "clone"}
+
+func run(pass *analysis.Pass) error {
+	immutTypes, immutFields := collect(pass)
+	if len(immutTypes) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, types: immutTypes, fields: immutFields}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || constructorName(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						c.checkWrite(lhs)
+					}
+				case *ast.IncDecStmt:
+					c.checkWrite(n.X)
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+						if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+							c.checkWrite(n.Args[0])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// constructorName reports whether a function name belongs to the allowed
+// construction set.
+func constructorName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range allowedPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// collect finds //sdp:immutable annotations and returns the annotated
+// type names plus the set of their declared field objects (for promoted
+// access through embedding).
+func collect(pass *analysis.Pass) (map[*types.TypeName]bool, map[types.Object]string) {
+	immutTypes := make(map[*types.TypeName]bool)
+	immutFields := make(map[types.Object]string)
+	mark := func(ts *ast.TypeSpec) {
+		tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			return
+		}
+		immutTypes[tn] = true
+		// Every declared field, embedded ones included, so writes to
+		// promoted fields through an embedding chain resolve here too.
+		if s, ok := tn.Type().Underlying().(*types.Struct); ok {
+			for i := 0; i < s.NumFields(); i++ {
+				immutFields[s.Field(i)] = tn.Name()
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			groupAnnotated := hasAnnotation(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if groupAnnotated || hasAnnotation(ts.Doc) || hasAnnotation(ts.Comment) {
+					mark(ts)
+				}
+			}
+		}
+	}
+	return immutTypes, immutFields
+}
+
+func hasAnnotation(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "sdp:immutable" {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	types  map[*types.TypeName]bool
+	fields map[types.Object]string
+}
+
+// checkWrite peels the written expression down its selector/index chain
+// and reports when the store lands in (or goes through) a field of an
+// immutable type.
+func (c *checker) checkWrite(e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := c.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				owner := baseNamed(c.pass.TypesInfo.Types[x.X].Type)
+				typeName, immutable := c.fields[sel.Obj()]
+				if !immutable && owner != nil && c.types[owner.Obj()] {
+					typeName, immutable = owner.Obj().Name(), true
+				}
+				if immutable {
+					c.pass.Reportf(x.Pos(),
+						"write to field %s of //sdp:immutable type %s outside a construction "+
+							"function (allowed: new*/make*/clone*); copy-on-write and republish instead",
+						sel.Obj().Name(), typeName)
+					return
+				}
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// baseNamed returns the named type behind pointers, or nil.
+func baseNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,12 @@
+package immutcheck_test
+
+import (
+	"testing"
+
+	"sariadne/internal/analysis/analysistest"
+	"sariadne/internal/analysis/immutcheck"
+)
+
+func TestImmutcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), immutcheck.Analyzer, "a")
+}

@@ -1,0 +1,82 @@
+package a
+
+// snapshot is published by atomic pointer swap; writers must
+// copy-on-write.
+//
+//sdp:immutable
+type snapshot struct {
+	entries []string
+	index   map[string]int
+	count   int
+	inner   inner
+}
+
+type inner struct {
+	n int
+}
+
+// mutable has no annotation: writes anywhere are fine.
+type mutable struct {
+	count int
+}
+
+// newSnapshot is a constructor: writes are the point.
+func newSnapshot(entries []string) *snapshot {
+	s := &snapshot{index: make(map[string]int)}
+	s.entries = entries
+	for i, e := range entries {
+		s.index[e] = i
+	}
+	s.count = len(entries)
+	s.inner.n = 1
+	return s
+}
+
+// cloneSnapshot may write: it builds the next version.
+func cloneSnapshot(old *snapshot) *snapshot {
+	s := &snapshot{}
+	s.entries = append([]string(nil), old.entries...)
+	s.count = old.count
+	return s
+}
+
+// makeIndex is construction too.
+func makeIndex(s *snapshot) {
+	s.index = map[string]int{}
+}
+
+func mutateDirect(s *snapshot) {
+	s.count = 7 // want `write to field count of //sdp:immutable type snapshot outside a construction`
+}
+
+func mutateCompound(s *snapshot) {
+	s.count += 1 // want `write to field count of //sdp:immutable type snapshot`
+	s.count++    // want `write to field count of //sdp:immutable type snapshot`
+}
+
+func mutateThroughSlice(s *snapshot) {
+	s.entries[0] = "x" // want `write to field entries of //sdp:immutable type snapshot`
+}
+
+func mutateThroughMap(s *snapshot) {
+	s.index["k"] = 1 // want `write to field index of //sdp:immutable type snapshot`
+	delete(s.index, "k") // want `write to field index of //sdp:immutable type snapshot`
+}
+
+func mutateNested(s *snapshot) {
+	s.inner.n = 2 // want `write to field inner of //sdp:immutable type snapshot`
+}
+
+func mutateOK(m *mutable) {
+	m.count = 1 // no finding: mutable is not annotated
+}
+
+func readOK(s *snapshot) int {
+	local := s.count // reads are always fine
+	return local + len(s.entries)
+}
+
+func suppressed(s *snapshot) {
+	//sdplint:ignore immutcheck test fixture resets between publications
+	s.count = 0
+}

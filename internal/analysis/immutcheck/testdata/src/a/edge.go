@@ -1,0 +1,54 @@
+//go:build !some_disabled_tag
+
+// Package-clause build tags must not confuse annotation detection: the
+// annotations below still attach to their declarations.
+package a
+
+// The group annotation covers every type in the parenthesized block.
+//
+//sdp:immutable
+type (
+	grouped1 struct {
+		a int
+	}
+	grouped2 struct {
+		b int
+	}
+)
+
+// trailing is annotated by a line comment on the spec itself.
+type trailing struct{ c int } //sdp:immutable
+
+// host embeds an immutable struct; writes to promoted fields are writes
+// to the immutable type's fields.
+type host struct {
+	grouped1
+	own int
+}
+
+func newGrouped() *grouped1 {
+	g := &grouped1{}
+	g.a = 1
+	return g
+}
+
+func mutateGrouped1(g *grouped1) {
+	g.a = 2 // want `write to field a of //sdp:immutable type grouped1`
+}
+
+func mutateGrouped2(g *grouped2) {
+	g.b = 2 // want `write to field b of //sdp:immutable type grouped2`
+}
+
+func mutateTrailing(t *trailing) {
+	t.c = 3 // want `write to field c of //sdp:immutable type trailing`
+}
+
+func mutatePromoted(h *host) {
+	h.a = 4 // want `write to field a of //sdp:immutable type`
+	h.own = 5
+}
+
+func mutateEmbedded(h *host) {
+	h.grouped1.a = 6 // want `write to field a of //sdp:immutable type grouped1`
+}

@@ -12,7 +12,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 )
 
@@ -60,45 +59,54 @@ func MustNew(m, k int) *Filter {
 	return f
 }
 
-// positions derives the k bit positions for a key using double hashing
-// over two independent FNV-1a digests (Kirsch–Mitzenmacher).
-func (f *Filter) positions(key string, fn func(pos uint32) bool) {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	sum := h.Sum64()
+// hashPair returns the two Kirsch–Mitzenmacher base hashes for a key:
+// the low and high halves of its FNV-1a digest. The digest is computed
+// inline over the string — hash/fnv would box a hash.Hash64 and copy
+// the key to []byte on every probe, and remote-summary probes run on
+// the forwarding hot path.
+//
+//sdp:hotpath
+func hashPair(key string) (uint32, uint32) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	sum := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		sum ^= uint64(key[i])
+		sum *= prime64
+	}
 	h1 := uint32(sum)
 	h2 := uint32(sum >> 32)
 	if h2 == 0 {
 		h2 = 0x9e3779b9
 	}
-	for i := uint32(0); i < f.k; i++ {
-		if !fn((h1 + i*h2) % f.m) {
-			return
-		}
-	}
+	return h1, h2
 }
 
-// Add inserts a key.
+// Add inserts a key, setting its k double-hashed bit positions.
 func (f *Filter) Add(key string) {
-	f.positions(key, func(pos uint32) bool {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
 		f.bits[pos/64] |= 1 << (pos % 64)
-		return true
-	})
+	}
 	f.additions++
 }
 
 // Test reports whether the key may have been added: false means definitely
 // absent, true means present or a false positive.
+//
+//sdp:hotpath
 func (f *Filter) Test(key string) bool {
-	may := true
-	f.positions(key, func(pos uint32) bool {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + i*h2) % f.m
 		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
-			may = false
 			return false
 		}
-		return true
-	})
-	return may
+	}
+	return true
 }
 
 // Bits returns the filter size in bits.

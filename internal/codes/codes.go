@@ -179,6 +179,8 @@ type Code struct {
 // code is other: other's primary interval must fall inside one of the
 // covering intervals. This is the paper's "semantic reasoning reduced to a
 // numeric comparison of codes".
+//
+//sdp:hotpath
 func (c Code) Subsumes(other Code) bool {
 	for _, iv := range c.Covers {
 		if iv.Contains(other.Primary) {
@@ -369,6 +371,8 @@ func (t *Table) Code(name string) (Code, bool) {
 
 // Subsumes reports whether class a subsumes class b, by numeric interval
 // comparison only. Unknown names never subsume anything.
+//
+//sdp:hotpath
 func (t *Table) Subsumes(a, b string) bool {
 	ai, ok := t.names[a]
 	if !ok {
@@ -389,6 +393,8 @@ func (t *Table) Subsumes(a, b string) bool {
 // (the paper's NULL) otherwise. Subsumption itself is established by the
 // numeric codes; the level count is read from the table precomputed at
 // encoding time, so no reasoner runs at match time.
+//
+//sdp:hotpath
 func (t *Table) Distance(a, b string) (int, bool) {
 	ai, ok := t.names[a]
 	if !ok {

@@ -96,6 +96,8 @@ func NewCodeMatcher(reg *codes.Registry) *CodeMatcher {
 }
 
 // Distance implements ConceptMatcher.
+//
+//sdp:hotpath
 func (m *CodeMatcher) Distance(a, b ontology.Ref) (int, bool) {
 	if a.Ontology != b.Ontology {
 		return 0, false
@@ -126,6 +128,8 @@ var (
 
 // Match reports whether provided capability c1 can substitute for required
 // capability c2 under the relation described in the package comment.
+//
+//sdp:hotpath
 func Match(m ConceptMatcher, c1, c2 *profile.Capability) bool {
 	_, ok := SemanticDistance(m, c1, c2)
 	return ok
@@ -135,6 +139,8 @@ func Match(m ConceptMatcher, c1, c2 *profile.Capability) bool {
 // over every matched concept pair, of the concept-level distance, choosing
 // for each required element the offered counterpart with minimal distance.
 // ok is false when Match(c1, c2) does not hold.
+//
+//sdp:hotpath
 func SemanticDistance(m ConceptMatcher, c1, c2 *profile.Capability) (int, bool) {
 	total := 0
 
@@ -179,6 +185,8 @@ func SemanticDistance(m ConceptMatcher, c1, c2 *profile.Capability) (int, bool) 
 
 // bestPropertyDistance finds min d(p, to) over c1's category and extra
 // properties.
+//
+//sdp:hotpath
 func bestPropertyDistance(m ConceptMatcher, c1 *profile.Capability, to ontology.Ref) (int, bool) {
 	best, found := 0, false
 	if d, ok := m.Distance(c1.Category, to); ok {
@@ -193,6 +201,8 @@ func bestPropertyDistance(m ConceptMatcher, c1 *profile.Capability, to ontology.
 }
 
 // bestDistanceFrom finds min d(from, cand) over candidates.
+//
+//sdp:hotpath
 func bestDistanceFrom(m ConceptMatcher, from ontology.Ref, candidates []ontology.Ref) (int, bool) {
 	best, found := 0, false
 	for _, cand := range candidates {
@@ -204,6 +214,8 @@ func bestDistanceFrom(m ConceptMatcher, from ontology.Ref, candidates []ontology
 }
 
 // bestDistanceTo finds min d(cand, to) over candidates.
+//
+//sdp:hotpath
 func bestDistanceTo(m ConceptMatcher, candidates []ontology.Ref, to ontology.Ref) (int, bool) {
 	best, found := 0, false
 	for _, cand := range candidates {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sariadne/internal/match"
 	"sariadne/internal/profile"
@@ -19,7 +20,10 @@ type LinearDirectory struct {
 	matcher   match.ConceptMatcher
 	entries   []*Entry            // guarded by mu
 	byService map[string][]*Entry // guarded by mu
-	matchOps  uint64              // guarded by mu
+	// matchOps counts match operations (monotonic). It is atomic rather
+	// than mu-protected, so concurrent queries share a read lock instead
+	// of serializing on a write lock just to bump the counter.
+	matchOps atomic.Uint64
 }
 
 // NewLinearDirectory returns an empty flat directory matching with m.
@@ -66,13 +70,14 @@ func (d *LinearDirectory) Deregister(service string) bool {
 }
 
 // Query matches the request against every stored capability and returns
-// the matches sorted by ascending distance.
+// the matches sorted by ascending distance. Queries only read the entry
+// list, so they take the read lock and run concurrently with each other.
 func (d *LinearDirectory) Query(req *profile.Capability) []Result {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var results []Result
 	for _, e := range d.entries {
-		d.matchOps++
+		d.matchOps.Add(1)
 		if dist, ok := match.SemanticDistance(d.matcher, e.Capability, req); ok {
 			if !profile.QoSSatisfies(e.Capability, req) {
 				continue
@@ -103,9 +108,7 @@ func (d *LinearDirectory) Best(req *profile.Capability) (Result, bool) {
 
 // MatchOps returns the cumulative number of match operations performed.
 func (d *LinearDirectory) MatchOps() uint64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.matchOps
+	return d.matchOps.Load()
 }
 
 // NumCapabilities returns the number of stored advertisements.

@@ -3,6 +3,7 @@ package registry
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -104,5 +105,50 @@ func TestPropertyLinearAndClassifiedAgree(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLinearConcurrentQueries is the regression test for the read-path
+// fix found while converting matchOps to an atomic: Query used to take
+// the write lock solely to bump the mu-protected counter, serializing
+// every reader. Under -race this proves queries can share the read lock
+// with each other and with MatchOps/NumCapabilities while a writer
+// churns registrations, and that no match operation goes uncounted.
+func TestLinearConcurrentQueries(t *testing.T) {
+	_, m := newFixtureDirectory(t)
+	d := NewLinearDirectory(m)
+	if err := d.Register(profile.WorkstationService()); err != nil {
+		t.Fatal(err)
+	}
+	req := profile.PDAService().Required[0]
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				d.Query(req)
+				d.MatchOps()
+				d.NumCapabilities()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%3 == 0 {
+				d.Deregister("PDAVideoPlayer")
+			} else if err := d.Register(profile.PDAService()); err != nil {
+				t.Errorf("register: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	// Each query matched against at least the workstation's entries, so
+	// the atomic counter must have kept pace with all readers.
+	if ops := d.MatchOps(); ops < 4*iters {
+		t.Fatalf("MatchOps = %d, want at least %d", ops, 4*iters)
 	}
 }

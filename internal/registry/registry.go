@@ -109,9 +109,12 @@ func (g *graph) addOntologies(uris []string) {
 
 // Directory is a semantic service directory: it caches advertised
 // capabilities classified into graphs and answers capability queries.
-// Directory is safe for concurrent use.
+// Directory is safe for concurrent use: writers serialize on mu and
+// publish immutable snapshots through snap, which readers load without
+// taking any lock (see snapshot.go for the publish invariant).
 type Directory struct {
-	mu      sync.RWMutex
+	// mu serializes writers only; the read path never takes it.
+	mu      sync.Mutex
 	matcher match.ConceptMatcher
 	graphs  []*graph // guarded by mu
 	// byOntology indexes graphs by the ontology URIs they contain, so
@@ -119,17 +122,53 @@ type Directory struct {
 	byOntology map[string][]*graph // guarded by mu
 	// byService tracks entries for deregistration.
 	byService map[string][]*Entry // guarded by mu
+	// compiled caches the immutable compiled form of each graph;
+	// dirty marks graphs whose cached form is stale, so a publish
+	// recompiles only what the write touched (copy-on-write at graph
+	// granularity).
+	compiled map[*graph]*snapGraph // guarded by mu
+	dirty    map[*graph]struct{}   // guarded by mu
+	// snap is the published immutable view served to readers.
+	snap atomic.Pointer[snapshot]
 	// matchOps counts capability-level match operations (monotonic).
 	matchOps atomic.Uint64
 }
 
 // NewDirectory returns an empty directory matching with m.
 func NewDirectory(m match.ConceptMatcher) *Directory {
-	return &Directory{
+	d := &Directory{
 		matcher:    m,
 		byOntology: make(map[string][]*graph),
 		byService:  make(map[string][]*Entry),
+		compiled:   make(map[*graph]*snapGraph),
+		dirty:      make(map[*graph]struct{}),
 	}
+	d.snap.Store(newSnapshot(d, d.compiled))
+	return d
+}
+
+// markDirtyLocked records that g's compiled form is stale.
+func (d *Directory) markDirtyLocked(g *graph) {
+	d.dirty[g] = struct{}{}
+}
+
+// publishLocked recompiles every dirty graph, reusing the cached compiled
+// form of clean ones, and atomically publishes the new snapshot. Writers
+// call it once per Register/Deregister, so a service advertising many
+// capabilities pays for one snapshot (and one ontology-key regeneration),
+// not one per capability.
+func (d *Directory) publishLocked() {
+	compiled := make(map[*graph]*snapGraph, len(d.graphs))
+	for _, g := range d.graphs {
+		sg, ok := d.compiled[g]
+		if _, stale := d.dirty[g]; stale || !ok {
+			sg = newSnapGraph(g)
+		}
+		compiled[g] = sg
+	}
+	d.compiled = compiled
+	d.dirty = make(map[*graph]struct{})
+	d.snap.Store(newSnapshot(d, compiled))
 }
 
 // indexGraphLocked records g under every URI in uris not yet indexed for it.
@@ -203,32 +242,17 @@ func (d *Directory) MatchOps() uint64 { return d.matchOps.Load() }
 
 // NumGraphs returns the number of capability graphs.
 func (d *Directory) NumGraphs() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.graphs)
+	return len(d.snap.Load().graphs)
 }
 
 // NumCapabilities returns the number of stored advertisements (entries).
 func (d *Directory) NumCapabilities() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	n := 0
-	for _, entries := range d.byService {
-		n += len(entries)
-	}
-	return n
+	return d.snap.Load().stats.Entries
 }
 
 // Services returns the sorted names of registered services.
 func (d *Directory) Services() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.byService))
-	for s := range d.byService {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), d.snap.Load().services...)
 }
 
 // Register classifies every provided capability of the service into the
@@ -254,6 +278,7 @@ func (d *Directory) Register(s *profile.Service) error {
 		d.insertLocked(e)
 		d.byService[s.Name] = append(d.byService[s.Name], e)
 	}
+	d.publishLocked()
 	match.CountOps(d.matcher, d.matchOps.Load()-opsBefore)
 	insertSeconds.ObserveSince(start)
 	return nil
@@ -280,6 +305,7 @@ func (d *Directory) insertLocked(e *Entry) {
 	g.leaves[v] = struct{}{}
 	d.graphs = append(d.graphs, g)
 	d.indexGraphLocked(g, uris)
+	d.markDirtyLocked(g)
 	graphsGauge.Add(1)
 	verticesGauge.Add(1)
 	entriesGauge.Add(1)
@@ -362,6 +388,7 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 		if _, both := sset[v]; both {
 			v.entries = append(v.entries, e)
 			d.indexGraphLocked(g, c.Ontologies())
+			d.markDirtyLocked(g)
 			entriesGauge.Add(1)
 			insertDepth.ObserveInt(int64(depth))
 			return true
@@ -427,6 +454,7 @@ func (d *Directory) insertIntoGraphLocked(g *graph, e *Entry) bool {
 		g.leaves[nv] = struct{}{}
 	}
 	d.indexGraphLocked(g, c.Ontologies())
+	d.markDirtyLocked(g)
 	verticesGauge.Add(1)
 	entriesGauge.Add(1)
 	edgesGauge.Add(int64(edgeDelta))
@@ -447,6 +475,7 @@ func (d *Directory) Deregister(service string) bool {
 	for _, e := range entries {
 		d.removeEntryLocked(e)
 	}
+	d.publishLocked()
 	return true
 }
 
@@ -466,6 +495,7 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 				continue
 			}
 			v.entries = append(v.entries[:idx], v.entries[idx+1:]...)
+			d.markDirtyLocked(g)
 			entriesGauge.Add(-1)
 			if len(v.entries) > 0 {
 				return
@@ -518,44 +548,29 @@ func (d *Directory) removeEntryLocked(e *Entry) {
 // capability name for determinism). It implements the paper's "answering
 // user requests": graphs are pre-selected by ontology index, only matching
 // roots are expanded, and only matching vertices are traversed.
+//
+// The read path is lock-free: it loads the current immutable snapshot
+// and walks compiled graphs with pooled scratch, so queries never block
+// writers and scale with reader parallelism.
 func (d *Directory) Query(req *profile.Capability) []Result {
 	start := time.Now()
 	opsBefore := d.matchOps.Load()
 	rootProbes := 0
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	snap := d.snap.Load()
 	// Filter graphs by the ontologies a matching provider must use (the
 	// request's outputs and properties); the request's offered inputs may
 	// go unused by a provider, so their ontologies must not prune.
 	uris := req.RequiredOntologies()
 	var results []Result
-	for _, g := range d.candidateGraphsLocked(uris) {
-		matched := make(map[*vertex]struct{})
-		var frontier []*vertex
-		for r := range g.roots {
-			rootProbes++
-			if d.matches(r.rep, req) {
-				matched[r] = struct{}{}
-				frontier = append(frontier, r)
+	for _, g := range snap.candidateGraphs(uris) {
+		sp := scratchFor(len(g.vertices))
+		matched := *sp
+		rootProbes += d.walkGraph(g, req, matched)
+		for i := range g.vertices {
+			if !matched[i] {
+				continue
 			}
-		}
-		for len(frontier) > 0 {
-			var next []*vertex
-			for _, v := range frontier {
-				for s := range v.succs {
-					if _, seen := matched[s]; seen {
-						continue
-					}
-					if d.matches(s.rep, req) {
-						matched[s] = struct{}{}
-						next = append(next, s)
-					}
-				}
-			}
-			frontier = next
-		}
-		for v := range matched {
-			for _, e := range v.entries {
+			for _, e := range g.vertices[i].entries {
 				dist, ok := d.distance(e.Capability, req)
 				if !ok {
 					continue
@@ -569,6 +584,7 @@ func (d *Directory) Query(req *profile.Capability) []Result {
 				results = append(results, Result{Entry: e, Distance: dist})
 			}
 		}
+		matchScratch.Put(sp)
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Distance != results[j].Distance {
@@ -585,6 +601,35 @@ func (d *Directory) Query(req *profile.Capability) []Result {
 	return results
 }
 
+// walkGraph marks the vertices of g matching req in the caller-supplied
+// scratch bitmap and returns the number of root probes. Because the
+// compiled vertex slice is topologically ordered, one forward scan
+// visits parents before children: a non-root vertex is probed exactly
+// when some predecessor matched, which performs the same match
+// operations as the paper's frontier expansion without allocating
+// traversal state.
+//
+//sdp:hotpath
+func (d *Directory) walkGraph(g *snapGraph, req *profile.Capability, matched []bool) int {
+	rootProbes := 0
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		probe := v.root
+		if probe {
+			rootProbes++
+		} else {
+			for _, p := range v.preds {
+				if matched[p] {
+					probe = true
+					break
+				}
+			}
+		}
+		matched[i] = probe && d.matches(v.rep, req)
+	}
+	return rootProbes
+}
+
 // Best returns the advertisement with minimal semantic distance from the
 // request, if any matches.
 func (d *Directory) Best(req *profile.Capability) (Result, bool) {
@@ -599,74 +644,48 @@ func (d *Directory) Best(req *profile.Capability) (Result, bool) {
 // Bloom summaries (Section 4) hash over capability ontology sets, which
 // this exposes for tests and diagnostics.
 func (d *Directory) Ontologies() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	seen := make(map[string]struct{})
-	for _, g := range d.graphs {
-		for u := range g.ontologies {
-			seen[u] = struct{}{}
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for u := range seen {
-		out = append(out, u)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), d.snap.Load().ontologies...)
 }
 
 // OntologyKeys returns the distinct capability ontology-set keys stored in
-// the directory, the unit hashed into Bloom filters by Section 4.
+// the directory, the unit hashed into Bloom filters by Section 4. The key
+// list is regenerated once per published snapshot (a batched write-side
+// cost), so summary rebuilds on the read side are a lock-free copy.
 func (d *Directory) OntologyKeys() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	seen := make(map[string]struct{})
-	for _, entries := range d.byService {
-		for _, e := range entries {
-			seen[e.Capability.OntologyKey()] = struct{}{}
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), d.snap.Load().ontologyKeys...)
 }
 
 // Snapshot returns a human-readable dump of the graph structure, mainly
-// for debugging and the examples.
+// for debugging and the examples. It renders the current published
+// snapshot, so it is safe to call concurrently with writers.
 func (d *Directory) Snapshot() string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	snap := d.snap.Load()
 	var b strings.Builder
-	for i, g := range d.graphs {
-		uris := make([]string, 0, len(g.ontologies))
-		for u := range g.ontologies {
-			uris = append(uris, u)
+	for i, g := range snap.graphs {
+		fmt.Fprintf(&b, "graph %d (ontologies: %s)\n", i, strings.Join(g.ontologies, ", "))
+		order := make([]int, len(g.vertices))
+		for j := range order {
+			order[j] = j
 		}
-		sort.Strings(uris)
-		fmt.Fprintf(&b, "graph %d (ontologies: %s)\n", i, strings.Join(uris, ", "))
-		var verts []*vertex
-		for v := range g.vertices {
-			verts = append(verts, v)
-		}
-		sort.Slice(verts, func(a, c int) bool { return verts[a].rep.Name < verts[c].rep.Name })
-		for _, v := range verts {
+		sort.Slice(order, func(a, c int) bool {
+			return g.vertices[order[a]].rep.Name < g.vertices[order[c]].rep.Name
+		})
+		for _, j := range order {
+			v := &g.vertices[j]
 			names := make([]string, 0, len(v.entries))
 			for _, e := range v.entries {
 				names = append(names, e.String())
 			}
-			var succs []string
-			for s := range v.succs {
-				succs = append(succs, s.rep.Name)
+			succs := make([]string, 0, len(v.succs))
+			for _, s := range v.succs {
+				succs = append(succs, g.vertices[s].rep.Name)
 			}
 			sort.Strings(succs)
 			marker := ""
-			if _, ok := g.roots[v]; ok {
+			if v.root {
 				marker += " [root]"
 			}
-			if _, ok := g.leaves[v]; ok {
+			if v.leaf {
 				marker += " [leaf]"
 			}
 			fmt.Fprintf(&b, "  %s%s -> {%s} entries: %s\n", v.rep.Name, marker, strings.Join(succs, ", "), strings.Join(names, ", "))
@@ -678,8 +697,8 @@ func (d *Directory) Snapshot() string {
 // checkInvariants verifies structural invariants; tests call it after
 // mutation sequences. It returns a description of the first violation.
 func (d *Directory) checkInvariants() error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for gi, g := range d.graphs {
 		// Roots/leaves bookkeeping.
 		for v := range g.vertices {
@@ -730,6 +749,39 @@ func (d *Directory) checkInvariants() error {
 			}
 		}
 	}
+	// The published snapshot must agree with the builder state: same
+	// graph count and entry total, and every compiled graph genuinely
+	// topologically ordered with consistent root/leaf flags.
+	snap := d.snap.Load()
+	if len(snap.graphs) != len(d.graphs) {
+		return fmt.Errorf("snapshot has %d graphs, builder %d", len(snap.graphs), len(d.graphs))
+	}
+	wantEntries := 0
+	for _, entries := range d.byService {
+		wantEntries += len(entries)
+	}
+	if snap.stats.Entries != wantEntries {
+		return fmt.Errorf("snapshot has %d entries, builder %d", snap.stats.Entries, wantEntries)
+	}
+	for gi, sg := range snap.graphs {
+		if len(sg.vertices) != len(d.graphs[gi].vertices) {
+			return fmt.Errorf("snapshot graph %d has %d vertices, builder %d", gi, len(sg.vertices), len(d.graphs[gi].vertices))
+		}
+		for i := range sg.vertices {
+			v := &sg.vertices[i]
+			if v.root != (len(v.preds) == 0) {
+				return fmt.Errorf("snapshot graph %d: root flag wrong for %s", gi, v.rep.Name)
+			}
+			if v.leaf != (len(v.succs) == 0) {
+				return fmt.Errorf("snapshot graph %d: leaf flag wrong for %s", gi, v.rep.Name)
+			}
+			for _, p := range v.preds {
+				if int(p) >= i {
+					return fmt.Errorf("snapshot graph %d: vertex %d not topologically after pred %d", gi, i, p)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -752,23 +804,9 @@ type Stats struct {
 	Leaves int
 }
 
-// Stats computes a snapshot of the structural counters.
+// Stats returns the structural counters of the current published
+// snapshot. The counters are precomputed at publish time, so this is a
+// lock-free pointer load.
 func (d *Directory) Stats() Stats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	var s Stats
-	s.Graphs = len(d.graphs)
-	for _, g := range d.graphs {
-		s.Vertices += len(g.vertices)
-		s.Roots += len(g.roots)
-		s.Leaves += len(g.leaves)
-		if len(g.vertices) > s.MaxGraphVertices {
-			s.MaxGraphVertices = len(g.vertices)
-		}
-		for v := range g.vertices {
-			s.Edges += len(v.succs)
-			s.Entries += len(v.entries)
-		}
-	}
-	return s
+	return d.snap.Load().stats
 }

@@ -14,7 +14,11 @@ func newTestTCP(t *testing.T, seeds ...string) *TCP {
 	if err != nil {
 		t.Fatalf("NewTCP: %v", err)
 	}
-	t.Cleanup(func() { tr.Close() })
+	t.Cleanup(func() {
+		if err := tr.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	return tr
 }
 

@@ -101,7 +101,11 @@ func TestWrapPassesTransportsThrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer u.Close()
+	defer func() {
+		if err := u.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
 	if Wrap(u) != Transport(u) {
 		t.Fatal("Wrap re-wrapped a Transport")
 	}
@@ -116,7 +120,11 @@ func TestPeersSortedAndSnapshotted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer u.Close()
+	defer func() {
+		if err := u.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
 	peers := u.Peers()
 	if len(peers) != 2 || peers[0].Addr != "127.0.0.1:9001" || peers[1].Addr != "127.0.0.1:9002" {
 		t.Fatalf("Peers = %+v", peers)

@@ -27,7 +27,11 @@ func newTestUDP(t *testing.T, seeds ...string) *UDP {
 	if err != nil {
 		t.Fatalf("NewUDP: %v", err)
 	}
-	t.Cleanup(func() { u.Close() })
+	t.Cleanup(func() {
+		if err := u.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	return u
 }
 
