@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke check clean
+.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke slo-check check clean
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,34 @@ lint-json:
 	$(GO) run ./cmd/sdplint -json ./...
 
 # bench-smoke runs the parallel discovery benchmark once under the race
-# detector: a cheap CI gate that the lock-free snapshot read path stays
-# publication-safe under concurrent register/query load.
+# detector (a cheap gate that the lock-free snapshot read path stays
+# publication-safe), then regenerates the Fig. 9/10 latency series as
+# BENCH_fig9.json / BENCH_fig10.json — CI uploads both as artifacts so
+# every run leaves a comparable trace.
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench BenchmarkParallelDiscovery -benchtime=1x ./internal/registry/
+	$(GO) run ./cmd/benchfig -fig 9 -max 60 -step 30 -reps 25 -benchjson
+	$(GO) run ./cmd/benchfig -fig 10 -max 60 -step 30 -reps 25 -benchjson
+
+# slo-check replays each load scenario with exactly the flags that
+# produced its checked-in baseline (bench/baselines/) and diffs the fresh
+# report against it under the tolerance bands documented there. Non-zero
+# exit = latency/throughput regression or workload drift.
+SLO_FLAGS = -seed 42 -nodes 9 -services 60 -ontologies 12 -ops 600 -warmup 60
+
+slo-check:
+	$(GO) run ./cmd/sdpload -scenario flash-crowd $(SLO_FLAGS) -sample 100ms \
+		-out BENCH_load_flash-crowd.json
+	$(GO) run ./cmd/slocheck -baseline bench/baselines/BENCH_load_flash-crowd.json \
+		-run BENCH_load_flash-crowd.json -tolerance bench/baselines/tolerances.json
+	$(GO) run ./cmd/sdpload -scenario thundering-herd $(SLO_FLAGS) -rate 300 -sample 250ms \
+		-fault-scale 2s -out BENCH_load_thundering-herd.json
+	$(GO) run ./cmd/slocheck -baseline bench/baselines/BENCH_load_thundering-herd.json \
+		-run BENCH_load_thundering-herd.json -tolerance bench/baselines/tolerances-faulty.json
+	$(GO) run ./cmd/sdpload -scenario brownout $(SLO_FLAGS) -rate 300 -sample 250ms \
+		-fault-scale 2s -out BENCH_load_brownout.json
+	$(GO) run ./cmd/slocheck -baseline bench/baselines/BENCH_load_brownout.json \
+		-run BENCH_load_brownout.json -tolerance bench/baselines/tolerances-faulty.json
 
 # metrics-smoke boots a real sdpd, scrapes GET /metrics, and fails on
 # malformed Prometheus exposition or missing acceptance metrics.
@@ -49,7 +73,7 @@ federation-smoke:
 	$(GO) run ./cmd/fedsmoke
 
 # check is the full CI gate.
-check: build lint test race metrics-smoke federation-smoke
+check: build lint test race metrics-smoke federation-smoke slo-check
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ type benchPoint struct {
 	P50Nanos  int64   `json:"p50_ns"`
 	P95Nanos  int64   `json:"p95_ns"`
 	P99Nanos  int64   `json:"p99_ns"`
+	P999Nanos int64   `json:"p999_ns"`
 }
 
 // fig9Points and fig10Points accumulate the series as the figures run;
@@ -83,6 +84,7 @@ func point(services int, series string, samples []time.Duration) benchPoint {
 		P50Nanos:  int64(percentile(sorted, 0.50)),
 		P95Nanos:  int64(percentile(sorted, 0.95)),
 		P99Nanos:  int64(percentile(sorted, 0.99)),
+		P999Nanos: int64(percentile(sorted, 0.999)),
 	}
 }
 

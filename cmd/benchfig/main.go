@@ -14,8 +14,8 @@
 // and BENCH_fig10.json in the working directory: one array of points,
 // each carrying the directory size, series name (optimized /
 // non-optimized for figure 9, ariadne / s-ariadne for figure 10),
-// ops/sec, and p50/p95/p99 latency in nanoseconds over the per-point
-// repetitions.
+// ops/sec, and p50/p95/p99/p999 latency in nanoseconds over the
+// per-point repetitions.
 package main
 
 import (
@@ -48,7 +48,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0,
 		"trace every Nth query in -fig traffic (0 = discovery default of 64, negative disables; for overhead A/B runs)")
 	benchJSON := flag.Bool("benchjson", false,
-		"also write BENCH_fig9.json / BENCH_fig10.json (ops/sec + p50/p95/p99 per size and series) for the figures that ran")
+		"also write BENCH_fig9.json / BENCH_fig10.json (ops/sec + p50/p95/p99/p999 per size and series) for the figures that ran")
 	flag.Parse()
 	trafficTraceSample = *traceSample
 

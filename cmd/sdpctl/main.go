@@ -13,6 +13,8 @@
 //	sdpctl -server localhost:7474 trace request.xml
 //	sdpctl health localhost:8080
 //	sdpctl top localhost:8080 localhost:8081 localhost:8082
+//	sdpctl top -watch 2s localhost:8080 localhost:8081
+//	sdpctl watch -metric discovery_query_seconds localhost:8080
 //
 // trace resolves a query with hop-level tracing on and renders the
 // cross-daemon span tree; health and top talk to daemons' HTTP gateways
@@ -134,10 +136,25 @@ func main() {
 		}
 		return
 	case "top":
-		if len(args) < 2 {
+		topFlags := flag.NewFlagSet("top", flag.ExitOnError)
+		watch := topFlags.Duration("watch", 0, "re-render the table at this interval (0 = once)")
+		count := topFlags.Int("count", 0, "with -watch, stop after this many renders (0 = forever)")
+		topFlags.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		if topFlags.NArg() < 1 {
 			usage()
 		}
-		runTop(os.Stdout, args[1:], *timeout)
+		runTopWatch(os.Stdout, topFlags.Args(), *timeout, *watch, *count)
+		return
+	case "watch":
+		watchFlags := flag.NewFlagSet("watch", flag.ExitOnError)
+		metric := watchFlags.String("metric", "discovery_query_seconds", "histogram metric to window")
+		interval := watchFlags.Duration("interval", time.Second, "scrape cadence")
+		count := watchFlags.Int("count", 0, "stop after this many scrapes (0 = forever)")
+		watchFlags.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		if watchFlags.NArg() != 1 {
+			usage()
+		}
+		runWatch(os.Stdout, watchFlags.Arg(0), *metric, *timeout, *interval, *count)
 		return
 	}
 
@@ -500,6 +517,11 @@ commands:
   stats                     show directory state
   peers                     show the daemon's directory backbone view
   health <http-addr>        fetch a daemon's /healthz probe report (exit 1 if unhealthy)
-  top <http-addr>...        scrape several daemons' /metrics into one table`)
+  top [-watch 2s] [-count N] <http-addr>...
+                            scrape several daemons' /metrics into one table,
+                            optionally re-rendered at an interval
+  watch [-metric discovery_query_seconds] [-interval 1s] [-count N] <http-addr>
+                            stream windowed p50/p95/p99/p999 of one histogram
+                            metric (each row covers ops since the last scrape)`)
 	os.Exit(2)
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 
 	"sariadne/internal/telemetry"
 )
@@ -29,6 +30,7 @@ import (
 //	GET  /healthz                                    -> 200/503 component health report
 //	GET  /readyz                                     -> 200/503 readiness (health + fresh backbone peer)
 //	GET  /metrics                                    -> 200 Prometheus text exposition
+//	GET  /timeseries[?metric={name}]                 -> 200 windowed quantile curves from the sampling ring
 //	GET  /debug/vars                                 -> 200 expvar-style JSON snapshot
 //	GET  /debug/pprof/*     (only with -pprof)       -> net/http/pprof
 //
@@ -58,6 +60,7 @@ func newHTTPGateway(srv *server, withPprof bool) http.Handler {
 	mux.HandleFunc("GET /healthz", g.getHealthz)
 	mux.HandleFunc("GET /readyz", g.getReadyz)
 	mux.HandleFunc("GET /metrics", g.getMetrics)
+	mux.HandleFunc("GET /timeseries", g.getTimeseries)
 	mux.HandleFunc("GET /debug/vars", g.getDebugVars)
 	if withPprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -242,6 +245,67 @@ func (g *httpGateway) getMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := telemetry.Default().WritePrometheus(w); err != nil {
 		g.log.Error("write metrics", "err", err)
 	}
+}
+
+// timeseriesPoint is one observation window of a histogram series on
+// the wire: the slo.CurvePoint field layout so load-run curves and live
+// daemon curves read identically.
+type timeseriesPoint struct {
+	ElapsedMs int64   `json:"elapsed_ms"`
+	WindowMs  int64   `json:"window_ms"`
+	Count     uint64  `json:"count"`
+	RatePerS  float64 `json:"rate_per_sec"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	P999Nanos int64   `json:"p999_ns"`
+}
+
+// getTimeseries serves windowed quantile curves from the daemon's
+// sampling ring: one series per histogram metric (or just ?metric=),
+// each point the latency distribution between two consecutive samples.
+// This is the history `sdpctl watch` streams live — a daemon restart
+// loses it, a scrape gap doesn't.
+func (g *httpGateway) getTimeseries(w http.ResponseWriter, r *http.Request) {
+	if g.srv.sampler == nil {
+		http.Error(w, "time-series sampling disabled (-sample-every 0)", http.StatusNotFound)
+		return
+	}
+	samples := g.srv.sampler.Ring().Samples()
+	only := r.URL.Query().Get("metric")
+	series := make(map[string][]timeseriesPoint)
+	if len(samples) > 0 {
+		for _, m := range samples[len(samples)-1].Metrics {
+			// Only *_seconds histograms: the point fields are nanoseconds,
+			// and size histograms would be mislabeled.
+			if m.Kind != telemetry.KindHistogram || !strings.HasSuffix(m.Name, "_seconds") {
+				continue
+			}
+			if only != "" && m.Name != only {
+				continue
+			}
+			var pts []timeseriesPoint
+			for _, p := range telemetry.QuantileCurve(samples, m.Name, 0) {
+				pts = append(pts, timeseriesPoint{
+					ElapsedMs: p.Elapsed.Milliseconds(),
+					WindowMs:  p.Window.Milliseconds(),
+					Count:     p.Count,
+					RatePerS:  p.Rate,
+					P50Nanos:  int64(p.P50 * 1e9),
+					P95Nanos:  int64(p.P95 * 1e9),
+					P99Nanos:  int64(p.P99 * 1e9),
+					P999Nanos: int64(p.P999 * 1e9),
+				})
+			}
+			if pts != nil {
+				series[m.Name] = pts
+			}
+		}
+	}
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"samples": len(samples),
+		"series":  series,
+	})
 }
 
 // getDebugVars serves the same snapshot as an expvar-style JSON object.

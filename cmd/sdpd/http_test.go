@@ -8,10 +8,13 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"sariadne/internal/codes"
 	"sariadne/internal/discovery"
 	"sariadne/internal/profile"
+	"sariadne/internal/telemetry"
+	"sariadne/internal/testutil"
 )
 
 func newGatewayServer(t *testing.T) (*httptest.Server, *server) {
@@ -151,5 +154,72 @@ func TestHTTPGatewayOntologyUpload(t *testing.T) {
 	}
 	if _, ok := srv.reg.Resolve("http://new.example/ont"); !ok {
 		t.Fatal("uploaded ontology not encoded")
+	}
+}
+
+// TestGetTimeseries exercises the sampling ring end to end: requests
+// flow through the gateway, the sampler snapshots the registry, and
+// GET /timeseries returns windowed quantile curves for the latency
+// histograms — plus 404 when sampling is off.
+func TestGetTimeseries(t *testing.T) {
+	ts, srv := newGatewayServer(t)
+
+	// Sampling disabled: the endpoint must say so, not serve zeros.
+	resp, body := do(t, "GET", ts.URL+"/timeseries", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled sampling: status %d body %q", resp.StatusCode, body)
+	}
+
+	sampler := telemetry.StartSampler(telemetry.Default(), 10*time.Millisecond, 64)
+	t.Cleanup(sampler.Stop)
+	srv.sampler = sampler
+
+	// Drive real requests through the front end so sdpd_request_seconds
+	// accumulates observations for the ring to window.
+	for i := 0; i < 5; i++ {
+		do(t, "GET", ts.URL+"/stats", "")
+	}
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		return sampler.Ring().Len() >= 3
+	}, "sampler never accumulated windows")
+
+	resp, body = do(t, "GET", ts.URL+"/timeseries", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	var out struct {
+		Samples int `json:"samples"`
+		Series  map[string][]struct {
+			Count     uint64 `json:"count"`
+			WindowMs  int64  `json:"window_ms"`
+			P50Nanos  int64  `json:"p50_ns"`
+			P999Nanos int64  `json:"p999_ns"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("malformed /timeseries body: %v\n%s", err, body)
+	}
+	if out.Samples < 3 {
+		t.Fatalf("samples = %d, want >= 3", out.Samples)
+	}
+	pts, ok := out.Series["sdpd_request_seconds"]
+	if !ok {
+		t.Fatalf("sdpd_request_seconds series missing: %s", body)
+	}
+	var observed uint64
+	for _, p := range pts {
+		observed += p.Count
+		if p.Count > 0 && (p.P50Nanos <= 0 || p.P999Nanos < p.P50Nanos) {
+			t.Fatalf("window quantiles wrong: %+v", p)
+		}
+	}
+	if observed == 0 {
+		t.Fatalf("no observations landed in any window: %s", body)
+	}
+
+	// The metric filter narrows the response to one series.
+	_, body = do(t, "GET", ts.URL+"/timeseries?metric=sdpd_request_seconds", "")
+	if strings.Contains(body, "discovery_query_seconds") {
+		t.Fatalf("?metric filter leaked other series:\n%s", body)
 	}
 }

@@ -145,6 +145,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 64, "trace every Nth query into the flight recorder (0 disables sampling)")
 	slowQuery := flag.Duration("slow-query", 0, "retain queries at least this slow in the flight recorder (0 = half the query timeout)")
 	healthInterval := flag.Duration("health-interval", time.Second, "component health probe interval behind /healthz and /readyz")
+	sampleEvery := flag.Duration("sample-every", 5*time.Second, "telemetry time-series sampling cadence behind GET /timeseries (0 disables)")
 	var ontologies stringList
 	flag.Var(&ontologies, "ontology", "ontology XML file to load (repeatable)")
 	var peers stringList
@@ -205,6 +206,13 @@ func main() {
 	srv.httpOn.Store(*httpAddr != "")
 	hc := startHealthChecker(srv, *healthInterval, 0)
 	defer hc.close()
+	if *sampleEvery > 0 {
+		// 720 samples at the default 5s cadence keeps an hour of windowed
+		// quantile history at constant memory.
+		sampler := telemetry.StartSampler(telemetry.Default(), *sampleEvery, 720)
+		defer sampler.Stop()
+		srv.sampler = sampler
+	}
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
 		fatal("resolve "+*listen, err)
@@ -260,6 +268,10 @@ type server struct {
 	sampleCount uint64 // guarded by mu
 	// health is the daemon's component prober; nil until started.
 	health *healthChecker // guarded by mu
+	// sampler feeds the telemetry time-series ring behind GET
+	// /timeseries; nil when -sample-every is 0. Set before the front
+	// ends start, read-only afterwards.
+	sampler *telemetry.Sampler
 	// httpOn records that an HTTP gateway was configured; httpLive that it
 	// is currently bound and serving. Health probes compare the two.
 	httpOn   atomic.Bool

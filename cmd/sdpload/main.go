@@ -1,0 +1,83 @@
+// Command sdpload is the load and soak harness: it drives seeded mixed
+// workloads (publish/query/churn, zipfian popularity) against an
+// in-process simnet federation or a live sdpd cluster, samples the
+// telemetry registry at a fixed cadence, and emits a
+// BENCH_load_<scenario>.json report holding end-of-run points plus
+// warmup-trimmed p50/p95/p99/p999 curves. Scenario families beyond the
+// paper's steady-state figures: flash-crowd, thundering-herd, brownout.
+//
+// The report's canonical half (scenario, seed, config, schedule, results)
+// is a pure function of -scenario and -seed: running
+//
+//	sdpload -scenario flash-crowd -seed 42
+//
+// twice yields byte-identical files once wall-clock sections are
+// stripped — the property `make slo-check` and CI lean on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sdpload [flags]
+
+Drive a seeded load scenario and write BENCH_load_<scenario>.json.
+
+Scenarios: %s
+
+Flags:
+`, strings.Join(scenarioNames(), ", "))
+	flag.PrintDefaults()
+}
+
+func main() {
+	var cfg runConfig
+	var out string
+	flag.StringVar(&cfg.scenario, "scenario", "mixed", "scenario family to run")
+	flag.Int64Var(&cfg.seed, "seed", 42, "seed for workload, plan and topology")
+	flag.IntVar(&cfg.nodes, "nodes", 9, "grid nodes (simnet mode)")
+	flag.IntVar(&cfg.services, "services", 60, "advertised services")
+	flag.IntVar(&cfg.ontologies, "ontologies", 12, "ontology pool size")
+	flag.IntVar(&cfg.ops, "ops", 600, "total planned operations")
+	flag.IntVar(&cfg.warmupOps, "warmup", -1, "warmup ops excluded from points (-1 = ops/10)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 4, "closed-loop worker count")
+	flag.Float64Var(&cfg.ratePerSec, "rate", 0, "open-loop arrival rate in ops/sec (0 = closed loop)")
+	flag.DurationVar(&cfg.sample, "sample", 250*time.Millisecond, "telemetry sampling cadence")
+	flag.DurationVar(&cfg.faultScale, "fault-scale", 2*time.Second, "nominal run length fault windows scale against")
+	flag.StringVar(&cfg.target, "target", "", "comma-separated live sdpd addrs (empty = in-process simnet)")
+	flag.DurationVar(&cfg.opTimeout, "timeout", 2*time.Second, "per-operation timeout")
+	flag.StringVar(&out, "out", "", "report path (default BENCH_load_<scenario>.json)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if cfg.warmupOps < 0 {
+		cfg.warmupOps = cfg.ops / 10
+	}
+	if out == "" {
+		out = fmt.Sprintf("BENCH_load_%s.json", cfg.scenario)
+	}
+
+	rep, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpload: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteFile(out); err != nil {
+		fmt.Fprintf(os.Stderr, "sdpload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sdpload: %s seed=%d ops=%d ok=%d empty=%d failed=%d partial=%d -> %s\n",
+		rep.Scenario, rep.Seed, rep.Config.Ops,
+		rep.Results.OK, rep.Results.Empty, rep.Results.Failed, rep.Results.Partial, out)
+	for _, p := range rep.Points {
+		fmt.Printf("  %-8s reps=%-5d %8.1f ops/s  p50=%s p95=%s p99=%s p999=%s\n",
+			p.Series, p.Reps, p.OpsPerSec,
+			time.Duration(p.P50Nanos), time.Duration(p.P95Nanos),
+			time.Duration(p.P99Nanos), time.Duration(p.P999Nanos))
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sariadne/internal/gen"
+	"sariadne/internal/telemetry"
+)
+
+func smallRun(scenario string) runConfig {
+	return runConfig{
+		scenario:    scenario,
+		seed:        42,
+		nodes:       4,
+		services:    24,
+		ontologies:  6,
+		ops:         150,
+		warmupOps:   15,
+		concurrency: 4,
+		sample:      50 * time.Millisecond,
+		faultScale:  500 * time.Millisecond,
+		// Short enough that churned-away queries fail fast instead of
+		// serializing the mixed run behind full discovery timeouts.
+		opTimeout: 400 * time.Millisecond,
+	}
+}
+
+// TestFlashCrowdDeterministic is the acceptance criterion: two runs of
+// `sdpload -scenario flash-crowd -seed 42` must produce byte-identical
+// reports once wall-clock sections are stripped.
+func TestFlashCrowdDeterministic(t *testing.T) {
+	r1, err := runLoad(smallRun("flash-crowd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	telemetry.Default().Reset()
+	r2, err := runLoad(smallRun("flash-crowd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := r1.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r2.CanonicalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Fatalf("same-seed flash-crowd runs diverge:\n%s\nvs\n%s", c1, c2)
+	}
+	if r1.Results.Failed != 0 || r1.Results.OK != 150 {
+		t.Fatalf("fault-free run did not complete cleanly: %+v", r1.Results)
+	}
+	if r1.Schedule.HotService == "" || r1.Schedule.HotQueryOps == 0 {
+		t.Fatalf("flash crowd scheduled no hot queries: %+v", r1.Schedule)
+	}
+	if len(r1.Points) == 0 || r1.Points[0].Series != "query" {
+		t.Fatalf("missing query point: %+v", r1.Points)
+	}
+	if r1.Points[0].P999Nanos < r1.Points[0].P50Nanos {
+		t.Fatalf("quantiles not monotone: %+v", r1.Points[0])
+	}
+}
+
+// TestBuildPlanDeterministic pins the plan generator itself: same seed,
+// same ops, byte-for-byte — independent of any cluster.
+func TestBuildPlanDeterministic(t *testing.T) {
+	build := func() ([]plannedOp, string) {
+		w := gen.MustNewWorkload(gen.WorkloadConfig{Ontologies: 6, Services: 24, Seed: 7})
+		plan, sched, err := buildPlan(scenarios["mixed"], w, 4, 200, 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.PublishOps+sched.QueryOps+sched.ChurnOps != 200 {
+			t.Fatalf("schedule does not sum to ops: %+v", sched)
+		}
+		var sb strings.Builder
+		for _, op := range plan {
+			sb.WriteString(string(rune('a'+int(op.kind))) + string(op.doc))
+		}
+		return plan, sb.String()
+	}
+	p1, d1 := build()
+	p2, d2 := build()
+	if len(p1) != len(p2) || d1 != d2 {
+		t.Fatal("same-seed plans diverge")
+	}
+}
+
+// TestMixedScenarioRuns exercises publish and churn paths end to end.
+func TestMixedScenarioRuns(t *testing.T) {
+	telemetry.Default().Reset()
+	rep, err := runLoad(smallRun("mixed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedule.PublishOps == 0 || rep.Schedule.QueryOps == 0 {
+		t.Fatalf("mixed plan missing a series: %+v", rep.Schedule)
+	}
+	total := rep.Results.OK + rep.Results.Empty + rep.Results.Failed
+	if total != 150 {
+		t.Fatalf("outcome tallies %d, want 150: %+v", total, rep.Results)
+	}
+}
+
+// TestUnknownScenarioRejected keeps the CLI error path honest.
+func TestUnknownScenarioRejected(t *testing.T) {
+	if _, err := runLoad(smallRun("no-such-scenario")); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import "sariadne/internal/telemetry"
+
+// Load-generator metrics, registered at init so the telemetry sampler's
+// time-series ring can window them at cadence. The *_seconds histograms
+// are the series the emitted curves and SLO points derive from.
+var (
+	publishSeconds = telemetry.NewHistogram("loadgen_publish_seconds",
+		"end-to-end latency of one load-generated publish op")
+	querySeconds = telemetry.NewHistogram("loadgen_query_seconds",
+		"end-to-end latency of one load-generated query op")
+	opsTotal = telemetry.NewCounter("loadgen_ops_total",
+		"load-generated ops completed (all kinds, warmup included)")
+	opErrorsTotal = telemetry.NewCounter("loadgen_op_errors_total",
+		"load-generated ops that returned an error")
+)

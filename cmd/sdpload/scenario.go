@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sariadne/internal/gen"
+	"sariadne/internal/profile"
+	"sariadne/internal/simnet"
+	"sariadne/internal/slo"
+)
+
+// A scenario family shapes the op mix, popularity distribution and fault
+// schedule of a run. The three beyond the paper's Fig. 9/10 steady state:
+// flash-crowd (one capability suddenly hot), thundering-herd (partition
+// heals and the backbone re-announces at once), slow-peer brownout (one
+// node's links turn syrupy mid-run).
+type scenarioSpec struct {
+	name string
+	// mix weights in percent; churn toggles node crashes mid-run.
+	publishPct, queryPct, churnPct int
+	// zipfSkew shapes service popularity (>1; larger = hotter head).
+	zipfSkew float64
+	// hotShare routes this fraction of queries to one hot service after
+	// hotStart of the op stream has passed (flash crowd).
+	hotShare, hotStart float64
+	// faults builds the scenario's simnet fault plan; windows scale with
+	// the -fault-scale flag. Nil means no faults.
+	faults func(c *cluster, scale time.Duration) (simnet.FaultPlan, []string)
+}
+
+// scenarios is the registry of runnable families.
+var scenarios = map[string]*scenarioSpec{
+	"mixed": {
+		name: "mixed", publishPct: 15, queryPct: 80, churnPct: 5, zipfSkew: 1.1,
+	},
+	"flash-crowd": {
+		name: "flash-crowd", queryPct: 100, zipfSkew: 1.1,
+		hotShare: 0.8, hotStart: 0.3,
+	},
+	"thundering-herd": {
+		name: "thundering-herd", publishPct: 10, queryPct: 90, zipfSkew: 1.1,
+		faults: herdFaults,
+	},
+	"brownout": {
+		name: "brownout", queryPct: 100, zipfSkew: 1.1,
+		faults: brownoutFaults,
+	},
+}
+
+// scenarioNames lists the families for usage text, sorted.
+func scenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// herdFaults splits the grid into two halves, heals at half the scale,
+// and lets the re-announce/republish storm that follows hit the measured
+// query stream.
+func herdFaults(c *cluster, scale time.Duration) (simnet.FaultPlan, []string) {
+	half := len(c.ids) / 2
+	left := append([]simnet.NodeID(nil), c.ids[:half]...)
+	right := append([]simnet.NodeID(nil), c.ids[half:]...)
+	p := simnet.FaultPlan{Partitions: []simnet.Partition{{
+		Name:   "herd-split",
+		Groups: [][]simnet.NodeID{left, right},
+		At:     scale / 4,
+		Heal:   scale / 2,
+	}}}
+	return p, []string{fmt.Sprintf("partition:herd-split@%s..%s", scale/4, scale/2)}
+}
+
+// brownoutFaults slows every link touching one central node for the
+// whole run (zero Until = forever): the slow peer stays reachable, so
+// the retry machinery keeps including it and its latency bleeds into
+// the tail quantiles. Always-on rather than windowed so the quantiles
+// depend on routing (deterministic) instead of which wall-clock ops
+// happen to land inside a window — that keeps the SLO baseline stable
+// across machines. scale is unused here; the flag still gates herd.
+func brownoutFaults(c *cluster, _ time.Duration) (simnet.FaultPlan, []string) {
+	slow := c.ids[len(c.ids)/2]
+	var p simnet.FaultPlan
+	for _, nb := range c.net.Neighbors(slow) {
+		p.Links = append(p.Links,
+			simnet.LinkFault{From: nb, To: slow, ExtraLatency: 25 * time.Millisecond},
+			simnet.LinkFault{From: slow, To: nb, ExtraLatency: 25 * time.Millisecond},
+		)
+	}
+	return p, []string{fmt.Sprintf("brownout:%s@always", slow)}
+}
+
+// opKind discriminates planned ops.
+type opKind int
+
+const (
+	opPublish opKind = iota
+	opQuery
+	opChurn
+)
+
+// plannedOp is one fully pre-generated operation: the schedule is drawn
+// from the seeded RNG before execution starts, so the plan (and every
+// derived Schedule statistic) is byte-identical across same-seed runs no
+// matter how workers interleave.
+type plannedOp struct {
+	kind    opKind
+	node    int    // issuing node index
+	service int    // service index (publish: doc to re-announce; query: request target)
+	doc     []byte // pre-marshaled request or advertisement document
+	hot     bool   // query targets the flash-crowd hot service
+	warmup  bool   // excluded from points; curve trimming uses wall time
+}
+
+// buildPlan generates the op schedule for a scenario and summarizes it.
+func buildPlan(spec *scenarioSpec, w *gen.Workload, nodes, ops, warmupOps int, seed int64) ([]plannedOp, slo.Schedule, error) {
+	rng := rand.New(rand.NewSource(seed))
+	services := len(w.Services)
+	// NewZipf yields 0..imax with P(k) proportional to (v+k)^-s; small
+	// draws are the popular head of the catalogue.
+	zipf := rand.NewZipf(rng, spec.zipfSkew, 1, uint64(services-1))
+	if zipf == nil {
+		return nil, slo.Schedule{}, fmt.Errorf("bad zipf skew %v", spec.zipfSkew)
+	}
+	hot := int(zipf.Uint64())
+
+	var sched slo.Schedule
+	queryCounts := make([]int, services)
+	plan := make([]plannedOp, 0, ops)
+	for i := 0; i < ops; i++ {
+		op := plannedOp{node: rng.Intn(nodes), warmup: i < warmupOps}
+		roll := rng.Intn(100)
+		switch {
+		case roll < spec.publishPct:
+			op.kind = opPublish
+			op.service = int(zipf.Uint64())
+			op.doc = w.ServiceDocs[op.service]
+			sched.PublishOps++
+		case roll < spec.publishPct+spec.queryPct:
+			op.kind = opQuery
+			op.service = int(zipf.Uint64())
+			if spec.hotShare > 0 && float64(i) >= spec.hotStart*float64(ops) && rng.Float64() < spec.hotShare {
+				op.service = hot
+				op.hot = true
+				sched.HotQueryOps++
+			}
+			// Request draws from the workload's own RNG stream; calling it
+			// here, in plan order, keeps the documents deterministic.
+			doc, err := profile.Marshal(&profile.Service{
+				Name:     fmt.Sprintf("req%05d", i),
+				Required: []*profile.Capability{w.Request(op.service, 1)},
+			})
+			if err != nil {
+				return nil, slo.Schedule{}, err
+			}
+			op.doc = doc
+			queryCounts[op.service]++
+			sched.QueryOps++
+		default:
+			op.kind = opChurn
+			// Churn only ever touches the back half of the node range so a
+			// crashed corner cannot isolate the whole grid.
+			op.node = nodes/2 + rng.Intn(nodes-nodes/2)
+			sched.ChurnOps++
+		}
+		plan = append(plan, op)
+	}
+	top := 0
+	for _, c := range queryCounts {
+		if c > top {
+			top = c
+		}
+	}
+	if sched.QueryOps > 0 {
+		sched.TopShareMilli = top * 1000 / sched.QueryOps
+	}
+	if spec.hotShare > 0 {
+		sched.HotService = w.Services[hot].Name
+	}
+	return plan, sched, nil
+}

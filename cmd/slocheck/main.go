@@ -1,0 +1,64 @@
+// Command slocheck is the SLO comparator CLI: it diffs a load run's
+// BENCH_load_<scenario>.json against a checked-in baseline under
+// configurable tolerance bands and exits non-zero on regression. CI runs
+// it after every short seeded sdpload run (`make slo-check`), so a PR
+// that blows the p99 band or collapses throughput fails before merge.
+//
+//	slocheck -baseline bench/baselines/BENCH_load_flash-crowd.json \
+//	         -run BENCH_load_flash-crowd.json \
+//	         -tolerance bench/baselines/tolerances.json
+//
+// Exit status: 0 = within bands, 1 = violations, 2 = usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sariadne/internal/slo"
+)
+
+func main() {
+	var basePath, runPath, tolPath string
+	flag.StringVar(&basePath, "baseline", "", "baseline report path (required)")
+	flag.StringVar(&runPath, "run", "", "candidate run report path (required)")
+	flag.StringVar(&tolPath, "tolerance", "", "tolerance bands JSON (empty = defaults)")
+	flag.Parse()
+
+	if basePath == "" || runPath == "" {
+		fmt.Fprintln(os.Stderr, "slocheck: -baseline and -run are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := slo.LoadReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slocheck: %v\n", err)
+		os.Exit(2)
+	}
+	run, err := slo.LoadReport(runPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slocheck: %v\n", err)
+		os.Exit(2)
+	}
+	var tol slo.Tolerance
+	if tolPath != "" {
+		tol, err = slo.LoadTolerance(tolPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slocheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	violations := slo.Compare(base, run, tol)
+	if len(violations) == 0 {
+		fmt.Printf("slocheck: %s within tolerance of %s\n", runPath, basePath)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "slocheck: %s regressed against %s:\n", runPath, basePath)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	os.Exit(1)
+}

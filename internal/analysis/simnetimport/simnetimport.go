@@ -12,7 +12,8 @@
 //   - sariadne (the root facade builds simulated networks by design)
 //   - sariadne/internal/simnet itself
 //   - sariadne/internal/transport (the adapter is the boundary)
-//   - sariadne/cmd/sdpsim and sariadne/cmd/benchfig (simulation tools)
+//   - sariadne/cmd/sdpsim, sariadne/cmd/benchfig and sariadne/cmd/sdpload
+//     (simulation and load-generation tools)
 //
 // The allowlist extends the issue's minimum (transport, simnet, sdpsim)
 // with the root facade and benchfig, which exist to construct
@@ -38,6 +39,7 @@ var allowed = map[string]bool{
 	"sariadne/internal/transport": true,
 	"sariadne/cmd/sdpsim":         true,
 	"sariadne/cmd/benchfig":       true,
+	"sariadne/cmd/sdpload":        true,
 }
 
 // Analyzer flags direct internal/simnet imports outside the transport

@@ -1,0 +1,141 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Tolerance is the band around a baseline inside which a run passes.
+// Latency bands are ratios because absolute nanoseconds differ across
+// machines; the power-of-two histograms behind the curves quantize to 2x
+// steps, so any ratio below 2 degenerates to exact-bucket equality.
+type Tolerance struct {
+	// MaxQuantileRatio bounds run_quantile / baseline_quantile for each
+	// of p50/p95/p99/p999. Zero picks the default of 4 (two bucket
+	// steps of genuine regression headroom on shared CI hardware).
+	MaxQuantileRatio float64 `json:"max_quantile_ratio"`
+	// MinOpsRatio bounds run_ops_per_sec / baseline_ops_per_sec from
+	// below. Zero picks the default of 0.25.
+	MinOpsRatio float64 `json:"min_ops_ratio"`
+	// MaxFailedOps bounds the run's absolute failed-op count. Negative
+	// disables; zero means no failures tolerated.
+	MaxFailedOps int `json:"max_failed_ops"`
+	// StrictSchedule additionally requires the run's Schedule section to
+	// equal the baseline's: same seed, same plan, or the latency diff is
+	// comparing different workloads.
+	StrictSchedule bool `json:"strict_schedule"`
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.MaxQuantileRatio <= 0 {
+		t.MaxQuantileRatio = 4
+	}
+	if t.MinOpsRatio <= 0 {
+		t.MinOpsRatio = 0.25
+	}
+	return t
+}
+
+// LoadTolerance reads a tolerance-band file (JSON Tolerance object).
+func LoadTolerance(path string) (Tolerance, error) {
+	var t Tolerance
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("slo: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Violation is one exceeded band.
+type Violation struct {
+	Series   string  `json:"series"`
+	Field    string  `json:"field"`
+	Baseline float64 `json:"baseline"`
+	Run      float64 `json:"run"`
+	Limit    float64 `json:"limit"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s: run %.0f vs baseline %.0f exceeds limit %.0f",
+		v.Series, v.Field, v.Run, v.Baseline, v.Limit)
+}
+
+// Compare diffs a run against its baseline and returns every violated
+// band, empty when the run is within tolerance. Points are matched by
+// (series, services); a run missing a baseline series is itself a
+// violation (coverage must not silently shrink).
+func Compare(baseline, run *Report, tol Tolerance) []Violation {
+	tol = tol.withDefaults()
+	var out []Violation
+
+	if baseline.Scenario != run.Scenario {
+		out = append(out, Violation{Series: "-", Field: "scenario"})
+	}
+	if tol.StrictSchedule {
+		if baseline.Seed != run.Seed {
+			out = append(out, Violation{Series: "-", Field: "seed",
+				Baseline: float64(baseline.Seed), Run: float64(run.Seed)})
+		}
+		if bs, rs := canonicalSchedule(baseline.Schedule), canonicalSchedule(run.Schedule); bs != rs {
+			out = append(out, Violation{Series: "-", Field: "schedule"})
+		}
+	}
+	if tol.MaxFailedOps >= 0 && run.Results.Failed > tol.MaxFailedOps {
+		out = append(out, Violation{Series: "-", Field: "failed_ops",
+			Baseline: float64(baseline.Results.Failed),
+			Run:      float64(run.Results.Failed),
+			Limit:    float64(tol.MaxFailedOps)})
+	}
+
+	runPoints := make(map[string]Point, len(run.Points))
+	for _, p := range run.Points {
+		runPoints[pointKey(p)] = p
+	}
+	for _, base := range baseline.Points {
+		rp, ok := runPoints[pointKey(base)]
+		if !ok {
+			out = append(out, Violation{Series: base.Series, Field: "missing_point"})
+			continue
+		}
+		out = append(out, comparePoint(base, rp, tol)...)
+	}
+	return out
+}
+
+func pointKey(p Point) string { return fmt.Sprintf("%s/%d", p.Series, p.Services) }
+
+func canonicalSchedule(s Schedule) string {
+	data, _ := json.Marshal(s) //nolint:errcheck // plain struct cannot fail
+	return string(data)
+}
+
+// comparePoint checks one series' latency quantiles and throughput.
+func comparePoint(base, run Point, tol Tolerance) []Violation {
+	var out []Violation
+	quantile := func(field string, b, r int64) {
+		if b <= 0 {
+			return // empty baseline series carries no band
+		}
+		limit := float64(b) * tol.MaxQuantileRatio
+		if float64(r) > limit {
+			out = append(out, Violation{Series: run.Series, Field: field,
+				Baseline: float64(b), Run: float64(r), Limit: limit})
+		}
+	}
+	quantile("p50_ns", base.P50Nanos, run.P50Nanos)
+	quantile("p95_ns", base.P95Nanos, run.P95Nanos)
+	quantile("p99_ns", base.P99Nanos, run.P99Nanos)
+	quantile("p999_ns", base.P999Nanos, run.P999Nanos)
+	if base.OpsPerSec > 0 {
+		floor := base.OpsPerSec * tol.MinOpsRatio
+		if run.OpsPerSec < floor {
+			out = append(out, Violation{Series: run.Series, Field: "ops_per_sec",
+				Baseline: base.OpsPerSec, Run: run.OpsPerSec, Limit: floor})
+		}
+	}
+	return out
+}

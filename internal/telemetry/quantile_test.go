@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The power-of-two histogram trades per-bucket resolution for an
+// allocation-free Observe: a quantile estimate is the upper bound of the
+// bucket holding the target rank. The contract these tests pin down: the
+// estimate is always >= the exact value (pessimistic, never flattering)
+// and always < 2x the exact value (one bucket spans [2^(i-1), 2^i)), so
+// an SLO comparison against it can only over-report latency, never hide
+// a regression.
+
+// exactQuantile returns the nearest-rank q-quantile of vs.
+func exactQuantile(vs []int64, q float64) int64 {
+	sorted := append([]int64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// snapshotOf observes vs into a fresh size histogram and snapshots it.
+func snapshotOf(t *testing.T, vs []int64) MetricSnapshot {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.NewSizeHistogram("test_quantile_units", "")
+	for _, v := range vs {
+		h.ObserveInt(v)
+	}
+	return reg.Snapshot()[0]
+}
+
+// checkBounds asserts estimate ∈ [exact, 2*exact] for every probed
+// quantile (upper edge inclusive: exact values on a bucket boundary are
+// their own upper bound).
+func checkBounds(t *testing.T, name string, vs []int64) {
+	t.Helper()
+	s := snapshotOf(t, vs)
+	for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
+		got := s.Quantile(q)
+		exact := float64(exactQuantile(vs, q))
+		if exact == 0 {
+			if got != 0 && got != 1 {
+				t.Errorf("%s: q%v = %v, want 0 or 1 for exact 0", name, q, got)
+			}
+			continue
+		}
+		if got < exact || got > 2*exact {
+			t.Errorf("%s: q%v = %v outside [exact, 2*exact] = [%v, %v]", name, q, got, exact, 2*exact)
+		}
+	}
+}
+
+func TestQuantileUniformDistribution(t *testing.T) {
+	vs := make([]int64, 10000)
+	for i := range vs {
+		vs[i] = int64(i + 1)
+	}
+	checkBounds(t, "uniform 1..10000", vs)
+	// Spot-check the actual bucket edges: p50 of 1..10000 is 5000, whose
+	// bucket is (4096, 8192]; p999 is 9990 -> (8192, 16384].
+	s := snapshotOf(t, vs)
+	if got := s.Quantile(0.50); got != 8192 {
+		t.Errorf("p50 = %v, want 8192", got)
+	}
+	if got := s.Quantile(0.999); got != 16384 {
+		t.Errorf("p999 = %v, want 16384", got)
+	}
+}
+
+func TestQuantileLognormalDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vs := make([]int64, 20000)
+	for i := range vs {
+		vs[i] = int64(math.Exp(rng.NormFloat64()*1.5 + 10))
+	}
+	checkBounds(t, "lognormal", vs)
+}
+
+func TestQuantileHeavyTail(t *testing.T) {
+	// 99% fast ops at 100, 1% stragglers at 100000: p50/p95 must stay in
+	// the fast bucket, p99/p999 must surface the tail.
+	var vs []int64
+	for i := 0; i < 9900; i++ {
+		vs = append(vs, 100)
+	}
+	for i := 0; i < 100; i++ {
+		vs = append(vs, 100000)
+	}
+	s := snapshotOf(t, vs)
+	if got := s.Quantile(0.50); got != 128 {
+		t.Errorf("p50 = %v, want 128", got)
+	}
+	if got := s.Quantile(0.95); got != 128 {
+		t.Errorf("p95 = %v, want 128", got)
+	}
+	if got := s.Quantile(0.999); got != 131072 {
+		t.Errorf("p999 = %v, want 131072 (tail hidden)", got)
+	}
+	checkBounds(t, "heavy tail", vs)
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	s := snapshotOf(t, []int64{777})
+	for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
+		if got := s.Quantile(q); got != 1024 {
+			t.Errorf("q%v = %v, want 1024 (the lone sample's bucket)", q, got)
+		}
+	}
+}
+
+func TestQuantileBucketBoundaries(t *testing.T) {
+	// Powers of two land in the bucket whose upper bound is the next
+	// power: bits.Len64(2^k) = k+1, so 2^k lives in (2^k, 2^(k+1)]'s
+	// le=2^(k+1) slot. The estimate is exactly 2x for boundary values —
+	// the worst case the [exact, 2*exact] contract allows.
+	for _, v := range []int64{1, 2, 4, 1024, 1 << 20} {
+		s := snapshotOf(t, []int64{v})
+		want := float64(2 * v)
+		if got := s.Quantile(0.5); got != want {
+			t.Errorf("p50 of {%d} = %v, want %v", v, got, want)
+		}
+	}
+	// One below a power of two is that power's own bucket.
+	s := snapshotOf(t, []int64{1023})
+	if got := s.Quantile(0.5); got != 1024 {
+		t.Errorf("p50 of {1023} = %v, want 1024", got)
+	}
+}
+
+func TestQuantileZeroAndEmpty(t *testing.T) {
+	if got := (MetricSnapshot{Kind: KindHistogram}).Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram q99 = %v, want 0", got)
+	}
+	// Zero observations land in bucket 0 with upper bound 2^0 = 1.
+	s := snapshotOf(t, []int64{0, 0, 0})
+	if got := s.Quantile(0.99); got != 1 {
+		t.Errorf("all-zero q99 = %v, want 1 (bucket 0 edge)", got)
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vs := make([]int64, 5000)
+	for i := range vs {
+		vs[i] = rng.Int63n(1 << 30)
+	}
+	s := snapshotOf(t, vs)
+	prev := 0.0
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0} {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q%v = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+// Time-series sampling: a fixed-capacity ring of registry snapshots taken
+// at a cadence, so a run reports latency *distributions over time* —
+// p50/p95/p99/p999 curves windowed between consecutive samples — instead
+// of a single end-of-run aggregate that averages a flash crowd away.
+//
+// The ring stores full MetricSnapshot slices. Histogram snapshots are
+// cumulative since process start (or the last Reset), so the windowed view
+// between two samples is recovered by bucket-wise subtraction
+// (DeltaSnapshot); QuantileCurve composes the two into the curve a load
+// run emits and sdpd serves on GET /timeseries.
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one cadence snapshot of a registry.
+type Sample struct {
+	// Elapsed is the offset from the ring's creation; consecutive samples
+	// define half-open observation windows (prev.Elapsed, Elapsed].
+	Elapsed time.Duration
+	// Metrics is the full registry snapshot in registration order.
+	Metrics []MetricSnapshot
+}
+
+// Metric finds a snapshot by name.
+func (s Sample) Metric(name string) (MetricSnapshot, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// Ring is a bounded time-series of samples: once capacity is reached the
+// oldest sample is overwritten, so a long-running daemon keeps a sliding
+// window of recent history at constant memory.
+type Ring struct {
+	mu    sync.Mutex
+	start time.Time
+	buf   []Sample
+	next  int
+	full  bool
+}
+
+// NewRing returns a ring holding up to capacity samples (minimum 2: one
+// window needs two edges).
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Ring{start: time.Now(), buf: make([]Sample, capacity)}
+}
+
+// Sample snapshots reg now, appends it, and returns it.
+func (r *Ring) Sample(reg *Registry) Sample {
+	s := Sample{Elapsed: time.Since(r.start), Metrics: reg.Snapshot()}
+	r.Add(s)
+	return s
+}
+
+// Add appends a pre-built sample (tests and offline replays).
+func (r *Ring) Add(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports how many samples are held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Samples returns the held samples oldest first.
+func (r *Ring) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Sampler drives a Ring at a fixed cadence from its own goroutine. Stop
+// joins the goroutine, so callers can rely on the ring being quiescent
+// (and holding a final sample) when Stop returns.
+type Sampler struct {
+	ring *Ring
+	reg  *Registry
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartSampler samples reg every interval into a fresh ring of the given
+// capacity. An immediate first sample anchors the first window.
+func StartSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	s := &Sampler{
+		ring: NewRing(capacity),
+		reg:  reg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.ring.Sample(reg)
+	go s.loop(interval)
+	return s
+}
+
+func (s *Sampler) loop(interval time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.ring.Sample(s.reg)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Ring returns the sampler's ring; safe to read while sampling continues.
+func (s *Sampler) Ring() *Ring { return s.ring }
+
+// Stop halts sampling, takes one final sample so the last partial window
+// is closed, and joins the goroutine. Idempotent.
+func (s *Sampler) Stop() {
+	s.once.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.ring.Sample(s.reg)
+	})
+}
+
+// DeltaSnapshot returns the observations cur accumulated since prev: for
+// histograms a bucket-wise cumulative subtraction (both snapshots must be
+// of the same metric, prev taken earlier on the same registry), for
+// counters the value delta, for gauges the current value (a gauge has no
+// meaningful delta). The result's Quantile is the windowed quantile.
+func DeltaSnapshot(prev, cur MetricSnapshot) MetricSnapshot {
+	out := MetricSnapshot{Name: cur.Name, Help: cur.Help, Kind: cur.Kind}
+	switch cur.Kind {
+	case KindHistogram:
+		out.Count = cur.Count - prev.Count
+		out.Sum = cur.Sum - prev.Sum
+		// Both bucket lists are sparse cumulative series over the same
+		// power-of-two edges; prev's cumulative count at an edge missing
+		// from its list is the count of its largest present edge below.
+		pi := 0
+		var prevCum uint64
+		for _, b := range cur.Buckets {
+			for pi < len(prev.Buckets) && prev.Buckets[pi].UpperBound <= b.UpperBound {
+				prevCum = prev.Buckets[pi].Count
+				pi++
+			}
+			if d := b.Count - prevCum; d > 0 {
+				out.Buckets = append(out.Buckets, BucketCount{UpperBound: b.UpperBound, Count: d})
+			}
+		}
+	default:
+		out.Value = cur.Value
+		if cur.Kind == KindCounter {
+			out.Value = cur.Value - prev.Value
+		}
+	}
+	return out
+}
+
+// CurvePoint is one observation window of a histogram time-series.
+type CurvePoint struct {
+	// Elapsed is the window's closing edge (the later sample's offset).
+	Elapsed time.Duration
+	// Window is the span between the two samples.
+	Window time.Duration
+	// Count is the number of observations inside the window; Rate is
+	// Count per second of window.
+	Count uint64
+	Rate  float64
+	// Quantile upper bounds in exposition units (seconds for *_seconds
+	// histograms). Zero when the window saw no observations.
+	P50, P95, P99, P999 float64
+}
+
+// QuantileCurve derives the windowed quantile curve of one histogram
+// metric from consecutive ring samples, dropping windows that close at or
+// before the warmup offset (cold-start load/classify costs would
+// otherwise dominate the first windows of every run).
+func QuantileCurve(samples []Sample, metric string, warmup time.Duration) []CurvePoint {
+	var out []CurvePoint
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Elapsed <= warmup {
+			continue
+		}
+		prev, okPrev := samples[i-1].Metric(metric)
+		cur, okCur := samples[i].Metric(metric)
+		if !okPrev || !okCur || cur.Kind != KindHistogram {
+			continue
+		}
+		d := DeltaSnapshot(prev, cur)
+		p := CurvePoint{
+			Elapsed: samples[i].Elapsed,
+			Window:  samples[i].Elapsed - samples[i-1].Elapsed,
+			Count:   d.Count,
+		}
+		if p.Window > 0 {
+			p.Rate = float64(p.Count) / p.Window.Seconds()
+		}
+		if d.Count > 0 {
+			p.P50 = d.Quantile(0.50)
+			p.P95 = d.Quantile(0.95)
+			p.P99 = d.Quantile(0.99)
+			p.P999 = d.Quantile(0.999)
+		}
+		out = append(out, p)
+	}
+	return out
+}

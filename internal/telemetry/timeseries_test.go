@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"sariadne/internal/testutil"
+)
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(Sample{Elapsed: time.Duration(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Samples()
+	if len(got) != 3 || got[0].Elapsed != 3 || got[2].Elapsed != 5 {
+		t.Fatalf("Samples = %v, want elapsed 3,4,5", got)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Add(Sample{Elapsed: 1})
+	r.Add(Sample{Elapsed: 2})
+	r.Add(Sample{Elapsed: 3})
+	if got := r.Samples(); len(got) != 2 || got[0].Elapsed != 2 {
+		t.Fatalf("Samples = %v, want elapsed 2,3", got)
+	}
+}
+
+func TestDeltaSnapshotHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewSizeHistogram("test_delta_units", "")
+	h.ObserveInt(3) // bucket le=4
+	h.ObserveInt(100)
+	prev := reg.Snapshot()[0]
+	h.ObserveInt(3)
+	h.ObserveInt(1000)
+	h.ObserveInt(1000)
+	cur := reg.Snapshot()[0]
+
+	d := DeltaSnapshot(prev, cur)
+	if d.Count != 3 {
+		t.Fatalf("delta Count = %d, want 3", d.Count)
+	}
+	if d.Sum != 2003 {
+		t.Fatalf("delta Sum = %v, want 2003", d.Sum)
+	}
+	// The window held one observation of 3 and two of 1000: p50 falls in
+	// the le=1024 bucket? No — ranked: 3, 1000, 1000; p50 is the 2nd.
+	if q := d.Quantile(0.50); q != 1024 {
+		t.Fatalf("windowed p50 = %v, want 1024", q)
+	}
+	if q := d.Quantile(0.001); q != 4 {
+		t.Fatalf("windowed p0.1 = %v, want 4 (the lone small observation)", q)
+	}
+	// The 100-valued observation belongs to prev's window only, so the
+	// cumulative count must not grow between the le=4 and le=128 edges.
+	var cumAt4, cumAt128 uint64
+	for _, b := range d.Buckets {
+		switch b.UpperBound {
+		case 4:
+			cumAt4 = b.Count
+		case 128:
+			cumAt128 = b.Count
+		}
+	}
+	if cumAt4 != 1 || (cumAt128 != 0 && cumAt128 != cumAt4) {
+		t.Fatalf("prev's observation leaked into the window: %+v", d.Buckets)
+	}
+}
+
+func TestDeltaSnapshotCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_delta_total", "")
+	g := reg.NewGauge("test_delta_live", "")
+	c.Add(5)
+	g.Set(7)
+	prev := reg.Snapshot()
+	c.Add(2)
+	g.Set(3)
+	cur := reg.Snapshot()
+	if d := DeltaSnapshot(prev[0], cur[0]); d.Value != 2 {
+		t.Fatalf("counter delta = %v, want 2", d.Value)
+	}
+	if d := DeltaSnapshot(prev[1], cur[1]); d.Value != 3 {
+		t.Fatalf("gauge delta keeps current value, got %v want 3", d.Value)
+	}
+}
+
+func TestQuantileCurveWindowsAndWarmup(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewSizeHistogram("test_curve_units", "")
+
+	var samples []Sample
+	snap := func(at time.Duration) {
+		samples = append(samples, Sample{Elapsed: at, Metrics: reg.Snapshot()})
+	}
+	snap(0)
+	// Warmup window: slow ops that the trim must discard.
+	for i := 0; i < 10; i++ {
+		h.ObserveInt(1 << 20)
+	}
+	snap(1 * time.Second)
+	// Steady window: fast ops.
+	for i := 0; i < 100; i++ {
+		h.ObserveInt(10)
+	}
+	snap(2 * time.Second)
+	// Idle window: nothing observed.
+	snap(3 * time.Second)
+
+	curve := QuantileCurve(samples, "test_curve_units", time.Second)
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2 (warmup window trimmed): %+v", len(curve), curve)
+	}
+	steady := curve[0]
+	if steady.Count != 100 || steady.Rate != 100 {
+		t.Fatalf("steady window count=%d rate=%v, want 100/100", steady.Count, steady.Rate)
+	}
+	if steady.P99 != 16 {
+		t.Fatalf("steady p99 = %v, want 16 (all observations were 10); warmup leaked in", steady.P99)
+	}
+	idle := curve[1]
+	if idle.Count != 0 || idle.P50 != 0 {
+		t.Fatalf("idle window not empty: %+v", idle)
+	}
+}
+
+func TestSamplerCadenceAndStop(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_sampler_total", "")
+	s := StartSampler(reg, 2*time.Millisecond, 64)
+	c.Inc()
+	testutil.WaitFor(t, time.Second, func() bool { return s.Ring().Len() >= 3 })
+	s.Stop()
+	s.Stop() // idempotent
+	n := s.Ring().Len()
+	if n < 3 {
+		t.Fatalf("ring has %d samples, want >= 3", n)
+	}
+	last := s.Ring().Samples()[n-1]
+	m, ok := last.Metric("test_sampler_total")
+	if !ok || m.Value != 1 {
+		t.Fatalf("final sample lost the counter: %+v", last.Metrics)
+	}
+}
