@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke slo-check check clean
+.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke slo-check store-conformance check clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ slo-check:
 	$(GO) run ./cmd/slocheck -baseline bench/baselines/BENCH_load_brownout.json \
 		-run BENCH_load_brownout.json -tolerance bench/baselines/tolerances-faulty.json
 
+# store-conformance runs the cross-backend storage suite under the race
+# detector: every backend (memstore, filestore, boltlike) against the
+# shared storetest contract — ordered replay, idempotent reopen,
+# concurrent append/replay, crash-recovery by injected truncation — plus
+# the sdpd replay/migration integration tests and a short run of the
+# record-codec fuzzer over its seed corpus.
+store-conformance:
+	$(GO) test -race -count=1 ./internal/store/... ./cmd/sdpd/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 10s ./internal/store/
+
 # metrics-smoke boots a real sdpd, scrapes GET /metrics, and fails on
 # malformed Prometheus exposition or missing acceptance metrics.
 metrics-smoke:
@@ -73,7 +83,7 @@ federation-smoke:
 	$(GO) run ./cmd/fedsmoke
 
 # check is the full CI gate.
-check: build lint test race metrics-smoke federation-smoke slo-check
+check: build lint test race store-conformance metrics-smoke federation-smoke slo-check
 
 clean:
 	$(GO) clean ./...

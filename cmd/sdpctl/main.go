@@ -12,6 +12,8 @@
 //	sdpctl -server localhost:7474 peers
 //	sdpctl -server localhost:7474 trace request.xml
 //	sdpctl health localhost:8080
+//	sdpctl services localhost:8080
+//	sdpctl services -name MediaWorkstation localhost:8080
 //	sdpctl top localhost:8080 localhost:8081 localhost:8082
 //	sdpctl top -watch 2s localhost:8080 localhost:8081
 //	sdpctl watch -metric discovery_query_seconds localhost:8080
@@ -30,6 +32,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -155,6 +158,18 @@ func main() {
 			usage()
 		}
 		runWatch(os.Stdout, watchFlags.Arg(0), *metric, *timeout, *interval, *count)
+		return
+	case "services":
+		svcFlags := flag.NewFlagSet("services", flag.ExitOnError)
+		limit := svcFlags.Int("limit", 100, "page size for the paginated listing")
+		name := svcFlags.String("name", "", "show one advertisement's full version history instead")
+		svcFlags.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		if svcFlags.NArg() != 1 {
+			usage()
+		}
+		if err := runServices(os.Stdout, svcFlags.Arg(0), *name, *limit, *timeout); err != nil {
+			fatal("services listing failed", "addr", svcFlags.Arg(0), "err", err)
+		}
 		return
 	}
 
@@ -341,6 +356,101 @@ func renderTrace(w io.Writer, resp *response) {
 	}
 }
 
+// runServices lists a daemon's live advertisements through the HTTP
+// gateway's paginated GET /services, following next_cursor until the
+// listing is complete; with -name it fetches one advertisement's version
+// ledger instead (withdrawn versions included).
+func runServices(w io.Writer, addr, name string, limit int, timeout time.Duration) error {
+	client := httpClient(timeout)
+	if name != "" {
+		resp, err := client.Get("http://" + addr + "/services/" + name)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /services/%s: %s: %s", name, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var hist struct {
+			Name     string `json:"name"`
+			Live     bool   `json:"live"`
+			Versions []struct {
+				Version uint64 `json:"version"`
+			} `json:"versions"`
+		}
+		if err := json.Unmarshal(body, &hist); err != nil {
+			return fmt.Errorf("malformed reply: %w", err)
+		}
+		state := "live"
+		if !hist.Live {
+			state = "withdrawn"
+		}
+		fmt.Fprintf(w, "%s: %s, %d version(s)\n", hist.Name, state, len(hist.Versions))
+		for _, v := range hist.Versions {
+			marker := ""
+			if hist.Live && v.Version == hist.Versions[len(hist.Versions)-1].Version {
+				marker = "  (current)"
+			}
+			fmt.Fprintf(w, "  v%d%s\n", v.Version, marker)
+		}
+		return nil
+	}
+
+	type entry struct {
+		Name    string `json:"name"`
+		Version uint64 `json:"version"`
+	}
+	var entries []entry
+	total := 0
+	cursor := ""
+	for {
+		u := fmt.Sprintf("http://%s/services?limit=%d", addr, limit)
+		if cursor != "" {
+			u += "&cursor=" + url.QueryEscape(cursor)
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /services: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		var page struct {
+			Services   []entry `json:"services"`
+			NextCursor string  `json:"next_cursor"`
+			Total      int     `json:"total"`
+		}
+		if err := json.Unmarshal(body, &page); err != nil {
+			return fmt.Errorf("malformed reply: %w", err)
+		}
+		entries = append(entries, page.Services...)
+		total = page.Total
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(w, "no live services")
+		return nil
+	}
+	fmt.Fprintf(w, "%-32s %s\n", "SERVICE", "VERSION")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-32s v%d\n", e.Name, e.Version)
+	}
+	fmt.Fprintf(w, "%d live service(s)\n", total)
+	return nil
+}
+
 // httpClient builds a client with the shared request timeout.
 func httpClient(timeout time.Duration) *http.Client {
 	return &http.Client{Timeout: timeout}
@@ -517,6 +627,9 @@ commands:
   stats                     show directory state
   peers                     show the daemon's directory backbone view
   health <http-addr>        fetch a daemon's /healthz probe report (exit 1 if unhealthy)
+  services [-limit N] [-name svc] <http-addr>
+                            list live advertisements (paginated GET /services), or
+                            one advertisement's version history with -name
   top [-watch 2s] [-count N] <http-addr>...
                             scrape several daemons' /metrics into one table,
                             optionally re-rendered at an interval

@@ -227,3 +227,47 @@ func TestRunTop(t *testing.T) {
 		t.Fatalf("dead daemon not marked down:\n%s", out)
 	}
 }
+
+// TestRunServices drives the paginated listing against a fake gateway
+// that forces two pages, then the -name history view, then a 404.
+func TestRunServices(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case r.URL.Path == "/services" && r.URL.Query().Get("cursor") == "":
+			w.Write([]byte(`{"services":[{"name":"CameraService","version":1},{"name":"MediaWorkstation","version":3}],"next_cursor":"MediaWorkstation","total":3}`))
+		case r.URL.Path == "/services":
+			w.Write([]byte(`{"services":[{"name":"PrinterService","version":1}],"next_cursor":"","total":3}`))
+		case r.URL.Path == "/services/MediaWorkstation":
+			w.Write([]byte(`{"name":"MediaWorkstation","live":true,"versions":[{"version":1},{"version":2},{"version":3}]}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	addr := ts.Listener.Addr().String()
+
+	var b strings.Builder
+	if err := runServices(&b, addr, "", 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"CameraService", "MediaWorkstation", "PrinterService", "v3", "3 live service(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("listing missing %q:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := runServices(&b, addr, "MediaWorkstation", 0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	if !strings.Contains(out, "live, 3 version(s)") || !strings.Contains(out, "v3  (current)") {
+		t.Fatalf("history view wrong:\n%s", out)
+	}
+
+	if err := runServices(&b, addr, "NoSuchService", 0, time.Second); err == nil {
+		t.Fatal("missing service should error")
+	}
+}

@@ -3,6 +3,8 @@ package main
 import (
 	"sync"
 	"time"
+
+	"sariadne/internal/store"
 )
 
 // probe is one named component check inside a health report.
@@ -84,18 +86,18 @@ func (h *healthChecker) loop() {
 
 // probeNow runs every component check and caches the verdicts.
 func (h *healthChecker) probeNow() {
-	store := probe{Name: "store", OK: true}
+	storeP := probe{Name: "store", OK: true}
 	h.srv.mu.Lock()
 	// Touching the backend under mu doubles as a check that request
 	// serialization is not wedged.
 	_ = h.srv.backend.Len()
-	j := h.srv.journal
+	st := h.srv.store
 	fed := h.srv.fed
 	h.srv.mu.Unlock()
-	if j != nil {
-		if err := j.healthy(); err != nil {
-			store.OK = false
-			store.Err = err.Error()
+	if p, ok := st.(store.Prober); ok {
+		if err := p.Healthy(); err != nil {
+			storeP.OK = false
+			storeP.Err = err.Error()
 		}
 	}
 
@@ -131,17 +133,17 @@ func (h *healthChecker) probeNow() {
 		}
 	}
 
-	st := healthState{
-		Healthy: store.OK && httpP.OK && backbone.OK,
+	report := healthState{
+		Healthy: storeP.OK && httpP.OK && backbone.OK,
 		Checked: time.Now(),
-		Probes:  []probe{store, httpP, backbone, peersP},
+		Probes:  []probe{storeP, httpP, backbone, peersP},
 	}
-	st.Ready = st.Healthy && peersP.OK
-	healthyGauge.Set(st.Healthy)
-	readyGauge.Set(st.Ready)
+	report.Ready = report.Healthy && peersP.OK
+	healthyGauge.Set(report.Healthy)
+	readyGauge.Set(report.Ready)
 
 	h.mu.Lock()
-	h.last = st
+	h.last = report
 	h.mu.Unlock()
 }
 

@@ -17,7 +17,9 @@ import (
 // httpGateway exposes the directory over HTTP for clients that prefer REST
 // to the UDP datagram protocol:
 //
-//	POST /services          body: Amigo-S XML        -> 201
+//	POST /services          body: Amigo-S XML        -> 201 {"version":N}; re-publishing a name supersedes it
+//	GET  /services[?limit=N&cursor=name]             -> 200 {"services":[...],"next_cursor":"...","total":N}
+//	GET  /services/{name}                            -> 200 {"name":..,"live":..,"versions":[...]} full version ledger
 //	DELETE /services/{name}                          -> 204
 //	POST /query[?trace=1]   body: Amigo-S XML        -> 200 {"hits":[...]}; trace=1 adds spans inline
 //	POST /ontologies        body: ontology XML       -> 201
@@ -48,6 +50,8 @@ func newHTTPGateway(srv *server, withPprof bool) http.Handler {
 	g := &httpGateway{srv: srv, log: slog.With("component", "http")}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /services", g.postServices)
+	mux.HandleFunc("GET /services", g.getServices)
+	mux.HandleFunc("GET /services/{name}", g.getService)
 	mux.HandleFunc("DELETE /services/{name}", g.deleteService)
 	mux.HandleFunc("POST /query", g.postQuery)
 	mux.HandleFunc("POST /ontologies", g.postOntologies)
@@ -122,6 +126,41 @@ func (g *httpGateway) postServices(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.dispatch(w, request{Op: "register", Doc: doc}, http.StatusCreated)
+}
+
+// getServices pages through the live advertisements: GET
+// /services?limit=N&cursor={last-name}. The cursor is the last name of
+// the previous page; an empty next_cursor in the reply means the listing
+// is complete.
+func (g *httpGateway) getServices(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit (want a positive integer)", http.StatusBadRequest)
+			return
+		}
+		limit = min(n, 500)
+	}
+	cursor := r.URL.Query().Get("cursor")
+	g.srv.mu.Lock()
+	page := g.srv.listServicesLocked(limit, cursor)
+	g.srv.mu.Unlock()
+	g.writeJSON(w, http.StatusOK, page)
+}
+
+// getService serves one advertisement's version ledger, withdrawn
+// versions included.
+func (g *httpGateway) getService(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g.srv.mu.Lock()
+	h := g.srv.serviceHistoryLocked(name)
+	g.srv.mu.Unlock()
+	if h == nil {
+		http.Error(w, fmt.Sprintf("service %q never registered", name), http.StatusNotFound)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, h)
 }
 
 func (g *httpGateway) deleteService(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -121,6 +122,119 @@ func TestHTTPGatewayPartialQuery(t *testing.T) {
 	}
 	if !qr.Partial || len(qr.Unreachable) != 1 || qr.Unreachable[0] != "n7" {
 		t.Fatalf("completeness marker lost over HTTP: %s", body)
+	}
+}
+
+// TestHTTPServicesListing drives the versioned registry API over HTTP:
+// cursor pagination, per-name version history, supersede-on-republish.
+func TestHTTPServicesListing(t *testing.T) {
+	ts, _ := newGatewayServer(t)
+	for i := 0; i < 5; i++ {
+		svc := profile.WorkstationService()
+		svc.Name = fmt.Sprintf("svc-%02d", i)
+		resp, body := do(t, "POST", ts.URL+"/services", mustDoc(t, svc))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /services %d = %d: %s", i, resp.StatusCode, body)
+		}
+		var rr response
+		if err := json.Unmarshal([]byte(body), &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Version != 1 {
+			t.Fatalf("assigned version = %d, want 1", rr.Version)
+		}
+	}
+	// Supersede one: its version bumps, the listing shows the new version.
+	svc := profile.WorkstationService()
+	svc.Name = "svc-02"
+	_, body := do(t, "POST", ts.URL+"/services", mustDoc(t, svc))
+	var rr response
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Version != 2 {
+		t.Fatalf("superseding version = %d, want 2", rr.Version)
+	}
+
+	// Page through with limit 2: three pages, sorted, no duplicates.
+	var listed []string
+	cursor := ""
+	for {
+		u := ts.URL + "/services?limit=2"
+		if cursor != "" {
+			u += "&cursor=" + url.QueryEscape(cursor)
+		}
+		resp, body := do(t, "GET", u, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /services = %d: %s", resp.StatusCode, body)
+		}
+		var page struct {
+			Services []struct {
+				Name    string `json:"name"`
+				Version uint64 `json:"version"`
+			} `json:"services"`
+			NextCursor string `json:"next_cursor"`
+			Total      int    `json:"total"`
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 5 {
+			t.Fatalf("total = %d, want 5", page.Total)
+		}
+		for _, e := range page.Services {
+			listed = append(listed, e.Name)
+			if e.Name == "svc-02" && e.Version != 2 {
+				t.Fatalf("superseded entry lists version %d, want 2", e.Version)
+			}
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(listed) != 5 {
+		t.Fatalf("paged listing returned %d entries: %v", len(listed), listed)
+	}
+
+	// Version history of the superseded name: both versions listable.
+	resp, body := do(t, "GET", ts.URL+"/services/svc-02", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /services/svc-02 = %d: %s", resp.StatusCode, body)
+	}
+	var hist struct {
+		Name     string `json:"name"`
+		Live     bool   `json:"live"`
+		Versions []struct {
+			Version uint64 `json:"version"`
+		} `json:"versions"`
+	}
+	if err := json.Unmarshal([]byte(body), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if !hist.Live || len(hist.Versions) != 2 || hist.Versions[0].Version != 1 || hist.Versions[1].Version != 2 {
+		t.Fatalf("history = %s", body)
+	}
+
+	// Deregistration withdraws from the listing but keeps history.
+	if resp, _ := do(t, "DELETE", ts.URL+"/services/svc-02", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	_, body = do(t, "GET", ts.URL+"/services", "")
+	if strings.Contains(body, `"svc-02"`) {
+		t.Fatalf("withdrawn service still listed: %s", body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/services/svc-02", "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"live":false`) {
+		t.Fatalf("withdrawn history = %d: %s", resp.StatusCode, body)
+	}
+
+	// Unknown name and bad limit are client errors.
+	if resp, _ := do(t, "GET", ts.URL+"/services/never-was", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown service = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", ts.URL+"/services?limit=zero", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", resp.StatusCode)
 	}
 }
 

@@ -52,6 +52,7 @@ import (
 	"sariadne/internal/codes"
 	"sariadne/internal/discovery"
 	"sariadne/internal/ontology"
+	"sariadne/internal/store"
 	"sariadne/internal/telemetry"
 	"sariadne/internal/transport"
 )
@@ -80,9 +81,13 @@ const (
 // mirror discovery.Result: when the resolver could not reach every
 // backbone directory the hits are still served, flagged as a lower bound.
 type response struct {
-	OK          bool             `json:"ok"`
-	Error       string           `json:"error,omitempty"`
-	Code        string           `json:"code,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+	// Version is the advertisement version the directory assigned to a
+	// successful register: re-publishing a name supersedes the previous
+	// version, which stays listable via GET /services/{name}.
+	Version     uint64           `json:"version,omitempty"`
 	Hits        []discovery.Hit  `json:"hits,omitempty"`
 	Partial     bool             `json:"partial,omitempty"`
 	Unreachable []transport.Addr `json:"unreachable,omitempty"`
@@ -136,7 +141,10 @@ func setupLogging(level string) (*slog.Logger, error) {
 func main() {
 	listen := flag.String("listen", ":7474", "UDP address to listen on")
 	httpAddr := flag.String("http", "", "also serve an HTTP gateway on this address (optional)")
-	state := flag.String("state", "", "journal file for durable registrations (optional)")
+	state := flag.String("state", "", "store file for durable registrations (optional)")
+	storeKind := flag.String("store", "auto", "storage backend: auto, mem, jsonl or bolt (auto sniffs the -state file)")
+	syncEvery := flag.Int("sync-every", 1, "fsync the store once every N appends (1 = per-entry, the safest)")
+	migrateTo := flag.String("migrate-store", "", "migrate the -state history into this path (backend from -store or the path's extension), then exit")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof on the HTTP gateway")
 	federate := flag.String("federate", "", "socket address for directory backbone traffic; empty runs standalone")
@@ -162,30 +170,43 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *migrateTo != "" {
+		stats, err := migrateStore(*state, *migrateTo, *storeKind)
+		if err != nil {
+			fatal("store migration", err)
+		}
+		logger.Info("store migrated", "component", "store",
+			"from", *state, "to", *migrateTo,
+			"replayed", stats.Replayed, "skipped", stats.Skipped,
+			"torn_tail", stats.TornTail, "live", stats.Live)
+		return
+	}
+
 	srv, err := newServer(ontologies)
 	if err != nil {
 		fatal("startup", err)
 	}
 	srv.sampleEvery = *traceSample
-	if *state != "" {
-		jlog := logger.With("component", "journal")
-		applied, skipped, err := replayJournal(*state, srv)
+	if *state != "" || *storeKind == "mem" {
+		stLog := logger.With("component", "store")
+		st, err := openStore(*storeKind, *state, store.Options{SyncEvery: *syncEvery})
 		if err != nil {
-			fatal("journal replay", err)
-		}
-		if applied+skipped > 0 {
-			jlog.Info("recovered journal entries", "applied", applied, "skipped", skipped)
-		}
-		j, err := openJournal(*state)
-		if err != nil {
-			fatal("journal open", err)
+			fatal("store open", err)
 		}
 		defer func() {
-			if err := j.close(); err != nil {
-				jlog.Error("journal close", "err", err)
+			if err := st.Close(); err != nil {
+				stLog.Error("store close", "err", err)
 			}
 		}()
-		srv.journal = j
+		applied, skipped, torn, err := replayStore(st, srv)
+		if err != nil {
+			fatal("store replay", err)
+		}
+		if applied+skipped > 0 || torn {
+			stLog.Info("recovered store records",
+				"applied", applied, "skipped", skipped, "torn_tail", torn)
+		}
+		srv.store = st
 	}
 	if *federate != "" {
 		fed, err := startFederation(srv, federationOptions{
@@ -253,7 +274,12 @@ type server struct {
 	// handler mutates or reads them under mu.
 	reg     *codes.Registry            // guarded by mu
 	backend *discovery.SemanticBackend // guarded by mu
-	journal *journal                   // guarded by mu
+	// store persists mutations when durability is enabled (-state); nil
+	// runs fully in-memory. Backends are interchangeable via -store.
+	store store.Store // guarded by mu
+	// adverts is the advertisement version ledger: every version published
+	// under each name, live or withdrawn, behind GET /services.
+	adverts map[string]*advertHistory // guarded by mu
 	// resolve answers query requests. The default resolver consults the
 	// node-local backend only; a deployment embedding a backbone node (or a
 	// test exercising degradation) swaps in one that returns federated,
@@ -288,6 +314,7 @@ func newServer(ontologyFiles []string) (*server, error) {
 	s := &server{
 		reg:         reg,
 		backend:     discovery.NewSemanticBackend(reg),
+		adverts:     make(map[string]*advertHistory),
 		sampleEvery: 64,
 		log:         slog.With("component", "directory"),
 	}
@@ -404,17 +431,23 @@ func (s *server) process(datagram []byte) response {
 		if err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}
 		}
-		if err := s.persistLocked(journalEntry{Op: "register", Doc: req.Doc}); err != nil {
+		// The directory assigns the advertisement version: re-publishing a
+		// name supersedes the old version, which stays listable in the
+		// ledger. The assigned version is persisted with the record and
+		// returned to the publisher.
+		version := s.recordAdvertLocked(name, req.Doc, 0)
+		if err := s.persistLocked(store.Record{Op: store.OpRegister, Doc: req.Doc, Name: name, Version: version}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
 		}
 		s.refreshLocked()
-		s.log.Info("registered service", "name", name, "capabilities", s.backend.Len())
-		return response{OK: true}
+		s.log.Info("registered service", "name", name, "version", version, "capabilities", s.backend.Len())
+		return response{OK: true, Version: version}
 	case "deregister":
 		if !s.backend.Deregister(req.Name) {
 			return response{Error: fmt.Sprintf("service %q not registered", req.Name), Code: codeNotFound}
 		}
-		if err := s.persistLocked(journalEntry{Op: "deregister", Name: req.Name}); err != nil {
+		s.dropAdvertLocked(req.Name)
+		if err := s.persistLocked(store.Record{Op: store.OpDeregister, Name: req.Name}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
 		}
 		s.refreshLocked()
@@ -439,7 +472,7 @@ func (s *server) process(datagram []byte) response {
 		if err := s.addOntologyTextLocked(req.Doc); err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}
 		}
-		if err := s.persistLocked(journalEntry{Op: "add-ontology", Doc: req.Doc}); err != nil {
+		if err := s.persistLocked(store.Record{Op: store.OpAddOntology, Doc: req.Doc}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
 		}
 		return response{OK: true}
@@ -478,10 +511,11 @@ func (s *server) refreshLocked() {
 	}
 }
 
-// persistLocked journals a successful mutation when durability is enabled.
-func (s *server) persistLocked(e journalEntry) error {
-	if s.journal == nil {
+// persistLocked appends a successful mutation to the store when
+// durability is enabled.
+func (s *server) persistLocked(rec store.Record) error {
+	if s.store == nil {
 		return nil
 	}
-	return s.journal.append(e)
+	return s.store.Append(rec)
 }

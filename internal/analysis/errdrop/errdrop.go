@@ -6,10 +6,14 @@
 //
 // Scope — a call is in scope when its callee is
 //
-//   - a function or method of sariadne/internal/transport (or any
-//     package under it), or
+//   - a function or method of sariadne/internal/transport or
+//     sariadne/internal/store (or any package under them), or
 //   - a method whose receiver type name contains "journal" or "store"
 //     (case-insensitive), wherever it is declared.
+//
+// The store path prefix covers the pluggable backends too
+// (internal/store/filestore, memstore, boltlike): a dropped Append error
+// there acknowledges a write the directory will not replay.
 //
 // A finding is an in-scope call whose error result is discarded
 // *implicitly*: used as a bare expression statement, or launched with go
@@ -37,9 +41,14 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// transportPathPrefix scopes rule 1. Kept a var so the analyzer tests can
-// exercise the path logic with testdata packages.
-var transportPathPrefixes = []string{"sariadne/internal/transport"}
+// guardedPathPrefixes scopes rule 1: every function or method declared
+// under these package paths is in scope regardless of receiver name. Kept
+// a var so the analyzer tests can exercise the path logic with testdata
+// packages.
+var guardedPathPrefixes = []string{
+	"sariadne/internal/transport",
+	"sariadne/internal/store",
+}
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
@@ -93,7 +102,7 @@ func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 func inScope(fn *types.Func) bool {
 	if fn.Pkg() != nil {
 		path := fn.Pkg().Path()
-		for _, prefix := range transportPathPrefixes {
+		for _, prefix := range guardedPathPrefixes {
 			if path == prefix || strings.HasPrefix(path, prefix+"/") {
 				return true
 			}

@@ -8,17 +8,22 @@ import (
 	"sariadne/internal/analysis/errdrop"
 )
 
-// TestErrdrop exercises the analyzer against a stand-in transport package
-// mapped to the real sariadne/internal/transport import path, so the
-// package-path scoping rule runs exactly as it does on production code.
+// TestErrdrop exercises the analyzer against stand-in transport and store
+// packages mapped to the real sariadne import paths, so the package-path
+// scoping rules run exactly as they do on production code.
 func TestErrdrop(t *testing.T) {
 	testdata := analysistest.TestData(t)
-	stub, err := filepath.Abs(filepath.Join(testdata, "src", "transportstub", "transport.go"))
+	transportStub, err := filepath.Abs(filepath.Join(testdata, "src", "transportstub", "transport.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeStub, err := filepath.Abs(filepath.Join(testdata, "src", "storestub", "store.go"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	analysistest.RunWithModule(t, testdata, errdrop.Analyzer, "a",
 		"sariadne", map[string][]string{
-			"sariadne/internal/transport": {stub},
+			"sariadne/internal/transport": {transportStub},
+			"sariadne/internal/store":     {storeStub},
 		})
 }

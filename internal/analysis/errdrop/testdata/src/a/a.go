@@ -1,6 +1,9 @@
 package a
 
-import "sariadne/internal/transport"
+import (
+	"sariadne/internal/store"
+	"sariadne/internal/transport"
+)
 
 // journal matches the receiver-name rule (contains "journal").
 type journal struct{}
@@ -26,6 +29,14 @@ func bareDrops(ep transport.Endpoint, j *journal, s *diskStore) {
 	j.append("entry")     // want `error returned by journal.append is silently dropped`
 	j.close()             // want `error returned by journal.close is silently dropped`
 	s.Put("k", "v")       // want `error returned by diskStore.Put is silently dropped`
+}
+
+func storePathDrops(m *store.Medium) {
+	// Medium's name matches no receiver-name rule: these findings prove
+	// the sariadne/internal/store path prefix is in scope.
+	m.Truncate(4)      // want `error returned by Medium.Truncate is silently dropped`
+	store.Detect("db") // want `error returned by store.Detect is silently dropped`
+	_ = m.Truncate(4)  // acknowledged blank drop stays silent
 }
 
 func goDeferDrops(ep transport.Endpoint, j *journal) {

@@ -1,0 +1,15 @@
+// Package store is a minimal stand-in for sariadne/internal/store used by
+// the errdrop analyzer tests. Its receiver names deliberately avoid the
+// substrings "store" and "journal" so that a finding on them proves the
+// package-path scoping rule fired, not the receiver-name rule.
+package store
+
+// Medium is a crash-injection handle like the conformance suite's: its
+// name matches neither receiver-name substring.
+type Medium struct{}
+
+// Truncate chops the tail off the backing medium.
+func (m *Medium) Truncate(n int64) error { return nil }
+
+// Detect sniffs a path's backend kind; package-level, lone error result.
+func Detect(path string) error { return nil }

@@ -1,0 +1,45 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Kind names a storage backend.
+type Kind string
+
+// The built-in backends.
+const (
+	KindMem   Kind = "mem"   // volatile in-memory log
+	KindJSONL Kind = "jsonl" // JSON-lines file (v1 journal or v2 headered)
+	KindBolt  Kind = "bolt"  // embedded binary log-structured store
+)
+
+// BoltMagic is the file magic of the boltlike backend, shared here so
+// Detect does not import the backend packages (they import store).
+var BoltMagic = []byte("SDPBOLT\x01")
+
+// Detect sniffs the on-disk format of an existing store file: the
+// boltlike magic, a v2 JSON-lines header, or (for any other non-empty
+// content) a headerless v1 journal. A missing or empty file detects as
+// KindJSONL — the default format a fresh daemon creates.
+func Detect(path string) (Kind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return KindJSONL, nil
+		}
+		return "", fmt.Errorf("store: detect: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(BoltMagic))
+	n, _ := io.ReadFull(f, buf)
+	if n == len(BoltMagic) && bytes.Equal(buf, BoltMagic) {
+		return KindBolt, nil
+	}
+	// Anything else — headered v2, headerless v1, even a short or empty
+	// file — is JSON lines.
+	return KindJSONL, nil
+}

@@ -1,0 +1,399 @@
+// Package filestore is the JSON-lines storage backend: the original sdpd
+// journal refactored behind the store interface. One mutation per line,
+// readable with standard tools, preceded (in files this version creates)
+// by a schema-version header line. It adds what the bespoke journal
+// lacked:
+//
+//   - torn-tail recovery: a crash mid-append leaves an incomplete final
+//     line, which open detects, truncates away and reports instead of
+//     letting it poison the next append;
+//   - grouped sync: fsync every N appends instead of every one
+//     (store.Options.SyncEvery), with per-entry sync the default;
+//   - snapshot + compaction: the log is atomically rewritten to its
+//     canonical folded state, so replay cost stops growing with history.
+//
+// Files written by the v1 journal (no header) open and replay unchanged;
+// appends extend them with v2 records and the first compaction upgrades
+// the file to the headered format.
+package filestore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sariadne/internal/store"
+)
+
+// Store is a JSON-lines store over one file.
+type Store struct {
+	path      string
+	syncEvery int
+
+	mu        sync.Mutex
+	f         *os.File // append handle, guarded by mu
+	size      int64    // bytes of complete records (and header), guarded by mu
+	pending   int      // appends since the last fsync, guarded by mu
+	hasHeader bool     // file starts with a schema header line, guarded by mu
+	tornTail  bool     // open dropped a torn tail, guarded by mu
+	closed    bool     // guarded by mu
+}
+
+// Open opens (creating if needed) the store at path. A fresh file gets a
+// schema-version header; an existing file is scanned for a torn tail,
+// which is truncated away so the next append starts on a record
+// boundary.
+func Open(path string, opts store.Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	s := &Store{path: path, syncEvery: opts.Interval(), f: f}
+	s.mu.Lock()
+	err = s.recoverLocked()
+	s.mu.Unlock()
+	if err != nil {
+		_ = f.Close() // the recovery failure is the diagnosis
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverLocked initializes a fresh file or scans an existing one: header
+// detection, torn-tail truncation, and positioning for appends.
+func (s *Store) recoverLocked() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	if info.Size() == 0 {
+		header := append(store.EncodeFileHeader(), '\n')
+		if _, err := s.f.Write(header); err != nil {
+			return fmt.Errorf("filestore: writing header: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("filestore: syncing header: %w", err)
+		}
+		s.size = int64(len(header))
+		s.hasHeader = true
+		return nil
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	r := bufio.NewReader(s.f)
+	var offset int64
+	first := true
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final chunk without its newline is a torn record.
+			if len(line) > 0 {
+				s.tornTail = true
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("filestore: scanning %s: %w", s.path, err)
+		}
+		if first {
+			first = false
+			isHeader, err := store.DecodeFileHeader(line[:len(line)-1])
+			if err != nil {
+				return err // VersionError: a newer daemon's file
+			}
+			s.hasHeader = isHeader
+		}
+		offset += int64(len(line))
+	}
+	if s.tornTail {
+		store.CountTornTail()
+		if err := s.f.Truncate(offset); err != nil {
+			return fmt.Errorf("filestore: truncating torn tail: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+	}
+	s.size = offset
+	if _, err := s.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	return nil
+}
+
+// Append implements store.Store. The write lands immediately; the fsync
+// is issued every syncEvery appends (and always on Close and Compact).
+func (s *Store) Append(rec store.Record) error {
+	data, err := store.EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	if _, err := s.f.Write(data); err != nil {
+		return fmt.Errorf("filestore: append: %w", err)
+	}
+	s.size += int64(len(data))
+	s.pending++
+	store.CountAppend()
+	if s.pending >= s.syncEvery {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("filestore: sync: %w", err)
+		}
+		s.pending = 0
+		store.CountSync()
+	}
+	return nil
+}
+
+// Replay implements store.Store. It reads a consistent prefix through an
+// independent read handle, so appends may continue concurrently;
+// complete lines that fail to decode are counted as skipped (legacy
+// journals may contain junk — the v1 contract was to tolerate it).
+func (s *Store) Replay(apply func(rec store.Record) error) (store.ReplayStats, error) {
+	var stats store.ReplayStats
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return stats, store.ErrClosed
+	}
+	size := s.size
+	hasHeader := s.hasHeader
+	stats.TornTail = s.tornTail
+	s.mu.Unlock()
+
+	rf, err := os.Open(s.path)
+	if err != nil {
+		return stats, fmt.Errorf("filestore: replay: %w", err)
+	}
+	defer rf.Close()
+	r := bufio.NewReader(io.LimitReader(rf, size))
+	first := true
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("filestore: replay: %w", err)
+		}
+		line = line[:len(line)-1]
+		if first {
+			first = false
+			if hasHeader {
+				continue
+			}
+		}
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := store.DecodeRecord(line)
+		if err != nil {
+			stats.Skipped++
+			continue
+		}
+		if err := apply(rec); err != nil {
+			return stats, err
+		}
+		stats.Records++
+	}
+	store.CountReplayRecords(stats.Records)
+	return stats, nil
+}
+
+// Snapshot implements store.Store.
+func (s *Store) Snapshot() ([]store.Record, error) {
+	var history []store.Record
+	if _, err := s.Replay(func(rec store.Record) error {
+		history = append(history, rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return store.Fold(history), nil
+}
+
+// Compact implements store.Store: the canonical folded state is written
+// to a temporary file, synced, and atomically renamed over the log. The
+// lock is held throughout, so no append can land between reading the
+// history and replacing it.
+func (s *Store) Compact() error {
+	return store.TimeCompact(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return store.ErrClosed
+		}
+		history, err := s.scanLocked()
+		if err != nil {
+			return err
+		}
+		tmpPath := s.path + ".compact"
+		tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		defer os.Remove(tmpPath) // no-op after the rename succeeds
+		w := bufio.NewWriter(tmp)
+		var size int64
+		header := append(store.EncodeFileHeader(), '\n')
+		n, err := w.Write(header)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		size += int64(n)
+		for _, rec := range store.Fold(history) {
+			data, err := store.EncodeRecord(rec)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			data = append(data, '\n')
+			n, err := w.Write(data)
+			if err != nil {
+				tmp.Close()
+				return fmt.Errorf("filestore: compact: %w", err)
+			}
+			size += int64(n)
+		}
+		if err := w.Flush(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		if err := os.Rename(tmpPath, s.path); err != nil {
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		if err := syncDir(s.path); err != nil {
+			return err
+		}
+		old := s.f
+		f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("filestore: compact: reopening: %w", err)
+		}
+		if _, err := f.Seek(size, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("filestore: compact: %w", err)
+		}
+		if err := old.Close(); err != nil {
+			// The rename already replaced the file; failing to close the
+			// orphaned handle leaks a descriptor but loses nothing.
+			f.Close()
+			return fmt.Errorf("filestore: compact: closing old handle: %w", err)
+		}
+		s.f = f
+		s.size = size
+		s.pending = 0
+		s.hasHeader = true
+		s.tornTail = false
+		return nil
+	})
+}
+
+// scanLocked reads the current history (mu held) through an independent
+// handle, mirroring Replay's lenient decoding.
+func (s *Store) scanLocked() ([]store.Record, error) {
+	rf, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	defer rf.Close()
+	r := bufio.NewReader(io.LimitReader(rf, s.size))
+	var history []store.Record
+	first := true
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+		line = line[:len(line)-1]
+		if first {
+			first = false
+			if s.hasHeader {
+				continue
+			}
+		}
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := store.DecodeRecord(line)
+		if err != nil {
+			continue
+		}
+		history = append(history, rec)
+	}
+	return history, nil
+}
+
+// syncDir fsyncs the directory containing path, making a rename durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("filestore: syncing directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("filestore: syncing directory: %w", err)
+	}
+	return nil
+}
+
+// Close implements store.Store: outstanding appends are synced, then the
+// handle is released. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var syncErr error
+	if s.pending > 0 {
+		if syncErr = s.f.Sync(); syncErr == nil {
+			store.CountSync()
+		}
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("filestore: close: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("filestore: close: %w", syncErr)
+	}
+	return nil
+}
+
+// Healthy implements store.Prober: a closed or deleted-out-from-under
+// file fails the daemon's store probe.
+func (s *Store) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return store.ErrClosed
+	}
+	if _, err := s.f.Stat(); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	return nil
+}
+
+var _ store.Store = (*Store)(nil)
+var _ store.Prober = (*Store)(nil)

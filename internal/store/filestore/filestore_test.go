@@ -1,0 +1,169 @@
+package filestore_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sariadne/internal/store"
+	"sariadne/internal/store/filestore"
+	"sariadne/internal/store/storetest"
+)
+
+// fileMedium adapts a path on disk to the conformance suite's medium.
+func fileMedium(t *testing.T, opts store.Options) storetest.Medium {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	return storetest.Medium{
+		Open: func() (store.Store, error) { return filestore.Open(path, opts) },
+		Truncate: func(n int64) error {
+			info, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			size := info.Size() - n
+			if size < 0 {
+				size = 0
+			}
+			return os.Truncate(path, size)
+		},
+	}
+}
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.Medium {
+		return fileMedium(t, store.Options{})
+	})
+}
+
+func TestConformanceGroupedSync(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.Medium {
+		return fileMedium(t, store.Options{SyncEvery: 8})
+	})
+}
+
+// TestGroupedSyncRegression pins the grouped-fsync contract: with
+// SyncEvery=N the file is synced once per N appends plus once at Close,
+// and a clean close loses nothing.
+func TestGroupedSyncRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grouped.jsonl")
+	s, err := filestore.Open(path, store.Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var want []store.Record
+	for i := 0; i < 10; i++ { // 10 appends: 2 full groups + 2 pending at close
+		rec := store.Record{Op: store.OpRegister, Name: strings.Repeat("x", i+1), Doc: "<service/>", Version: 1}
+		if err := s.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		want = append(want, rec)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	s, err = filestore.Open(path, store.Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	var got []store.Record
+	stats, err := s.Replay(func(rec store.Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.TornTail {
+		t.Fatal("clean close reported a torn tail")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("clean close lost records: replayed %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTornTailPartialRecord pins the torn-tail behavior at the byte
+// level: a file ending in half a record opens, reports the tear, and
+// replays only the complete records.
+func TestTornTailPartialRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	whole := `{"v":2,"op":"register","doc":"<service name=\"a\"/>","name":"a","ver":1}` + "\n"
+	torn := `{"v":2,"op":"register","doc":"<service nam` // crash mid-write: no newline
+	if err := os.WriteFile(path, []byte(string(store.EncodeFileHeader())+"\n"+whole+torn), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	s, err := filestore.Open(path, store.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	var got []store.Record
+	stats, err := s.Replay(func(rec store.Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !stats.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("replayed %v, want the one whole record", got)
+	}
+	// The torn bytes are gone from disk: a fresh append must not collide.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if strings.Contains(string(data), "nam") && !strings.Contains(string(data), `name=\"a\"`) {
+		t.Fatalf("torn bytes survived on disk: %q", data)
+	}
+	if strings.HasSuffix(string(data), "nam") {
+		t.Fatalf("torn tail still present: %q", data)
+	}
+}
+
+// TestLegacyJournalCompatibility proves a v1 journal (no header, HTML-
+// escaped docs, junk tolerated) opens and replays under filestore — the
+// old journal_test contract carried forward.
+func TestLegacyJournalCompatibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	lines := strings.Join([]string{
+		`{"op":"add-ontology","doc":"<ontology uri=\"u1\"/>"}`,
+		`not json at all`,
+		`{"op":"register","doc":"<service name=\"legacy\"/>"}`,
+		`{"weird":"shape"}`, // decodes to no op: skipped
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	s, err := filestore.Open(path, store.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	var got []store.Record
+	stats, err := s.Replay(func(rec store.Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.Records != 2 || stats.Skipped != 2 {
+		t.Fatalf("stats = %+v, want 2 records and 2 skipped", stats)
+	}
+	if got[0].Op != store.OpAddOntology || got[0].Doc != `<ontology uri="u1"/>` {
+		t.Fatalf("ontology record = %+v", got[0])
+	}
+	if got[1].Op != store.OpRegister || got[1].Doc != `<service name="legacy"/>` {
+		t.Fatalf("register record = %+v", got[1])
+	}
+}

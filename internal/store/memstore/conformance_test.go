@@ -1,0 +1,22 @@
+package memstore_test
+
+import (
+	"testing"
+
+	"sariadne/internal/store"
+	"sariadne/internal/store/memstore"
+	"sariadne/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.Medium {
+		med := memstore.NewMedium()
+		return storetest.Medium{
+			Open: func() (store.Store, error) { return memstore.Open(med) },
+			Truncate: func(n int64) error {
+				med.Truncate(n)
+				return nil
+			},
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package store
+
+import (
+	"time"
+
+	"sariadne/internal/telemetry"
+)
+
+// Storage-engine instruments, shared by every backend so dashboards read
+// one set of series regardless of which engine a daemon runs. Backends
+// call the Count/Observe helpers; the metric namespace stays declared in
+// one place.
+var (
+	appendsTotal = telemetry.NewCounter("store_appends_total",
+		"records appended to the directory store")
+	syncsTotal = telemetry.NewCounter("store_syncs_total",
+		"fsyncs issued by the directory store (grouped sync batches appends)")
+	compactionsTotal = telemetry.NewCounter("store_compactions_total",
+		"log compactions folding history into canonical snapshots")
+	tornTailsTotal = telemetry.NewCounter("store_torn_tails_total",
+		"incomplete trailing records dropped while recovering from a crash")
+	replayRecordsTotal = telemetry.NewCounter("store_replay_records_total",
+		"records streamed out of the store during replay")
+	compactSeconds = telemetry.NewHistogram("store_compact_seconds",
+		"latency of one store compaction")
+)
+
+// Metric helpers for the backend subpackages.
+
+// CountAppend records one appended record.
+func CountAppend() { appendsTotal.Inc() }
+
+// CountSync records one fsync (or in-memory sync point).
+func CountSync() { syncsTotal.Inc() }
+
+// CountTornTail records one torn tail dropped at open.
+func CountTornTail() { tornTailsTotal.Inc() }
+
+// CountReplayRecords records n records streamed by a replay.
+func CountReplayRecords(n int) { replayRecordsTotal.Add(uint64(n)) }
+
+// TimeCompact runs fn as one compaction, timing and counting it.
+func TimeCompact(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	compactSeconds.ObserveSince(start)
+	if err == nil {
+		compactionsTotal.Inc()
+	}
+	return err
+}

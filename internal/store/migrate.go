@@ -1,0 +1,62 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MigrateStats reports what a migration moved.
+type MigrateStats struct {
+	// Replayed is the number of records read from the source history.
+	Replayed int
+	// Skipped counts undecodable source entries tolerated by the source
+	// backend (junk lines in a legacy journal).
+	Skipped int
+	// TornTail reports the source history ended in a crash-torn record.
+	TornTail bool
+	// Live is the number of canonical records written to the destination
+	// — the folded state, not the raw history.
+	Live int
+}
+
+// ErrDestinationNotEmpty guards migrations from clobbering an existing
+// history: the destination store must replay zero records.
+var ErrDestinationNotEmpty = errors.New("store: migration destination is not empty")
+
+// Migrate folds the source store's history into its canonical state and
+// writes it to the (empty) destination store: the journal→v2 upgrade
+// path, and the generic cross-backend mover. The destination is synced
+// via its own Append contract; neither store is closed.
+//
+// Migration writes the *folded* state, so the destination replays in
+// canonical order and byte-identical output is guaranteed for identical
+// source state — the golden-file property.
+func Migrate(src, dst Store) (MigrateStats, error) {
+	var stats MigrateStats
+	probe, err := dst.Replay(func(Record) error { return nil })
+	if err != nil {
+		return stats, fmt.Errorf("store: migrate: probing destination: %w", err)
+	}
+	if probe.Records > 0 || probe.Skipped > 0 {
+		return stats, ErrDestinationNotEmpty
+	}
+	var history []Record
+	srcStats, err := src.Replay(func(rec Record) error {
+		history = append(history, rec)
+		return nil
+	})
+	stats.Replayed = srcStats.Records
+	stats.Skipped = srcStats.Skipped
+	stats.TornTail = srcStats.TornTail
+	if err != nil {
+		return stats, fmt.Errorf("store: migrate: reading source: %w", err)
+	}
+	canonical := Fold(history)
+	for _, rec := range canonical {
+		if err := dst.Append(rec); err != nil {
+			return stats, fmt.Errorf("store: migrate: writing destination: %w", err)
+		}
+		stats.Live++
+	}
+	return stats, nil
+}

@@ -1,0 +1,192 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sariadne/internal/ontology"
+	"sariadne/internal/profile"
+	"sariadne/internal/store"
+	"sariadne/internal/store/boltlike"
+	"sariadne/internal/store/filestore"
+)
+
+var update = flag.Bool("update", false, "rewrite the migration golden files (and the v1 fixture)")
+
+// v1Entry reproduces the original journalEntry wire shape so the checked-
+// in fixture is byte-for-byte what an old sdpd wrote (including
+// json.Marshal's HTML escaping of the XML payloads).
+type v1Entry struct {
+	Op   string `json:"op"`
+	Doc  string `json:"doc,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// v1Fixture builds the legacy journal: two ontology uploads, a
+// registration, a register/deregister pair, a junk line, and a torn
+// final record — every hazard the migration path must absorb.
+func v1Fixture(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	add := func(e v1Entry) {
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	for _, o := range []*ontology.Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		doc, err := ontology.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add(v1Entry{Op: "add-ontology", Doc: string(doc)})
+	}
+	ws, err := profile.Marshal(profile.WorkstationService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(v1Entry{Op: "register", Doc: string(ws)})
+	transient := profile.WorkstationService()
+	transient.Name = "Transient"
+	trDoc, err := profile.Marshal(transient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(v1Entry{Op: "register", Doc: string(trDoc)})
+	add(v1Entry{Op: "deregister", Name: "Transient"})
+	buf.WriteString("not json at all\n")
+	// A crash mid-append: half a record, no newline.
+	pda, err := profile.Marshal(profile.PDAService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := json.Marshal(v1Entry{Op: "register", Doc: string(pda)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(torn[:len(torn)/2])
+	return buf.Bytes()
+}
+
+// fixturePath returns the checked-in v1 journal, regenerating it under
+// -update and verifying it matches the generator otherwise (the fixture
+// is itself golden: it must stay what the old code wrote).
+func fixturePath(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("testdata", "v1_journal.jsonl")
+	want := v1Fixture(t)
+	if *update {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("checked-in v1 fixture drifted from the legacy format (regenerate with -update)")
+	}
+	return path
+}
+
+// checkGolden compares got against the checked-in golden, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden %s (regenerate with -update): %v", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: migration output is not byte-identical to the golden file\n got %d bytes\nwant %d bytes", name, len(got), len(want))
+	}
+}
+
+// migrateFixture copies the v1 fixture to a scratch dir (opening mutates
+// the file: the torn tail is truncated), migrates it into dst, and
+// checks the migration stats.
+func migrateFixture(t *testing.T, dst store.Store) {
+	t.Helper()
+	data, err := os.ReadFile(fixturePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcPath := filepath.Join(t.TempDir(), "v1.jsonl")
+	if err := os.WriteFile(srcPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := filestore.Open(srcPath, store.Options{})
+	if err != nil {
+		t.Fatalf("opening v1 journal: %v", err)
+	}
+	defer func() { _ = src.Close() }()
+	stats, err := store.Migrate(src, dst)
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	// 5 good records, 1 junk line, 1 torn record; 2 ontologies + the one
+	// live service survive the fold.
+	want := store.MigrateStats{Replayed: 5, Skipped: 1, TornTail: true, Live: 3}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+}
+
+// TestMigrateV1GoldenJSONL is the journal→v2 upgrade path pinned to the
+// byte: the same v1 journal must always produce the identical canonical
+// v2 store.
+func TestMigrateV1GoldenJSONL(t *testing.T) {
+	run := func(t *testing.T) []byte {
+		dstPath := filepath.Join(t.TempDir(), "v2.jsonl")
+		dst, err := filestore.Open(dstPath, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrateFixture(t, dst)
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.ReadFile(dstPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := run(t)
+	checkGolden(t, "v2_migrated.golden.jsonl", out)
+	// Determinism: a second migration of the same journal is identical.
+	if again := run(t); !bytes.Equal(out, again) {
+		t.Fatal("two migrations of the same journal produced different bytes")
+	}
+}
+
+// TestMigrateV1GoldenBolt pins the same upgrade into the binary backend.
+func TestMigrateV1GoldenBolt(t *testing.T) {
+	dstPath := filepath.Join(t.TempDir(), "v2.bolt")
+	dst, err := boltlike.Open(dstPath, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrateFixture(t, dst)
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(dstPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "v2_migrated.golden.bolt", out)
+}
