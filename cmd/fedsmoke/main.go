@@ -11,6 +11,13 @@
 // different processes must not collide, and GET /healthz must go green
 // on all three daemons.
 //
+// A second three-daemon federation then boots with tenant admission
+// enabled (-auth-secret): unauthorized publishes must be rejected with
+// typed codes on every daemon and must never surface in any peer's
+// Bloom summary, an authorized tenant-qualified publish must resolve
+// across the backbone, a tenant driven past its burst must get
+// rate_limited, and tenant_rate_limited_total must show on /metrics.
+//
 // Usage:
 //
 //	go run ./cmd/fedsmoke
@@ -28,6 +35,9 @@ import (
 	"regexp"
 	"strconv"
 	"time"
+
+	"sariadne/internal/profile"
+	"sariadne/internal/tenant"
 )
 
 const smokeDeadline = 60 * time.Second
@@ -51,12 +61,14 @@ type request struct {
 	Op    string `json:"op"`
 	Doc   string `json:"doc,omitempty"`
 	Name  string `json:"name,omitempty"`
+	Token string `json:"token,omitempty"`
 	Trace bool   `json:"trace,omitempty"`
 }
 
 type response struct {
 	OK      bool   `json:"ok"`
 	Error   string `json:"error,omitempty"`
+	Code    string `json:"code,omitempty"`
 	Partial bool   `json:"partial,omitempty"`
 	Hits    []struct {
 		Service    string `json:"service"`
@@ -103,17 +115,17 @@ func run() error {
 
 	// Three daemons on loopback: A is the seed, B and C peer with it (C
 	// also with B, so summaries and queries travel every edge we assert).
-	a, err := boot(bin, "a", true)
+	a, err := boot(bin, "a", true, nil)
 	if err != nil {
 		return err
 	}
 	defer a.stop()
-	b, err := boot(bin, "b", true, a.fedAddr)
+	b, err := boot(bin, "b", true, nil, a.fedAddr)
 	if err != nil {
 		return err
 	}
 	defer b.stop()
-	c, err := boot(bin, "c", true, a.fedAddr, b.fedAddr)
+	c, err := boot(bin, "c", true, nil, a.fedAddr, b.fedAddr)
 	if err != nil {
 		return err
 	}
@@ -175,7 +187,224 @@ func run() error {
 			return err
 		}
 	}
-	return checkTransportCounters("http://" + a.httpAddr + "/metrics")
+	if err := checkTransportCounters("http://" + a.httpAddr + "/metrics"); err != nil {
+		return err
+	}
+
+	// Tear the open federation down before booting the admission one so
+	// six daemons never run at once.
+	a.stop()
+	b.stop()
+	c.stop()
+	return checkAdmission(bin)
+}
+
+// admissionSecret is the shared HMAC secret every admission daemon and
+// the smoke's client-side token minting agree on.
+const admissionSecret = "fedsmoke-shared-admission-secret"
+
+// checkAdmission boots a second three-daemon federation with tenant
+// admission enforced end-to-end and proves the gatekeeper holds at the
+// backbone scale: unauthorized publishes bounce with typed codes on
+// every daemon and never reach any peer's Bloom summary, an authorized
+// tenant-qualified publish resolves across the backbone, the tenant's
+// token bucket runs dry into rate_limited, and the tenant_* series are
+// live on /metrics.
+func checkAdmission(bin string) error {
+	deadline := time.Now().Add(smokeDeadline)
+	flags := []string{
+		"-auth-secret", admissionSecret,
+		"-anon-reads",
+		// A near-zero refill makes the test deterministic: only the burst
+		// is ever spendable, however slowly the smoke machine runs.
+		"-tenant-rate", "1e-9",
+		"-tenant-burst", "8",
+	}
+	a, err := boot(bin, "auth-a", true, flags)
+	if err != nil {
+		return err
+	}
+	defer a.stop()
+	b, err := boot(bin, "auth-b", true, flags, a.fedAddr)
+	if err != nil {
+		return err
+	}
+	defer b.stop()
+	c, err := boot(bin, "auth-c", true, flags, a.fedAddr, b.fedAddr)
+	if err != nil {
+		return err
+	}
+	defer c.stop()
+	all := []*daemon{a, b, c}
+	for _, d := range all {
+		// -anon-reads keeps the token-less stats poll serving.
+		if err := d.awaitUp(deadline); err != nil {
+			return err
+		}
+	}
+
+	doc, err := os.ReadFile("internal/profile/testdata/media-center.xml")
+	if err != nil {
+		return err
+	}
+	qualified, err := qualifyService(doc, "alice")
+	if err != nil {
+		return err
+	}
+	malloryTok, err := tenant.MintToken([]byte(admissionSecret), "mallory", tenant.RolePublisher, time.Hour, nil)
+	if err != nil {
+		return err
+	}
+	aliceTok, err := tenant.MintToken([]byte(admissionSecret), "alice", tenant.RolePublisher, time.Hour, nil)
+	if err != nil {
+		return err
+	}
+
+	// Unauthorized publishes must bounce on EVERY daemon: a forged token
+	// (unauthenticated), a token-less caller — the anonymous read-only
+	// tenant under -anon-reads — and a valid tenant writing outside its
+	// namespace (both forbidden). None may regenerate a summary.
+	for _, d := range all {
+		if err := expectDenied(d, request{Op: "register", Doc: string(doc), Token: "sdp1.forged.token"}, "unauthenticated"); err != nil {
+			return err
+		}
+		if err := expectDenied(d, request{Op: "register", Doc: string(doc)}, "forbidden"); err != nil {
+			return err
+		}
+		if err := expectDenied(d, request{Op: "register", Doc: string(qualified), Token: malloryTok}, "forbidden"); err != nil {
+			return err
+		}
+	}
+
+	// The authorized tenant-qualified publish lands on B and resolves
+	// from C across the backbone.
+	resp, err := send(b.clientAddr, request{Op: "register", Doc: string(qualified), Token: aliceTok})
+	if err != nil {
+		return fmt.Errorf("authorized register on %s: %w", b.name, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("authorized register on %s denied: %s (%s)", b.name, resp.Error, resp.Code)
+	}
+	if err := c.awaitSummary(deadline, 1); err != nil {
+		return err
+	}
+	req, err := os.ReadFile("internal/profile/testdata/tablet-request.xml")
+	if err != nil {
+		return err
+	}
+	resp, err = send(c.clientAddr, request{Op: "query", Doc: string(req)})
+	if err != nil {
+		return fmt.Errorf("anonymous query on %s: %w", c.name, err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("anonymous query on %s: %s (%s)", c.name, resp.Error, resp.Code)
+	}
+	found := false
+	for _, h := range resp.Hits {
+		if h.Service == "alice/HomeMediaCenter" {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("query on %s: alice/HomeMediaCenter not among %d hit(s)", c.name, len(resp.Hits))
+	}
+
+	// No denied publish may have leaked into a directory: B is the only
+	// daemon holding an advertisement, so every summary any daemon holds
+	// for A or C must still be empty.
+	for _, d := range all {
+		resp, err := send(d.clientAddr, request{Op: "peers"})
+		if err != nil {
+			return fmt.Errorf("peers on %s: %w", d.name, err)
+		}
+		if !resp.OK {
+			return fmt.Errorf("peers on %s: %s", d.name, resp.Error)
+		}
+		for _, p := range resp.Peers {
+			if p.Addr != b.fedAddr && p.HasSummary && p.Entries != 0 {
+				return fmt.Errorf("daemon %s sees %d summary entries from %s; denied publishes leaked into a Bloom summary",
+					d.name, p.Entries, p.Addr)
+			}
+		}
+	}
+
+	// Drive alice's token bucket dry on B: with a 1e-9 refill only the
+	// burst of 8 is spendable, one of which the register above consumed.
+	limited := false
+	for i := 0; i < 12; i++ {
+		resp, err := send(b.clientAddr, request{Op: "register", Doc: string(qualified), Token: aliceTok})
+		if err != nil {
+			return fmt.Errorf("burst register %d on %s: %w", i, b.name, err)
+		}
+		if !resp.OK {
+			if resp.Code != "rate_limited" {
+				return fmt.Errorf("burst register %d on %s: code %q, want rate_limited", i, b.name, resp.Code)
+			}
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		return fmt.Errorf("alice was never rate limited on %s after exhausting the burst", b.name)
+	}
+	return checkTenantCounters("http://" + b.httpAddr + "/metrics")
+}
+
+// expectDenied sends a mutating request that must bounce with the given
+// typed admission code.
+func expectDenied(d *daemon, req request, wantCode string) error {
+	resp, err := send(d.clientAddr, req)
+	if err != nil {
+		return fmt.Errorf("denied-publish probe on %s: %w", d.name, err)
+	}
+	if resp.OK {
+		return fmt.Errorf("daemon %s admitted a publish that should be %s", d.name, wantCode)
+	}
+	if resp.Code != wantCode {
+		return fmt.Errorf("daemon %s denied with code %q, want %q", d.name, resp.Code, wantCode)
+	}
+	return nil
+}
+
+// qualifyService rewrites an advertisement under a tenant namespace the
+// same way sdpctl publish does.
+func qualifyService(doc []byte, tn string) ([]byte, error) {
+	svc, err := profile.Unmarshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	svc.Name = tenant.Qualify(tn, svc.Name)
+	return profile.Marshal(svc)
+}
+
+// checkTenantCounters scrapes /metrics on the daemon that enforced the
+// admission decisions and requires the tenant series to be live: the
+// throttle counter nonzero and alice's labeled live-services gauge at 1.
+func checkTenantCounters(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(body)
+	rateLimited := regexp.MustCompile(`(?m)^tenant_rate_limited_total ([0-9.eE+]+)$`).FindStringSubmatch(text)
+	if rateLimited == nil {
+		return fmt.Errorf("tenant_rate_limited_total missing from /metrics")
+	}
+	if v, err := strconv.ParseFloat(rateLimited[1], 64); err != nil || v <= 0 {
+		return fmt.Errorf("tenant_rate_limited_total is %q; expected nonzero after the burst test", rateLimited[1])
+	}
+	if !regexp.MustCompile(`(?m)^tenant_live_services\{tenant="alice"\} 1$`).MatchString(text) {
+		return fmt.Errorf(`tenant_live_services{tenant="alice"} 1 missing from /metrics`)
+	}
+	return nil
 }
 
 // checkTracedQuery resolves the same request from C with tracing on: the
@@ -241,8 +470,9 @@ func checkTracedQuery(b, c *daemon, req string) error {
 }
 
 // boot starts one daemon; withHTTP additionally exposes the gateway for
-// the metrics assertion.
-func boot(bin, name string, withHTTP bool, peers ...string) (*daemon, error) {
+// the metrics assertion, and extra appends daemon flags (the admission
+// federation passes -auth-secret and rate-limit knobs through it).
+func boot(bin, name string, withHTTP bool, extra []string, peers ...string) (*daemon, error) {
 	d := &daemon{name: name}
 	var err error
 	if d.clientAddr, err = freePort(); err != nil {
@@ -261,6 +491,7 @@ func boot(bin, name string, withHTTP bool, peers ...string) (*daemon, error) {
 	for _, o := range ontologies {
 		args = append(args, "-ontology", o)
 	}
+	args = append(args, extra...)
 	for _, p := range peers {
 		args = append(args, "-peer", p)
 	}

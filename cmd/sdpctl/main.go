@@ -18,9 +18,21 @@
 //	sdpctl top -watch 2s localhost:8080 localhost:8081
 //	sdpctl watch -metric discovery_query_seconds localhost:8080
 //
+// Against a daemon with tenant admission enabled, mint a token and
+// publish into your namespace:
+//
+//	sdpctl login -secret $SDP_SECRET -tenant alice -ttl 24h
+//	sdpctl -token $TOKEN publish service.xml
+//	sdpctl tenants -token $ADMIN_TOKEN localhost:8080
+//
+// login mints a self-describing HMAC token client-side (no daemon round
+// trip); publish qualifies the advertisement name with the token's tenant
+// prefix before registering, so `service.xml` can keep a bare name. The
+// -token flag (or SDP_TOKEN) rides along on every other command too.
+//
 // trace resolves a query with hop-level tracing on and renders the
-// cross-daemon span tree; health and top talk to daemons' HTTP gateways
-// instead of the UDP control port.
+// cross-daemon span tree; health, top and tenants talk to daemons' HTTP
+// gateways instead of the UDP control port.
 package main
 
 import (
@@ -38,12 +50,16 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"sariadne/internal/profile"
+	"sariadne/internal/tenant"
 )
 
 type request struct {
 	Op    string `json:"op"`
 	Doc   string `json:"doc,omitempty"`
 	Name  string `json:"name,omitempty"`
+	Token string `json:"token,omitempty"`
 	Trace bool   `json:"trace,omitempty"`
 }
 
@@ -105,6 +121,7 @@ type peer struct {
 func main() {
 	server := flag.String("server", "localhost:7474", "sdpd address")
 	timeout := flag.Duration("timeout", 3*time.Second, "reply timeout")
+	token := flag.String("token", os.Getenv("SDP_TOKEN"), "bearer token for daemons with admission enabled (default $SDP_TOKEN)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -124,8 +141,36 @@ func main() {
 	if len(args) < 1 {
 		usage()
 	}
-	// health and top speak HTTP to daemon gateways, not UDP to -server.
+	// health, top and tenants speak HTTP to daemon gateways, not UDP to
+	// -server; login is entirely client-side.
 	switch args[0] {
+	case "login":
+		loginFlags := flag.NewFlagSet("login", flag.ExitOnError)
+		secret := loginFlags.String("secret", os.Getenv("SDP_SECRET"), "shared HMAC secret, >= 16 bytes (default $SDP_SECRET)")
+		tenantName := loginFlags.String("tenant", "", "tenant namespace the token publishes as")
+		role := loginFlags.String("role", "publisher", "role claimed by the token: reader, publisher or admin")
+		ttl := loginFlags.Duration("ttl", 24*time.Hour, "token lifetime (0 = never expires)")
+		loginFlags.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		if loginFlags.NArg() != 0 || *tenantName == "" {
+			usage()
+		}
+		tok, err := runLogin(*secret, *tenantName, *role, *ttl)
+		if err != nil {
+			fatal("login failed", "err", err)
+		}
+		fmt.Println(tok)
+		return
+	case "tenants":
+		tenFlags := flag.NewFlagSet("tenants", flag.ExitOnError)
+		tenToken := tenFlags.String("token", *token, "admin bearer token (default the global -token / $SDP_TOKEN)")
+		tenFlags.Parse(args[1:]) //nolint:errcheck // ExitOnError
+		if tenFlags.NArg() != 1 {
+			usage()
+		}
+		if err := runTenants(os.Stdout, tenFlags.Arg(0), *tenToken, *timeout); err != nil {
+			fatal("tenants listing failed", "addr", tenFlags.Arg(0), "err", err)
+		}
+		return
 	case "health":
 		if len(args) != 2 {
 			usage()
@@ -175,7 +220,7 @@ func main() {
 
 	var req request
 	switch args[0] {
-	case "register", "query", "ontology", "trace":
+	case "register", "publish", "query", "ontology", "trace":
 		if len(args) != 2 {
 			usage()
 		}
@@ -188,6 +233,15 @@ func main() {
 			req = request{Op: "add-ontology", Doc: string(doc)}
 		case "trace":
 			req = request{Op: "query", Doc: string(doc), Trace: true}
+		case "publish":
+			// publish = register with the advertisement name qualified by
+			// the token's tenant namespace, read from the self-describing
+			// token — the document keeps its bare name on disk.
+			qualified, err := qualifyDoc(doc, *token)
+			if err != nil {
+				fatal("publish", "err", err)
+			}
+			req = request{Op: "register", Doc: qualified}
 		default:
 			req = request{Op: args[0], Doc: string(doc)}
 		}
@@ -208,6 +262,7 @@ func main() {
 	default:
 		usage()
 	}
+	req.Token = *token
 
 	resp, err := send(*server, *timeout, req)
 	if err != nil {
@@ -587,6 +642,128 @@ func parseMetrics(r io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
+// runLogin mints a self-describing HMAC token entirely client-side; a
+// daemon started with the same -auth-secret verifies it without any
+// login round trip or shared session state.
+func runLogin(secret, tenantName, roleName string, ttl time.Duration) (string, error) {
+	if secret == "" {
+		return "", fmt.Errorf("login needs -secret (or SDP_SECRET)")
+	}
+	role, err := tenant.ParseRole(roleName)
+	if err != nil {
+		return "", err
+	}
+	return tenant.MintToken([]byte(secret), tenantName, role, ttl, nil)
+}
+
+// qualifyDoc rewrites an advertisement's service name under the token's
+// tenant namespace (name "ws" with alice's token publishes "alice/ws"),
+// so documents can keep bare names on disk. The tenant comes from the
+// token's self-describing claims; static tokens are opaque to clients,
+// so their holders use plain register with a pre-qualified name.
+func qualifyDoc(doc []byte, token string) (string, error) {
+	if token == "" {
+		return "", fmt.Errorf("publish needs -token (or SDP_TOKEN); mint one with sdpctl login")
+	}
+	tn, _, ok := tenant.TokenTenant(token)
+	if !ok {
+		return "", fmt.Errorf("token is not self-describing; use register with a tenant-qualified name instead")
+	}
+	svc, err := profile.Unmarshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("parse advertisement: %w", err)
+	}
+	svc.Name = tenant.Qualify(tn, svc.Name)
+	out, err := profile.Marshal(svc)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// tenantsTable mirrors sdpd's tenantsBody: the admission table behind
+// GET /tenants and the "tenants" op.
+type tenantsTable struct {
+	Enforcing bool   `json:"enforcing"`
+	Auth      string `json:"auth"`
+	Limits    struct {
+		RatePerSec            float64 `json:"rate_per_sec"`
+		Burst                 int     `json:"burst"`
+		MaxLiveServices       int     `json:"max_live_services"`
+		MaxPublishesPerMinute int     `json:"max_publishes_per_minute"`
+	} `json:"limits"`
+	Tenants []struct {
+		Tenant              string  `json:"tenant"`
+		LiveServices        int     `json:"live_services"`
+		PublishesTotal      uint64  `json:"publishes_total"`
+		PublishesThisMinute int     `json:"publishes_this_minute"`
+		RateLimitedTotal    uint64  `json:"rate_limited_total"`
+		DeniedTotal         uint64  `json:"denied_total"`
+		RateTokens          float64 `json:"rate_tokens"`
+	} `json:"tenants"`
+}
+
+// runTenants fetches the admission table from a daemon's HTTP gateway
+// (GET /tenants, admin-only) and renders one row per tenant.
+func runTenants(w io.Writer, addr, token string, timeout time.Duration) error {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/tenants", nil)
+	if err != nil {
+		return err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := httpClient(timeout).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /tenants: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	// The gateway wraps every reply in the protocol envelope; the
+	// admission table sits under its "tenants" key.
+	var envelope struct {
+		Tenants tenantsTable `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		return fmt.Errorf("malformed reply: %w", err)
+	}
+	table := envelope.Tenants
+	mode := "open (no admission)"
+	if table.Enforcing {
+		mode = "enforcing via " + table.Auth
+	}
+	fmt.Fprintf(w, "%s: %s\n", addr, mode)
+	limits := []string{}
+	if table.Limits.RatePerSec > 0 {
+		limits = append(limits, fmt.Sprintf("rate %g/s burst %d", table.Limits.RatePerSec, table.Limits.Burst))
+	}
+	if table.Limits.MaxLiveServices > 0 {
+		limits = append(limits, fmt.Sprintf("max %d live services", table.Limits.MaxLiveServices))
+	}
+	if table.Limits.MaxPublishesPerMinute > 0 {
+		limits = append(limits, fmt.Sprintf("max %d publishes/min", table.Limits.MaxPublishesPerMinute))
+	}
+	if len(limits) > 0 {
+		fmt.Fprintf(w, "limits: %s\n", strings.Join(limits, ", "))
+	}
+	if len(table.Tenants) == 0 {
+		fmt.Fprintln(w, "no tenants seen")
+		return nil
+	}
+	fmt.Fprintf(w, "%-20s %8s %10s %8s %10s %8s\n", "TENANT", "LIVE", "PUBLISHES", "IN-MIN", "THROTTLED", "DENIED")
+	for _, t := range table.Tenants {
+		fmt.Fprintf(w, "%-20s %8d %10d %8d %10d %8d\n",
+			t.Tenant, t.LiveServices, t.PublishesTotal, t.PublishesThisMinute, t.RateLimitedTotal, t.DeniedTotal)
+	}
+	return nil
+}
+
 func send(server string, timeout time.Duration, req request) (*response, error) {
 	conn, err := net.Dial("udp", server)
 	if err != nil {
@@ -619,6 +796,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sdpctl [-server host:port] <command>
 commands:
   register <service.xml>    publish an Amigo-S advertisement
+  publish <service.xml>     like register, but first qualify the service name
+                            with the -token's tenant namespace (alice/ws)
+  login -secret S -tenant T [-role publisher] [-ttl 24h]
+                            mint an HMAC bearer token for daemons with
+                            -auth-secret admission (printed to stdout)
+  tenants [-token T] <http-addr>
+                            show a daemon's admission table (admin token)
   deregister <name>         withdraw a service
   query <request.xml>       resolve the required capabilities
   trace <request.xml>       resolve with tracing on and render the hop tree

@@ -271,3 +271,61 @@ func TestRunServices(t *testing.T) {
 		t.Fatal("missing service should error")
 	}
 }
+
+// TestRunTenantsEnvelope pins the wire shape runTenants parses: the
+// gateway wraps the admission table in the protocol envelope under its
+// "tenants" key, and the bearer token must ride the Authorization
+// header.
+func TestRunTenantsEnvelope(t *testing.T) {
+	var gotAuth string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/tenants" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		gotAuth = r.Header.Get("Authorization")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true,"tenants":{"enforcing":true,"auth":"hmac",` +
+			`"limits":{"rate_per_sec":5,"burst":10,"max_live_services":200},` +
+			`"tenants":[{"tenant":"alice","live_services":1,"publishes_total":3,` +
+			`"publishes_this_minute":2,"rate_limited_total":4,"denied_total":1,"rate_tokens":1.5}]}}`))
+	}))
+	defer ts.Close()
+
+	var buf strings.Builder
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	if err := runTenants(&buf, addr, "tok123", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth != "Bearer tok123" {
+		t.Fatalf("Authorization = %q", gotAuth)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"enforcing via hmac",
+		"rate 5/s burst 10",
+		"max 200 live services",
+		"alice",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	row := findLine(t, out, "alice")
+	for _, col := range []string{"1", "3", "2", "4"} {
+		if !strings.Contains(row, col) {
+			t.Fatalf("alice row missing %q: %s", col, row)
+		}
+	}
+}
+
+// findLine returns the line of out containing needle.
+func findLine(t *testing.T, out, needle string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, needle) {
+			return line
+		}
+	}
+	t.Fatalf("no line contains %q:\n%s", needle, out)
+	return ""
+}

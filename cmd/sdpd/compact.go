@@ -1,0 +1,69 @@
+package main
+
+import (
+	"log/slog"
+	"time"
+
+	"sariadne/internal/store"
+)
+
+// compactor periodically rewrites the store to its canonical folded
+// state (-compact-every), bounding replay cost on long-lived daemons
+// without waiting for a restart. It runs off the request path: Store
+// implementations are internally synchronized, so Compact proceeds
+// concurrently with request handling and never takes the server mutex.
+type compactor struct {
+	st       store.Store
+	interval time.Duration
+	log      *slog.Logger
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startCompactor launches the compaction loop over an open store.
+func startCompactor(st store.Store, interval time.Duration, log *slog.Logger) *compactor {
+	c := &compactor{
+		st:       st,
+		interval: interval,
+		log:      log,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+func (c *compactor) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			start := time.Now()
+			if err := c.st.Compact(); err != nil {
+				// The store outlives a failed compaction (Compact is atomic);
+				// log and try again next tick. ErrClosed means shutdown won
+				// the race with the ticker.
+				if err != store.ErrClosed {
+					c.log.Error("background compaction", "err", err)
+				}
+				continue
+			}
+			c.log.Debug("compacted store", "took", time.Since(start))
+		}
+	}
+}
+
+// close stops the compaction loop and waits for it.
+func (c *compactor) close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}

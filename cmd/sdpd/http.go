@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"sariadne/internal/telemetry"
+	"sariadne/internal/tenant"
 )
 
 // httpGateway exposes the directory over HTTP for clients that prefer REST
@@ -26,6 +27,12 @@ import (
 //	GET  /tables?uri={ontology-uri}                  -> 200 code table JSON
 //	GET  /stats                                      -> 200 {"capabilities":..,"ontologies":[..]}
 //	GET  /peers                                      -> 200 {"peers":[...]} (federated daemons)
+//	GET  /tenants                                    -> 200 admission table: limits + per-tenant usage (admin)
+//
+// On a daemon with admission enabled (-auth-tokens / -auth-secret) every
+// endpoint reads the bearer credential from the Authorization header;
+// denials map onto 401 (unauthenticated), 403 (forbidden) and 429 (rate
+// limited or over quota).
 //	GET  /traces                                     -> 200 {"traces":[...]} flight-recorder listing, newest first
 //	GET  /traces/{id}                                -> 200 one retained trace with its span tree
 //	GET  /events                                     -> 200 {"events":[...]} protocol events, newest first
@@ -58,6 +65,7 @@ func newHTTPGateway(srv *server, withPprof bool) http.Handler {
 	mux.HandleFunc("GET /tables", g.getTable)
 	mux.HandleFunc("GET /stats", g.getStats)
 	mux.HandleFunc("GET /peers", g.getPeers)
+	mux.HandleFunc("GET /tenants", g.getTenants)
 	mux.HandleFunc("GET /traces", g.getTraces)
 	mux.HandleFunc("GET /traces/{id}", g.getTrace)
 	mux.HandleFunc("GET /events", g.getEvents)
@@ -83,9 +91,38 @@ func httpStatus(code string) int {
 		return http.StatusNotFound
 	case codeInternal:
 		return http.StatusInternalServerError
+	case tenant.CodeUnauthenticated:
+		return http.StatusUnauthorized
+	case tenant.CodeForbidden:
+		return http.StatusForbidden
+	case tenant.CodeRateLimited:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// bearerToken extracts the credential from an Authorization: Bearer
+// header ("" when absent), feeding request.Token on every dispatched op.
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	if tok, ok := strings.CutPrefix(auth, "Bearer "); ok {
+		return strings.TrimSpace(tok)
+	}
+	return ""
+}
+
+// authorize gates the handlers that read server state directly instead of
+// dispatching an op (the paginated listing, the version ledger): they
+// authenticate exactly like dispatched ops, so an enforcing daemon has no
+// anonymous side door.
+func (g *httpGateway) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if _, err := g.srv.gate.Authenticate(bearerToken(r)); err != nil {
+		resp := denialResponse(err)
+		http.Error(w, resp.Error, httpStatus(resp.Code))
+		return false
+	}
+	return true
 }
 
 // dispatch runs a request through the shared handler and writes the reply.
@@ -125,7 +162,7 @@ func (g *httpGateway) postServices(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	g.dispatch(w, request{Op: "register", Doc: doc}, http.StatusCreated)
+	g.dispatch(w, request{Op: "register", Doc: doc, Token: bearerToken(r)}, http.StatusCreated)
 }
 
 // getServices pages through the live advertisements: GET
@@ -133,6 +170,9 @@ func (g *httpGateway) postServices(w http.ResponseWriter, r *http.Request) {
 // the previous page; an empty next_cursor in the reply means the listing
 // is complete.
 func (g *httpGateway) getServices(w http.ResponseWriter, r *http.Request) {
+	if !g.authorize(w, r) {
+		return
+	}
 	limit := 50
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
@@ -152,6 +192,9 @@ func (g *httpGateway) getServices(w http.ResponseWriter, r *http.Request) {
 // getService serves one advertisement's version ledger, withdrawn
 // versions included.
 func (g *httpGateway) getService(w http.ResponseWriter, r *http.Request) {
+	if !g.authorize(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	g.srv.mu.Lock()
 	h := g.srv.serviceHistoryLocked(name)
@@ -169,7 +212,7 @@ func (g *httpGateway) deleteService(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing service name", http.StatusBadRequest)
 		return
 	}
-	g.dispatch(w, request{Op: "deregister", Name: name}, http.StatusOK)
+	g.dispatch(w, request{Op: "deregister", Name: name, Token: bearerToken(r)}, http.StatusOK)
 }
 
 func (g *httpGateway) postQuery(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +223,7 @@ func (g *httpGateway) postQuery(w http.ResponseWriter, r *http.Request) {
 	// The body is the raw XML document, so the trace switch rides the
 	// query string: POST /query?trace=1.
 	traced := r.URL.Query().Get("trace") == "1"
-	g.dispatch(w, request{Op: "query", Doc: doc, Trace: traced}, http.StatusOK)
+	g.dispatch(w, request{Op: "query", Doc: doc, Trace: traced, Token: bearerToken(r)}, http.StatusOK)
 }
 
 func (g *httpGateway) postOntologies(w http.ResponseWriter, r *http.Request) {
@@ -188,7 +231,7 @@ func (g *httpGateway) postOntologies(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	g.dispatch(w, request{Op: "add-ontology", Doc: doc}, http.StatusCreated)
+	g.dispatch(w, request{Op: "add-ontology", Doc: doc, Token: bearerToken(r)}, http.StatusCreated)
 }
 
 // getTable takes the ontology URI as a query parameter (URIs contain
@@ -199,16 +242,22 @@ func (g *httpGateway) getTable(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing uri query parameter", http.StatusBadRequest)
 		return
 	}
-	g.dispatch(w, request{Op: "get-table", Name: uri}, http.StatusOK)
+	g.dispatch(w, request{Op: "get-table", Name: uri, Token: bearerToken(r)}, http.StatusOK)
 }
 
-func (g *httpGateway) getStats(w http.ResponseWriter, _ *http.Request) {
-	g.dispatch(w, request{Op: "stats"}, http.StatusOK)
+func (g *httpGateway) getStats(w http.ResponseWriter, r *http.Request) {
+	g.dispatch(w, request{Op: "stats", Token: bearerToken(r)}, http.StatusOK)
 }
 
 // getPeers serves the live backbone view of a federated daemon.
-func (g *httpGateway) getPeers(w http.ResponseWriter, _ *http.Request) {
-	g.dispatch(w, request{Op: "peers"}, http.StatusOK)
+func (g *httpGateway) getPeers(w http.ResponseWriter, r *http.Request) {
+	g.dispatch(w, request{Op: "peers", Token: bearerToken(r)}, http.StatusOK)
+}
+
+// getTenants serves the admission table: enforcement mode, configured
+// limits, per-tenant usage. Admin role required on an enforcing daemon.
+func (g *httpGateway) getTenants(w http.ResponseWriter, r *http.Request) {
+	g.dispatch(w, request{Op: "tenants", Token: bearerToken(r)}, http.StatusOK)
 }
 
 // writeJSON encodes v with the canonical content type.

@@ -27,6 +27,11 @@
 //	{"op":"get-table", "name":"<ontology uri>"}
 //	{"op":"stats"}
 //	{"op":"peers"}
+//	{"op":"tenants"}
+//
+// With admission enabled (-auth-tokens and/or -auth-secret) every request
+// additionally carries {"token":"..."}; denials come back with code
+// "unauthenticated", "forbidden" or "rate_limited".
 //
 // Every reply is {"ok":bool, "error":string, "code":string, "hits":[...],
 // "stats":{...}}; failed requests carry a machine-readable code alongside
@@ -54,6 +59,7 @@ import (
 	"sariadne/internal/ontology"
 	"sariadne/internal/store"
 	"sariadne/internal/telemetry"
+	"sariadne/internal/tenant"
 	"sariadne/internal/transport"
 )
 
@@ -62,6 +68,10 @@ type request struct {
 	Op   string `json:"op"`
 	Doc  string `json:"doc,omitempty"`
 	Name string `json:"name,omitempty"`
+	// Token is the caller's bearer credential, consulted when the daemon
+	// runs with admission enabled (-auth-tokens / -auth-secret). The HTTP
+	// gateway fills it from the Authorization header.
+	Token string `json:"token,omitempty"`
 	// Trace asks for a hop-level trace of a query op: the reply carries
 	// the span tree inline and the trace is retained in the flight
 	// recorder for later retrieval via GET /traces/{id}.
@@ -70,12 +80,23 @@ type request struct {
 
 // Machine-readable error codes carried in failed responses. The HTTP
 // gateway maps them to status codes; UDP clients can branch on them
-// without parsing English.
+// without parsing English. Admission refusals reuse the tenant package's
+// codes (tenant.CodeUnauthenticated / CodeForbidden / CodeRateLimited),
+// which the gateway maps to 401 / 403 / 429.
 const (
 	codeBadRequest = "bad_request" // malformed or semantically invalid input
 	codeNotFound   = "not_found"   // named service/ontology does not exist
 	codeInternal   = "internal"    // server-side failure (journal, encoding)
 )
+
+// denialResponse renders an admission refusal (or an authenticator's
+// internal fault) as a wire response.
+func denialResponse(err error) response {
+	if d, ok := tenant.Denied(err); ok {
+		return response{Error: d.Reason, Code: d.Code}
+	}
+	return response{Error: err.Error(), Code: codeInternal}
+}
 
 // response is the wire format of server replies. Partial and Unreachable
 // mirror discovery.Result: when the resolver could not reach every
@@ -97,9 +118,19 @@ type response struct {
 	// Spans is the hop-level trace, inline — only when the request asked
 	// for tracing (sampled queries just carry the ID).
 	Spans []telemetry.Span `json:"spans,omitempty"`
-	Peers []peerEntry      `json:"peers,omitempty"`
-	Stats *statsBody       `json:"stats,omitempty"`
-	Table json.RawMessage  `json:"table,omitempty"`
+	Peers   []peerEntry     `json:"peers,omitempty"`
+	Stats   *statsBody      `json:"stats,omitempty"`
+	Table   json.RawMessage `json:"table,omitempty"`
+	Tenants *tenantsBody    `json:"tenants,omitempty"`
+}
+
+// tenantsBody is the admission table behind GET /tenants and the
+// "tenants" op: enforcement mode, configured limits, one row per tenant.
+type tenantsBody struct {
+	Enforcing bool            `json:"enforcing"`
+	Auth      string          `json:"auth"`
+	Limits    tenant.Limits   `json:"limits"`
+	Tenants   []tenant.Status `json:"tenants"`
 }
 
 // peerEntry is one backbone peer in a "peers" reply: the discovery
@@ -123,6 +154,36 @@ func (l *stringList) String() string { return strings.Join(*l, ",") }
 func (l *stringList) Set(v string) error {
 	*l = append(*l, v)
 	return nil
+}
+
+// buildAuthenticator assembles the admission authenticator from the auth
+// flags: a static token table, an HMAC verifier, both chained (static
+// first, so operator tokens keep working alongside minted ones), or nil
+// for the open pre-tenancy mode.
+func buildAuthenticator(tokensPath, secret string) (tenant.Authenticator, error) {
+	var chain tenant.Chain
+	if tokensPath != "" {
+		static, err := tenant.LoadStaticFile(tokensPath)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, static)
+	}
+	if secret != "" {
+		h, err := tenant.NewHMAC([]byte(secret), nil)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, h)
+	}
+	switch len(chain) {
+	case 0:
+		return nil, nil
+	case 1:
+		return chain[0], nil
+	default:
+		return chain, nil
+	}
 }
 
 // setupLogging installs the process-wide slog handler at the requested
@@ -154,6 +215,14 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "retain queries at least this slow in the flight recorder (0 = half the query timeout)")
 	healthInterval := flag.Duration("health-interval", time.Second, "component health probe interval behind /healthz and /readyz")
 	sampleEvery := flag.Duration("sample-every", 5*time.Second, "telemetry time-series sampling cadence behind GET /timeseries (0 disables)")
+	compactEvery := flag.Duration("compact-every", 0, "compact the store on this cadence, off the request path (0 disables)")
+	authTokens := flag.String("auth-tokens", "", "static bearer-token file (`token tenant [role]` per line); enables admission")
+	authSecret := flag.String("auth-secret", "", "shared HMAC secret (>= 16 bytes) accepting sdpctl-minted sdp1 tokens; enables admission")
+	anonReads := flag.Bool("anon-reads", false, "with admission enabled, serve token-less reads as the anonymous tenant")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant mutating-op rate limit in ops/sec (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 10, "per-tenant token-bucket burst on top of -tenant-rate")
+	tenantMaxServices := flag.Int("tenant-max-services", 0, "max live advertisements per tenant (0 = unlimited)")
+	tenantMaxPublishes := flag.Int("tenant-max-publishes-min", 0, "max admitted mutating ops per tenant per minute (0 = unlimited)")
 	var ontologies stringList
 	flag.Var(&ontologies, "ontology", "ontology XML file to load (repeatable)")
 	var peers stringList
@@ -187,6 +256,26 @@ func main() {
 		fatal("startup", err)
 	}
 	srv.sampleEvery = *traceSample
+	// The gate must exist before replay so recovered registrations rebuild
+	// per-tenant live-service counts (durable quotas).
+	auth, err := buildAuthenticator(*authTokens, *authSecret)
+	if err != nil {
+		fatal("admission", err)
+	}
+	srv.gate = tenant.NewGatekeeper(tenant.Config{
+		Auth:                  auth,
+		AnonymousReads:        *anonReads,
+		Rate:                  *tenantRate,
+		Burst:                 *tenantBurst,
+		MaxLiveServices:       *tenantMaxServices,
+		MaxPublishesPerMinute: *tenantMaxPublishes,
+	})
+	if srv.gate.Enforcing() {
+		logger.Info("tenant admission enabled", "component", "tenant",
+			"auth", srv.gate.AuthName(), "anon_reads", *anonReads,
+			"rate", *tenantRate, "burst", *tenantBurst,
+			"max_services", *tenantMaxServices, "max_publishes_min", *tenantMaxPublishes)
+	}
 	if *state != "" || *storeKind == "mem" {
 		stLog := logger.With("component", "store")
 		st, err := openStore(*storeKind, *state, store.Options{SyncEvery: *syncEvery})
@@ -207,6 +296,12 @@ func main() {
 				"applied", applied, "skipped", skipped, "torn_tail", torn)
 		}
 		srv.store = st
+		if *compactEvery > 0 {
+			cp := startCompactor(st, *compactEvery, stLog)
+			defer cp.close()
+		}
+	} else if *compactEvery > 0 {
+		logger.Warn("-compact-every has no effect without a store")
 	}
 	if *federate != "" {
 		fed, err := startFederation(srv, federationOptions{
@@ -280,6 +375,13 @@ type server struct {
 	// adverts is the advertisement version ledger: every version published
 	// under each name, live or withdrawn, behind GET /services.
 	adverts map[string]*advertHistory // guarded by mu
+	// gate is the tenant admission layer: every request authenticates
+	// through it, every mutation is admitted by it before touching the
+	// backend. newServer installs an open (non-enforcing) gate; main
+	// replaces it from the -auth-* flags before replay and the front ends.
+	// The Gatekeeper is internally synchronized, but process calls it under
+	// mu like everything else.
+	gate *tenant.Gatekeeper
 	// resolve answers query requests. The default resolver consults the
 	// node-local backend only; a deployment embedding a backbone node (or a
 	// test exercising degradation) swaps in one that returns federated,
@@ -315,6 +417,7 @@ func newServer(ontologyFiles []string) (*server, error) {
 		reg:         reg,
 		backend:     discovery.NewSemanticBackend(reg),
 		adverts:     make(map[string]*advertHistory),
+		gate:        tenant.NewGatekeeper(tenant.Config{}),
 		sampleEvery: 64,
 		log:         slog.With("component", "directory"),
 	}
@@ -425,10 +528,29 @@ func (s *server) process(datagram []byte) response {
 	if err := json.Unmarshal(datagram, &req); err != nil {
 		return response{Error: "malformed request: " + err.Error(), Code: codeBadRequest}
 	}
+	// Every op authenticates first. An open-mode daemon gets the wildcard
+	// identity back at zero cost; an enforcing daemon turns a missing or
+	// bad token into a 401 here, before any work happens.
+	id, err := s.gate.Authenticate(req.Token)
+	if err != nil {
+		return denialResponse(err)
+	}
 	switch req.Op {
 	case "register":
-		name, err := s.backend.Register([]byte(req.Doc))
+		// Admission runs on the cheaply pre-parsed name BEFORE the backend
+		// sees the advertisement: a denied publish never enters the
+		// capability DAG, so the Bloom summary pushed to federation peers
+		// cannot leak it.
+		name, err := s.backend.ServiceName([]byte(req.Doc))
 		if err != nil {
+			return response{Error: err.Error(), Code: codeBadRequest}
+		}
+		prior := s.adverts[name]
+		newService := prior == nil || !prior.Live
+		if err := s.gate.AdmitPublish(id, name, newService); err != nil {
+			return denialResponse(err)
+		}
+		if _, err := s.backend.Register([]byte(req.Doc)); err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}
 		}
 		// The directory assigns the advertisement version: re-publishing a
@@ -436,20 +558,29 @@ func (s *server) process(datagram []byte) response {
 		// ledger. The assigned version is persisted with the record and
 		// returned to the publisher.
 		version := s.recordAdvertLocked(name, req.Doc, 0)
-		if err := s.persistLocked(store.Record{Op: store.OpRegister, Doc: req.Doc, Name: name, Version: version}); err != nil {
+		owner := advertOwner(name, "")
+		if err := s.persistLocked(store.Record{Op: store.OpRegister, Doc: req.Doc, Name: name, Version: version, Tenant: owner}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
+		}
+		if newService {
+			s.gate.ServiceLive(owner, +1)
 		}
 		s.refreshLocked()
 		s.log.Info("registered service", "name", name, "version", version, "capabilities", s.backend.Len())
 		return response{OK: true, Version: version}
 	case "deregister":
+		if err := s.gate.AdmitDeregister(id, req.Name); err != nil {
+			return denialResponse(err)
+		}
 		if !s.backend.Deregister(req.Name) {
 			return response{Error: fmt.Sprintf("service %q not registered", req.Name), Code: codeNotFound}
 		}
 		s.dropAdvertLocked(req.Name)
-		if err := s.persistLocked(store.Record{Op: store.OpDeregister, Name: req.Name}); err != nil {
+		owner := advertOwner(req.Name, "")
+		if err := s.persistLocked(store.Record{Op: store.OpDeregister, Name: req.Name, Tenant: owner}); err != nil {
 			return response{Error: err.Error(), Code: codeInternal}
 		}
+		s.gate.ServiceLive(owner, -1)
 		s.refreshLocked()
 		return response{OK: true}
 	case "query":
@@ -469,6 +600,9 @@ func (s *server) process(datagram []byte) response {
 		}
 		return resp
 	case "add-ontology":
+		if err := s.gate.AdmitOntology(id); err != nil {
+			return denialResponse(err)
+		}
 		if err := s.addOntologyTextLocked(req.Doc); err != nil {
 			return response{Error: err.Error(), Code: codeBadRequest}
 		}
@@ -498,6 +632,16 @@ func (s *server) process(datagram []byte) response {
 			return response{Error: "daemon is not federated (run with -federate)", Code: codeBadRequest}
 		}
 		return response{OK: true, Peers: s.fed.peers()}
+	case "tenants":
+		if err := s.gate.AdmitAdmin(id); err != nil {
+			return denialResponse(err)
+		}
+		return response{OK: true, Tenants: &tenantsBody{
+			Enforcing: s.gate.Enforcing(),
+			Auth:      s.gate.AuthName(),
+			Limits:    s.gate.Limits(),
+			Tenants:   s.gate.Tenants(),
+		}}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: codeBadRequest}
 	}

@@ -9,7 +9,19 @@ import (
 	"sariadne/internal/store/boltlike"
 	"sariadne/internal/store/filestore"
 	"sariadne/internal/store/memstore"
+	"sariadne/internal/tenant"
 )
+
+// advertOwner resolves the tenant charged for an advertisement: the
+// explicit record stamp when present (hint), else the name's namespace
+// prefix. Legacy un-namespaced names belong to no tenant ("").
+func advertOwner(name, hint string) string {
+	if hint != "" {
+		return hint
+	}
+	owner, _, _ := tenant.SplitName(name)
+	return owner
+}
 
 // openStore opens the storage backend selected by -store over the -state
 // path. "auto" sniffs the on-disk format so an upgraded daemon keeps
@@ -115,8 +127,9 @@ func replayStore(st store.Store, s *server) (applied, skipped int, torn bool, er
 }
 
 // applyLocked executes a persisted record against the directory without
-// re-persisting it, rebuilding the advertisement version ledger as it
-// goes.
+// re-persisting it, rebuilding the advertisement version ledger and the
+// per-tenant live-service counts as it goes — replay is what makes
+// tenant quotas durable across daemon restarts.
 func (s *server) applyLocked(rec store.Record) response {
 	switch rec.Op {
 	case store.OpRegister:
@@ -124,13 +137,19 @@ func (s *server) applyLocked(rec store.Record) response {
 		if err != nil {
 			return response{Error: err.Error()}
 		}
+		prior := s.adverts[name]
+		fresh := prior == nil || !prior.Live
 		s.recordAdvertLocked(name, rec.Doc, rec.Version)
+		if fresh {
+			s.gate.ServiceLive(advertOwner(name, rec.Tenant), +1)
+		}
 		return response{OK: true}
 	case store.OpDeregister:
 		if !s.backend.Deregister(rec.Name) {
 			return response{Error: "not registered"}
 		}
 		s.dropAdvertLocked(rec.Name)
+		s.gate.ServiceLive(advertOwner(rec.Name, rec.Tenant), -1)
 		return response{OK: true}
 	case store.OpAddOntology:
 		if err := s.addOntologyTextLocked(rec.Doc); err != nil {
@@ -233,7 +252,12 @@ func (s *server) listServicesLocked(limit int, cursor string) servicesPage {
 	for _, name := range names[start:end] {
 		page.Services = append(page.Services, serviceEntry{Name: name, Version: s.adverts[name].current()})
 	}
-	if end < len(names) {
+	// A full page always returns a cursor — even when it happens to be the
+	// final page. The client's next probe comes back empty and cursorless,
+	// which is the unambiguous end-of-listing signal; keying the cursor off
+	// end < len(names) made an exactly-full final page indistinguishable
+	// from a truncated listing.
+	if end-start == limit && end > start {
 		page.NextCursor = names[end-1]
 	}
 	return page

@@ -2,13 +2,16 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"sariadne/internal/ontology"
 	"sariadne/internal/profile"
 	"sariadne/internal/store"
+	"sariadne/internal/testutil"
 )
 
 // openTestStore opens the given backend over path, failing the test on
@@ -317,4 +320,98 @@ func TestOpenStoreAutoDetect(t *testing.T) {
 	if _, err := openStore("nope", filepath.Join(dir, "x"), store.Options{}); err == nil {
 		t.Fatal("unknown store kind accepted")
 	}
+}
+
+// TestListServicesExactlyFullFinalPage is the cursor off-by-one
+// regression: when the listing length is a multiple of the page size, the
+// final full page must still return a cursor, and the follow-up probe
+// must come back empty and cursorless. Before the fix the last full page
+// dropped the cursor, so a client could not distinguish "complete" from
+// "truncated at a page boundary".
+func TestListServicesExactlyFullFinalPage(t *testing.T) {
+	s := newTestServer(t)
+	for i := 0; i < 6; i++ {
+		svc := profile.WorkstationService()
+		svc.Name = fmt.Sprintf("svc-%02d", i)
+		if resp := s.handle(mustJSON(t, request{Op: "register", Doc: mustDoc(t, svc)})); !resp.OK {
+			t.Fatalf("register %d: %s", i, resp.Error)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	page1 := s.listServicesLocked(3, "")
+	if len(page1.Services) != 3 || page1.NextCursor != "svc-02" {
+		t.Fatalf("page 1 = %+v", page1)
+	}
+	page2 := s.listServicesLocked(3, page1.NextCursor)
+	if len(page2.Services) != 3 {
+		t.Fatalf("page 2 = %+v", page2)
+	}
+	if page2.NextCursor != "svc-05" {
+		t.Fatalf("exactly-full final page dropped its cursor: %+v", page2)
+	}
+	// The probe past the end terminates the listing unambiguously.
+	page3 := s.listServicesLocked(3, page2.NextCursor)
+	if len(page3.Services) != 0 || page3.NextCursor != "" {
+		t.Fatalf("end-of-listing probe = %+v", page3)
+	}
+	// A short (not full) final page still ends without a cursor.
+	short := s.listServicesLocked(4, "svc-03")
+	if len(short.Services) != 2 || short.NextCursor != "" {
+		t.Fatalf("short final page = %+v", short)
+	}
+	// And a page larger than the listing never returns a cursor.
+	all := s.listServicesLocked(50, "")
+	if len(all.Services) != 6 || all.NextCursor != "" {
+		t.Fatalf("single-page listing = %+v", all)
+	}
+}
+
+// TestBackgroundCompactor exercises -compact-every's loop: a register +
+// deregister history folds to nothing, so after one tick the raw log is
+// empty — without any request-path involvement.
+func TestBackgroundCompactor(t *testing.T) {
+	st := openTestStore(t, "mem", "")
+	s, err := newServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.store = st
+	for _, o := range []*ontology.Ontology{profile.MediaOntology(), profile.ServersOntology()} {
+		data, err := ontology.Marshal(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := s.handle(mustJSON(t, request{Op: "add-ontology", Doc: string(data)})); !resp.OK {
+			t.Fatalf("add-ontology: %s", resp.Error)
+		}
+	}
+	if resp := s.handle(mustJSON(t, request{Op: "register", Doc: mustDoc(t, profile.WorkstationService())})); !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+	if resp := s.handle(mustJSON(t, request{Op: "deregister", Name: "MediaWorkstation"})); !resp.OK {
+		t.Fatalf("deregister: %s", resp.Error)
+	}
+	records := func() int {
+		n := 0
+		stats, err := st.Replay(func(store.Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("replay: %v (stats %+v)", err, stats)
+		}
+		return n
+	}
+	// Raw history: 2 ontologies + register + deregister.
+	if n := records(); n != 4 {
+		t.Fatalf("pre-compaction records = %d, want 4", n)
+	}
+
+	cp := startCompactor(st, 5*time.Millisecond, slog.Default())
+	defer cp.close()
+	// The two ontologies survive folding.
+	testutil.WaitFor(t, 5*time.Second, func() bool { return records() == 2 },
+		"compactor never folded the log")
+	// close joins the loop goroutine; a second close is a no-op.
+	cp.close()
+	cp.close()
 }

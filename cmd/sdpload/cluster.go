@@ -167,17 +167,19 @@ func (c *cluster) close() {
 type liveCluster struct {
 	targets []string
 	timeout time.Duration
+	token   string // bearer token for daemons with tenant admission
 }
 
-func newLiveCluster(targets []string, timeout time.Duration) *liveCluster {
+func newLiveCluster(targets []string, timeout time.Duration, token string) *liveCluster {
 	sort.Strings(targets)
-	return &liveCluster{targets: targets, timeout: timeout}
+	return &liveCluster{targets: targets, timeout: timeout, token: token}
 }
 
 // clientRequest/clientResponse mirror sdpd's datagram protocol.
 type clientRequest struct {
-	Op  string `json:"op"`
-	Doc string `json:"doc,omitempty"`
+	Op    string `json:"op"`
+	Doc   string `json:"doc,omitempty"`
+	Token string `json:"token,omitempty"`
 }
 
 type clientResponse struct {
@@ -188,6 +190,7 @@ type clientResponse struct {
 }
 
 func (l *liveCluster) send(node int, req clientRequest) (*clientResponse, error) {
+	req.Token = l.token
 	addr := l.targets[node%len(l.targets)]
 	conn, err := net.Dial("udp", addr)
 	if err != nil {

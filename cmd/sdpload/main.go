@@ -50,6 +50,7 @@ func main() {
 	flag.DurationVar(&cfg.sample, "sample", 250*time.Millisecond, "telemetry sampling cadence")
 	flag.DurationVar(&cfg.faultScale, "fault-scale", 2*time.Second, "nominal run length fault windows scale against")
 	flag.StringVar(&cfg.target, "target", "", "comma-separated live sdpd addrs (empty = in-process simnet)")
+	flag.StringVar(&cfg.token, "token", os.Getenv("SDP_TOKEN"), "bearer token for live daemons with tenant admission (default $SDP_TOKEN)")
 	flag.DurationVar(&cfg.opTimeout, "timeout", 2*time.Second, "per-operation timeout")
 	flag.StringVar(&out, "out", "", "report path (default BENCH_load_<scenario>.json)")
 	flag.Usage = usage

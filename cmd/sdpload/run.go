@@ -28,6 +28,7 @@ type runConfig struct {
 	sample      time.Duration
 	faultScale  time.Duration
 	target      string // comma-separated sdpd addrs; empty = simnet
+	token       string // bearer token for live daemons with admission on
 	opTimeout   time.Duration
 }
 
@@ -101,7 +102,7 @@ func runLoad(cfg runConfig) (*slo.Report, error) {
 	var drv driver
 	if cfg.target != "" {
 		rep.Config.Topology = "live"
-		drv = newLiveCluster(strings.Split(cfg.target, ","), cfg.opTimeout)
+		drv = newLiveCluster(strings.Split(cfg.target, ","), cfg.opTimeout, cfg.token)
 	} else {
 		rows, cols := gridDims(cfg.nodes)
 		c, err := buildCluster(w, reg, rows, cols, cfg.seed)

@@ -44,7 +44,12 @@ var constructors = map[string]bool{
 	"NewFloatGauge":    true,
 	"NewHistogram":     true,
 	"NewSizeHistogram": true,
+	"NewLabeledGauge":  true,
 }
+
+// labelRe bounds labeled-family label keys: a bare lowercase identifier
+// ("tenant"), since the key lands verbatim inside every exposition line.
+var labelRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 func telemetryPath(path string) bool {
 	return path == "sariadne/internal/telemetry" || strings.HasSuffix(path, "/internal/telemetry")
@@ -108,6 +113,21 @@ func checkCalls(pass *analysis.Pass, root ast.Node, atInit bool) {
 			} else if pkgQualified {
 				pass.Reportf(call.Args[0].Pos(),
 					"metric name must be a string literal so the namespace stays greppable")
+			}
+		}
+		// NewLabeledGauge(name, help, label): the label key is scraped
+		// verbatim into every `name{label="..."}` line, so it follows the
+		// same literal-and-greppable discipline as the family name.
+		if sel.Sel.Name == "NewLabeledGauge" && len(call.Args) > 2 {
+			if lit, ok := call.Args[2].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				label, err := strconv.Unquote(lit.Value)
+				if err == nil && !labelRe.MatchString(label) {
+					pass.Reportf(call.Args[2].Pos(),
+						"label key %q is not a lowercase identifier (want %s)", label, labelRe)
+				}
+			} else if pkgQualified {
+				pass.Reportf(call.Args[2].Pos(),
+					"label key must be a string literal so the namespace stays greppable")
 			}
 		}
 		return true

@@ -10,6 +10,14 @@ var (
 
 var goodBool = telemetry.NewBoolGauge("pkg_healthy", "verdict gauge")
 
+// Labeled families follow the same rules, plus a literal lowercase
+// label key (the tenant_* admission gauges are the canonical users).
+var goodLabeled = telemetry.NewLabeledGauge("tenant_live_services", "live adverts per tenant", "tenant")
+
+var badLabeledName = telemetry.NewLabeledGauge("TenantLive", "x", "tenant") // want `not snake_case`
+
+var badLabelKey = telemetry.NewLabeledGauge("tenant_rate_tokens", "x", "Tenant-ID") // want `label key "Tenant-ID" is not a lowercase identifier`
+
 var badCamel = telemetry.NewGauge("PkgEntries", "x") // want `not snake_case`
 
 var badBool = telemetry.NewBoolGauge("Healthy", "x") // want `not snake_case`
@@ -28,6 +36,7 @@ func handleRequest(name string) {
 	telemetry.NewCounter("pkg_lazy_total", "x") // want `outside a package-level var or init`
 	telemetry.NewCounter(name, "x")             // want `outside a package-level var or init` `string literal`
 	telemetry.NewCounter("per_request_total", "x").Inc() // want `outside a package-level var or init`
+	telemetry.NewLabeledGauge("pkg_lazy_by_node", "x", name) // want `outside a package-level var or init` `label key must be a string literal`
 }
 
 func scopedRegistry() {
@@ -36,8 +45,12 @@ func scopedRegistry() {
 	r := telemetry.NewRegistry()
 	r.NewCounter("tool_runs_total", "fine")
 	r.NewGauge("Bad", "still name-checked") // want `not snake_case`
+	r.NewLabeledGauge("tool_rows_by_kind", "fine scoped family", "kind")
 	_ = goodHist
 	_ = goodBool
+	_ = goodLabeled
+	_ = badLabeledName
+	_ = badLabelKey
 	_ = badCamel
 	_ = badBool
 	_ = noPrefix

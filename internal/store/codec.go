@@ -32,6 +32,11 @@ type wireRecord struct {
 	Doc  string `json:"doc,omitempty"`
 	Name string `json:"name,omitempty"`
 	Ver  uint64 `json:"ver,omitempty"`
+	// Tenant rides at the end with omitempty, so tenant-less records
+	// encode byte-identically to pre-tenancy daemons (golden migration
+	// files stay valid) and old daemons decoding a tenant-stamped record
+	// simply drop the field.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // EncodeRecord serializes one record as a current-version JSON line
@@ -42,11 +47,12 @@ func EncodeRecord(rec Record) ([]byte, error) {
 		return nil, fmt.Errorf("store: encode: record has no op")
 	}
 	data, err := json.Marshal(wireRecord{
-		V:    RecordVersion,
-		Op:   rec.Op,
-		Doc:  rec.Doc,
-		Name: rec.Name,
-		Ver:  rec.Version,
+		V:      RecordVersion,
+		Op:     rec.Op,
+		Doc:    rec.Doc,
+		Name:   rec.Name,
+		Ver:    rec.Version,
+		Tenant: rec.Tenant,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("store: encode: %w", err)
@@ -74,7 +80,7 @@ func DecodeRecord(data []byte) (Record, error) {
 	if w.Op == "" {
 		return Record{}, fmt.Errorf("store: decode: record has no op")
 	}
-	return Record{Op: w.Op, Doc: w.Doc, Name: w.Name, Version: w.Ver}, nil
+	return Record{Op: w.Op, Doc: w.Doc, Name: w.Name, Version: w.Ver, Tenant: w.Tenant}, nil
 }
 
 // fileHeader is the first line of a v2 JSON-lines store file. The format

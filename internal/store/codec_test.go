@@ -15,6 +15,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Op: store.OpDeregister, Name: "a"},
 		{Op: store.OpAddOntology, Doc: `<ontology uri="u"/>`},
 		{Op: "future-op", Doc: "payload"}, // unknown ops round-trip too
+		{Op: store.OpRegister, Doc: `<service name="alice/a"/>`, Name: "alice/a", Version: 1, Tenant: "alice"},
+		{Op: store.OpDeregister, Name: "alice/a", Tenant: "alice"},
 	}
 	for _, rec := range recs {
 		data, err := store.EncodeRecord(rec)
@@ -46,6 +48,39 @@ func TestEncodeDeterministic(t *testing.T) {
 	}
 	if bytes.ContainsRune(a, '\n') {
 		t.Fatalf("encoded record contains a newline: %s", a)
+	}
+}
+
+// TestEncodeTenantlessUnchanged pins the compatibility contract of the
+// tenant field: a record without one encodes byte-identically to what
+// pre-tenancy daemons wrote (no "tenant" key at all), so golden migration
+// files and byte-stable snapshots survive the schema growth; a record
+// with one carries it at the end of the line.
+func TestEncodeTenantlessUnchanged(t *testing.T) {
+	legacy, err := store.EncodeRecord(store.Record{Op: store.OpRegister, Doc: `<service name="a"/>`, Name: "a", Version: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// json.Marshal HTML-escapes angle brackets; these are the bytes every
+	// pre-tenancy daemon wrote.
+	if want := `{"v":2,"op":"register","doc":"\u003cservice name=\"a\"/\u003e","name":"a","ver":2}`; string(legacy) != want {
+		t.Fatalf("tenant-less encoding changed:\n got %s\nwant %s", legacy, want)
+	}
+	stamped, err := store.EncodeRecord(store.Record{Op: store.OpRegister, Doc: `<service name="alice/a"/>`, Name: "alice/a", Version: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(stamped), `,"tenant":"alice"}`) {
+		t.Fatalf("tenant not at end of line: %s", stamped)
+	}
+	// An old decoder's view of a stamped record: drop the field, keep the
+	// rest — which is exactly what decoding into the v1 shape does here.
+	rec, err := store.DecodeRecord([]byte(`{"op":"deregister","name":"alice/a","tenant":"alice"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Tenant != "alice" || rec.Name != "alice/a" {
+		t.Fatalf("decoded %+v", rec)
 	}
 }
 

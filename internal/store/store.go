@@ -46,6 +46,11 @@ type Record struct {
 	// a register op supersedes an earlier advertisement of the same name.
 	// Zero on v1 records (the replaying server assigns versions by count).
 	Version uint64 `json:"ver,omitempty"`
+	// Tenant is the admitted tenant behind a mutating op, "" on records
+	// written before multi-tenancy (or by an open-mode daemon). Replay
+	// rebuilds per-tenant live-service counts from it, which is what makes
+	// tenant quotas durable across restarts.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ReplayStats summarizes one replay pass.

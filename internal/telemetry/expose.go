@@ -12,14 +12,26 @@ import (
 // format 0.0.4: HELP/TYPE comments followed by samples, histograms as
 // cumulative le-labelled buckets plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Children of a labeled family share one name; HELP/TYPE print once
+	// per name, not once per sample.
+	lastHeader := ""
 	for _, s := range r.Snapshot() {
-		if s.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+		if s.Name != lastHeader {
+			lastHeader = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
-			return err
+		if s.Label != "" {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", s.Name, s.Label, s.LabelValue, formatFloat(s.Value)); err != nil {
+				return err
+			}
+			continue
 		}
 		switch s.Kind {
 		case KindHistogram:
@@ -64,6 +76,10 @@ type jsonHistogram struct {
 func (r *Registry) WriteJSON(w io.Writer) error {
 	obj := make(map[string]any)
 	for _, s := range r.Snapshot() {
+		if s.Label != "" {
+			obj[fmt.Sprintf("%s{%s=%q}", s.Name, s.Label, s.LabelValue)] = s.Value
+			continue
+		}
 		switch s.Kind {
 		case KindHistogram:
 			h := jsonHistogram{Count: s.Count, Sum: s.Sum}
@@ -91,6 +107,15 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		return err
 	}
 	for _, s := range r.Snapshot() {
+		if s.Label != "" {
+			if s.Value == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{%s=%q}: %s\n", s.Name, s.Label, s.LabelValue, formatFloat(s.Value)); err != nil {
+				return err
+			}
+			continue
+		}
 		switch s.Kind {
 		case KindHistogram:
 			if s.Count == 0 {

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledGaugeChildren(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewLabeledGauge("tenant_live_services", "live services per tenant", "tenant")
+
+	g.With("alice").Set(3)
+	g.With("bob").Add(2)
+	if g.With("alice") != g.With("alice") {
+		t.Fatal("With must return the same child for the same value")
+	}
+	vals := g.Values()
+	if vals["alice"] != 3 || vals["bob"] != 2 {
+		t.Fatalf("Values() = %v, want alice=3 bob=2", vals)
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want one per child: %+v", len(snap), snap)
+	}
+	for _, s := range snap {
+		if s.Name != "tenant_live_services" || s.Label != "tenant" {
+			t.Fatalf("child snapshot %+v lacks family name/label", s)
+		}
+	}
+	// First-use order is the exposition order.
+	if snap[0].LabelValue != "alice" || snap[1].LabelValue != "bob" {
+		t.Fatalf("children out of first-use order: %+v", snap)
+	}
+
+	r.Reset()
+	if vals := g.Values(); vals["alice"] != 0 || vals["bob"] != 0 {
+		t.Fatalf("Reset left values %v", vals)
+	}
+}
+
+func TestLabeledGaugeEmptyFamilyExposesNothing(t *testing.T) {
+	r := NewRegistry()
+	r.NewLabeledGauge("tenant_live_services", "x", "tenant")
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty family produced snapshot entries: %+v", snap)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty family produced exposition:\n%s", b.String())
+	}
+}
+
+func TestLabeledGaugePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewLabeledGauge("tenant_live_services", "live services per tenant", "tenant")
+	g.With("alice").Set(3)
+	g.With("bob").Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# HELP tenant_live_services live services per tenant\n" +
+		"# TYPE tenant_live_services gauge\n" +
+		"tenant_live_services{tenant=\"alice\"} 3\n" +
+		"tenant_live_services{tenant=\"bob\"} 1\n"
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabeledGaugeRejectsBadLabelKey(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"Tenant", "", "tenant-id", "_tenant"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("label key %q accepted", bad)
+				}
+			}()
+			r.NewLabeledGauge("tenant_live_services", "x", bad)
+		}()
+	}
+}
+
+func TestLabeledGaugeConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewLabeledGauge("tenant_publishes_minute", "x", "tenant")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			tenants := []string{"alice", "bob", "carol"}
+			for j := 0; j < 500; j++ {
+				g.With(tenants[(n+j)%len(tenants)]).Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, v := range g.Values() {
+		total += v
+	}
+	if total != 8*500 {
+		t.Fatalf("lost updates: total = %d, want %d", total, 8*500)
+	}
+}

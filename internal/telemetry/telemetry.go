@@ -191,6 +191,71 @@ func (h *Histogram) reset() {
 	}
 }
 
+// labelRe is the naming scheme for label keys on labeled metrics: a
+// single lowercase snake_case word (no leading/trailing underscore).
+var labelRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// LabeledGauge is a family of integer gauges split by one label — the
+// per-tenant usage surfaces (tenant_live_services{tenant="alice"}). The
+// family registers once at init like every other metric; children are
+// created on demand via With as label values (tenants) appear. Each child
+// is an ordinary *Gauge, so updates stay a single atomic op; only the
+// first With for a new value takes the family lock's write path.
+type LabeledGauge struct {
+	label string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+	order    []string // first-use order, for stable exposition
+}
+
+// With returns the child gauge for one label value, creating it on first
+// use. Callers with a hot path should retain the returned *Gauge.
+func (g *LabeledGauge) With(value string) *Gauge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.children[value]
+	if c == nil {
+		c = &Gauge{}
+		g.children[value] = c
+		g.order = append(g.order, value)
+	}
+	return c
+}
+
+// Values snapshots the family as label value -> gauge reading.
+func (g *LabeledGauge) Values() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int64, len(g.children))
+	for v, c := range g.children {
+		out[v] = c.Value()
+	}
+	return out
+}
+
+func (g *LabeledGauge) kind() Kind { return KindGauge }
+
+func (g *LabeledGauge) reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.children {
+		c.reset()
+	}
+}
+
+// snapshotChildren copies the family in first-use order under its lock.
+func (g *LabeledGauge) snapshotChildren() (values []string, readings []int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	values = append(values, g.order...)
+	readings = make([]int64, 0, len(values))
+	for _, v := range values {
+		readings = append(readings, g.children[v].Value())
+	}
+	return values, readings
+}
+
 // BucketCount is one cumulative histogram bucket in a snapshot.
 type BucketCount struct {
 	// UpperBound is the inclusive upper edge in exposition units
@@ -205,6 +270,12 @@ type MetricSnapshot struct {
 	Name string
 	Help string
 	Kind Kind
+
+	// Label and LabelValue identify one child of a labeled metric family
+	// (both empty for plain metrics). Children share the family's Name;
+	// expositions render them as name{label="value"}.
+	Label      string
+	LabelValue string
 
 	// Value holds the counter/gauge reading (unset for histograms).
 	Value float64
@@ -284,6 +355,20 @@ func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
 	return g
 }
 
+// NewLabeledGauge registers a one-label gauge family. The family name
+// follows the usual naming rule; the label key must be a lowercase
+// snake_case word. Children are created on demand with With — the family
+// itself is what registers at init time, so the metricnames analyzer's
+// init-only rule applies to the family, not to label values.
+func (r *Registry) NewLabeledGauge(name, help, label string) *LabeledGauge {
+	if !labelRe.MatchString(label) {
+		panic(fmt.Sprintf("telemetry: label key %q on metric %q is not snake_case", label, name))
+	}
+	g := &LabeledGauge{label: label, children: make(map[string]*Gauge)}
+	r.register(name, help, g)
+	return g
+}
+
 // NewHistogram registers a latency histogram whose observations are
 // nanoseconds and whose exposition is in seconds; name it *_seconds.
 func (r *Registry) NewHistogram(name, help string) *Histogram {
@@ -314,6 +399,12 @@ func NewBoolGauge(name, help string) *BoolGauge { return std.NewBoolGauge(name, 
 // NewFloatGauge registers a float gauge in the Default registry.
 func NewFloatGauge(name, help string) *FloatGauge { return std.NewFloatGauge(name, help) }
 
+// NewLabeledGauge registers a one-label gauge family in the Default
+// registry.
+func NewLabeledGauge(name, help, label string) *LabeledGauge {
+	return std.NewLabeledGauge(name, help, label)
+}
+
 // NewHistogram registers a seconds histogram in the Default registry.
 func NewHistogram(name, help string) *Histogram { return std.NewHistogram(name, help) }
 
@@ -340,6 +431,17 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		e := r.metrics[name]
 		s := MetricSnapshot{Name: name, Help: e.help, Kind: e.m.kind()}
 		switch m := e.m.(type) {
+		case *LabeledGauge:
+			// One snapshot entry per child, sharing the family's name and
+			// help; a family with no children yet exposes nothing.
+			values, readings := m.snapshotChildren()
+			for i, v := range values {
+				c := s
+				c.Label, c.LabelValue = m.label, v
+				c.Value = float64(readings[i])
+				out = append(out, c)
+			}
+			continue
 		case *Counter:
 			s.Value = float64(m.Value())
 		case *Gauge:

@@ -1,0 +1,280 @@
+package tenant
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// Authenticator resolves a bearer token into an identity. Implementations
+// must be safe for concurrent use; every request authenticates.
+//
+// A nil error means the token is good. A failed authentication returns a
+// *Denial with CodeUnauthenticated; any other error is an internal fault
+// (unreadable token file) the caller surfaces as such.
+type Authenticator interface {
+	// Name identifies the authenticator in logs and /tenants output
+	// ("static", "hmac", "chain").
+	Name() string
+	// Authenticate resolves token ("" = no credential presented).
+	Authenticate(token string) (Identity, error)
+}
+
+// Static authenticates against a fixed token table loaded from a file:
+// one `<token> <tenant> [role]` triple per line, '#' comments and blank
+// lines ignored, role defaulting to publisher. The file is read once;
+// rotating tokens is a daemon restart (operator tokens, not sessions).
+type Static struct {
+	byToken map[string]Identity
+}
+
+// Name implements Authenticator.
+func (s *Static) Name() string { return "static" }
+
+// Authenticate implements Authenticator.
+func (s *Static) Authenticate(token string) (Identity, error) {
+	if token == "" {
+		return Identity{}, unauthenticated("no token presented")
+	}
+	id, ok := s.byToken[token]
+	if !ok {
+		return Identity{}, unauthenticated("unknown token")
+	}
+	return id, nil
+}
+
+// Tenants lists the distinct tenant names in the table, for seeding the
+// admission table before any tenant has published.
+func (s *Static) Tenants() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range s.byToken {
+		if !seen[id.Tenant] {
+			seen[id.Tenant] = true
+			out = append(out, id.Tenant)
+		}
+	}
+	return out
+}
+
+// LoadStaticFile reads a static token table from path.
+func LoadStaticFile(path string) (*Static, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: token file: %w", err)
+	}
+	defer f.Close()
+	s, err := ParseStatic(f)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: token file %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ParseStatic reads a static token table from r.
+func ParseStatic(r io.Reader) (*Static, error) {
+	s := &Static{byToken: make(map[string]Identity)}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("line %d: want `token tenant [role]`, got %d field(s)", line, len(fields))
+		}
+		token, name := fields[0], fields[1]
+		if !ValidName(name) {
+			return nil, fmt.Errorf("line %d: invalid tenant name %q", line, name)
+		}
+		role := RolePublisher
+		if len(fields) == 3 {
+			var err error
+			if role, err = ParseRole(fields[2]); err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+		if _, dup := s.byToken[token]; dup {
+			return nil, fmt.Errorf("line %d: duplicate token", line)
+		}
+		s.byToken[token] = Identity{Tenant: name, Role: role}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// HMAC token format: three dot-separated parts, a fixed prefix naming the
+// scheme version, a base64url JSON claims payload, and a base64url
+// HMAC-SHA256 of the payload under the shared secret. The token is
+// self-describing — sdpctl parses the payload to learn which tenant it
+// publishes as — and stateless: any daemon holding the secret verifies it
+// without a token table.
+const hmacPrefix = "sdp1"
+
+// claims is the signed payload of an HMAC token.
+type claims struct {
+	Tenant string `json:"tenant"`
+	Role   string `json:"role"`
+	// Exp is the expiry as a Unix second; 0 never expires.
+	Exp int64 `json:"exp,omitempty"`
+}
+
+// HMACAuthenticator verifies sdp1 tokens minted under a shared secret.
+type HMACAuthenticator struct {
+	secret []byte
+	// now is the expiry clock, injectable for tests; nil means time.Now.
+	now func() time.Time
+}
+
+// NewHMAC builds an authenticator over the shared secret. now may be nil.
+func NewHMAC(secret []byte, now func() time.Time) (*HMACAuthenticator, error) {
+	if len(secret) < 16 {
+		return nil, fmt.Errorf("tenant: HMAC secret must be at least 16 bytes, got %d", len(secret))
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &HMACAuthenticator{secret: append([]byte(nil), secret...), now: now}, nil
+}
+
+// Name implements Authenticator.
+func (h *HMACAuthenticator) Name() string { return "hmac" }
+
+// Authenticate implements Authenticator.
+func (h *HMACAuthenticator) Authenticate(token string) (Identity, error) {
+	if token == "" {
+		return Identity{}, unauthenticated("no token presented")
+	}
+	c, err := verifyToken(h.secret, token)
+	if err != nil {
+		return Identity{}, err
+	}
+	if c.Exp != 0 && h.now().Unix() > c.Exp {
+		return Identity{}, unauthenticated("token expired")
+	}
+	role, err := ParseRole(c.Role)
+	if err != nil {
+		return Identity{}, unauthenticated("token claims a bad role")
+	}
+	if !ValidName(c.Tenant) {
+		return Identity{}, unauthenticated("token claims an invalid tenant name")
+	}
+	return Identity{Tenant: c.Tenant, Role: role}, nil
+}
+
+// MintToken signs a self-describing token for tenant with the given role.
+// ttl 0 mints a token that never expires; now anchors the expiry (nil =
+// time.Now). This is what `sdpctl login` calls client-side with the
+// shared secret.
+func MintToken(secret []byte, tenant string, role Role, ttl time.Duration, now func() time.Time) (string, error) {
+	if len(secret) < 16 {
+		return "", fmt.Errorf("tenant: HMAC secret must be at least 16 bytes, got %d", len(secret))
+	}
+	if !ValidName(tenant) {
+		return "", fmt.Errorf("tenant: invalid tenant name %q", tenant)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	c := claims{Tenant: tenant, Role: role.String()}
+	if ttl > 0 {
+		c.Exp = now().Add(ttl).Unix()
+	}
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return "", err
+	}
+	enc := base64.RawURLEncoding.EncodeToString(payload)
+	return hmacPrefix + "." + enc + "." + sign(secret, enc), nil
+}
+
+// TokenTenant parses an sdp1 token's claims without verifying the
+// signature — the "self-describing" half of the contract, used by sdpctl
+// to qualify advertisement names client-side. Opaque (static) tokens
+// return ok=false.
+func TokenTenant(token string) (tenant string, role Role, ok bool) {
+	parts := strings.Split(token, ".")
+	if len(parts) != 3 || parts[0] != hmacPrefix {
+		return "", RoleReader, false
+	}
+	payload, err := base64.RawURLEncoding.DecodeString(parts[1])
+	if err != nil {
+		return "", RoleReader, false
+	}
+	var c claims
+	if json.Unmarshal(payload, &c) != nil {
+		return "", RoleReader, false
+	}
+	r, err := ParseRole(c.Role)
+	if err != nil {
+		return "", RoleReader, false
+	}
+	return c.Tenant, r, c.Tenant != ""
+}
+
+func sign(secret []byte, payload string) string {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(payload))
+	return base64.RawURLEncoding.EncodeToString(mac.Sum(nil))
+}
+
+func verifyToken(secret []byte, token string) (claims, error) {
+	parts := strings.Split(token, ".")
+	if len(parts) != 3 || parts[0] != hmacPrefix {
+		return claims{}, unauthenticated("malformed token")
+	}
+	if !hmac.Equal([]byte(sign(secret, parts[1])), []byte(parts[2])) {
+		return claims{}, unauthenticated("bad token signature")
+	}
+	payload, err := base64.RawURLEncoding.DecodeString(parts[1])
+	if err != nil {
+		return claims{}, unauthenticated("malformed token payload")
+	}
+	var c claims
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return claims{}, unauthenticated("malformed token claims")
+	}
+	return c, nil
+}
+
+// Chain tries authenticators in order, returning the first success. Only
+// when every link rejects does the chain reject — so a daemon can accept
+// both operator tokens from a static file and minted HMAC tokens.
+type Chain []Authenticator
+
+// Name implements Authenticator.
+func (c Chain) Name() string {
+	names := make([]string, len(c))
+	for i, a := range c {
+		names[i] = a.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Authenticate implements Authenticator.
+func (c Chain) Authenticate(token string) (Identity, error) {
+	var lastErr error = unauthenticated("no authenticators configured")
+	for _, a := range c {
+		id, err := a.Authenticate(token)
+		if err == nil {
+			return id, nil
+		}
+		if _, isDenial := Denied(err); !isDenial {
+			return Identity{}, err // internal fault, not a rejection
+		}
+		lastErr = err
+	}
+	return Identity{}, lastErr
+}

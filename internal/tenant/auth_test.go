@@ -1,0 +1,183 @@
+package tenant
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sariadne/internal/testutil"
+)
+
+func TestParseStatic(t *testing.T) {
+	s, err := ParseStatic(strings.NewReader(`
+# operator tokens
+tok-alice alice
+tok-bob   bob    reader
+tok-root  platform admin
+`))
+	if err != nil {
+		t.Fatalf("ParseStatic: %v", err)
+	}
+	id, err := s.Authenticate("tok-alice")
+	if err != nil || id.Tenant != "alice" || id.Role != RolePublisher {
+		t.Fatalf("alice = %+v, %v (want publisher default)", id, err)
+	}
+	id, err = s.Authenticate("tok-bob")
+	if err != nil || id.Role != RoleReader {
+		t.Fatalf("bob = %+v, %v", id, err)
+	}
+	id, err = s.Authenticate("tok-root")
+	if err != nil || id.Role != RoleAdmin {
+		t.Fatalf("root = %+v, %v", id, err)
+	}
+	if _, err := s.Authenticate("nope"); err == nil {
+		t.Fatal("unknown token accepted")
+	} else if d, ok := Denied(err); !ok || d.Code != CodeUnauthenticated {
+		t.Fatalf("unknown token error = %v", err)
+	}
+	if _, err := s.Authenticate(""); err == nil {
+		t.Fatal("empty token accepted")
+	}
+	tenants := s.Tenants()
+	sort.Strings(tenants)
+	if want := []string{"alice", "bob", "platform"}; len(tenants) != 3 ||
+		tenants[0] != want[0] || tenants[1] != want[1] || tenants[2] != want[2] {
+		t.Fatalf("Tenants = %v", tenants)
+	}
+}
+
+func TestParseStaticErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing tenant": "tok-only\n",
+		"too many":       "tok a publisher extra\n",
+		"bad tenant":     "tok Not_A_Tenant\n",
+		"bad role":       "tok alice root\n",
+		"duplicate":      "tok alice\ntok bob\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseStatic(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestHMACRoundTrip(t *testing.T) {
+	secret := []byte("0123456789abcdef")
+	clock := testutil.NewClock(time.Time{})
+	tok, err := MintToken(secret, "alice", RolePublisher, time.Hour, clock.Now)
+	if err != nil {
+		t.Fatalf("MintToken: %v", err)
+	}
+	h, err := NewHMAC(secret, clock.Now)
+	if err != nil {
+		t.Fatalf("NewHMAC: %v", err)
+	}
+	id, err := h.Authenticate(tok)
+	if err != nil || id.Tenant != "alice" || id.Role != RolePublisher {
+		t.Fatalf("Authenticate = %+v, %v", id, err)
+	}
+
+	// Self-description: sdpctl reads the tenant out of the token without
+	// the secret.
+	if tn, role, ok := TokenTenant(tok); !ok || tn != "alice" || role != RolePublisher {
+		t.Fatalf("TokenTenant = %q, %v, %v", tn, role, ok)
+	}
+	if _, _, ok := TokenTenant("opaque-static-token"); ok {
+		t.Fatal("TokenTenant described an opaque token")
+	}
+
+	// Expiry honors the injected clock.
+	clock.Advance(time.Hour + time.Second)
+	if _, err := h.Authenticate(tok); err == nil {
+		t.Fatal("expired token accepted")
+	}
+
+	// ttl 0 never expires.
+	forever, err := MintToken(secret, "alice", RoleReader, 0, clock.Now)
+	if err != nil {
+		t.Fatalf("MintToken(ttl=0): %v", err)
+	}
+	clock.Advance(1000 * time.Hour)
+	if _, err := h.Authenticate(forever); err != nil {
+		t.Fatalf("non-expiring token rejected: %v", err)
+	}
+}
+
+func TestHMACRejections(t *testing.T) {
+	secret := []byte("0123456789abcdef")
+	h, err := NewHMAC(secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := MintToken(secret, "alice", RolePublisher, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampered payload fails the signature check.
+	parts := strings.Split(tok, ".")
+	tampered := parts[0] + "." + parts[1] + "x." + parts[2]
+	for name, bad := range map[string]string{
+		"empty":        "",
+		"garbage":      "not-a-token",
+		"wrong prefix": "sdp9." + parts[1] + "." + parts[2],
+		"tampered":     tampered,
+	} {
+		if _, err := h.Authenticate(bad); err == nil {
+			t.Errorf("%s token accepted", name)
+		} else if d, ok := Denied(err); !ok || d.Code != CodeUnauthenticated {
+			t.Errorf("%s token error = %v", name, err)
+		}
+	}
+	// A different secret fails verification.
+	other, err := NewHMAC([]byte("fedcba9876543210"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Authenticate(tok); err == nil {
+		t.Error("token verified under the wrong secret")
+	}
+	// Short secrets are refused at both ends.
+	if _, err := NewHMAC([]byte("short"), nil); err == nil {
+		t.Error("NewHMAC accepted a short secret")
+	}
+	if _, err := MintToken([]byte("short"), "alice", RoleReader, 0, nil); err == nil {
+		t.Error("MintToken accepted a short secret")
+	}
+	if _, err := MintToken(secret, "Not Valid", RoleReader, 0, nil); err == nil {
+		t.Error("MintToken accepted a bad tenant name")
+	}
+}
+
+func TestChain(t *testing.T) {
+	static, err := ParseStatic(strings.NewReader("tok-op ops admin\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("0123456789abcdef")
+	h, err := NewHMAC(secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := Chain{static, h}
+	if chain.Name() != "static+hmac" {
+		t.Errorf("Name = %q", chain.Name())
+	}
+
+	if id, err := chain.Authenticate("tok-op"); err != nil || id.Tenant != "ops" {
+		t.Fatalf("static via chain = %+v, %v", id, err)
+	}
+	minted, err := MintToken(secret, "alice", RolePublisher, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := chain.Authenticate(minted); err != nil || id.Tenant != "alice" {
+		t.Fatalf("hmac via chain = %+v, %v", id, err)
+	}
+	if _, err := chain.Authenticate("bogus"); err == nil {
+		t.Fatal("chain accepted a bogus token")
+	}
+	if _, err := (Chain{}).Authenticate("anything"); err == nil {
+		t.Fatal("empty chain accepted a token")
+	}
+}

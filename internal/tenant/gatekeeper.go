@@ -1,0 +1,312 @@
+package tenant
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config assembles a Gatekeeper.
+type Config struct {
+	// Auth resolves tokens. nil runs the gate in open mode: every op is
+	// admitted under a wildcard identity and nothing is enforced — the
+	// pre-tenancy daemon, bit for bit.
+	Auth Authenticator
+	// AnonymousReads admits token-less requests as the anonymous reader
+	// instead of rejecting them outright (the explicit read-only mode).
+	// Mutating ops still require a real identity either way.
+	AnonymousReads bool
+	// Rate is the per-tenant token-bucket refill in mutating ops/second;
+	// 0 disables rate limiting. Burst is the bucket size (min 1).
+	Rate  float64
+	Burst int
+	// MaxLiveServices caps concurrently live advertisements per tenant;
+	// 0 is unlimited.
+	MaxLiveServices int
+	// MaxPublishesPerMinute caps admitted mutating ops per wall-clock
+	// minute per tenant; 0 is unlimited.
+	MaxPublishesPerMinute int
+	// Now is the admission clock (rate refill, quota windows, token
+	// expiry); nil means time.Now.
+	Now func() time.Time
+}
+
+// usage is one tenant's admission ledger.
+type usage struct {
+	live        int
+	window      minuteWindow
+	publishes   uint64
+	rateLimited uint64
+	denied      uint64
+}
+
+// Gatekeeper is the admission facade sdpd's front ends call: it
+// authenticates, enforces the namespace rule, spends rate-limit tokens
+// and checks quotas — all before an advertisement touches the semantic
+// backend, so a denied publish never reaches the capability DAG or a
+// Bloom summary.
+type Gatekeeper struct {
+	cfg     Config
+	limiter *Limiter
+	now     func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*usage
+	order   []string
+}
+
+// NewGatekeeper builds the admission layer. A nil cfg.Auth yields an
+// open gate (Enforcing reports false).
+func NewGatekeeper(cfg Config) *Gatekeeper {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	g := &Gatekeeper{
+		cfg:     cfg,
+		limiter: NewLimiter(cfg.Rate, cfg.Burst, now),
+		now:     now,
+		tenants: make(map[string]*usage),
+	}
+	// Pre-seed the admission table with the statically known tenants so
+	// GET /tenants lists them before their first publish.
+	if s, ok := cfg.Auth.(*Static); ok {
+		names := s.Tenants()
+		sort.Strings(names)
+		for _, name := range names {
+			g.usageLocked(name)
+		}
+	}
+	return g
+}
+
+// Enforcing reports whether an authenticator is configured.
+func (g *Gatekeeper) Enforcing() bool { return g.cfg.Auth != nil }
+
+// AuthName names the configured authenticator ("open" when none).
+func (g *Gatekeeper) AuthName() string {
+	if g.cfg.Auth == nil {
+		return "open"
+	}
+	return g.cfg.Auth.Name()
+}
+
+// Authenticate resolves a bearer token into an identity. Open mode
+// returns the wildcard; an empty token becomes the anonymous reader when
+// AnonymousReads is on. Failures are *Denial (CodeUnauthenticated).
+func (g *Gatekeeper) Authenticate(token string) (Identity, error) {
+	if g.cfg.Auth == nil {
+		return Identity{Open: true, Role: RoleAdmin}, nil
+	}
+	if token == "" && g.cfg.AnonymousReads {
+		return Identity{Tenant: Anonymous, Role: RoleReader}, nil
+	}
+	id, err := g.cfg.Auth.Authenticate(token)
+	if err != nil {
+		if _, isDenial := Denied(err); isDenial {
+			deniedTotal.Inc()
+		}
+		return Identity{}, err
+	}
+	return id, nil
+}
+
+// usageLocked returns (creating if needed) a tenant's ledger.
+func (g *Gatekeeper) usageLocked(tenant string) *usage {
+	u := g.tenants[tenant]
+	if u == nil {
+		u = &usage{}
+		g.tenants[tenant] = u
+		g.order = append(g.order, tenant)
+		knownGauge.Set(int64(len(g.order)))
+	}
+	return u
+}
+
+// deny books a 401/403 against the tenant and returns the denial.
+func (g *Gatekeeper) deny(tenant string, d *Denial) error {
+	deniedTotal.Inc()
+	if tenant != "" {
+		g.mu.Lock()
+		g.usageLocked(tenant).denied++
+		g.mu.Unlock()
+	}
+	return d
+}
+
+// throttle books a 429 against the tenant and returns the denial.
+func (g *Gatekeeper) throttle(tenant string, d *Denial) error {
+	rateLimitedTotal.Inc()
+	g.mu.Lock()
+	g.usageLocked(tenant).rateLimited++
+	g.mu.Unlock()
+	return d
+}
+
+// AdmitPublish authorizes one register of the (namespaced) advertisement
+// name: role, namespace ownership, rate limit, then quotas, in that
+// order, so the cheapest rejection wins and a rejected op never spends a
+// quota it did not pass. newService marks a register that would create a
+// live advertisement (rather than supersede one), which is what the
+// max-live-services quota counts.
+func (g *Gatekeeper) AdmitPublish(id Identity, name string, newService bool) error {
+	if id.Open {
+		return nil
+	}
+	if id.Role < RolePublisher {
+		return g.deny(id.Tenant, forbidden("role %s may not publish", id.Role))
+	}
+	owner, _, namespaced := SplitName(name)
+	if !namespaced {
+		return g.deny(id.Tenant, forbidden("advertisement %q is not namespaced; publish as %s", name, Qualify(id.Tenant, name)))
+	}
+	if owner != id.Tenant && id.Role < RoleAdmin {
+		return g.deny(id.Tenant, forbidden("tenant %s may not publish into namespace %s/", id.Tenant, owner))
+	}
+	return g.spend(id.Tenant, newService)
+}
+
+// AdmitDeregister authorizes withdrawing the named advertisement. It is
+// a mutating op: same role and namespace rules, and it spends a rate
+// token (withdraw-storms are as disruptive as publish-storms), but never
+// the live-services quota.
+func (g *Gatekeeper) AdmitDeregister(id Identity, name string) error {
+	if id.Open {
+		return nil
+	}
+	if id.Role < RolePublisher {
+		return g.deny(id.Tenant, forbidden("role %s may not deregister", id.Role))
+	}
+	owner, _, namespaced := SplitName(name)
+	if namespaced && owner != id.Tenant && id.Role < RoleAdmin {
+		return g.deny(id.Tenant, forbidden("tenant %s may not withdraw from namespace %s/", id.Tenant, owner))
+	}
+	if !namespaced && id.Role < RoleAdmin {
+		return g.deny(id.Tenant, forbidden("advertisement %q is outside tenant namespaces", name))
+	}
+	return g.spend(id.Tenant, false)
+}
+
+// AdmitOntology authorizes an ontology upload: publisher or better, rate
+// limited, namespace-free (ontologies are shared vocabulary).
+func (g *Gatekeeper) AdmitOntology(id Identity) error {
+	if id.Open {
+		return nil
+	}
+	if id.Role < RolePublisher {
+		return g.deny(id.Tenant, forbidden("role %s may not upload ontologies", id.Role))
+	}
+	return g.spend(id.Tenant, false)
+}
+
+// AdmitAdmin authorizes the admin surfaces (GET /tenants).
+func (g *Gatekeeper) AdmitAdmin(id Identity) error {
+	if id.Open {
+		return nil
+	}
+	if id.Role < RoleAdmin {
+		return g.deny(id.Tenant, forbidden("role %s may not read the admission table", id.Role))
+	}
+	return nil
+}
+
+// spend runs the rate limiter and quota checks for one admitted mutating
+// op and books it.
+func (g *Gatekeeper) spend(tenant string, newService bool) error {
+	if !g.limiter.Allow(tenant) {
+		return g.throttle(tenant, rateLimited("tenant %s exceeded %g mutating ops/sec (burst %d)",
+			tenant, g.cfg.Rate, g.cfg.Burst))
+	}
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.usageLocked(tenant)
+	inWindow := u.window.tick(now)
+	if g.cfg.MaxPublishesPerMinute > 0 && inWindow >= g.cfg.MaxPublishesPerMinute {
+		u.rateLimited++
+		rateLimitedTotal.Inc()
+		return rateLimited("tenant %s exhausted its %d publishes/minute quota", tenant, g.cfg.MaxPublishesPerMinute)
+	}
+	if newService && g.cfg.MaxLiveServices > 0 && u.live >= g.cfg.MaxLiveServices {
+		u.rateLimited++
+		rateLimitedTotal.Inc()
+		return rateLimited("tenant %s is at its %d live-services quota", tenant, g.cfg.MaxLiveServices)
+	}
+	u.window.count++
+	u.publishes++
+	publishesMinuteGauge.With(tenant).Set(int64(u.window.count))
+	publishesTotal.Inc()
+	return nil
+}
+
+// ServiceLive books a live-advertisement delta for a tenant: +1 on a
+// fresh register, -1 on deregister. Replay calls it too, so the quota
+// state is durable — a restarted daemon rebuilds per-tenant live counts
+// from its store. Tenant "" (legacy, un-namespaced records) books
+// nothing.
+func (g *Gatekeeper) ServiceLive(tenant string, delta int) {
+	if tenant == "" {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	u := g.usageLocked(tenant)
+	u.live += delta
+	if u.live < 0 {
+		u.live = 0
+	}
+	liveServicesGauge.With(tenant).Set(int64(u.live))
+}
+
+// Status is one row of the admission table (GET /tenants).
+type Status struct {
+	Tenant       string `json:"tenant"`
+	LiveServices int    `json:"live_services"`
+	// PublishesTotal counts mutating ops admitted since boot;
+	// PublishesThisMinute counts against the per-minute quota window.
+	PublishesTotal      uint64 `json:"publishes_total"`
+	PublishesThisMinute int    `json:"publishes_this_minute"`
+	RateLimitedTotal    uint64 `json:"rate_limited_total"`
+	DeniedTotal         uint64 `json:"denied_total"`
+	// RateTokens is the current token-bucket fill.
+	RateTokens float64 `json:"rate_tokens"`
+}
+
+// Limits is the quota configuration echoed by GET /tenants.
+type Limits struct {
+	RatePerSec            float64 `json:"rate_per_sec,omitempty"`
+	Burst                 int     `json:"burst,omitempty"`
+	MaxLiveServices       int     `json:"max_live_services,omitempty"`
+	MaxPublishesPerMinute int     `json:"max_publishes_per_minute,omitempty"`
+}
+
+// Limits returns the configured quota bounds.
+func (g *Gatekeeper) Limits() Limits {
+	return Limits{
+		RatePerSec:            g.cfg.Rate,
+		Burst:                 g.cfg.Burst,
+		MaxLiveServices:       g.cfg.MaxLiveServices,
+		MaxPublishesPerMinute: g.cfg.MaxPublishesPerMinute,
+	}
+}
+
+// Tenants snapshots the admission table in first-seen order.
+func (g *Gatekeeper) Tenants() []Status {
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Status, 0, len(g.order))
+	for _, name := range g.order {
+		u := g.tenants[name]
+		out = append(out, Status{
+			Tenant:              name,
+			LiveServices:        u.live,
+			PublishesTotal:      u.publishes,
+			PublishesThisMinute: u.window.tick(now),
+			RateLimitedTotal:    u.rateLimited,
+			DeniedTotal:         u.denied,
+			RateTokens:          g.limiter.Tokens(name),
+		})
+	}
+	return out
+}

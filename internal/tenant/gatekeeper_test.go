@@ -1,0 +1,234 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sariadne/internal/testutil"
+)
+
+func staticAuth(t *testing.T, table string) *Static {
+	t.Helper()
+	s, err := ParseStatic(strings.NewReader(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGatekeeperOpenMode(t *testing.T) {
+	g := NewGatekeeper(Config{})
+	if g.Enforcing() {
+		t.Fatal("open gate claims to enforce")
+	}
+	if g.AuthName() != "open" {
+		t.Fatalf("AuthName = %q", g.AuthName())
+	}
+	id, err := g.Authenticate("")
+	if err != nil || !id.Open {
+		t.Fatalf("open Authenticate = %+v, %v", id, err)
+	}
+	// Everything is admitted, even un-namespaced names.
+	if err := g.AdmitPublish(id, "HomeMediaCenter", true); err != nil {
+		t.Fatalf("open publish denied: %v", err)
+	}
+	if err := g.AdmitDeregister(id, "HomeMediaCenter"); err != nil {
+		t.Fatalf("open deregister denied: %v", err)
+	}
+	if err := g.AdmitAdmin(id); err != nil {
+		t.Fatalf("open admin denied: %v", err)
+	}
+}
+
+func TestGatekeeperNamespaceRules(t *testing.T) {
+	g := NewGatekeeper(Config{Auth: staticAuth(t, "ta alice\ntb bob reader\ntr root admin\n")})
+	alice, err := g.Authenticate("ta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := g.Authenticate("tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := g.Authenticate("tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := g.AdmitPublish(alice, "alice/MediaServer", true); err != nil {
+		t.Fatalf("own-namespace publish denied: %v", err)
+	}
+	// Un-namespaced names are rejected with a hint.
+	err = g.AdmitPublish(alice, "MediaServer", true)
+	d, ok := Denied(err)
+	if !ok || d.Code != CodeForbidden || !strings.Contains(d.Reason, "alice/MediaServer") {
+		t.Fatalf("un-namespaced publish = %v", err)
+	}
+	// Cross-tenant publish is forbidden for non-admins...
+	if err := g.AdmitPublish(alice, "bob/Printer", true); err == nil {
+		t.Fatal("cross-tenant publish admitted")
+	}
+	// ...but admins may repair any namespace.
+	if err := g.AdmitPublish(root, "bob/Printer", true); err != nil {
+		t.Fatalf("admin cross-tenant publish denied: %v", err)
+	}
+	// Readers cannot mutate at all.
+	if err := g.AdmitPublish(bob, "bob/Printer", true); err == nil {
+		t.Fatal("reader publish admitted")
+	}
+	if err := g.AdmitDeregister(bob, "bob/Printer"); err == nil {
+		t.Fatal("reader deregister admitted")
+	}
+	if err := g.AdmitOntology(bob); err == nil {
+		t.Fatal("reader ontology upload admitted")
+	}
+	// Deregister follows the same ownership rule.
+	if err := g.AdmitDeregister(alice, "bob/Printer"); err == nil {
+		t.Fatal("cross-tenant deregister admitted")
+	}
+	if err := g.AdmitDeregister(alice, "alice/MediaServer"); err != nil {
+		t.Fatalf("own deregister denied: %v", err)
+	}
+	// Legacy (un-namespaced) records can only be withdrawn by admins.
+	if err := g.AdmitDeregister(alice, "LegacyService"); err == nil {
+		t.Fatal("legacy deregister admitted for non-admin")
+	}
+	if err := g.AdmitDeregister(root, "LegacyService"); err != nil {
+		t.Fatalf("admin legacy deregister denied: %v", err)
+	}
+	// The admin surface is role-gated.
+	if err := g.AdmitAdmin(alice); err == nil {
+		t.Fatal("publisher read the admission table")
+	}
+	if err := g.AdmitAdmin(root); err != nil {
+		t.Fatalf("admin table read denied: %v", err)
+	}
+}
+
+func TestGatekeeperAnonymousReads(t *testing.T) {
+	auth := staticAuth(t, "ta alice\n")
+	strict := NewGatekeeper(Config{Auth: auth})
+	if _, err := strict.Authenticate(""); err == nil {
+		t.Fatal("strict gate admitted a token-less request")
+	}
+	lax := NewGatekeeper(Config{Auth: auth, AnonymousReads: true})
+	id, err := lax.Authenticate("")
+	if err != nil || id.Tenant != Anonymous || id.Role != RoleReader {
+		t.Fatalf("anonymous identity = %+v, %v", id, err)
+	}
+	if err := lax.AdmitPublish(id, "anonymous/x", true); err == nil {
+		t.Fatal("anonymous reader published")
+	}
+}
+
+func TestGatekeeperQuotas(t *testing.T) {
+	clock := testutil.NewClock(time.Time{})
+	g := NewGatekeeper(Config{
+		Auth:                  staticAuth(t, "ta alice\n"),
+		MaxLiveServices:       2,
+		MaxPublishesPerMinute: 5,
+		Now:                   clock.Now,
+	})
+	alice, err := g.Authenticate("ta")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live-services quota: two fresh services fit, the third is refused.
+	for i, name := range []string{"alice/a", "alice/b"} {
+		if err := g.AdmitPublish(alice, name, true); err != nil {
+			t.Fatalf("publish %d denied: %v", i, err)
+		}
+		g.ServiceLive("alice", +1)
+	}
+	err = g.AdmitPublish(alice, "alice/c", true)
+	if d, ok := Denied(err); !ok || d.Code != CodeRateLimited {
+		t.Fatalf("over-quota publish = %v", err)
+	}
+	// Refreshing an existing advertisement is not a new service.
+	if err := g.AdmitPublish(alice, "alice/a", false); err != nil {
+		t.Fatalf("refresh denied: %v", err)
+	}
+	// Withdraw one and the slot frees up.
+	g.ServiceLive("alice", -1)
+	if err := g.AdmitPublish(alice, "alice/c", true); err != nil {
+		t.Fatalf("publish after withdraw denied: %v", err)
+	}
+
+	// Minute quota: 4 ops are already booked this minute; the 5th books,
+	// the 6th trips.
+	if err := g.AdmitPublish(alice, "alice/a", false); err != nil {
+		t.Fatalf("5th op denied: %v", err)
+	}
+	err = g.AdmitPublish(alice, "alice/a", false)
+	if d, ok := Denied(err); !ok || d.Code != CodeRateLimited {
+		t.Fatalf("over-minute publish = %v", err)
+	}
+	// The window rolls with the clock.
+	clock.Advance(time.Minute)
+	if err := g.AdmitPublish(alice, "alice/a", false); err != nil {
+		t.Fatalf("publish in fresh minute denied: %v", err)
+	}
+
+	rows := g.Tenants()
+	if len(rows) != 1 || rows[0].Tenant != "alice" {
+		t.Fatalf("Tenants = %+v", rows)
+	}
+	r := rows[0]
+	if r.LiveServices != 1 || r.PublishesTotal != 6 || r.PublishesThisMinute != 1 || r.RateLimitedTotal != 2 {
+		t.Fatalf("status row = %+v", r)
+	}
+}
+
+func TestGatekeeperRateLimit(t *testing.T) {
+	clock := testutil.NewClock(time.Time{})
+	g := NewGatekeeper(Config{
+		Auth:  staticAuth(t, "ta alice\n"),
+		Rate:  1,
+		Burst: 2,
+		Now:   clock.Now,
+	})
+	alice, err := g.Authenticate("ta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := g.AdmitPublish(alice, "alice/x", false); err != nil {
+			t.Fatalf("burst publish %d denied: %v", i, err)
+		}
+	}
+	err = g.AdmitPublish(alice, "alice/x", false)
+	if d, ok := Denied(err); !ok || d.Code != CodeRateLimited {
+		t.Fatalf("drained-bucket publish = %v", err)
+	}
+	clock.Advance(time.Second)
+	if err := g.AdmitPublish(alice, "alice/x", false); err != nil {
+		t.Fatalf("refilled publish denied: %v", err)
+	}
+}
+
+func TestGatekeeperSeedsStaticTenants(t *testing.T) {
+	g := NewGatekeeper(Config{Auth: staticAuth(t, "ta alice\ntb bob\n")})
+	rows := g.Tenants()
+	if len(rows) != 2 || rows[0].Tenant != "alice" || rows[1].Tenant != "bob" {
+		t.Fatalf("seeded table = %+v", rows)
+	}
+	// ServiceLive replay path: rebuilding live counts books the gauge and
+	// the table; tenant "" (legacy records) books nothing.
+	g.ServiceLive("alice", +1)
+	g.ServiceLive("alice", +1)
+	g.ServiceLive("", +1)
+	rows = g.Tenants()
+	if rows[0].LiveServices != 2 {
+		t.Fatalf("replayed live count = %d", rows[0].LiveServices)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("legacy replay grew the table: %+v", rows)
+	}
+	// Underflow clamps at zero.
+	g.ServiceLive("bob", -3)
+	if rows := g.Tenants(); rows[1].LiveServices != 0 {
+		t.Fatalf("underflowed live count = %d", rows[1].LiveServices)
+	}
+}

@@ -1,0 +1,112 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-tenant token bucket over mutating operations: each
+// tenant owns an independent bucket refilled at rate tokens/second up to
+// burst. A publish spends one token; an empty bucket means 429.
+//
+// The clock is injected so tests drive refill deterministically
+// (testutil.Clock); production passes nil for time.Now. One mutex guards
+// the bucket map — admission runs once per mutating request, which is
+// orders of magnitude off the query hot path, so contention is a
+// non-issue and the simplicity keeps the math auditable.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity, also the initial fill
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter refilling rate tokens/second with the given
+// burst capacity. rate <= 0 disables limiting (Allow always true);
+// burst < 1 is clamped to 1 so a positive rate always admits something.
+func NewLimiter(rate float64, burst int, now func() time.Time) *Limiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &Limiter{rate: rate, burst: b, now: now, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from the tenant's bucket, reporting whether one
+// was available. A brand-new tenant starts with a full bucket.
+func (l *Limiter) Allow(tenant string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * l.rate
+			if b.tokens > l.burst {
+				b.tokens = l.burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the tenant's current bucket fill (after refill), for the
+// admission table. Unknown tenants report the full burst.
+func (l *Limiter) Tokens(tenant string) float64 {
+	if l.rate <= 0 {
+		return l.burst
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		return l.burst
+	}
+	t := b.tokens + now.Sub(b.last).Seconds()*l.rate
+	if t > l.burst {
+		t = l.burst
+	}
+	return t
+}
+
+// minuteWindow counts events inside the current wall-clock minute — the
+// publishes-per-minute quota. The window snaps to minute boundaries so
+// the quota reads naturally in the admission table ("12/60 this minute").
+type minuteWindow struct {
+	start time.Time
+	count int
+}
+
+// tick rolls the window if now crossed into a new minute, then reports
+// the in-window count.
+func (w *minuteWindow) tick(now time.Time) int {
+	minute := now.Truncate(time.Minute)
+	if !w.start.Equal(minute) {
+		w.start = minute
+		w.count = 0
+	}
+	return w.count
+}

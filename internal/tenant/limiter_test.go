@@ -1,0 +1,159 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sariadne/internal/testutil"
+)
+
+// TestLimiterBurstThenSustain drives one tenant through the canonical
+// token-bucket shape: the initial burst drains the bucket, then admission
+// settles to exactly the refill rate.
+func TestLimiterBurstThenSustain(t *testing.T) {
+	clock := testutil.NewClock(time.Time{})
+	l := NewLimiter(2, 5, clock.Now) // 2/sec, burst 5
+
+	for i := 0; i < 5; i++ {
+		if !l.Allow("alice") {
+			t.Fatalf("burst publish %d denied", i)
+		}
+	}
+	if l.Allow("alice") {
+		t.Fatal("6th publish admitted from an empty bucket")
+	}
+
+	// Sustain: each 500ms refills exactly one token.
+	for i := 0; i < 10; i++ {
+		clock.Advance(500 * time.Millisecond)
+		if !l.Allow("alice") {
+			t.Fatalf("sustain publish %d denied after refill", i)
+		}
+		if l.Allow("alice") {
+			t.Fatalf("sustain publish %d admitted twice on one token", i)
+		}
+	}
+
+	// Idle refill caps at burst, never beyond.
+	clock.Advance(time.Hour)
+	if got := l.Tokens("alice"); got != 5 {
+		t.Fatalf("Tokens after idle = %g, want burst 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if !l.Allow("alice") {
+			t.Fatalf("post-idle publish %d denied", i)
+		}
+	}
+	if l.Allow("alice") {
+		t.Fatal("bucket overfilled past burst")
+	}
+}
+
+// TestLimiterRefillDeterminism pins the refill arithmetic to the injected
+// clock: fractional refills accumulate and admit only on whole tokens.
+func TestLimiterRefillDeterminism(t *testing.T) {
+	clock := testutil.NewClock(time.Time{})
+	l := NewLimiter(1, 1, clock.Now) // 1/sec, burst 1
+
+	if !l.Allow("a") {
+		t.Fatal("first publish denied")
+	}
+	// 3 × 300ms = 0.9 tokens: still short of one.
+	for i := 0; i < 3; i++ {
+		clock.Advance(300 * time.Millisecond)
+		if l.Allow("a") {
+			t.Fatalf("admitted at %d ms with a fractional bucket", (i+1)*300)
+		}
+	}
+	// The 4th step crosses 1.0.
+	clock.Advance(300 * time.Millisecond)
+	if !l.Allow("a") {
+		t.Fatal("denied after a full token accumulated")
+	}
+}
+
+// TestLimiterTenantsIndependent verifies one tenant draining its bucket
+// never touches a neighbor's.
+func TestLimiterTenantsIndependent(t *testing.T) {
+	clock := testutil.NewClock(time.Time{})
+	l := NewLimiter(1, 3, clock.Now)
+	for i := 0; i < 3; i++ {
+		if !l.Allow("noisy") {
+			t.Fatalf("noisy publish %d denied", i)
+		}
+	}
+	if l.Allow("noisy") {
+		t.Fatal("noisy admitted past burst")
+	}
+	for i := 0; i < 3; i++ {
+		if !l.Allow("quiet") {
+			t.Fatalf("quiet publish %d denied after noisy drained", i)
+		}
+	}
+}
+
+// TestLimiterConcurrentTenants hammers the limiter from many goroutines
+// (run under -race) and checks per-tenant token conservation: with a
+// frozen clock every tenant admits exactly burst operations no matter how
+// many goroutines contend.
+func TestLimiterConcurrentTenants(t *testing.T) {
+	clock := testutil.NewClock(time.Time{})
+	const (
+		tenantsN   = 4
+		goroutines = 8
+		attempts   = 50
+		burst      = 20
+	)
+	l := NewLimiter(5, burst, clock.Now)
+	names := []string{"t0", "t1", "t2", "t3"}
+
+	admitted := make([]int64, tenantsN)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				tn := (g + i) % tenantsN
+				if l.Allow(names[tn]) {
+					mu.Lock()
+					admitted[tn]++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, n := range admitted {
+		if n != burst {
+			t.Errorf("tenant %s admitted %d ops, want exactly burst %d", names[i], n, burst)
+		}
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 1, nil)
+	for i := 0; i < 1000; i++ {
+		if !l.Allow("anyone") {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}
+
+func TestMinuteWindow(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 30, 10, 0, time.UTC)
+	var w minuteWindow
+	if got := w.tick(base); got != 0 {
+		t.Fatalf("fresh window = %d", got)
+	}
+	w.count = 7
+	if got := w.tick(base.Add(40 * time.Second)); got != 7 {
+		t.Fatalf("same minute = %d, want 7", got)
+	}
+	// 12:30:50 + 20s = 12:31:10 — a new wall-clock minute resets.
+	if got := w.tick(base.Add(60 * time.Second)); got != 0 {
+		t.Fatalf("next minute = %d, want 0", got)
+	}
+}

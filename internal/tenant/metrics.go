@@ -1,0 +1,22 @@
+package tenant
+
+import "sariadne/internal/telemetry"
+
+// Admission instruments. The per-tenant families are labeled gauges —
+// one child per tenant, created the first time a tenant shows up — so a
+// single /metrics scrape shows every tenant's standing against its
+// quotas; the totals are plain counters for alerting thresholds.
+var (
+	deniedTotal = telemetry.NewCounter("tenant_denied_total",
+		"mutating operations rejected with 401/403 by the admission layer")
+	rateLimitedTotal = telemetry.NewCounter("tenant_rate_limited_total",
+		"mutating operations rejected with 429: token bucket empty or quota exhausted")
+	publishesTotal = telemetry.NewCounter("tenant_publishes_total",
+		"mutating operations admitted past the tenant gate")
+	knownGauge = telemetry.NewGauge("tenant_known",
+		"tenants currently tracked by the admission table")
+	liveServicesGauge = telemetry.NewLabeledGauge("tenant_live_services",
+		"live advertisements per tenant, against the max-live-services quota", "tenant")
+	publishesMinuteGauge = telemetry.NewLabeledGauge("tenant_publishes_minute",
+		"publishes in the current wall-clock minute per tenant, against the per-minute quota", "tenant")
+)

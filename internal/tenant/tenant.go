@@ -1,0 +1,158 @@
+// Package tenant is the multi-tenant admission layer in front of a
+// directory daemon: it decides who may publish what, and how fast.
+//
+// The paper's directory architecture assumes cooperative publishers; a
+// production registry cannot. This package adds the management layer the
+// surveyed semantic-discovery systems lack (El Bitar et al.,
+// arXiv:1409.3021 §4): pluggable authenticators behind one interface
+// (static bearer tokens, HMAC-signed self-describing tokens, an explicit
+// anonymous read-only mode), tenant-namespaced publication where every
+// advertisement name carries its owner as a `tenant/` prefix, per-tenant
+// token-bucket rate limiting, and quota counters (max live services, max
+// publishes per minute) surfaced as labeled gauges on /metrics.
+//
+// The Gatekeeper facade (gatekeeper.go) composes the pieces and is what
+// sdpd's front ends call; everything runs before the advertisement
+// touches the semantic backend, so a denied publish never reaches the
+// capability DAG and can never leak into a Bloom summary pushed to
+// federation peers.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Role orders what an identity may do. Roles are strictly increasing:
+// an admin can do everything a publisher can, a publisher everything a
+// reader can.
+type Role int
+
+const (
+	// RoleReader may query and read public surfaces but not mutate.
+	RoleReader Role = iota
+	// RolePublisher may additionally publish and withdraw advertisements
+	// inside its own tenant namespace, and upload ontologies.
+	RolePublisher
+	// RoleAdmin may publish into any namespace and read the tenant
+	// admission table (GET /tenants).
+	RoleAdmin
+)
+
+// String returns the wire spelling used in token files and minted tokens.
+func (r Role) String() string {
+	switch r {
+	case RoleReader:
+		return "reader"
+	case RolePublisher:
+		return "publisher"
+	case RoleAdmin:
+		return "admin"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// ParseRole parses the wire spelling of a role.
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "reader":
+		return RoleReader, nil
+	case "publisher":
+		return RolePublisher, nil
+	case "admin":
+		return RoleAdmin, nil
+	}
+	return RoleReader, fmt.Errorf("tenant: unknown role %q (want reader, publisher or admin)", s)
+}
+
+// Anonymous is the tenant name of unauthenticated read-only access.
+const Anonymous = "anonymous"
+
+// Identity is an authenticated caller: which tenant it publishes as and
+// what it may do. The zero Identity is an anonymous reader.
+type Identity struct {
+	// Tenant is the namespace the identity owns ("anonymous" for the
+	// read-only mode, "" for the open-mode wildcard).
+	Tenant string `json:"tenant"`
+	// Role bounds the identity's operations.
+	Role Role `json:"role"`
+	// Open marks the wildcard identity of a daemon running without any
+	// authenticator: every op is allowed and no namespace is enforced,
+	// which is exactly the pre-tenancy behavior.
+	Open bool `json:"-"`
+}
+
+// Anonymous reports whether this is the unauthenticated read-only
+// identity.
+func (id Identity) Anonymous() bool { return !id.Open && id.Tenant == Anonymous }
+
+// nameRe bounds tenant names: lowercase DNS-label-ish, so names embed
+// cleanly in advertisement names, metrics labels and token files.
+var nameRe = regexp.MustCompile(`^[a-z0-9]([a-z0-9-]*[a-z0-9])?$`)
+
+// ValidName reports whether s is a well-formed tenant name.
+func ValidName(s string) bool {
+	return s != "" && len(s) <= 63 && s != Anonymous && nameRe.MatchString(s)
+}
+
+// Qualify prepends the tenant namespace to a bare service name. A name
+// already carrying the prefix is returned unchanged.
+func Qualify(tenant, name string) string {
+	if owner, _, ok := SplitName(name); ok && owner == tenant {
+		return name
+	}
+	return tenant + "/" + name
+}
+
+// SplitName splits a namespaced advertisement name into its tenant prefix
+// and bare service name. ok is false for un-namespaced (legacy) names.
+func SplitName(name string) (tenant, service string, ok bool) {
+	i := strings.IndexByte(name, '/')
+	if i <= 0 || i == len(name)-1 {
+		return "", name, false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// Denial codes, aligned with sdpd's typed error-code scheme (PR 2): the
+// gateway maps them onto 401 / 403 / 429.
+const (
+	// CodeUnauthenticated: no token, an unknown token, a bad signature or
+	// an expired token.
+	CodeUnauthenticated = "unauthenticated"
+	// CodeForbidden: the token is good but the op is outside the
+	// identity's role or namespace.
+	CodeForbidden = "forbidden"
+	// CodeRateLimited: the tenant exhausted its token bucket or a quota.
+	CodeRateLimited = "rate_limited"
+)
+
+// Denial is a typed admission refusal. It implements error; callers
+// branch on Code, render Reason.
+type Denial struct {
+	Code   string // CodeUnauthenticated, CodeForbidden or CodeRateLimited
+	Reason string
+}
+
+func (d *Denial) Error() string { return "tenant: " + d.Reason }
+
+// Denied extracts the *Denial from err, if it is one.
+func Denied(err error) (*Denial, bool) {
+	var d *Denial
+	ok := errors.As(err, &d)
+	return d, ok
+}
+
+func unauthenticated(format string, args ...any) *Denial {
+	return &Denial{Code: CodeUnauthenticated, Reason: fmt.Sprintf(format, args...)}
+}
+
+func forbidden(format string, args ...any) *Denial {
+	return &Denial{Code: CodeForbidden, Reason: fmt.Sprintf(format, args...)}
+}
+
+func rateLimited(format string, args ...any) *Denial {
+	return &Denial{Code: CodeRateLimited, Reason: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,77 @@
+package tenant
+
+import "testing"
+
+func TestSplitAndQualify(t *testing.T) {
+	cases := []struct {
+		name            string
+		tenant, service string
+		ok              bool
+	}{
+		{"alice/MediaServer", "alice", "MediaServer", true},
+		{"alice/a/b", "alice", "a/b", true}, // only the first slash namespaces
+		{"MediaServer", "", "MediaServer", false},
+		{"/MediaServer", "", "/MediaServer", false},
+		{"alice/", "", "alice/", false},
+	}
+	for _, c := range cases {
+		tn, svc, ok := SplitName(c.name)
+		if tn != c.tenant || svc != c.service || ok != c.ok {
+			t.Errorf("SplitName(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.name, tn, svc, ok, c.tenant, c.service, c.ok)
+		}
+	}
+	if got := Qualify("alice", "MediaServer"); got != "alice/MediaServer" {
+		t.Errorf("Qualify = %q", got)
+	}
+	if got := Qualify("alice", "alice/MediaServer"); got != "alice/MediaServer" {
+		t.Errorf("Qualify must be idempotent, got %q", got)
+	}
+	// A name under another tenant's namespace gets the caller's prefix on
+	// top; ownership validation is the gatekeeper's job.
+	if got := Qualify("alice", "bob/MediaServer"); got != "alice/bob/MediaServer" {
+		t.Errorf("Qualify over foreign prefix = %q", got)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, good := range []string{"alice", "a", "team-42", "a0-b1"} {
+		if !ValidName(good) {
+			t.Errorf("ValidName(%q) = false", good)
+		}
+	}
+	for _, bad := range []string{"", "Alice", "a_b", "-alice", "alice-", "a/b", Anonymous} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+func TestRoleRoundTrip(t *testing.T) {
+	for _, r := range []Role{RoleReader, RolePublisher, RoleAdmin} {
+		got, err := ParseRole(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRole(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseRole("root"); err == nil {
+		t.Error("ParseRole accepted an unknown role")
+	}
+	if RoleReader >= RolePublisher || RolePublisher >= RoleAdmin {
+		t.Error("roles are not strictly ordered")
+	}
+}
+
+func TestDenialCodes(t *testing.T) {
+	err := unauthenticated("x")
+	d, ok := Denied(err)
+	if !ok || d.Code != CodeUnauthenticated {
+		t.Fatalf("Denied(unauthenticated) = %v, %v", d, ok)
+	}
+	if d, _ := Denied(forbidden("x")); d.Code != CodeForbidden {
+		t.Fatalf("forbidden code = %q", d.Code)
+	}
+	if d, _ := Denied(rateLimited("x")); d.Code != CodeRateLimited {
+		t.Fatalf("rateLimited code = %q", d.Code)
+	}
+}

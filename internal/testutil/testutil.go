@@ -8,6 +8,7 @@ package testutil
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -53,4 +54,37 @@ func WaitFor(t failer, timeout time.Duration, cond func() bool, msgAndArgs ...an
 func Eventually(t failer, cond func() bool, msgAndArgs ...any) {
 	t.Helper()
 	WaitFor(t, 5*time.Second, cond, msgAndArgs...)
+}
+
+// Clock is a manually advanced clock for components that take an
+// injectable `now func() time.Time` (the tenant rate limiter, quota
+// windows). Tests drive refill and window rollover deterministically with
+// Advance instead of sleeping. Safe for concurrent use, so -race tests
+// can hammer a limiter from many goroutines while another advances time.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock returns a clock frozen at start. A zero start picks an
+// arbitrary fixed epoch so durations still behave.
+func NewClock(start time.Time) *Clock {
+	if start.IsZero() {
+		start = time.Date(2006, time.November, 27, 12, 0, 0, 0, time.UTC)
+	}
+	return &Clock{t: start}
+}
+
+// Now returns the current fake time; pass c.Now as the `now` dependency.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
 }
