@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke slo-check store-conformance check clean
+.PHONY: build test race bench bench-smoke chaos lint lint-json metrics-smoke federation-smoke soak-smoke slo-check store-conformance check clean
 
 build:
 	$(GO) build ./...
@@ -82,8 +82,15 @@ metrics-smoke:
 federation-smoke:
 	$(GO) run ./cmd/fedsmoke
 
+# soak-smoke is the 90-second miniature of an overnight soak: a
+# three-daemon federation with durable telemetry journals and drift
+# watchdogs must stay silent while healthy, serve pre-restart history
+# after a restart, and fire goroutine_growth on an injected leak.
+soak-smoke:
+	$(GO) run ./cmd/soaksmoke
+
 # check is the full CI gate.
-check: build lint test race store-conformance metrics-smoke federation-smoke slo-check
+check: build lint test race store-conformance metrics-smoke federation-smoke soak-smoke slo-check
 
 clean:
 	$(GO) clean ./...

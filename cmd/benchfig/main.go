@@ -49,8 +49,32 @@ func main() {
 		"trace every Nth query in -fig traffic (0 = discovery default of 64, negative disables; for overhead A/B runs)")
 	benchJSON := flag.Bool("benchjson", false,
 		"also write BENCH_fig9.json / BENCH_fig10.json (ops/sec + p50/p95/p99/p999 per size and series) for the figures that ran")
+	soakPipeline := flag.Bool("soak-pipeline", false,
+		"run the full soak-horizon pipeline (runtime collector sampler + drift watchdog) during the figures, for overhead A/B runs")
 	flag.Parse()
 	trafficTraceSample = *traceSample
+
+	if *soakPipeline {
+		// The same cadences sdpd's soak defaults use, feeding a MemLog so
+		// the watchdog sweeps real windows; the delta against a plain run
+		// is the pipeline's whole cost on the measured paths.
+		ml := telemetry.NewMemLog(720)
+		sampler := telemetry.StartSamplerConfig(telemetry.Default(), 500*time.Millisecond, 720,
+			telemetry.SamplerConfig{
+				Collect: telemetry.SampleRuntime,
+				OnSample: func(s telemetry.Sample) {
+					ml.Append(telemetry.JournalSample{Time: time.Now(), Metrics: s.Metrics})
+				},
+			})
+		defer sampler.Stop()
+		wd := telemetry.NewWatchdog(telemetry.WatchdogConfig{
+			Log:       ml,
+			Detectors: telemetry.StandardDetectors(telemetry.Thresholds{}),
+			Interval:  time.Second,
+		})
+		wd.Start()
+		defer wd.Stop()
+	}
 
 	run := func(name string, f func(int, int, int)) {
 		fmt.Printf("==== Figure %s ====\n", name)

@@ -17,6 +17,8 @@
 //	sdpctl top localhost:8080 localhost:8081 localhost:8082
 //	sdpctl top -watch 2s localhost:8080 localhost:8081
 //	sdpctl watch -metric discovery_query_seconds localhost:8080
+//	sdpctl watch -since 30m -metric store_append_seconds localhost:8080
+//	sdpctl alerts localhost:8080
 //
 // Against a daemon with tenant admission enabled, mint a token and
 // publish into your namespace:
@@ -198,11 +200,29 @@ func main() {
 		metric := watchFlags.String("metric", "discovery_query_seconds", "histogram metric to window")
 		interval := watchFlags.Duration("interval", time.Second, "scrape cadence")
 		count := watchFlags.Int("count", 0, "stop after this many scrapes (0 = forever)")
+		since := watchFlags.Duration("since", 0, "first print this span of persisted history from GET /timeseries (journal-backed daemons serve it across restarts)")
 		watchFlags.Parse(args[1:]) //nolint:errcheck // ExitOnError
 		if watchFlags.NArg() != 1 {
 			usage()
 		}
+		if *since > 0 {
+			if err := runWatchHistory(os.Stdout, watchFlags.Arg(0), *metric, *timeout, *since); err != nil {
+				fatal("history fetch failed", "addr", watchFlags.Arg(0), "err", err)
+			}
+		}
 		runWatch(os.Stdout, watchFlags.Arg(0), *metric, *timeout, *interval, *count)
+		return
+	case "alerts":
+		if len(args) != 2 {
+			usage()
+		}
+		quiet, err := runAlerts(os.Stdout, args[1], *timeout)
+		if err != nil {
+			fatal("alerts fetch failed", "addr", args[1], "err", err)
+		}
+		if !quiet {
+			os.Exit(1)
+		}
 		return
 	case "services":
 		svcFlags := flag.NewFlagSet("services", flag.ExitOnError)
@@ -588,7 +608,9 @@ func runTop(w io.Writer, addrs []string, timeout time.Duration) {
 	fmt.Fprintln(w)
 	for _, addr := range addrs {
 		fmt.Fprintf(w, "%-22s", addr)
-		metrics, err := scrapeMetrics(client, addr)
+		metrics, err := scrapeWithRetry(func() (map[string]float64, error) {
+			return scrapeMetrics(client, addr)
+		})
 		if err != nil {
 			fmt.Fprintf(w, " down: %v\n", err)
 			continue
@@ -817,8 +839,12 @@ commands:
   top [-watch 2s] [-count N] <http-addr>...
                             scrape several daemons' /metrics into one table,
                             optionally re-rendered at an interval
-  watch [-metric discovery_query_seconds] [-interval 1s] [-count N] <http-addr>
+  watch [-metric discovery_query_seconds] [-interval 1s] [-count N] [-since 30m] <http-addr>
                             stream windowed p50/p95/p99/p999 of one histogram
-                            metric (each row covers ops since the last scrape)`)
+                            metric (each row covers ops since the last scrape);
+                            -since first prints persisted history, surviving
+                            daemon restarts when the daemon journals telemetry
+  alerts <http-addr>        show the drift watchdog's active and fired alerts
+                            (exit 1 while any alert is active)`)
 	os.Exit(2)
 }

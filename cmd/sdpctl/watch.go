@@ -9,15 +9,41 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"sariadne/internal/telemetry"
 )
+
+// Transient-failure retry for scrapes: a watch row should survive one
+// dropped scrape (daemon restarting under it, listen queue hiccup)
+// instead of printing "down" and losing the window anchor. Two retries
+// with doubling backoff cover a restart gap without stalling a dead
+// daemon's row for long.
+const (
+	scrapeRetries = 2
+	scrapeBackoff = 200 * time.Millisecond
+)
+
+// scrapeWithRetry runs one scrape up to 1+scrapeRetries times, backing
+// off between attempts.
+func scrapeWithRetry[T any](scrape func() (T, error)) (T, error) {
+	backoff := scrapeBackoff
+	for attempt := 0; ; attempt++ {
+		v, err := scrape()
+		if err == nil || attempt == scrapeRetries {
+			return v, err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
 
 // runTopWatch renders the top table, then every interval again, count
 // times in total (count <= 0 with an interval means forever). A zero
@@ -67,7 +93,9 @@ func runWatch(w io.Writer, addr, metric string, timeout, interval time.Duration,
 			<-t.C
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
-		snaps, err := scrapeSnapshots(client, addr)
+		snaps, err := scrapeWithRetry(func() (map[string]telemetry.MetricSnapshot, error) {
+			return scrapeSnapshots(client, addr)
+		})
 		if err != nil {
 			fmt.Fprintf(w, "%-10s down: %v\n", elapsed, err)
 			continue
@@ -209,4 +237,127 @@ func parseMetricSnapshots(r io.Reader) (map[string]telemetry.MetricSnapshot, err
 		}
 	}
 	return out, sc.Err()
+}
+
+// curvePoint mirrors sdpd's timeseriesPoint wire layout: one persisted
+// observation window of a *_seconds histogram.
+type curvePoint struct {
+	ElapsedMs int64   `json:"elapsed_ms"`
+	WindowMs  int64   `json:"window_ms"`
+	Count     uint64  `json:"count"`
+	RatePerS  float64 `json:"rate_per_sec"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	P999Nanos int64   `json:"p999_ns"`
+}
+
+// runWatchHistory prints the daemon's persisted windows for one metric
+// before live streaming starts: GET /timeseries?since= serves the
+// telemetry journal on a daemon running with -telemetry-journal, so the
+// rows can predate this sdpctl — and even this daemon process.
+func runWatchHistory(w io.Writer, addr, metric string, timeout, since time.Duration) error {
+	u := fmt.Sprintf("http://%s/timeseries?metric=%s&since=%s",
+		addr, url.QueryEscape(metric), url.QueryEscape(since.String()))
+	resp, err := httpClient(timeout).Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET /timeseries: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var ts struct {
+		Samples int                     `json:"samples"`
+		Source  string                  `json:"source"`
+		Series  map[string][]curvePoint `json:"series"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&ts); err != nil {
+		return fmt.Errorf("malformed reply: %w", err)
+	}
+	pts := ts.Series[metric]
+	fmt.Fprintf(w, "history: last %s of %s from %s (%d windows, source %s)\n",
+		since, metric, addr, len(pts), ts.Source)
+	if len(pts) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s %10s\n",
+		"ELAPSED", "COUNT", "RATE/S", "P50", "P95", "P99", "P999")
+	nanos := func(n int64) string {
+		if n == 0 {
+			return "-"
+		}
+		return time.Duration(n).Round(time.Microsecond).String()
+	}
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %8d %10.1f %10s %10s %10s %10s\n",
+			time.Duration(p.ElapsedMs)*time.Millisecond,
+			p.Count, p.RatePerS,
+			nanos(p.P50Nanos), nanos(p.P95Nanos), nanos(p.P99Nanos), nanos(p.P999Nanos))
+	}
+	return nil
+}
+
+// alertRow mirrors telemetry.Alert's wire form.
+type alertRow struct {
+	Code      string    `json:"code"`
+	Severity  string    `json:"severity"`
+	Metric    string    `json:"metric"`
+	At        time.Time `json:"at"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Evidence  string    `json:"evidence"`
+}
+
+// runAlerts fetches a daemon's GET /alerts and renders the drift
+// watchdog's view. It reports whether the daemon is quiet (no active
+// alerts) so main can exit non-zero for soak scripts, mirroring
+// `sdpctl health`; a daemon without a watchdog counts as quiet.
+func runAlerts(w io.Writer, addr string, timeout time.Duration) (bool, error) {
+	resp, err := httpClient(timeout).Get("http://" + addr + "/alerts")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("GET /alerts: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var view struct {
+		Watching bool       `json:"watching"`
+		Active   []alertRow `json:"active"`
+		Fired    []alertRow `json:"fired"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		return false, fmt.Errorf("malformed reply: %w", err)
+	}
+	if !view.Watching {
+		fmt.Fprintf(w, "%s: no drift watchdog (daemon runs without -watch-every)\n", addr)
+		return true, nil
+	}
+	fmt.Fprintf(w, "%s: watchdog running, %d active, %d fired since boot\n",
+		addr, len(view.Active), len(view.Fired))
+	if len(view.Active) > 0 {
+		fmt.Fprintf(w, "%-20s %-8s %-34s %12s %12s %s\n",
+			"ACTIVE", "SEV", "METRIC", "VALUE", "THRESHOLD", "SINCE")
+		for _, a := range view.Active {
+			fmt.Fprintf(w, "%-20s %-8s %-34s %12.4g %12.4g %s\n",
+				a.Code, a.Severity, a.Metric, a.Value, a.Threshold, a.At.Format(time.RFC3339))
+			if a.Evidence != "" {
+				fmt.Fprintf(w, "  %s\n", a.Evidence)
+			}
+		}
+	}
+	for i, a := range view.Fired {
+		if i == 0 {
+			fmt.Fprintln(w, "fired (newest first):")
+		}
+		fmt.Fprintf(w, "  %s %-20s %-8s %s\n",
+			a.At.Format(time.RFC3339), a.Code, a.Severity, a.Evidence)
+	}
+	return len(view.Active) == 0, nil
 }

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"sariadne/internal/telemetry"
 	"sariadne/internal/tenant"
@@ -39,7 +40,8 @@ import (
 //	GET  /healthz                                    -> 200/503 component health report
 //	GET  /readyz                                     -> 200/503 readiness (health + fresh backbone peer)
 //	GET  /metrics                                    -> 200 Prometheus text exposition
-//	GET  /timeseries[?metric={name}]                 -> 200 windowed quantile curves from the sampling ring
+//	GET  /timeseries[?metric={name}&since={dur}]     -> 200 windowed quantile curves (journal-backed with -telemetry-journal)
+//	GET  /alerts                                     -> 200 {"watching":..,"active":[...],"fired":[...]} drift-watchdog view
 //	GET  /debug/vars                                 -> 200 expvar-style JSON snapshot
 //	GET  /debug/pprof/*     (only with -pprof)       -> net/http/pprof
 //
@@ -73,6 +75,7 @@ func newHTTPGateway(srv *server, withPprof bool) http.Handler {
 	mux.HandleFunc("GET /readyz", g.getReadyz)
 	mux.HandleFunc("GET /metrics", g.getMetrics)
 	mux.HandleFunc("GET /timeseries", g.getTimeseries)
+	mux.HandleFunc("GET /alerts", g.getAlerts)
 	mux.HandleFunc("GET /debug/vars", g.getDebugVars)
 	if withPprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -350,16 +353,54 @@ type timeseriesPoint struct {
 }
 
 // getTimeseries serves windowed quantile curves from the daemon's
-// sampling ring: one series per histogram metric (or just ?metric=),
-// each point the latency distribution between two consecutive samples.
-// This is the history `sdpctl watch` streams live — a daemon restart
-// loses it, a scrape gap doesn't.
+// telemetry history: one series per histogram metric (or just ?metric=),
+// each point the latency distribution between two consecutive samples,
+// optionally restricted to the last ?since={duration}. A journal-backed
+// daemon (-telemetry-journal) serves history that survives restarts —
+// DeltaSnapshot clamps across the counter reset at the restart boundary
+// — while a plain daemon serves the in-memory sampling ring, which a
+// restart loses.
 func (g *httpGateway) getTimeseries(w http.ResponseWriter, r *http.Request) {
-	if g.srv.sampler == nil {
+	var since time.Duration
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad since (want a positive duration like 10m)", http.StatusBadRequest)
+			return
+		}
+		since = d
+	}
+	var samples []telemetry.Sample
+	source := "ring"
+	switch {
+	case g.srv.journal != nil:
+		source = "journal"
+		hist := g.srv.journal.History()
+		if since > 0 {
+			hist = g.srv.journal.Recent(since)
+		}
+		if len(hist) > 0 {
+			// Journal samples carry absolute times; re-base them so the
+			// curve's elapsed axis starts at the oldest retained sample.
+			t0 := hist[0].Time
+			for _, s := range hist {
+				samples = append(samples, telemetry.Sample{Elapsed: s.Time.Sub(t0), Metrics: s.Metrics})
+			}
+		}
+	case g.srv.sampler != nil:
+		samples = g.srv.sampler.Ring().Samples()
+		if since > 0 && len(samples) > 0 {
+			cut := samples[len(samples)-1].Elapsed - since
+			i := 0
+			for i < len(samples) && samples[i].Elapsed <= cut {
+				i++
+			}
+			samples = samples[i:]
+		}
+	default:
 		http.Error(w, "time-series sampling disabled (-sample-every 0)", http.StatusNotFound)
 		return
 	}
-	samples := g.srv.sampler.Ring().Samples()
 	only := r.URL.Query().Get("metric")
 	series := make(map[string][]timeseriesPoint)
 	if len(samples) > 0 {
@@ -392,7 +433,29 @@ func (g *httpGateway) getTimeseries(w http.ResponseWriter, r *http.Request) {
 	}
 	g.writeJSON(w, http.StatusOK, map[string]any{
 		"samples": len(samples),
+		"source":  source,
 		"series":  series,
+	})
+}
+
+// getAlerts serves the drift watchdog's view: alerts firing right now,
+// the flight recorder's fired-alert history newest first, and whether a
+// watchdog is running at all (a daemon without -watch-every answers
+// "watching":false rather than 404, so pollers need no special case).
+func (g *httpGateway) getAlerts(w http.ResponseWriter, _ *http.Request) {
+	active := []telemetry.Alert{}
+	watching := g.srv.watchdog != nil
+	if watching {
+		active = g.srv.watchdog.Active()
+	}
+	fired := telemetry.FlightRecorder().Alerts()
+	if fired == nil {
+		fired = []telemetry.Alert{}
+	}
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"watching": watching,
+		"active":   active,
+		"fired":    fired,
 	})
 }
 

@@ -48,6 +48,7 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -215,6 +216,17 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "retain queries at least this slow in the flight recorder (0 = half the query timeout)")
 	healthInterval := flag.Duration("health-interval", time.Second, "component health probe interval behind /healthz and /readyz")
 	sampleEvery := flag.Duration("sample-every", 5*time.Second, "telemetry time-series sampling cadence behind GET /timeseries (0 disables)")
+	telemetryJournal := flag.String("telemetry-journal", "", "directory for the durable telemetry journal: sampler ticks persist across restarts behind GET /timeseries (optional)")
+	watchEvery := flag.Duration("watch-every", 0, "drift-watchdog sweep cadence over the telemetry history (0 disables)")
+	watchWindow := flag.Duration("watch-window", 0, "sample window each watchdog sweep examines (default 10x -watch-every)")
+	watchGoroutines := flag.Float64("watch-goroutine-growth", 0, "goroutine_growth threshold in goroutines/min (0 = default 30, negative disables)")
+	watchHeap := flag.Float64("watch-heap-growth-bytes", 0, "memory_growth threshold in heap bytes/min (0 = default 8MiB, negative disables)")
+	watchStale := flag.Duration("watch-summary-stale", 0, "summary_stale bound on summary-push stalls (0 = default 5m, negative disables)")
+	watchFlap := flag.Float64("watch-flap-per-min", 0, "election_flap threshold in role transitions/min (0 = default 6, negative disables)")
+	watchAppendFactor := flag.Float64("watch-append-p99-factor", 0, "append_latency_step factor over the baseline-half store append p99 (0 = default 8, negative disables)")
+	watchDenials := flag.Float64("watch-denial-per-min", 0, "denial_spike absolute floor in tenant denials/min (0 = default 30, negative disables)")
+	watchHeapProfile := flag.Bool("watch-heap-profile", false, "capture one pprof heap profile beside the journal on the first memory_growth alert")
+	chaosLeakGoroutines := flag.Int("chaos-leak-goroutines", 0, "FAULT INJECTION: leak this many goroutines per second so soak drills can watch the watchdog fire")
 	compactEvery := flag.Duration("compact-every", 0, "compact the store on this cadence, off the request path (0 disables)")
 	authTokens := flag.String("auth-tokens", "", "static bearer-token file (`token tenant [role]` per line); enables admission")
 	authSecret := flag.String("auth-secret", "", "shared HMAC secret (>= 16 bytes) accepting sdpctl-minted sdp1 tokens; enables admission")
@@ -322,12 +334,111 @@ func main() {
 	srv.httpOn.Store(*httpAddr != "")
 	hc := startHealthChecker(srv, *healthInterval, 0)
 	defer hc.close()
+	// The soak pipeline: runtime collector -> sampler -> sample log
+	// (durable journal or bounded memory) -> drift watchdog.
+	var sampleLog telemetry.SampleLog
+	var logSample func(telemetry.JournalSample)
+	if *telemetryJournal != "" {
+		tjLog := logger.With("component", "telemetry")
+		jl, err := telemetry.OpenJournal(*telemetryJournal, telemetry.JournalOptions{})
+		if err != nil {
+			fatal("telemetry journal", err)
+		}
+		defer func() {
+			if err := jl.Close(); err != nil {
+				tjLog.Error("journal close", "err", err)
+			}
+		}()
+		if jl.TornTail() {
+			tjLog.Warn("telemetry journal recovered from a torn tail", "dir", *telemetryJournal)
+		}
+		tjLog.Info("telemetry journal open", "dir", *telemetryJournal, "history", len(jl.History()))
+		srv.journal = jl
+		sampleLog = jl
+		logSample = func(s telemetry.JournalSample) {
+			if err := jl.Append(s); err != nil {
+				tjLog.Error("journal append", "err", err)
+			}
+		}
+	} else if *watchEvery > 0 {
+		// Watching without durability: a bounded in-memory log feeds the
+		// detectors and is lost on restart.
+		ml := telemetry.NewMemLog(720)
+		sampleLog = ml
+		logSample = ml.Append
+	}
 	if *sampleEvery > 0 {
 		// 720 samples at the default 5s cadence keeps an hour of windowed
 		// quantile history at constant memory.
-		sampler := telemetry.StartSampler(telemetry.Default(), *sampleEvery, 720)
+		sampler := telemetry.StartSamplerConfig(telemetry.Default(), *sampleEvery, 720, telemetry.SamplerConfig{
+			Collect: telemetry.SampleRuntime,
+			OnSample: func(s telemetry.Sample) {
+				if logSample != nil {
+					logSample(telemetry.JournalSample{Time: time.Now(), Metrics: s.Metrics})
+				}
+			},
+		})
 		defer sampler.Stop()
 		srv.sampler = sampler
+	} else if sampleLog != nil {
+		logger.Warn("-telemetry-journal/-watch-every have nothing to read without -sample-every > 0")
+	}
+	if *watchEvery > 0 {
+		wdLog := logger.With("component", "watchdog")
+		detectors := telemetry.StandardDetectors(telemetry.Thresholds{
+			GoroutinesPerMin:  *watchGoroutines,
+			HeapBytesPerMin:   *watchHeap,
+			SummaryStaleAfter: *watchStale,
+			ElectionsPerMin:   *watchFlap,
+			AppendP99Factor:   *watchAppendFactor,
+			DenialsPerMin:     *watchDenials,
+		})
+		var heapProfileOnce sync.Once
+		wd := telemetry.NewWatchdog(telemetry.WatchdogConfig{
+			Log:       sampleLog,
+			Detectors: detectors,
+			Interval:  *watchEvery,
+			Window:    *watchWindow,
+			Recorder:  telemetry.FlightRecorder(),
+			OnAlert: func(a telemetry.Alert) {
+				wdLog.Warn("drift alert fired", "code", a.Code, "severity", a.Severity,
+					"metric", a.Metric, "value", a.Value, "threshold", a.Threshold,
+					"evidence", a.Evidence)
+				if *watchHeapProfile && a.Code == telemetry.AlertMemoryGrowth {
+					// One capture per process: the first leak sighting is the
+					// interesting heap; later captures would just be bigger.
+					heapProfileOnce.Do(func() {
+						dir := *telemetryJournal
+						if dir == "" {
+							dir = os.TempDir()
+						}
+						path := filepath.Join(dir, "heap-"+a.At.UTC().Format("20060102T150405Z")+".pprof")
+						if err := telemetry.CaptureHeapProfile(path); err != nil {
+							wdLog.Error("heap profile capture", "err", err)
+							return
+						}
+						wdLog.Warn("heap profile captured", "path", path)
+					})
+				}
+			},
+		})
+		wd.Start()
+		defer wd.Stop()
+		srv.watchdog = wd
+		wdLog.Info("drift watchdog running", "every", *watchEvery, "detectors", len(detectors))
+	}
+	if *chaosLeakGoroutines > 0 {
+		logger.Warn("fault injection active: leaking goroutines",
+			"component", "chaos", "per_sec", *chaosLeakGoroutines)
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for range t.C {
+				for i := 0; i < *chaosLeakGoroutines; i++ {
+					go func() { select {} }()
+				}
+			}
+		}()
 	}
 	addr, err := net.ResolveUDPAddr("udp", *listen)
 	if err != nil {
@@ -400,6 +511,15 @@ type server struct {
 	// /timeseries; nil when -sample-every is 0. Set before the front
 	// ends start, read-only afterwards.
 	sampler *telemetry.Sampler
+	// journal is the durable telemetry journal (-telemetry-journal):
+	// sampler ticks persisted across restarts, preferred over the ring by
+	// GET /timeseries. Nil without the flag. Set before the front ends
+	// start, read-only afterwards.
+	journal *telemetry.Journal
+	// watchdog sweeps drift detectors over the sample history behind GET
+	// /alerts; nil when -watch-every is 0. Set before the front ends
+	// start, read-only afterwards.
+	watchdog *telemetry.Watchdog
 	// httpOn records that an HTTP gateway was configured; httpLive that it
 	// is currently bound and serving. Health probes compare the two.
 	httpOn   atomic.Bool

@@ -4,7 +4,9 @@
 // telemetry registry at a fixed cadence, and emits a
 // BENCH_load_<scenario>.json report holding end-of-run points plus
 // warmup-trimmed p50/p95/p99/p999 curves. Scenario families beyond the
-// paper's steady-state figures: flash-crowd, thundering-herd, brownout.
+// paper's steady-state figures: flash-crowd, thundering-herd, brownout,
+// and mobile-churn — the soak family, which -duration cycles open-loop
+// for hours while -check-alerts gates on the daemons' drift watchdogs.
 //
 // The report's canonical half (scenario, seed, config, schedule, results)
 // is a pure function of -scenario and -seed: running
@@ -47,6 +49,8 @@ func main() {
 	flag.IntVar(&cfg.warmupOps, "warmup", -1, "warmup ops excluded from points (-1 = ops/10)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 4, "closed-loop worker count")
 	flag.Float64Var(&cfg.ratePerSec, "rate", 0, "open-loop arrival rate in ops/sec (0 = closed loop)")
+	flag.DurationVar(&cfg.duration, "duration", 0, "soak mode: cycle the plan open-loop for this long instead of a fixed op count (0 = off; default rate 20/s when -rate unset)")
+	checkAlerts := flag.String("check-alerts", "", "comma-separated HTTP gateway addrs whose drift watchdogs must stay silent during the run (fires -> exit 1)")
 	flag.DurationVar(&cfg.sample, "sample", 250*time.Millisecond, "telemetry sampling cadence")
 	flag.DurationVar(&cfg.faultScale, "fault-scale", 2*time.Second, "nominal run length fault windows scale against")
 	flag.StringVar(&cfg.target, "target", "", "comma-separated live sdpd addrs (empty = in-process simnet)")
@@ -59,8 +63,23 @@ func main() {
 	if cfg.warmupOps < 0 {
 		cfg.warmupOps = cfg.ops / 10
 	}
+	if cfg.duration > 0 && cfg.ratePerSec == 0 {
+		// A soak without an explicit rate gets modest open-loop pressure:
+		// the point is hours of sustained load, not saturation.
+		cfg.ratePerSec = 20
+	}
 	if out == "" {
 		out = fmt.Sprintf("BENCH_load_%s.json", cfg.scenario)
+	}
+	var gates []string
+	var baseline map[string]int
+	if *checkAlerts != "" {
+		gates = strings.Split(*checkAlerts, ",")
+		var err error
+		if baseline, err = snapshotAlerts(gates, cfg.opTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpload: alert gate: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	rep, err := runLoad(cfg)
@@ -80,5 +99,20 @@ func main() {
 			p.Series, p.Reps, p.OpsPerSec,
 			time.Duration(p.P50Nanos), time.Duration(p.P95Nanos),
 			time.Duration(p.P99Nanos), time.Duration(p.P999Nanos))
+	}
+	if len(gates) > 0 {
+		bad, err := checkAlertGate(gates, baseline, cfg.opTimeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpload: alert gate: %v\n", err)
+			os.Exit(1)
+		}
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "sdpload: drift alerts during the run:\n")
+			for _, line := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", line)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("sdpload: alert gate clean across %d daemon(s)\n", len(gates))
 	}
 }

@@ -24,7 +24,8 @@ type runConfig struct {
 	ops         int
 	warmupOps   int
 	concurrency int
-	ratePerSec  float64 // >0 switches to open-loop pacing
+	ratePerSec  float64       // >0 switches to open-loop pacing
+	duration    time.Duration // >0 cycles the plan open-loop until the deadline (soak mode)
 	sample      time.Duration
 	faultScale  time.Duration
 	target      string // comma-separated sdpd addrs; empty = simnet
@@ -91,11 +92,12 @@ func runLoad(cfg runConfig) (*slo.Report, error) {
 			Ops:         cfg.ops,
 			WarmupOps:   cfg.warmupOps,
 			SampleMs:    cfg.sample.Milliseconds(),
+			DurationMs:  cfg.duration.Milliseconds(),
 			ZipfSkew:    spec.zipfSkew,
 			Target:      cfg.target,
 		},
 	}
-	if cfg.ratePerSec > 0 {
+	if cfg.ratePerSec > 0 || cfg.duration > 0 {
 		rep.Config.Mode = "open"
 	}
 
@@ -128,7 +130,9 @@ func runLoad(cfg runConfig) (*slo.Report, error) {
 	started := time.Now()
 	e.measureStart = started
 
-	if cfg.ratePerSec > 0 {
+	if cfg.duration > 0 {
+		e.runOpenTimed(cfg.duration)
+	} else if cfg.ratePerSec > 0 {
 		e.runOpen()
 	} else {
 		e.runClosed()
@@ -188,7 +192,7 @@ func (e *engine) runClosed() {
 func (e *engine) worker(idx <-chan int) {
 	defer e.wg.Done()
 	for i := range idx {
-		e.execute(i)
+		e.execute(e.plan[i])
 	}
 }
 
@@ -205,19 +209,47 @@ func (e *engine) runOpen() {
 	for i := range e.plan {
 		<-tick.C
 		e.wg.Add(1)
-		go e.dispatch(i)
+		go e.dispatch(e.plan[i])
 	}
 	e.wg.Wait()
 }
 
-func (e *engine) dispatch(i int) {
+// runOpenTimed is soak mode: cycle the plan at the open-loop rate until
+// the deadline, so a 90-second smoke and an overnight soak share one
+// seeded plan. Only the first pass carries warmup ops; repeats are all
+// measured.
+func (e *engine) runOpenTimed(d time.Duration) {
+	interval := time.Duration(float64(time.Second) / e.cfg.ratePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-deadline.C:
+			e.wg.Wait()
+			return
+		case <-tick.C:
+		}
+		op := e.plan[n%len(e.plan)]
+		if n >= len(e.plan) {
+			op.warmup = false
+		}
+		e.wg.Add(1)
+		go e.dispatch(op)
+	}
+}
+
+func (e *engine) dispatch(op plannedOp) {
 	defer e.wg.Done()
-	e.execute(i)
+	e.execute(op)
 }
 
 // execute runs one planned op, records its latency and outcome.
-func (e *engine) execute(i int) {
-	op := e.plan[i]
+func (e *engine) execute(op plannedOp) {
 	if !op.warmup {
 		e.markMeasured()
 	}

@@ -44,6 +44,14 @@ var scenarios = map[string]*scenarioSpec{
 		name: "thundering-herd", publishPct: 10, queryPct: 90, zipfSkew: 1.1,
 		faults: herdFaults,
 	},
+	// mobile-churn is the soak-mode default: pervasive-computing device
+	// mobility, where advertisements keep re-publishing and directories
+	// keep dropping out and rejoining while the query stream continues.
+	// Hours of this shake out the slow leaks a steady state hides, which
+	// is exactly what the drift watchdog exists to catch.
+	"mobile-churn": {
+		name: "mobile-churn", publishPct: 25, queryPct: 55, churnPct: 20, zipfSkew: 1.1,
+	},
 	"brownout": {
 		name: "brownout", queryPct: 100, zipfSkew: 1.1,
 		faults: brownoutFaults,

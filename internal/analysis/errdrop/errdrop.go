@@ -6,8 +6,9 @@
 //
 // Scope — a call is in scope when its callee is
 //
-//   - a function or method of sariadne/internal/transport or
-//     sariadne/internal/store (or any package under them), or
+//   - a function or method of sariadne/internal/transport,
+//     sariadne/internal/store or sariadne/internal/telemetry (or any
+//     package under them), or
 //   - a method whose receiver type name contains "journal" or "store"
 //     (case-insensitive), wherever it is declared.
 //
@@ -48,6 +49,12 @@ var Analyzer = &analysis.Analyzer{
 var guardedPathPrefixes = []string{
 	"sariadne/internal/transport",
 	"sariadne/internal/store",
+	// The telemetry journal is the soak record of truth: an append error
+	// dropped on the floor silently forfeits the history the drift
+	// watchdog and post-mortems read. The prefix covers the whole
+	// package, so exposition writers and profile captures are guarded
+	// too.
+	"sariadne/internal/telemetry",
 }
 
 func run(pass *analysis.Pass) error {

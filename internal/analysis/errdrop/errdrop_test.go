@@ -21,9 +21,14 @@ func TestErrdrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	telemetryStub, err := filepath.Abs(filepath.Join(testdata, "src", "telemetrystub", "telemetry.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	analysistest.RunWithModule(t, testdata, errdrop.Analyzer, "a",
 		"sariadne", map[string][]string{
 			"sariadne/internal/transport": {transportStub},
 			"sariadne/internal/store":     {storeStub},
+			"sariadne/internal/telemetry": {telemetryStub},
 		})
 }

@@ -2,6 +2,7 @@ package a
 
 import (
 	"sariadne/internal/store"
+	"sariadne/internal/telemetry"
 	"sariadne/internal/transport"
 )
 
@@ -37,6 +38,16 @@ func storePathDrops(m *store.Medium) {
 	m.Truncate(4)      // want `error returned by Medium.Truncate is silently dropped`
 	store.Detect("db") // want `error returned by store.Detect is silently dropped`
 	_ = m.Truncate(4)  // acknowledged blank drop stays silent
+}
+
+func telemetryPathDrops(r *telemetry.Recorder) {
+	// Recorder's name matches no receiver-name rule either: these prove
+	// the sariadne/internal/telemetry path prefix guards the journal and
+	// profile write paths.
+	r.Flush()                                // want `error returned by Recorder.Flush is silently dropped`
+	telemetry.CaptureHeapProfile("/tmp/h")   // want `error returned by telemetry.CaptureHeapProfile is silently dropped`
+	go telemetry.CaptureHeapProfile("/tmp/h") // want `go error returned by telemetry.CaptureHeapProfile is silently dropped`
+	_ = r.Flush()                            // acknowledged blank drop stays silent
 }
 
 func goDeferDrops(ep transport.Endpoint, j *journal) {

@@ -1,0 +1,16 @@
+// Package telemetry is a minimal stand-in for sariadne/internal/telemetry
+// used by the errdrop analyzer tests. Its receiver name deliberately
+// avoids the substrings "store" and "journal" so a finding on it proves
+// the package-path scoping rule fired, not the receiver-name rule.
+package telemetry
+
+// Recorder stands in for the exposition/profile side of the package:
+// neither receiver-name substring matches.
+type Recorder struct{}
+
+// Flush persists buffered samples.
+func (r *Recorder) Flush() error { return nil }
+
+// CaptureHeapProfile writes a pprof snapshot; package-level, lone error
+// result.
+func CaptureHeapProfile(path string) error { return nil }

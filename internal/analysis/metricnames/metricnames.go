@@ -38,13 +38,20 @@ var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
 // constructors are the metric-creating entry points, both the
 // package-level forms and the *Registry methods.
 var constructors = map[string]bool{
-	"NewCounter":       true,
-	"NewGauge":         true,
-	"NewBoolGauge":     true,
-	"NewFloatGauge":    true,
-	"NewHistogram":     true,
-	"NewSizeHistogram": true,
-	"NewLabeledGauge":  true,
+	"NewCounter":        true,
+	"NewGauge":          true,
+	"NewBoolGauge":      true,
+	"NewFloatGauge":     true,
+	"NewHistogram":      true,
+	"NewSizeHistogram":  true,
+	"NewLabeledGauge":   true,
+	"NewLabeledCounter": true,
+}
+
+// labeled are the constructors whose third argument is a label key.
+var labeled = map[string]bool{
+	"NewLabeledGauge":   true,
+	"NewLabeledCounter": true,
 }
 
 // labelRe bounds labeled-family label keys: a bare lowercase identifier
@@ -115,10 +122,11 @@ func checkCalls(pass *analysis.Pass, root ast.Node, atInit bool) {
 					"metric name must be a string literal so the namespace stays greppable")
 			}
 		}
-		// NewLabeledGauge(name, help, label): the label key is scraped
-		// verbatim into every `name{label="..."}` line, so it follows the
-		// same literal-and-greppable discipline as the family name.
-		if sel.Sel.Name == "NewLabeledGauge" && len(call.Args) > 2 {
+		// NewLabeledGauge/NewLabeledCounter(name, help, label): the label
+		// key is scraped verbatim into every `name{label="..."}` line, so
+		// it follows the same literal-and-greppable discipline as the
+		// family name.
+		if labeled[sel.Sel.Name] && len(call.Args) > 2 {
 			if lit, ok := call.Args[2].(*ast.BasicLit); ok && lit.Kind == token.STRING {
 				label, err := strconv.Unquote(lit.Value)
 				if err == nil && !labelRe.MatchString(label) {

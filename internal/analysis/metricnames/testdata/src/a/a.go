@@ -18,6 +18,21 @@ var badLabeledName = telemetry.NewLabeledGauge("TenantLive", "x", "tenant") // w
 
 var badLabelKey = telemetry.NewLabeledGauge("tenant_rate_tokens", "x", "Tenant-ID") // want `label key "Tenant-ID" is not a lowercase identifier`
 
+// The soak-horizon families follow the same rules: runtime_* gauges from
+// the collector, alert_* counters keyed by alert code.
+var (
+	goodRuntime      = telemetry.NewGauge("runtime_goroutines", "live goroutines")
+	goodRuntimeBytes = telemetry.NewGauge("runtime_heap_alloc_bytes", "heap in use")
+	goodAlertCounter = telemetry.NewLabeledCounter("alert_fired_total", "alerts by code", "code")
+	goodAlertGauge   = telemetry.NewLabeledGauge("alert_active", "active alerts by code", "code")
+)
+
+var badRuntimeName = telemetry.NewGauge("runtimeGoroutines", "x") // want `not snake_case`
+
+var badAlertName = telemetry.NewLabeledCounter("AlertFired", "x", "code") // want `not snake_case`
+
+var badAlertKey = telemetry.NewLabeledCounter("alert_resolved_total", "x", "Alert Code") // want `label key "Alert Code" is not a lowercase identifier`
+
 var badCamel = telemetry.NewGauge("PkgEntries", "x") // want `not snake_case`
 
 var badBool = telemetry.NewBoolGauge("Healthy", "x") // want `not snake_case`
@@ -37,6 +52,7 @@ func handleRequest(name string) {
 	telemetry.NewCounter(name, "x")             // want `outside a package-level var or init` `string literal`
 	telemetry.NewCounter("per_request_total", "x").Inc() // want `outside a package-level var or init`
 	telemetry.NewLabeledGauge("pkg_lazy_by_node", "x", name) // want `outside a package-level var or init` `label key must be a string literal`
+	telemetry.NewLabeledCounter("pkg_lazy_total_by_kind", "x", "kind") // want `outside a package-level var or init`
 }
 
 func scopedRegistry() {
@@ -46,6 +62,7 @@ func scopedRegistry() {
 	r.NewCounter("tool_runs_total", "fine")
 	r.NewGauge("Bad", "still name-checked") // want `not snake_case`
 	r.NewLabeledGauge("tool_rows_by_kind", "fine scoped family", "kind")
+	r.NewLabeledCounter("tool_errs_by_kind", "fine scoped family", "kind")
 	_ = goodHist
 	_ = goodBool
 	_ = goodLabeled

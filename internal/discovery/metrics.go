@@ -37,6 +37,8 @@ var (
 		"Bloom summaries pushed to peer directories")
 	summaryRefreshesTotal = telemetry.NewCounter("discovery_summary_refreshes_total",
 		"reactive summary refresh requests triggered by the StaleRatio rule")
+	electionTransitionsTotal = telemetry.NewCounter("discovery_election_transitions_total",
+		"election role changes observed by nodes; a climbing rate means the backbone is flapping")
 	localMatchSeconds = telemetry.NewHistogram("discovery_local_match_seconds",
 		"latency of the backend match phase while serving one query")
 	querySeconds = telemetry.NewHistogram("discovery_query_seconds",

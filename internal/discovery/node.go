@@ -608,6 +608,7 @@ func (n *Node) runElectionActions(actions []any) {
 		case election.BroadcastAction:
 			_, _ = n.ep.Broadcast(act.TTL, act.Payload)
 		case election.RoleChange:
+			electionTransitionsTotal.Inc()
 			n.cfg.Recorder.RecordEvent(string(n.ID()), telemetry.ProtoElection, "", act.Role.String())
 			if act.Role == election.Directory {
 				// Join the directory backbone and solicit summaries.

@@ -49,9 +49,13 @@ type Config struct {
 	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
 	Ops         int     `json:"ops"`
 	WarmupOps   int     `json:"warmup_ops"`
-	SampleMs    int64   `json:"sample_ms"`
-	ZipfSkew    float64 `json:"zipf_skew,omitempty"`
-	Target      string  `json:"target,omitempty"` // live cluster, empty = simnet
+	// DurationMs is the soak deadline of a timed run: the plan cycles
+	// open-loop until it passes (0 = classic fixed-op run; omitted from
+	// the JSON so pre-soak reports keep their canonical bytes).
+	DurationMs int64   `json:"duration_ms,omitempty"`
+	SampleMs   int64   `json:"sample_ms"`
+	ZipfSkew   float64 `json:"zipf_skew,omitempty"`
+	Target     string  `json:"target,omitempty"` // live cluster, empty = simnet
 }
 
 // Schedule summarizes the seeded op plan — fully derived from the RNG

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"sariadne/internal/store"
 )
@@ -221,6 +222,7 @@ func (s *Store) LiveServices() int {
 
 // Append implements store.Store.
 func (s *Store) Append(rec store.Record) error {
+	start := time.Now()
 	payload, err := store.EncodeRecord(rec)
 	if err != nil {
 		return err
@@ -240,7 +242,6 @@ func (s *Store) Append(rec store.Record) error {
 	s.size += int64(len(frame))
 	s.applyKeydirLocked(rec)
 	s.pending++
-	store.CountAppend()
 	if s.pending >= s.syncEvery {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("boltlike: sync: %w", err)
@@ -248,6 +249,7 @@ func (s *Store) Append(rec store.Record) error {
 		s.pending = 0
 		store.CountSync()
 	}
+	store.CountAppend(start)
 	return nil
 }
 

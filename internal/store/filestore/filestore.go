@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"sariadne/internal/store"
 )
@@ -128,6 +129,7 @@ func (s *Store) recoverLocked() error {
 // Append implements store.Store. The write lands immediately; the fsync
 // is issued every syncEvery appends (and always on Close and Compact).
 func (s *Store) Append(rec store.Record) error {
+	start := time.Now()
 	data, err := store.EncodeRecord(rec)
 	if err != nil {
 		return err
@@ -143,7 +145,6 @@ func (s *Store) Append(rec store.Record) error {
 	}
 	s.size += int64(len(data))
 	s.pending++
-	store.CountAppend()
 	if s.pending >= s.syncEvery {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("filestore: sync: %w", err)
@@ -151,6 +152,7 @@ func (s *Store) Append(rec store.Record) error {
 		s.pending = 0
 		store.CountSync()
 	}
+	store.CountAppend(start)
 	return nil
 }
 

@@ -9,6 +9,7 @@ package memstore
 import (
 	"bytes"
 	"sync"
+	"time"
 
 	"sariadne/internal/store"
 )
@@ -80,6 +81,7 @@ func Open(med *Medium) (*Store, error) {
 
 // Append implements store.Store.
 func (s *Store) Append(rec store.Record) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -93,7 +95,7 @@ func (s *Store) Append(rec store.Record) error {
 	s.med.buf = append(s.med.buf, data...)
 	s.med.buf = append(s.med.buf, '\n')
 	s.med.mu.Unlock()
-	store.CountAppend()
+	store.CountAppend(start)
 	store.CountSync() // memory is always "synced"
 	return nil
 }

@@ -23,12 +23,19 @@ var (
 		"records streamed out of the store during replay")
 	compactSeconds = telemetry.NewHistogram("store_compact_seconds",
 		"latency of one store compaction")
+	appendSeconds = telemetry.NewHistogram("store_append_seconds",
+		"latency of one store append, including any fsync the sync policy charges to it")
 )
 
 // Metric helpers for the backend subpackages.
 
-// CountAppend records one appended record.
-func CountAppend() { appendsTotal.Inc() }
+// CountAppend records one appended record that started at start — it
+// both counts the append and times it, so the soak watchdog's
+// append_latency_step detector sees a per-append latency series.
+func CountAppend(start time.Time) {
+	appendsTotal.Inc()
+	appendSeconds.ObserveSince(start)
+}
 
 // CountSync records one fsync (or in-memory sync point).
 func CountSync() { syncsTotal.Inc() }

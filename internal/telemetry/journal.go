@@ -1,0 +1,539 @@
+package telemetry
+
+// Telemetry journal: a size-bounded on-disk segment log of sampler ticks,
+// so GET /timeseries serves hours of history that survives restarts
+// instead of a RAM ring that dies with the process.
+//
+// The format follows internal/store's framing discipline scaled down to
+// telemetry's needs: each segment file opens with a magic+version header
+// and then carries length-prefixed CRC32-framed records; a torn tail
+// (crash mid-write) is detected at open and truncated away rather than
+// poisoning reads; records carry their own version field so future
+// readers can skip shapes they do not understand. Unlike the service
+// store the journal is a ring at file granularity — when the active
+// segment passes the size bound a new one starts, and the oldest segment
+// is deleted once the directory exceeds its segment budget. Losing the
+// oldest telemetry is the design, not a failure: the journal bounds disk
+// like the Ring bounds memory.
+//
+// A bounded in-memory tail (rebuilt from disk at open) backs the
+// watchdog's window reads and /timeseries, so steady-state reads never
+// touch the filesystem; Replay streams the full on-disk history for
+// tools that want everything.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JournalVersion is the record version this code writes. Readers accept
+// any version up to it and fail typed on newer ones.
+const JournalVersion = 1
+
+// journalMagic opens every segment file: format name plus format
+// revision, so a foreign or corrupted file is rejected before any frame
+// is parsed.
+var journalMagic = [8]byte{'s', 'd', 'p', 't', 'j', 'n', 'l', 1}
+
+// journalSuffix names segment files: <seq>.tjseg with a fixed-width
+// decimal sequence so lexical order is creation order.
+const journalSuffix = ".tjseg"
+
+// JournalSample is one persisted sampler tick: a wall-clock stamp plus
+// the full registry snapshot taken then. Wall-clock (not elapsed) time is
+// what makes history stitch across restarts.
+type JournalSample struct {
+	Time    time.Time
+	Metrics []MetricSnapshot
+}
+
+// Metric finds a snapshot by name.
+func (s JournalSample) Metric(name string) (MetricSnapshot, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// JournalVersionError reports a record written by a newer format
+// revision than this reader understands.
+type JournalVersionError struct {
+	Version int
+}
+
+func (e *JournalVersionError) Error() string {
+	return fmt.Sprintf("telemetry journal: record version %d is newer than supported %d",
+		e.Version, JournalVersion)
+}
+
+// journalWire is the persisted record shape: compact keys, no Help text,
+// buckets as (upper bound, cumulative count) pairs. Versioned so the
+// shape can evolve without invalidating old segments.
+type journalWire struct {
+	V int             `json:"v"`
+	T int64           `json:"t"` // sample time, Unix milliseconds
+	M []journalMetric `json:"m"`
+}
+
+type journalMetric struct {
+	N  string          `json:"n"`
+	K  Kind            `json:"k"`
+	L  string          `json:"l,omitempty"`
+	LV string          `json:"lv,omitempty"`
+	F  float64         `json:"f,omitempty"`
+	C  uint64          `json:"c,omitempty"`
+	S  float64         `json:"s,omitempty"`
+	B  []journalBucket `json:"b,omitempty"`
+}
+
+type journalBucket struct {
+	U float64 `json:"u"`
+	C uint64  `json:"c"`
+}
+
+// EncodeJournalSample serializes one sample to its framed payload bytes
+// (version field included, frame header excluded).
+func EncodeJournalSample(s JournalSample) ([]byte, error) {
+	w := journalWire{V: JournalVersion, T: s.Time.UnixMilli(), M: make([]journalMetric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		jm := journalMetric{N: m.Name, K: m.Kind, L: m.Label, LV: m.LabelValue,
+			F: m.Value, C: m.Count, S: m.Sum}
+		for _, b := range m.Buckets {
+			jm.B = append(jm.B, journalBucket{U: b.UpperBound, C: b.Count})
+		}
+		w.M = append(w.M, jm)
+	}
+	return json.Marshal(w)
+}
+
+// DecodeJournalSample parses payload bytes produced by
+// EncodeJournalSample, failing typed on newer-versioned records.
+func DecodeJournalSample(payload []byte) (JournalSample, error) {
+	var w journalWire
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return JournalSample{}, err
+	}
+	if w.V > JournalVersion {
+		return JournalSample{}, &JournalVersionError{Version: w.V}
+	}
+	s := JournalSample{Time: time.UnixMilli(w.T), Metrics: make([]MetricSnapshot, 0, len(w.M))}
+	for _, jm := range w.M {
+		m := MetricSnapshot{Name: jm.N, Kind: jm.K, Label: jm.L, LabelValue: jm.LV,
+			Value: jm.F, Count: jm.C, Sum: jm.S}
+		for _, b := range jm.B {
+			m.Buckets = append(m.Buckets, BucketCount{UpperBound: b.U, Count: b.C})
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	return s, nil
+}
+
+// JournalOptions bounds a journal. Zero values take defaults.
+type JournalOptions struct {
+	// MaxSegmentBytes rotates the active segment once it reaches this
+	// size (default 4 MiB).
+	MaxSegmentBytes int64
+	// MaxSegments caps the directory; the oldest segment is deleted when
+	// a rotation would exceed it (default 8).
+	MaxSegments int
+	// CacheSamples bounds the in-memory tail serving Recent/History
+	// (default 4096 — about 5.5 hours at a 5 s cadence).
+	CacheSamples int
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 8
+	}
+	if o.CacheSamples <= 0 {
+		o.CacheSamples = 4096
+	}
+	return o
+}
+
+// Journal is the durable sample log. All methods are goroutine-safe.
+type Journal struct {
+	dir  string
+	opts JournalOptions
+
+	mu       sync.Mutex
+	f        *os.File // active segment, opened for append
+	seq      uint64   // active segment sequence number
+	size     int64    // active segment size including header
+	segments []uint64 // existing segment sequences, ascending (incl. active)
+	cache    []JournalSample
+	tornTail bool
+	closed   bool
+}
+
+// ErrJournalClosed is returned by appends after Close.
+var ErrJournalClosed = errors.New("telemetry journal: closed")
+
+// OpenJournal opens (creating if needed) the journal in dir, recovers
+// its history into the in-memory tail, and truncates any torn tail left
+// by a crash mid-append.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, opts: opts}
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	journalSegments.Set(int64(len(j.segments)))
+	journalSizeBytes.Set(j.diskSize())
+	return j, nil
+}
+
+// recover lists segments, replays them oldest-first into the cache, and
+// opens the newest for append after truncating any torn tail.
+func (j *Journal) recover() error {
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, journalSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, journalSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		j.segments = append(j.segments, seq)
+	}
+	sort.Slice(j.segments, func(a, b int) bool { return j.segments[a] < j.segments[b] })
+
+	for i, seq := range j.segments {
+		last := i == len(j.segments)-1
+		samples, good, torn, err := scanSegment(j.segmentPath(seq))
+		if err != nil {
+			return err
+		}
+		if torn {
+			j.tornTail = true
+			journalTornTailsTotal.Inc()
+			if last {
+				// Only the active segment is ever mid-write; chop the
+				// torn frame so the next append lands on a clean edge.
+				if err := truncateSegment(j.segmentPath(seq), good); err != nil {
+					return err
+				}
+			}
+		}
+		for _, s := range samples {
+			j.cacheAdd(s)
+		}
+		if last {
+			j.seq, j.size = seq, good
+		}
+	}
+
+	if len(j.segments) == 0 {
+		return j.startSegment(1)
+	}
+	if j.size < int64(len(journalMagic)) {
+		// The crash landed before the active segment's header sync;
+		// rewrite the header so appends land in a well-formed file.
+		f, err := os.OpenFile(j.segmentPath(j.seq), os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(journalMagic[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		j.f = f
+		j.size = int64(len(journalMagic))
+		return nil
+	}
+	f, err := os.OpenFile(j.segmentPath(j.seq), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = f
+	return nil
+}
+
+// startSegment creates and headers a fresh active segment.
+func (j *Journal) startSegment(seq uint64) error {
+	f, err := os.OpenFile(j.segmentPath(seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(journalMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	j.f = f
+	j.seq = seq
+	j.size = int64(len(journalMagic))
+	j.segments = append(j.segments, seq)
+	return nil
+}
+
+func (j *Journal) segmentPath(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%012d%s", seq, journalSuffix))
+}
+
+// Append frames and persists one sample, rotating and pruning segments
+// as the size bounds require, and feeds the in-memory tail.
+func (j *Journal) Append(s JournalSample) error {
+	start := time.Now()
+	payload, err := EncodeJournalSample(s)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	if j.size >= j.opts.MaxSegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += int64(len(frame))
+	j.cacheAdd(s)
+	journalAppendsTotal.Inc()
+	journalAppendSeconds.ObserveSince(start)
+	journalSizeBytes.Set(j.diskSizeLocked())
+	return nil
+}
+
+// rotateLocked closes the active segment, starts the next one, and
+// prunes the oldest segments past the budget. Caller holds j.mu.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := j.startSegment(j.seq + 1); err != nil {
+		return err
+	}
+	journalRotationsTotal.Inc()
+	for len(j.segments) > j.opts.MaxSegments {
+		oldest := j.segments[0]
+		if err := os.Remove(j.segmentPath(oldest)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		j.segments = j.segments[1:]
+		journalDroppedSegmentsTotal.Inc()
+	}
+	journalSegments.Set(int64(len(j.segments)))
+	return nil
+}
+
+// cacheAdd appends to the bounded in-memory tail. Caller holds j.mu (or
+// is single-threaded recovery).
+func (j *Journal) cacheAdd(s JournalSample) {
+	j.cache = append(j.cache, s)
+	if over := len(j.cache) - j.opts.CacheSamples; over > 0 {
+		j.cache = append(j.cache[:0], j.cache[over:]...)
+	}
+}
+
+// Recent returns cached samples newer than now-window, oldest first —
+// the watchdog's detector feed. Purely in-memory.
+func (j *Journal) Recent(window time.Duration) []JournalSample {
+	cutoff := time.Now().Add(-window)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := sort.Search(len(j.cache), func(i int) bool { return j.cache[i].Time.After(cutoff) })
+	return append([]JournalSample(nil), j.cache[i:]...)
+}
+
+// History returns every cached sample oldest first (bounded by
+// CacheSamples; Replay streams the full disk history).
+func (j *Journal) History() []JournalSample {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]JournalSample(nil), j.cache...)
+}
+
+// TornTail reports whether open-time recovery truncated a torn frame.
+func (j *Journal) TornTail() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tornTail
+}
+
+// Replay streams every decodable on-disk sample oldest first. Damaged or
+// newer-versioned frames end the segment they sit in (matching open-time
+// recovery) without failing the replay.
+func (j *Journal) Replay(fn func(JournalSample) error) error {
+	j.mu.Lock()
+	segs := append([]uint64(nil), j.segments...)
+	j.mu.Unlock()
+	for _, seq := range segs {
+		samples, _, _, err := scanSegment(j.segmentPath(seq))
+		if err != nil {
+			return err
+		}
+		for _, s := range samples {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment. Appends after Close fail
+// with ErrJournalClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// diskSize sums segment sizes; diskSizeLocked is the under-lock variant.
+func (j *Journal) diskSize() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.diskSizeLocked()
+}
+
+func (j *Journal) diskSizeLocked() int64 {
+	var total int64
+	for _, seq := range j.segments {
+		if fi, err := os.Stat(j.segmentPath(seq)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// scanSegment reads one segment, returning its decodable samples, the
+// byte offset of the last clean frame edge, and whether the file ends in
+// a torn or corrupt frame. A missing/short header counts as torn at
+// offset 0 with no samples; a wrong-magic header is a hard error (the
+// file is not ours to truncate).
+func scanSegment(path string) (samples []JournalSample, good int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer f.Close()
+
+	var hdr [8]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil {
+		// Shorter than a header: a crash before the header sync landed.
+		return nil, 0, n > 0 || err != io.EOF, nil
+	}
+	if hdr != journalMagic {
+		return nil, 0, false, fmt.Errorf("telemetry journal: %s: bad segment magic", path)
+	}
+	good = int64(len(hdr))
+
+	var lenCrc [8]byte
+	for {
+		if _, err := io.ReadFull(f, lenCrc[:]); err != nil {
+			if err == io.EOF {
+				return samples, good, false, nil // clean end
+			}
+			return samples, good, true, nil // partial frame header
+		}
+		plen := binary.LittleEndian.Uint32(lenCrc[0:4])
+		want := binary.LittleEndian.Uint32(lenCrc[4:8])
+		if plen == 0 || plen > 64<<20 {
+			return samples, good, true, nil // garbage length
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return samples, good, true, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return samples, good, true, nil // bit rot or torn rewrite
+		}
+		s, err := DecodeJournalSample(payload)
+		if err != nil {
+			// Framed but undecodable (newer version, malformed JSON):
+			// stop here like a torn tail so old readers degrade safely.
+			return samples, good, true, nil
+		}
+		samples = append(samples, s)
+		good += int64(len(lenCrc)) + int64(plen)
+	}
+}
+
+// truncateSegment chops path to size and syncs, discarding a torn tail.
+func truncateSegment(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Journal instruments, registered at package init like every metric.
+var (
+	journalAppendsTotal = NewCounter("telemetry_journal_appends_total",
+		"samples appended to the telemetry journal")
+	journalAppendSeconds = NewHistogram("telemetry_journal_append_seconds",
+		"latency of one journal append, fsync included")
+	journalRotationsTotal = NewCounter("telemetry_journal_rotations_total",
+		"segment rotations triggered by the size bound")
+	journalDroppedSegmentsTotal = NewCounter("telemetry_journal_dropped_segments_total",
+		"oldest segments deleted to stay inside the segment budget")
+	journalTornTailsTotal = NewCounter("telemetry_journal_torn_tails_total",
+		"torn or corrupt segment tails detected during open-time recovery")
+	journalSegments = NewGauge("telemetry_journal_segments",
+		"segment files currently on disk")
+	journalSizeBytes = NewGauge("telemetry_journal_size_bytes",
+		"total bytes of journal segments on disk")
+)

@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sampleAt builds a synthetic journal sample with one counter reading.
+func sampleAt(t time.Time, counter string, v float64) JournalSample {
+	return JournalSample{Time: t, Metrics: []MetricSnapshot{
+		{Name: counter, Kind: KindCounter, Value: v},
+	}}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	in := JournalSample{
+		Time: time.UnixMilli(1700000000123),
+		Metrics: []MetricSnapshot{
+			{Name: "a_total", Kind: KindCounter, Value: 42},
+			{Name: "b_gauge", Kind: KindGauge, Value: -7},
+			{Name: "fam_total", Kind: KindCounter, Label: "code", LabelValue: "x", Value: 3},
+			{Name: "h_seconds", Kind: KindHistogram, Count: 5, Sum: 1.25,
+				Buckets: []BucketCount{{UpperBound: 0.5, Count: 3}, {UpperBound: 2, Count: 5}}},
+		},
+	}
+	payload, err := EncodeJournalSample(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeJournalSample(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Time.Equal(in.Time) {
+		t.Fatalf("Time = %v, want %v", out.Time, in.Time)
+	}
+	if len(out.Metrics) != len(in.Metrics) {
+		t.Fatalf("Metrics len = %d, want %d", len(out.Metrics), len(in.Metrics))
+	}
+	for i := range in.Metrics {
+		a, b := in.Metrics[i], out.Metrics[i]
+		a.Help = "" // Help is deliberately not persisted
+		if a.Name != b.Name || a.Kind != b.Kind || a.Label != b.Label ||
+			a.LabelValue != b.LabelValue || a.Value != b.Value ||
+			a.Count != b.Count || a.Sum != b.Sum || len(a.Buckets) != len(b.Buckets) {
+			t.Fatalf("metric %d: got %+v, want %+v", i, b, a)
+		}
+	}
+}
+
+func TestJournalRejectsNewerVersion(t *testing.T) {
+	_, err := DecodeJournalSample([]byte(`{"v":99,"t":0}`))
+	var ve *JournalVersionError
+	if err == nil {
+		t.Fatal("decoding a v99 record succeeded")
+	}
+	if !errors.As(err, &ve) || ve.Version != 99 {
+		t.Fatalf("err = %v, want JournalVersionError{99}", err)
+	}
+}
+
+func TestJournalPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < 10; i++ {
+		if err := j.Append(sampleAt(base.Add(time.Duration(i)*time.Second), "x_total", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	hist := j2.History()
+	if len(hist) != 10 {
+		t.Fatalf("History after reopen = %d samples, want 10", len(hist))
+	}
+	if m, ok := hist[9].Metric("x_total"); !ok || m.Value != 9 {
+		t.Fatalf("last sample = %+v, want x_total=9", hist[9])
+	}
+	if j2.TornTail() {
+		t.Fatal("clean reopen reported a torn tail")
+	}
+	// New appends continue the same history.
+	if err := j2.Append(sampleAt(base.Add(time.Minute), "x_total", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.History()); got != 11 {
+		t.Fatalf("History after continued append = %d, want 11", got)
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(sampleAt(base.Add(time.Duration(i)*time.Second), "x_total", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash simulation: append half a frame to the active segment.
+	seg := filepath.Join(dir, "000000000001.tjseg")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [12]byte
+	binary.LittleEndian.PutUint32(torn[0:4], 500) // promises 500 payload bytes
+	binary.LittleEndian.PutUint32(torn[4:8], crc32.ChecksumIEEE([]byte("x")))
+	if _, err := f.Write(torn[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if !j2.TornTail() {
+		t.Fatal("reopen over a half-written frame did not report a torn tail")
+	}
+	if got := len(j2.History()); got != 5 {
+		t.Fatalf("History after torn-tail recovery = %d samples, want 5", got)
+	}
+	if fi2, err := os.Stat(seg); err != nil || fi2.Size() != fi.Size() {
+		t.Fatalf("segment size after truncation = %v (err %v), want %d", fi2.Size(), err, fi.Size())
+	}
+	// The journal must accept appends on the cleaned edge and read them
+	// back after another reopen.
+	if err := j2.Append(sampleAt(base.Add(time.Minute), "x_total", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j3.Close() }()
+	if got := len(j3.History()); got != 6 {
+		t.Fatalf("History after post-recovery append = %d samples, want 6", got)
+	}
+}
+
+func TestJournalCorruptPayloadStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(sampleAt(base.Add(time.Duration(i)*time.Second), "x_total", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte of the last frame: CRC must catch it.
+	seg := filepath.Join(dir, "000000000001.tjseg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if !j2.TornTail() {
+		t.Fatal("bit flip in the tail frame went undetected")
+	}
+	if got := len(j2.History()); got != 2 {
+		t.Fatalf("History after corrupt tail = %d samples, want 2", got)
+	}
+}
+
+func TestJournalRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation roughly every append.
+	j, err := OpenJournal(dir, JournalOptions{MaxSegmentBytes: 64, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < 12; i++ {
+		if err := j.Append(sampleAt(base.Add(time.Duration(i)*time.Second), "x_total", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > 3 {
+		t.Fatalf("segment files = %d, want <= 3 after pruning", len(ents))
+	}
+	// The in-memory tail still holds everything within its own bound.
+	if got := len(j.History()); got != 12 {
+		t.Fatalf("History = %d samples, want 12", got)
+	}
+	// Replay only sees what disk retained, newest segments, oldest first.
+	var replayed []JournalSample
+	if err := j.Replay(func(s JournalSample) error { replayed = append(replayed, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) == 0 || len(replayed) >= 12 {
+		t.Fatalf("Replay = %d samples, want pruned-but-nonzero subset", len(replayed))
+	}
+	for i := 1; i < len(replayed); i++ {
+		if replayed[i].Time.Before(replayed[i-1].Time) {
+			t.Fatal("Replay out of order")
+		}
+	}
+}
+
+func TestJournalRecentWindow(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	now := time.Now()
+	for _, off := range []time.Duration{-10 * time.Minute, -5 * time.Minute, -30 * time.Second, -time.Second} {
+		if err := j.Append(sampleAt(now.Add(off), "x_total", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(j.Recent(time.Minute)); got != 2 {
+		t.Fatalf("Recent(1m) = %d samples, want 2", got)
+	}
+	if got := len(j.Recent(time.Hour)); got != 4 {
+		t.Fatalf("Recent(1h) = %d samples, want 4", got)
+	}
+}
+
+func TestJournalCacheBound(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{CacheSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j.Close() }()
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < 10; i++ {
+		if err := j.Append(sampleAt(base.Add(time.Duration(i)*time.Second), "x_total", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := j.History()
+	if len(hist) != 4 {
+		t.Fatalf("History = %d samples, want cache bound 4", len(hist))
+	}
+	if m, _ := hist[0].Metric("x_total"); m.Value != 6 {
+		t.Fatalf("oldest cached sample = %v, want x_total=6", m.Value)
+	}
+}
+
+func TestJournalAppendAfterClose(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(sampleAt(time.Now(), "x_total", 1)); err != ErrJournalClosed {
+		t.Fatalf("Append after Close = %v, want ErrJournalClosed", err)
+	}
+}

@@ -112,3 +112,63 @@ func TestLabeledGaugeConcurrentWith(t *testing.T) {
 		t.Fatalf("lost updates: total = %d, want %d", total, 8*500)
 	}
 }
+
+func TestLabeledCounterChildren(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewLabeledCounter("alert_fired_testfam_total", "alerts fired per code", "code")
+
+	c.With("goroutine_growth").Inc()
+	c.With("goroutine_growth").Inc()
+	c.With("memory_growth").Add(3)
+	if c.With("goroutine_growth") != c.With("goroutine_growth") {
+		t.Fatal("With must return the same child for the same value")
+	}
+	vals := c.Values()
+	if vals["goroutine_growth"] != 2 || vals["memory_growth"] != 3 {
+		t.Fatalf("Values() = %v", vals)
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want one per child: %+v", len(snap), snap)
+	}
+	for _, s := range snap {
+		if s.Name != "alert_fired_testfam_total" || s.Label != "code" || s.Kind != KindCounter {
+			t.Fatalf("child snapshot %+v lacks family name/label/kind", s)
+		}
+	}
+
+	r.Reset()
+	if vals := c.Values(); vals["goroutine_growth"] != 0 || vals["memory_growth"] != 0 {
+		t.Fatalf("Values() after Reset = %v, want zeros", vals)
+	}
+}
+
+func TestLabeledCounterBadLabelPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad label key did not panic")
+		}
+	}()
+	r.NewLabeledCounter("x_total", "", "Bad-Label")
+}
+
+func TestLabeledCounterConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewLabeledCounter("race_fam_total", "", "code")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.With("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Values()["shared"]; got != 800 {
+		t.Fatalf("shared counter = %d, want 800", got)
+	}
+}

@@ -70,6 +70,9 @@ type Recorder struct {
 	eventCap int
 	nextE    int // slot the next event overwrites
 	seq      uint64
+	alerts   []Alert // ring; grows to alertCap then wraps
+	alertCap int
+	nextA    int // slot the next alert overwrites
 }
 
 // Capacity defaults for the process-wide recorder: enough to hold the
@@ -77,6 +80,7 @@ type Recorder struct {
 const (
 	DefaultTraceCap = 256
 	DefaultEventCap = 1024
+	DefaultAlertCap = 256
 )
 
 // NewRecorder builds a recorder retaining up to traceCap traced queries
@@ -92,6 +96,7 @@ func NewRecorder(traceCap, eventCap int) *Recorder {
 	return &Recorder{
 		traceCap: traceCap,
 		eventCap: eventCap,
+		alertCap: DefaultAlertCap,
 		byID:     make(map[uint64]int),
 	}
 }
@@ -197,6 +202,41 @@ func (r *Recorder) Events() []ProtoEvent {
 	return out
 }
 
+// RecordAlert retains one watchdog alert in the alert ring, evicting the
+// oldest when full. The watchdog's fire-transition is the only writer,
+// so the ring is a fired-alert history, not an active set — Active
+// status lives on the Watchdog.
+func (r *Recorder) RecordAlert(a Alert) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.alerts) < r.alertCap {
+		r.alerts = append(r.alerts, a)
+		r.nextA = len(r.alerts) % r.alertCap
+	} else {
+		r.alerts[r.nextA] = a
+		r.nextA = (r.nextA + 1) % r.alertCap
+	}
+	r.mu.Unlock()
+	recorderAlertsTotal.Inc()
+}
+
+// Alerts returns the retained fired-alert history, newest first.
+func (r *Recorder) Alerts() []Alert {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Alert, 0, len(r.alerts))
+	for i := 0; i < len(r.alerts); i++ {
+		slot := (r.nextA - 1 - i + 2*len(r.alerts)) % len(r.alerts)
+		out = append(out, r.alerts[slot])
+	}
+	return out
+}
+
 // Recorder occupancy and churn instruments. Registered here (package
 // init) like every other metric; the recorder itself stays registry-free
 // so private recorders in tests share them harmlessly.
@@ -207,4 +247,6 @@ var (
 		"retained traces overwritten by newer ones in a full ring")
 	recorderEventsTotal = NewCounter("telemetry_recorder_events_total",
 		"protocol events deposited into flight recorders")
+	recorderAlertsTotal = NewCounter("telemetry_recorder_alerts_total",
+		"watchdog alerts deposited into flight recorders")
 )

@@ -256,6 +256,66 @@ func (g *LabeledGauge) snapshotChildren() (values []string, readings []int64) {
 	return values, readings
 }
 
+// LabeledCounter is a family of counters split by one label — alert
+// firings by code (alert_fired_total{code="goroutine_growth"}). It
+// follows the LabeledGauge discipline exactly: the family registers once
+// at init, children appear on demand via With, and each child is an
+// ordinary *Counter so increments stay a single atomic op.
+type LabeledCounter struct {
+	label string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+	order    []string // first-use order, for stable exposition
+}
+
+// With returns the child counter for one label value, creating it on
+// first use. Callers with a hot path should retain the returned *Counter.
+func (c *LabeledCounter) With(value string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := c.children[value]
+	if ch == nil {
+		ch = &Counter{}
+		c.children[value] = ch
+		c.order = append(c.order, value)
+	}
+	return ch
+}
+
+// Values snapshots the family as label value -> count.
+func (c *LabeledCounter) Values() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.children))
+	for v, ch := range c.children {
+		out[v] = ch.Value()
+	}
+	return out
+}
+
+func (c *LabeledCounter) kind() Kind { return KindCounter }
+
+func (c *LabeledCounter) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.children {
+		ch.reset()
+	}
+}
+
+// snapshotChildren copies the family in first-use order under its lock.
+func (c *LabeledCounter) snapshotChildren() (values []string, readings []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	values = append(values, c.order...)
+	readings = make([]uint64, 0, len(values))
+	for _, v := range values {
+		readings = append(readings, c.children[v].Value())
+	}
+	return values, readings
+}
+
 // BucketCount is one cumulative histogram bucket in a snapshot.
 type BucketCount struct {
 	// UpperBound is the inclusive upper edge in exposition units
@@ -369,6 +429,17 @@ func (r *Registry) NewLabeledGauge(name, help, label string) *LabeledGauge {
 	return g
 }
 
+// NewLabeledCounter registers a one-label counter family under the same
+// naming and init-time discipline as NewLabeledGauge.
+func (r *Registry) NewLabeledCounter(name, help, label string) *LabeledCounter {
+	if !labelRe.MatchString(label) {
+		panic(fmt.Sprintf("telemetry: label key %q on metric %q is not snake_case", label, name))
+	}
+	c := &LabeledCounter{label: label, children: make(map[string]*Counter)}
+	r.register(name, help, c)
+	return c
+}
+
 // NewHistogram registers a latency histogram whose observations are
 // nanoseconds and whose exposition is in seconds; name it *_seconds.
 func (r *Registry) NewHistogram(name, help string) *Histogram {
@@ -405,6 +476,12 @@ func NewLabeledGauge(name, help, label string) *LabeledGauge {
 	return std.NewLabeledGauge(name, help, label)
 }
 
+// NewLabeledCounter registers a one-label counter family in the Default
+// registry.
+func NewLabeledCounter(name, help, label string) *LabeledCounter {
+	return std.NewLabeledCounter(name, help, label)
+}
+
 // NewHistogram registers a seconds histogram in the Default registry.
 func NewHistogram(name, help string) *Histogram { return std.NewHistogram(name, help) }
 
@@ -434,6 +511,15 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		case *LabeledGauge:
 			// One snapshot entry per child, sharing the family's name and
 			// help; a family with no children yet exposes nothing.
+			values, readings := m.snapshotChildren()
+			for i, v := range values {
+				c := s
+				c.Label, c.LabelValue = m.label, v
+				c.Value = float64(readings[i])
+				out = append(out, c)
+			}
+			continue
+		case *LabeledCounter:
 			values, readings := m.snapshotChildren()
 			for i, v := range values {
 				c := s

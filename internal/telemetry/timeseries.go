@@ -101,23 +101,56 @@ func (r *Ring) Samples() []Sample {
 type Sampler struct {
 	ring *Ring
 	reg  *Registry
+	cfg  SamplerConfig
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
 }
 
+// SamplerConfig hooks a sampler into the soak-horizon pipeline. Both
+// hooks run on the sampler goroutine (and once more synchronously during
+// Stop), so they must not block for long and must not call Stop.
+type SamplerConfig struct {
+	// Collect, when set, runs immediately before each snapshot — the
+	// runtime collector (SampleRuntime) refreshes point-in-time gauges
+	// here so every sample carries current readings.
+	Collect func()
+	// OnSample, when set, receives each sample after it lands in the
+	// ring — the telemetry journal appends from here.
+	OnSample func(Sample)
+}
+
 // StartSampler samples reg every interval into a fresh ring of the given
 // capacity. An immediate first sample anchors the first window.
 func StartSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	return StartSamplerConfig(reg, interval, capacity, SamplerConfig{})
+}
+
+// StartSamplerConfig is StartSampler with collection and per-sample
+// hooks attached.
+func StartSamplerConfig(reg *Registry, interval time.Duration, capacity int, cfg SamplerConfig) *Sampler {
 	s := &Sampler{
 		ring: NewRing(capacity),
 		reg:  reg,
+		cfg:  cfg,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	s.ring.Sample(reg)
+	s.take()
 	go s.loop(interval)
 	return s
+}
+
+// take runs one full sampling round: collect, snapshot into the ring,
+// then hand the sample to the journal hook.
+func (s *Sampler) take() {
+	if s.cfg.Collect != nil {
+		s.cfg.Collect()
+	}
+	sample := s.ring.Sample(s.reg)
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(sample)
+	}
 }
 
 func (s *Sampler) loop(interval time.Duration) {
@@ -127,7 +160,7 @@ func (s *Sampler) loop(interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			s.ring.Sample(s.reg)
+			s.take()
 		case <-s.stop:
 			return
 		}
@@ -143,7 +176,7 @@ func (s *Sampler) Stop() {
 	s.once.Do(func() {
 		close(s.stop)
 		<-s.done
-		s.ring.Sample(s.reg)
+		s.take()
 	})
 }
 
@@ -152,10 +185,23 @@ func (s *Sampler) Stop() {
 // of the same metric, prev taken earlier on the same registry), for
 // counters the value delta, for gauges the current value (a gauge has no
 // meaningful delta). The result's Quantile is the windowed quantile.
+//
+// Windows that straddle a counter reset (Registry.Reset between samples,
+// or a daemon restart in journal-backed history) clamp instead of
+// underflowing: when cur trails prev the window is taken to be everything
+// accumulated since the reset, i.e. cur's own cumulative state.
 func DeltaSnapshot(prev, cur MetricSnapshot) MetricSnapshot {
 	out := MetricSnapshot{Name: cur.Name, Help: cur.Help, Kind: cur.Kind}
 	switch cur.Kind {
 	case KindHistogram:
+		if cur.Count < prev.Count {
+			// Reset boundary: the uint64 subtraction below would wrap to
+			// a near-2^64 count and poison every downstream rate/quantile.
+			out.Count = cur.Count
+			out.Sum = cur.Sum
+			out.Buckets = append([]BucketCount(nil), cur.Buckets...)
+			return out
+		}
 		out.Count = cur.Count - prev.Count
 		out.Sum = cur.Sum - prev.Sum
 		// Both bucket lists are sparse cumulative series over the same
@@ -168,13 +214,15 @@ func DeltaSnapshot(prev, cur MetricSnapshot) MetricSnapshot {
 				prevCum = prev.Buckets[pi].Count
 				pi++
 			}
-			if d := b.Count - prevCum; d > 0 {
-				out.Buckets = append(out.Buckets, BucketCount{UpperBound: b.UpperBound, Count: d})
+			// Per-bucket counts can also trail prev's across a reset
+			// that left the totals higher; guard each subtraction.
+			if b.Count > prevCum {
+				out.Buckets = append(out.Buckets, BucketCount{UpperBound: b.UpperBound, Count: b.Count - prevCum})
 			}
 		}
 	default:
 		out.Value = cur.Value
-		if cur.Kind == KindCounter {
+		if cur.Kind == KindCounter && cur.Value >= prev.Value {
 			out.Value = cur.Value - prev.Value
 		}
 	}

@@ -148,3 +148,125 @@ func TestSamplerCadenceAndStop(t *testing.T) {
 		t.Fatalf("final sample lost the counter: %+v", last.Metrics)
 	}
 }
+
+// TestRingWraparoundPreservesWindowOrder drives a ring far past its
+// capacity and checks the surviving samples stay a contiguous,
+// oldest-first suffix — the property QuantileCurve's windowing relies on
+// during soak runs, where the ring wraps thousands of times.
+func TestRingWraparoundPreservesWindowOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 103; i++ {
+		r.Add(Sample{Elapsed: time.Duration(i) * time.Second})
+	}
+	got := r.Samples()
+	if len(got) != 4 {
+		t.Fatalf("Samples = %d, want capacity 4", len(got))
+	}
+	for i, s := range got {
+		want := time.Duration(100+i) * time.Second
+		if s.Elapsed != want {
+			t.Fatalf("sample %d elapsed = %v, want %v (contiguous newest suffix)", i, s.Elapsed, want)
+		}
+	}
+}
+
+// TestDeltaSnapshotAcrossReset covers the counter-reset boundary: a
+// Registry.Reset (or daemon restart in journal-backed history) between
+// two samples must clamp the windowed delta to post-reset activity, not
+// underflow uint64 subtraction into astronomically large counts.
+func TestDeltaSnapshotAcrossReset(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewSizeHistogram("test_reset_units", "")
+	c := reg.NewCounter("test_reset_total", "")
+
+	for i := 0; i < 100; i++ {
+		h.ObserveInt(100)
+		c.Inc()
+	}
+	var prevH, prevC MetricSnapshot
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "test_reset_units":
+			prevH = m
+		case "test_reset_total":
+			prevC = m
+		}
+	}
+
+	reg.Reset()
+	h.ObserveInt(3)
+	h.ObserveInt(3)
+	c.Inc()
+	var curH, curC MetricSnapshot
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "test_reset_units":
+			curH = m
+		case "test_reset_total":
+			curC = m
+		}
+	}
+
+	dh := DeltaSnapshot(prevH, curH)
+	if dh.Count != 2 {
+		t.Fatalf("histogram delta across reset: Count = %d, want 2 (underflow?)", dh.Count)
+	}
+	if dh.Sum != 6 {
+		t.Fatalf("histogram delta across reset: Sum = %v, want 6", dh.Sum)
+	}
+	if got := dh.Quantile(0.99); got != 4 {
+		t.Fatalf("windowed p99 across reset = %v, want 4 (bucket of 3)", got)
+	}
+	for _, b := range dh.Buckets {
+		if b.Count > 2 {
+			t.Fatalf("bucket %+v exceeds window count 2", b)
+		}
+	}
+
+	dc := DeltaSnapshot(prevC, curC)
+	if dc.Value != 1 {
+		t.Fatalf("counter delta across reset = %v, want 1 (post-reset activity)", dc.Value)
+	}
+}
+
+// TestDeltaSnapshotPartialBucketRegression: a reset that leaves the
+// total count higher but individual buckets lower must still never
+// underflow a bucket subtraction.
+func TestDeltaSnapshotPartialBucketRegression(t *testing.T) {
+	prev := MetricSnapshot{Name: "x_units", Kind: KindHistogram, Count: 10, Sum: 40,
+		Buckets: []BucketCount{{UpperBound: 4, Count: 10}}}
+	cur := MetricSnapshot{Name: "x_units", Kind: KindHistogram, Count: 12, Sum: 300,
+		Buckets: []BucketCount{{UpperBound: 4, Count: 2}, {UpperBound: 32, Count: 12}}}
+	d := DeltaSnapshot(prev, cur)
+	if d.Count != 2 {
+		t.Fatalf("Count = %d, want 2", d.Count)
+	}
+	for _, b := range d.Buckets {
+		if b.Count > 1<<40 {
+			t.Fatalf("bucket %+v underflowed", b)
+		}
+	}
+}
+
+// TestQuantileCurveAcrossReset: the composed path — a curve spanning a
+// reset must not emit a poisoned point.
+func TestQuantileCurveAcrossReset(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewSizeHistogram("test_curve_reset_units", "")
+	r := NewRing(8)
+
+	h.ObserveInt(10)
+	h.ObserveInt(10)
+	r.Add(Sample{Elapsed: 1 * time.Second, Metrics: reg.Snapshot()})
+	reg.Reset()
+	h.ObserveInt(10)
+	r.Add(Sample{Elapsed: 2 * time.Second, Metrics: reg.Snapshot()})
+
+	curve := QuantileCurve(r.Samples(), "test_curve_reset_units", 0)
+	if len(curve) != 1 {
+		t.Fatalf("curve has %d points, want 1", len(curve))
+	}
+	if curve[0].Count != 1 {
+		t.Fatalf("post-reset window count = %d, want 1", curve[0].Count)
+	}
+}
